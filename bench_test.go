@@ -1,0 +1,168 @@
+// Package lpbuf's top-level benches regenerate the paper's tables and
+// figures (run with `go test -bench=. -benchmem`). Each bench reports
+// the relevant headline metric via b.ReportMetric and prints the full
+// table once, so a single -bench run reproduces the evaluation.
+package lpbuf
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lpbuf/internal/experiments"
+)
+
+// shared suite so compiled benchmarks are reused across benches.
+var (
+	suiteOnce sync.Once
+	suiteInst *experiments.Suite
+)
+
+func sharedSuite() *experiments.Suite {
+	suiteOnce.Do(func() { suiteInst = experiments.New() })
+	return suiteInst
+}
+
+// BenchmarkFigure7Traditional regenerates the Figure 7(a) curves.
+func BenchmarkFigure7Traditional(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.Fig7Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Figure7("traditional", experiments.BufferSizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Println(experiments.RenderFig7("Figure 7(a): traditional", rows, experiments.BufferSizes))
+	b.ReportMetric(avgAt(rows, 256), "%buffer@256")
+}
+
+// BenchmarkFigure7Aggressive regenerates the Figure 7(b) curves.
+func BenchmarkFigure7Aggressive(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.Fig7Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Figure7("aggressive", experiments.BufferSizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Println(experiments.RenderFig7("Figure 7(b): aggressive", rows, experiments.BufferSizes))
+	b.ReportMetric(avgAt(rows, 256), "%buffer@256")
+}
+
+func avgAt(rows []experiments.Fig7Row, sz int) float64 {
+	var sum float64
+	for _, r := range rows {
+		sum += r.Ratios[sz]
+	}
+	return 100 * sum / float64(len(rows))
+}
+
+// BenchmarkFigure8a regenerates the speedup / code size / fetch table.
+func BenchmarkFigure8a(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.Fig8aRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Figure8a()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Println(experiments.RenderFig8a(rows))
+	var sp float64
+	for _, r := range rows {
+		sp += r.Speedup
+	}
+	b.ReportMetric(sp/float64(len(rows)), "avg-speedup")
+}
+
+// BenchmarkFigure8b regenerates the normalized fetch-power table.
+func BenchmarkFigure8b(b *testing.B) {
+	s := sharedSuite()
+	var rows []experiments.Fig8bRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = s.Figure8b()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Println(experiments.RenderFig8b(rows))
+	var p float64
+	for _, r := range rows {
+		p += r.TransformedBuffered
+	}
+	b.ReportMetric(100*p/float64(len(rows)), "%power-transformed")
+}
+
+// BenchmarkFigure3 regenerates the predication characterization.
+func BenchmarkFigure3(b *testing.B) {
+	s := sharedSuite()
+	var f3 *experiments.Fig3
+	for i := 0; i < b.N; i++ {
+		var err error
+		f3, err = s.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Println(experiments.RenderFig3(f3))
+	b.ReportMetric(float64(f3.MaxLiveMax), "max-live-preds")
+}
+
+// BenchmarkFigure5 regenerates the PostFilter buffer traces.
+func BenchmarkFigure5(b *testing.B) {
+	s := sharedSuite()
+	for i := 0; i < b.N; i++ {
+		for _, sz := range []int{16, 32, 64} {
+			f5, err := s.Figure5(sz)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				fmt.Println(experiments.RenderFig5(f5))
+			}
+		}
+	}
+}
+
+// BenchmarkHeadline regenerates the abstract's aggregates.
+func BenchmarkHeadline(b *testing.B) {
+	s := sharedSuite()
+	var h *experiments.Headline
+	for i := 0; i < b.N; i++ {
+		var err error
+		h, err = s.ComputeHeadline()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fmt.Println(experiments.RenderHeadline(h))
+	b.ReportMetric(h.AvgSpeedup, "avg-speedup")
+	b.ReportMetric(100*h.BufferIssueAggressive, "%buffer-transformed")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed on the
+// heaviest benchmark (useful when sizing longer runs).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	s := sharedSuite()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		r, err := s.RunAt("g724enc", "aggressive", 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = r.Stats.OpsIssued
+	}
+	b.ReportMetric(float64(ops), "sim-ops/run")
+}

@@ -1,0 +1,151 @@
+// Command lpbuf regenerates the paper's evaluation: buffer-issue
+// curves (Figure 7), performance/code-size/fetch ratios (Figure 8a),
+// normalized instruction-fetch power (Figure 8b), the predication
+// characterization (Figure 3), the g724dec PostFilter buffer traces
+// (Figure 5), and the headline aggregates. It can also run a single
+// benchmark and print its statistics.
+//
+// Usage:
+//
+//	lpbuf -fig 7          # both Figure 7 curves
+//	lpbuf -fig 8a|8b|3|5  # one figure
+//	lpbuf -headline       # abstract-level aggregates
+//	lpbuf -bench g724dec  # one benchmark at -buffer ops
+//	lpbuf -all            # everything (EXPERIMENTS.md content)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lpbuf/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 3, 5, 7, 8a, 8b")
+	headline := flag.Bool("headline", false, "print headline aggregates")
+	benchName := flag.String("bench", "", "run one benchmark")
+	buffer := flag.Int("buffer", 256, "loop buffer size in operations")
+	ablate := flag.String("ablate", "", "ablation study for one benchmark")
+	dump := flag.String("dump", "", "disassemble a benchmark's scheduled code (aggressive config)")
+	widths := flag.String("widths", "", "issue-width sensitivity sweep for one benchmark")
+	encoding := flag.Bool("encoding", false, "predication encoding cost table")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.Parse()
+
+	s := experiments.New()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "lpbuf:", err)
+		os.Exit(1)
+	}
+
+	did := false
+	if *benchName != "" {
+		did = true
+		for _, cfg := range []string{"traditional", "aggressive"} {
+			r, err := s.RunAt(*benchName, cfg, *buffer)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%s/%s @%d ops: buffer issue %.1f%%, cycles %d, ops %d (%d nullified), static %d ops\n",
+				r.Bench, r.Config, r.BufferOps, 100*r.Stats.BufferIssueRatio(),
+				r.Stats.Cycles, r.Stats.OpsIssued, r.Stats.OpsNullified, r.StaticOps)
+			fmt.Printf("  passes: inlined=%d peeled=%d collapsed=%d converted=%d combined=%d promoted=%d cloops=%d kernels=%d\n",
+				r.Pass.Inlined, r.Pass.Peeled, r.Pass.Collapsed, r.Pass.Converted,
+				r.Pass.Combined, r.Pass.Promoted, r.Pass.CLoops, r.Pass.ModuloKernels)
+		}
+	}
+	if *fig == "7" || *all {
+		did = true
+		for _, cfg := range []string{"traditional", "aggressive"} {
+			rows, err := s.Figure7(cfg, experiments.BufferSizes)
+			if err != nil {
+				fail(err)
+			}
+			title := "Figure 7(a): % instruction issue from loop buffer, traditional optimization"
+			if cfg == "aggressive" {
+				title = "Figure 7(b): % instruction issue from loop buffer, hyperblock transformations"
+			}
+			fmt.Println(experiments.RenderFig7(title, rows, experiments.BufferSizes))
+		}
+	}
+	if *fig == "8a" || *all {
+		did = true
+		rows, err := s.Figure8a()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderFig8a(rows))
+	}
+	if *fig == "8b" || *all {
+		did = true
+		rows, err := s.Figure8b()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderFig8b(rows))
+	}
+	if *fig == "3" || *all {
+		did = true
+		f3, err := s.Figure3()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderFig3(f3))
+	}
+	if *fig == "5" || *all {
+		did = true
+		for _, sz := range []int{16, 32, 64} {
+			f5, err := s.Figure5(sz)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.RenderFig5(f5))
+		}
+	}
+	if *dump != "" {
+		did = true
+		text, err := s.Disasm(*dump)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(text)
+	}
+	if *ablate != "" {
+		did = true
+		rows, err := s.Ablation(*ablate)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderAblation(*ablate, rows))
+	}
+	if *widths != "" {
+		did = true
+		rows, err := s.WidthSweep(*widths)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderWidths(*widths, rows))
+	}
+	if *encoding || *all {
+		did = true
+		rows, err := s.EncodingCosts()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderEncoding(rows))
+	}
+	if *headline || *all {
+		did = true
+		h, err := s.ComputeHeadline()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderHeadline(h))
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

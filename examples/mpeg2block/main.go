@@ -1,0 +1,112 @@
+// Mpeg2block walks through the paper's Figure 2: predicated loop
+// collapsing of the mpeg2dec Add_Block() clip loop. It builds the
+// doubly-nested source loop, shows the IR before and after collapsing,
+// and verifies (via the interpreter) that the transformation preserves
+// the program's behaviour while turning the nest into one bufferable
+// 64-iteration counted loop.
+//
+//	go run ./examples/mpeg2block
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"lpbuf/internal/interp"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+	"lpbuf/internal/looptrans"
+)
+
+// build constructs the Figure 2 loop:
+//
+//	for (i = 0; i < 8; i++) {
+//	    for (j = 0; j < 8; j++) { *rfp++ = Clip[*bp++ + 128]; }
+//	    rfp += incr;
+//	}
+func build() *ir.Program {
+	pb := irbuild.NewProgram(16 << 10)
+	clip := make([]byte, 1024)
+	for i := range clip {
+		v := i - 384
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		clip[i] = byte(v)
+	}
+	clipOff := pb.GlobalB("Clip", 1024, clip)
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i*37 - 120)
+	}
+	bpOff := pb.GlobalB("bp", 64, src)
+	rfpOff := pb.GlobalB("rfp", 256, nil)
+
+	f := pb.Func("main", 0, false)
+	f.Block("pre")
+	i := f.Reg()
+	bp := f.Const(bpOff)
+	rfp := f.Const(rfpOff)
+	clipBase := f.Const(clipOff + 256 + 128)
+	f.MovI(i, 0)
+	f.Block("OUTER")
+	j := f.Reg()
+	f.MovI(j, 0)
+	f.Block("INNER")
+	v, addr, cv := f.Reg(), f.Reg(), f.Reg()
+	f.LdB(v, bp, 0)
+	f.Add(addr, clipBase, v)
+	f.LdBU(cv, addr, 0)
+	f.StB(rfp, 0, cv)
+	f.AddI(bp, bp, 1)
+	f.AddI(rfp, rfp, 1)
+	f.AddI(j, j, 1)
+	f.BrI(ir.CmpLT, j, 8, "INNER")
+	f.Block("LATCH")
+	f.AddI(rfp, rfp, 8) // rfp += incr
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, 8, "OUTER")
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+func main() {
+	before := build()
+	ref, err := interp.Run(before, interp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	after := build()
+	f := after.Funcs["main"]
+	fmt.Println("== Original nested loop (Figure 2(b)) ==")
+	fmt.Println(f)
+
+	n := looptrans.CollapseAll(f, looptrans.Options{})
+	if n != 1 {
+		log.Fatalf("expected 1 collapse, got %d", n)
+	}
+	fmt.Println("== After predicated loop collapsing (Figure 2(c)/(d)) ==")
+	fmt.Println(f)
+
+	res, err := interp.Run(after, interp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(ref.Mem, res.Mem) {
+		log.Fatal("collapse changed behaviour!")
+	}
+	loops := looptrans.FindLoops(f)
+	fmt.Printf("Loops after collapsing: %d (single %d-block body ending in br.cloop)\n",
+		len(loops), len(loops[0].Blocks))
+	fmt.Println("Behaviour verified identical. The outer-loop code now executes")
+	fmt.Println("under a predicate that fires every eighth iteration, and the whole")
+	fmt.Println("nest runs as one 64-iteration counted loop the buffer can hold —")
+	fmt.Println("exactly the Figure 2 rewrite, including the br.cloop 64 back edge.")
+}

@@ -1,0 +1,90 @@
+// Quickstart: build a small media-style loop in the IR, compile it in
+// the paper's two configurations, run both on the cycle-level VLIW
+// simulator and compare loop-buffer behaviour.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lpbuf/internal/core"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+)
+
+// buildProgram creates the classic saturating-mix loop:
+//
+//	for (i = 0; i < n; i++) {
+//	    v = a[i] + b[i];
+//	    if (v >  32767) v =  32767;   // branchy saturation, as in
+//	    if (v < -32768) v = -32768;   // reference C codecs
+//	    out[i] = v;
+//	}
+func buildProgram(n int) *ir.Program {
+	pb := irbuild.NewProgram(64 << 10)
+	av := make([]int32, n)
+	bv := make([]int32, n)
+	for i := range av {
+		av[i] = int32(i*1103%60000 - 30000)
+		bv[i] = int32(i*2741%60000 - 30000)
+	}
+	aOff := pb.GlobalW("a", n, av)
+	bOff := pb.GlobalW("b", n, bv)
+	outOff := pb.GlobalW("out", n, nil)
+
+	f := pb.Func("main", 0, false)
+	f.Block("pre")
+	pa := f.Const(aOff)
+	pbr := f.Const(bOff)
+	po := f.Const(outOff)
+	i := f.Reg()
+	f.MovI(i, 0)
+	f.Block("loop")
+	x, y, v := f.Reg(), f.Reg(), f.Reg()
+	f.LdW(x, pa, 0)
+	f.LdW(y, pbr, 0)
+	f.Add(v, x, y)
+	f.BrI(ir.CmpLE, v, 32767, "lo")
+	f.Block("sathi")
+	f.MovI(v, 32767)
+	f.Jump("store")
+	f.Block("lo")
+	f.BrI(ir.CmpGE, v, -32768, "store")
+	f.Block("satlo")
+	f.MovI(v, -32768)
+	f.Block("store")
+	f.StW(po, 0, v)
+	f.AddI(pa, pa, 4)
+	f.AddI(pbr, pbr, 4)
+	f.AddI(po, po, 4)
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, int64(n), "loop")
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+func main() {
+	prog := buildProgram(2000)
+
+	for _, cfg := range []core.Config{core.Traditional(256), core.Aggressive(256)} {
+		c, err := core.Compile(prog, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := c.Run() // verified against the interpreter reference
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s: %6.1f%% of issue from the loop buffer, %7d cycles "+
+			"(if-converted loops: %d, modulo-scheduled kernels: %d)\n",
+			cfg.Name, 100*res.Stats.BufferIssueRatio(), res.Stats.Cycles,
+			c.Stats.Converted, c.Stats.ModuloKernels)
+	}
+	fmt.Println("\nThe traditional build cannot buffer the loop (its saturation")
+	fmt.Println("branches make it multi-block); after if-conversion the whole loop")
+	fmt.Println("is one predicated block, fits the buffer, and pipelines.")
+}

@@ -1,0 +1,3 @@
+module lpbuf
+
+go 1.22

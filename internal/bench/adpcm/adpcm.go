@@ -1,0 +1,352 @@
+// Package adpcm implements the adpcmenc / adpcmdec benchmarks: an IMA
+// ADPCM speech codec (the paper's adpcm_enc/adpcm_dec from
+// MediaBench), as a pure-Go reference plus the same algorithm written
+// in the compiler's IR. The codec's quantization staircase is a chain
+// of data-dependent diamonds inside one hot loop — the paper notes the
+// adpcm benchmarks "resolve for the most part to a single predicated
+// loop" that reaches >99% buffer issue once if-converted.
+package adpcm
+
+import (
+	"lpbuf/internal/bench"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+)
+
+// NumSamples is the benchmark input length.
+const NumSamples = 4096
+
+var indexTable = [16]int32{
+	-1, -1, -1, -1, 2, 4, 6, 8,
+	-1, -1, -1, -1, 2, 4, 6, 8,
+}
+
+var stepTable = [89]int32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+func clamp16(v int32) int32 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return v
+}
+
+// Encode is the reference IMA ADPCM encoder: one unpacked 4-bit code
+// byte per sample.
+func Encode(in []int16) []byte {
+	out := make([]byte, len(in))
+	valpred, index := int32(0), int32(0)
+	step := stepTable[0]
+	for i, s := range in {
+		diff := int32(s) - valpred
+		sign := int32(0)
+		if diff < 0 {
+			sign = 8
+			diff = -diff
+		}
+		delta := int32(0)
+		vpdiff := step >> 3
+		if diff >= step {
+			delta = 4
+			diff -= step
+			vpdiff += step
+		}
+		if diff >= step>>1 {
+			delta |= 2
+			diff -= step >> 1
+			vpdiff += step >> 1
+		}
+		if diff >= step>>2 {
+			delta |= 1
+			vpdiff += step >> 2
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		valpred = clamp16(valpred)
+		delta |= sign
+		index += indexTable[delta]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		step = stepTable[index]
+		out[i] = byte(delta)
+	}
+	return out
+}
+
+// Decode is the reference IMA ADPCM decoder.
+func Decode(in []byte) []int16 {
+	out := make([]int16, len(in))
+	valpred, index := int32(0), int32(0)
+	step := stepTable[0]
+	for i, b := range in {
+		delta := int32(b)
+		sign := delta & 8
+		vpdiff := step >> 3
+		if delta&4 != 0 {
+			vpdiff += step
+		}
+		if delta&2 != 0 {
+			vpdiff += step >> 1
+		}
+		if delta&1 != 0 {
+			vpdiff += step >> 2
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		valpred = clamp16(valpred)
+		index += indexTable[delta&15]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		step = stepTable[index]
+		out[i] = int16(valpred)
+	}
+	return out
+}
+
+func input() []int16 { return bench.Speech(NumSamples, 0xADC) }
+
+// Enc returns the adpcmenc benchmark.
+func Enc() bench.Benchmark {
+	in := input()
+	want := Encode(in)
+	prog, outOff := buildEnc(in)
+	return bench.Benchmark{
+		Name:        "adpcmenc",
+		Description: "IMA ADPCM speech encoder, synthetic speech input",
+		Build:       func() *ir.Program { return prog },
+		Check: func(mem []byte) error {
+			return bench.CmpBytes(mem, outOff, want, "adpcmenc.out")
+		},
+	}
+}
+
+// Dec returns the adpcmdec benchmark.
+func Dec() bench.Benchmark {
+	in := Encode(input())
+	want := Decode(in)
+	prog, outOff := buildDec(in)
+	return bench.Benchmark{
+		Name:        "adpcmdec",
+		Description: "IMA ADPCM speech decoder over the encoder's output",
+		Build:       func() *ir.Program { return prog },
+		Check: func(mem []byte) error {
+			return bench.CmpHalf(mem, outOff, want, "adpcmdec.out")
+		},
+	}
+}
+
+// buildEnc constructs the encoder in IR.
+func buildEnc(in []int16) (*ir.Program, int64) {
+	pb := irbuild.NewProgram(96 << 10)
+	idxOff := pb.GlobalW("indexTable", 16, indexTable[:])
+	stepOff := pb.GlobalW("stepTable", 89, stepTable[:])
+	inOff := pb.P.AddGlobal("in", int64(2*len(in)), bench.H2B(in))
+	outOff := pb.P.AddGlobal("out", int64(len(in)), nil)
+
+	f := pb.Func("main", 0, false)
+	f.Block("pre")
+	idxT := f.Const(idxOff)
+	stepT := f.Const(stepOff)
+	inP := f.Const(inOff)
+	outP := f.Const(outOff)
+	valpred := f.Reg()
+	index := f.Reg()
+	step := f.Reg()
+	i := f.Reg()
+	zero := f.Reg()
+	f.MovI(valpred, 0)
+	f.MovI(index, 0)
+	f.MovI(step, int64(stepTable[0]))
+	f.MovI(i, 0)
+	f.MovI(zero, 0)
+
+	f.Block("loop")
+	s := f.Reg()
+	diff := f.Reg()
+	sign := f.Reg()
+	f.LdH(s, inP, 0)
+	f.Sub(diff, s, valpred)
+	f.MovI(sign, 0)
+	f.BrI(ir.CmpGE, diff, 0, "q1")
+	f.Block("neg")
+	f.MovI(sign, 8)
+	f.Sub(diff, zero, diff)
+
+	f.Block("q1")
+	delta := f.Reg()
+	vpdiff := f.Reg()
+	f.MovI(delta, 0)
+	f.ShrI(vpdiff, step, 3)
+	f.Br(ir.CmpLT, diff, step, "q2")
+	f.Block("q1hit")
+	f.MovI(delta, 4)
+	f.Sub(diff, diff, step)
+	f.Add(vpdiff, vpdiff, step)
+
+	f.Block("q2")
+	half := f.Reg()
+	f.ShrI(half, step, 1)
+	f.Br(ir.CmpLT, diff, half, "q3")
+	f.Block("q2hit")
+	f.OrI(delta, delta, 2)
+	f.Sub(diff, diff, half)
+	f.Add(vpdiff, vpdiff, half)
+
+	f.Block("q3")
+	quarter := f.Reg()
+	f.ShrI(quarter, step, 2)
+	f.Br(ir.CmpLT, diff, quarter, "apply")
+	f.Block("q3hit")
+	f.OrI(delta, delta, 1)
+	f.Add(vpdiff, vpdiff, quarter)
+
+	f.Block("apply")
+	f.BrI(ir.CmpEQ, sign, 0, "plus")
+	f.Block("minus")
+	f.Sub(valpred, valpred, vpdiff)
+	f.Jump("clampv")
+	f.Block("plus")
+	f.Add(valpred, valpred, vpdiff)
+
+	f.Block("clampv")
+	f.MinI(valpred, valpred, 32767)
+	f.MaxI(valpred, valpred, -32768)
+	f.Or(delta, delta, sign)
+	ia := f.Reg()
+	iv := f.Reg()
+	f.ShlI(ia, delta, 2)
+	f.Add(ia, ia, idxT)
+	f.LdW(iv, ia, 0)
+	f.Add(index, index, iv)
+	f.MaxI(index, index, 0)
+	f.MinI(index, index, 88)
+	sa := f.Reg()
+	f.ShlI(sa, index, 2)
+	f.Add(sa, sa, stepT)
+	f.LdW(step, sa, 0)
+	f.StB(outP, 0, delta)
+	f.AddI(inP, inP, 2)
+	f.AddI(outP, outP, 1)
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, int64(len(in)), "loop")
+
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild(), outOff
+}
+
+// buildDec constructs the decoder in IR.
+func buildDec(in []byte) (*ir.Program, int64) {
+	pb := irbuild.NewProgram(96 << 10)
+	idxOff := pb.GlobalW("indexTable", 16, indexTable[:])
+	stepOff := pb.GlobalW("stepTable", 89, stepTable[:])
+	inOff := pb.P.AddGlobal("in", int64(len(in)), in)
+	outOff := pb.P.AddGlobal("out", int64(2*len(in)), nil)
+
+	f := pb.Func("main", 0, false)
+	f.Block("pre")
+	idxT := f.Const(idxOff)
+	stepT := f.Const(stepOff)
+	inP := f.Const(inOff)
+	outP := f.Const(outOff)
+	valpred := f.Reg()
+	index := f.Reg()
+	step := f.Reg()
+	i := f.Reg()
+	f.MovI(valpred, 0)
+	f.MovI(index, 0)
+	f.MovI(step, int64(stepTable[0]))
+	f.MovI(i, 0)
+
+	f.Block("loop")
+	delta := f.Reg()
+	vpdiff := f.Reg()
+	t := f.Reg()
+	f.LdBU(delta, inP, 0)
+	f.ShrI(vpdiff, step, 3)
+	f.AndI(t, delta, 4)
+	f.BrI(ir.CmpEQ, t, 0, "b2")
+	f.Block("b1hit")
+	f.Add(vpdiff, vpdiff, step)
+	f.Block("b2")
+	t2 := f.Reg()
+	f.AndI(t2, delta, 2)
+	f.BrI(ir.CmpEQ, t2, 0, "b3")
+	f.Block("b2hit")
+	h := f.Reg()
+	f.ShrI(h, step, 1)
+	f.Add(vpdiff, vpdiff, h)
+	f.Block("b3")
+	t3 := f.Reg()
+	f.AndI(t3, delta, 1)
+	f.BrI(ir.CmpEQ, t3, 0, "applysign")
+	f.Block("b3hit")
+	q := f.Reg()
+	f.ShrI(q, step, 2)
+	f.Add(vpdiff, vpdiff, q)
+
+	f.Block("applysign")
+	sg := f.Reg()
+	f.AndI(sg, delta, 8)
+	f.BrI(ir.CmpEQ, sg, 0, "plus")
+	f.Block("minus")
+	f.Sub(valpred, valpred, vpdiff)
+	f.Jump("clampv")
+	f.Block("plus")
+	f.Add(valpred, valpred, vpdiff)
+
+	f.Block("clampv")
+	f.MinI(valpred, valpred, 32767)
+	f.MaxI(valpred, valpred, -32768)
+	ia := f.Reg()
+	iv := f.Reg()
+	d15 := f.Reg()
+	f.AndI(d15, delta, 15)
+	f.ShlI(ia, d15, 2)
+	f.Add(ia, ia, idxT)
+	f.LdW(iv, ia, 0)
+	f.Add(index, index, iv)
+	f.MaxI(index, index, 0)
+	f.MinI(index, index, 88)
+	sa := f.Reg()
+	f.ShlI(sa, index, 2)
+	f.Add(sa, sa, stepT)
+	f.LdW(step, sa, 0)
+	f.StH(outP, 0, valpred)
+	f.AddI(inP, inP, 1)
+	f.AddI(outP, outP, 2)
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, int64(len(in)), "loop")
+
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild(), outOff
+}

@@ -1,0 +1,62 @@
+package adpcm
+
+import (
+	"testing"
+
+	"lpbuf/internal/bench"
+	"lpbuf/internal/core"
+	"lpbuf/internal/interp"
+)
+
+func TestEncodeDecodeRoundTripSNR(t *testing.T) {
+	in := input()
+	dec := Decode(Encode(in))
+	// ADPCM is lossy; require the reconstruction to track the signal
+	// (noise energy well below signal energy).
+	var sig, noise int64
+	for i := range in {
+		s := int64(in[i])
+		d := int64(dec[i]) - s
+		sig += s * s
+		noise += d * d
+	}
+	if noise*10 > sig {
+		t.Fatalf("poor reconstruction: signal=%d noise=%d", sig, noise)
+	}
+}
+
+func TestIRMatchesReference(t *testing.T) {
+	for _, b := range []bench.Benchmark{Enc(), Dec()} {
+		prog := b.Build()
+		res, err := interp.Run(prog, interp.Options{})
+		if err != nil {
+			t.Fatalf("%s: interp: %v", b.Name, err)
+		}
+		if err := b.Check(res.Mem); err != nil {
+			t.Fatalf("%s: IR output differs from Go reference: %v", b.Name, err)
+		}
+	}
+}
+
+func TestCompiledMatchesReference(t *testing.T) {
+	for _, b := range []bench.Benchmark{Enc(), Dec()} {
+		prog := b.Build()
+		for _, cfg := range []core.Config{core.Traditional(256), core.Aggressive(256)} {
+			c, err := core.Compile(prog, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, cfg.Name, err)
+			}
+			res, err := c.Run()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, cfg.Name, err)
+			}
+			if err := b.Check(res.Mem); err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, cfg.Name, err)
+			}
+			if cfg.Name == "aggressive" && res.Stats.BufferIssueRatio() < 0.9 {
+				t.Errorf("%s aggressive buffer ratio %.3f, want > 0.9 (single hot loop)",
+					b.Name, res.Stats.BufferIssueRatio())
+			}
+		}
+	}
+}

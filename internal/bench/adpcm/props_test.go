@@ -1,0 +1,52 @@
+package adpcm
+
+import "testing"
+
+func TestStepTableMonotone(t *testing.T) {
+	for i := 1; i < len(stepTable); i++ {
+		if stepTable[i] <= stepTable[i-1] {
+			t.Fatalf("step table not strictly increasing at %d", i)
+		}
+	}
+	if stepTable[88] != 32767 {
+		t.Fatalf("last step = %d", stepTable[88])
+	}
+}
+
+func TestIndexTableMirrors(t *testing.T) {
+	// The sign bit (8) must not change the index adjustment.
+	for d := 0; d < 8; d++ {
+		if indexTable[d] != indexTable[d|8] {
+			t.Fatalf("index table asymmetric at %d", d)
+		}
+	}
+}
+
+func TestEncoderOutputsNibbles(t *testing.T) {
+	for i, b := range Encode(input()) {
+		if b > 15 {
+			t.Fatalf("code %d at %d exceeds 4 bits", b, i)
+		}
+	}
+}
+
+func TestDecoderDeterministic(t *testing.T) {
+	enc := Encode(input())
+	a := Decode(enc)
+	b := Decode(enc)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("decoder nondeterministic")
+		}
+	}
+}
+
+func TestSilenceEncodesQuietly(t *testing.T) {
+	in := make([]int16, 256)
+	dec := Decode(Encode(in))
+	for i := 16; i < len(dec); i++ { // allow brief adaptation
+		if dec[i] > 64 || dec[i] < -64 {
+			t.Fatalf("silence decoded to %d at %d", dec[i], i)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package g724
+
+// Post-filter weighting factors (Q15): gamma_n = 0.55, gamma_d = 0.70.
+const (
+	GammaN = 18022
+	GammaD = 22938
+)
+
+// pfState is the post filter's cross-subframe state.
+type pfState struct {
+	synHist [LPCOrder]int32 // input history (FIR part)
+	stHist  [LPCOrder]int32 // filtered history (IIR part)
+	prevSt  int32           // st[-1] for tilt compensation
+	agc     int32           // running AGC gain, Q12
+	env     int32           // amplitude envelope (loop K)
+}
+
+// postFilter runs the adaptive post filter on one subframe. Its loop
+// structure mirrors the thirteen-loop PostFilter() control-flow graph
+// of the paper's Figure 5: per subframe, twelve inner loops (B, I1,
+// I2, C(2-level, collapsible), D, E(2-level, collapsible), F, G, H1,
+// H2, J with internal control flow, K) under the subframe loop.
+func postFilter(syn []int32, a *[LPCOrder + 1]int32, st *pfState, out []int32) {
+	// A: header — weighted coefficient state.
+	var num, den [LPCOrder + 1]int32
+	var work [SubSize + LPCOrder]int32
+	var stw [SubSize + LPCOrder]int32
+	var r [SubSize]int32
+
+	// B (10 trips): numerator/denominator coefficient weighting.
+	gn, gd := int32(32767), int32(32767)
+	for k := 1; k <= LPCOrder; k++ {
+		gn = gn * GammaN >> 15
+		gd = gd * GammaD >> 15
+		num[k] = a[k] * gn >> 15
+		den[k] = a[k] * gd >> 15
+	}
+
+	// I1 (10 trips): splice FIR history into the work buffer.
+	for k := 0; k < LPCOrder; k++ {
+		work[k] = st.synHist[k]
+	}
+	// I2 (40 trips): splice the subframe after it.
+	for n := 0; n < SubSize; n++ {
+		work[LPCOrder+n] = syn[n]
+	}
+
+	// C (40x10, collapsible nest): FIR part, r = A(z/gn) * syn.
+	for n := 0; n < SubSize; n++ {
+		acc := work[LPCOrder+n] << 12
+		for k := 1; k <= LPCOrder; k++ {
+			acc += num[k] * work[LPCOrder+n-k]
+		}
+		acc >>= 12
+		if acc > 32767 {
+			acc = 32767
+		}
+		if acc < -32768 {
+			acc = -32768
+		}
+		r[n] = acc
+	}
+
+	// D (8 trips): tilt correlation on the residual (stride 5).
+	var tnum, tden int32
+	for n := 0; n < 8; n++ {
+		i := n*5 + 1
+		tnum += (r[i] >> 2) * (r[i-1] >> 2) >> 4
+		tden += (r[i] >> 2) * (r[i] >> 2) >> 4
+	}
+	k1 := (tnum >> 2) / ((tden >> 7) + 1) // ~ 32*corr
+	if k1 > 16 {
+		k1 = 16
+	}
+	if k1 < -16 {
+		k1 = -16
+	}
+
+	// IIR history into stw.
+	for k := 0; k < LPCOrder; k++ {
+		stw[k] = st.stHist[k]
+	}
+
+	// E (40x10, collapsible nest): IIR part, st = r / A(z/gd).
+	for n := 0; n < SubSize; n++ {
+		acc := r[n] << 12
+		for k := 1; k <= LPCOrder; k++ {
+			acc -= den[k] * stw[LPCOrder+n-k]
+		}
+		acc >>= 12
+		if acc > 32767 {
+			acc = 32767
+		}
+		if acc < -32768 {
+			acc = -32768
+		}
+		stw[LPCOrder+n] = acc
+	}
+
+	// F (13 trips): decimated energy of the filtered subframe.
+	var est int32
+	for n := 0; n < 13; n++ {
+		v := stw[LPCOrder+n*3]
+		est += (v >> 2) * (v >> 2) >> 6
+	}
+	// ...and of the input, for the AGC target.
+	var esyn int32
+	for n := 0; n < 13; n++ {
+		v := work[LPCOrder+n*3]
+		esyn += (v >> 2) * (v >> 2) >> 6
+	}
+
+	// G (3 trips): gain ladder — successively refine the AGC target
+	// toward sqrt(esyn/est) in Q12.
+	target := int32(4096)
+	q := (esyn << 4) / ((est >> 4) + 1)
+	if q > 1<<18 {
+		q = 1 << 18
+	}
+	for it := 0; it < 3; it++ {
+		target = (target + isqrtStep(q)) >> 1
+	}
+
+	// H1/H2 (10 trips each): roll the filter histories.
+	for k := 0; k < LPCOrder; k++ {
+		st.synHist[k] = work[SubSize+k]
+	}
+	for k := 0; k < LPCOrder; k++ {
+		st.stHist[k] = stw[SubSize+k]
+	}
+
+	// J (40 trips, internal control flow): tilt compensation + AGC with
+	// a saturation hammock.
+	prev := st.prevSt
+	g := st.agc
+	for n := 0; n < SubSize; n++ {
+		v := stw[LPCOrder+n] - (k1*prev)>>5
+		prev = stw[LPCOrder+n]
+		g += (target - g) >> 5
+		s := v * g >> 12
+		if s > 32767 {
+			s = 32767
+		} else if s < -32768 {
+			s = -32768
+		}
+		out[n] = s
+	}
+	st.prevSt = prev
+	st.agc = g
+
+	// K (40 trips): amplitude envelope tracker.
+	env := st.env
+	for n := 0; n < SubSize; n++ {
+		v := out[n]
+		if v < 0 {
+			v = -v
+		}
+		env += (v - env) >> 4
+	}
+	st.env = env
+}
+
+// isqrtStep is a cheap sqrt stand-in for the gain ladder: three
+// Newton refinements around Q12 (q is pre-clamped to 2^18).
+func isqrtStep(q int32) int32 {
+	x := int32(4096)
+	for i := 0; i < 3; i++ {
+		if x < 1 {
+			x = 1
+		}
+		x = (x + (q<<8)/x) >> 1
+	}
+	if x > 16384 {
+		x = 16384
+	}
+	return x
+}
+
+// Decode synthesizes speech from frame parameters.
+func Decode(params []Params) []int16 {
+	n := len(params)
+	out := make([]int16, n*FrameSize)
+	exc := make([]int32, MaxLag+n*FrameSize)
+	var synHist [LPCOrder]int32
+	var st pfState
+	st.agc = 4096
+	sub := make([]int32, SubSize)
+	pf := make([]int32, SubSize)
+
+	for f := 0; f < n; f++ {
+		p := &params[f]
+		for s := 0; s < NumSub; s++ {
+			off := MaxLag + f*FrameSize + s*SubSize
+			// E0a (40): clear.
+			for i := 0; i < SubSize; i++ {
+				exc[off+i] = 0
+			}
+			// E0b (10): algebraic pulses.
+			for k := 0; k < LPCOrder; k++ {
+				exc[off+int(p.Pulse[s][k])] += p.Sign[s][k] * p.GainC[s]
+			}
+			// E0c (40): adaptive (pitch) contribution.
+			lag := int(p.Lag[s])
+			gp := p.GainP[s]
+			for i := 0; i < SubSize; i++ {
+				exc[off+i] += gp * exc[off+i-lag] >> 14
+				exc[off+i] = sat16(exc[off+i])
+			}
+			// Synthesis (40x10 nest): 1/A(z).
+			for i := 0; i < SubSize; i++ {
+				acc := exc[off+i] << 12
+				for k := 1; k <= LPCOrder; k++ {
+					var sv int32
+					if i-k >= 0 {
+						sv = sub[i-k]
+					} else {
+						sv = synHist[LPCOrder+i-k]
+					}
+					acc -= p.A[k] * sv
+				}
+				sub[i] = sat16(acc >> 12)
+			}
+			// Roll synthesis history.
+			for k := 0; k < LPCOrder; k++ {
+				synHist[k] = sub[SubSize-LPCOrder+k]
+			}
+			postFilter(sub, &p.A, &st, pf)
+			for i := 0; i < SubSize; i++ {
+				out[f*FrameSize+s*SubSize+i] = int16(sat16(pf[i]))
+			}
+		}
+	}
+	return out
+}

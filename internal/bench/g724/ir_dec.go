@@ -1,0 +1,332 @@
+package g724
+
+import (
+	"lpbuf/internal/bench"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+)
+
+// Serialized frame layout (words): A[1..10], then per subframe
+// {Lag, GainP, GainC, Pulse[10], Sign[10]}.
+const (
+	frameWords = LPCOrder + NumSub*(3+2*LPCOrder)
+	subWords   = 3 + 2*LPCOrder
+)
+
+// serialize packs parameters for the IR program.
+func serialize(params []Params) []int32 {
+	out := make([]int32, 0, len(params)*frameWords)
+	for i := range params {
+		p := &params[i]
+		out = append(out, p.A[1:]...)
+		for s := 0; s < NumSub; s++ {
+			out = append(out, p.Lag[s], p.GainP[s], p.GainC[s])
+			out = append(out, p.Pulse[s][:]...)
+			out = append(out, p.Sign[s][:]...)
+		}
+	}
+	return out
+}
+
+// buildDec constructs the decoder program; returns it plus the output
+// offset.
+func buildDec(params []Params) (*ir.Program, int64) {
+	nFrames := len(params)
+	pb := irbuild.NewProgram(1 << 20)
+	paramsOff := pb.GlobalW("params", nFrames*frameWords, serialize(params))
+	excOff := pb.GlobalW("exc", MaxLag+nFrames*FrameSize, nil)
+	aOff := pb.GlobalW("a", LPCOrder+1, nil)
+	sworkOff := pb.GlobalW("swork", SubSize+LPCOrder, nil) // synthesis work
+	synHistOff := pb.GlobalW("synHist", LPCOrder, nil)
+	pfOff := pb.GlobalW("pf", SubSize, nil)
+	outOff := pb.P.AddGlobal("out", int64(2*nFrames*FrameSize), nil)
+	// Post-filter globals.
+	numOff := pb.GlobalW("num", LPCOrder+1, nil)
+	denOff := pb.GlobalW("den", LPCOrder+1, nil)
+	pworkOff := pb.GlobalW("pwork", SubSize+LPCOrder, nil)
+	stwOff := pb.GlobalW("stw", SubSize+LPCOrder, nil)
+	rOff := pb.GlobalW("r", SubSize, nil)
+	pfSynHistOff := pb.GlobalW("pfSynHist", LPCOrder, nil)
+	pfStHistOff := pb.GlobalW("pfStHist", LPCOrder, nil)
+	stateOff := pb.GlobalW("pfstate", 4, []int32{0, 4096, 0, 0}) // prevSt, agc, env, -
+
+	buildPostFilter(pb, aOff, sworkOff, numOff, denOff, pworkOff, stwOff, rOff,
+		pfSynHistOff, pfStHistOff, stateOff, pfOff)
+
+	f := pb.Func("main", 0, false)
+	f.Block("pre")
+	pp := f.Reg()
+	fr := f.Reg()
+	f.MovI(pp, paramsOff)
+	f.MovI(fr, 0)
+	q4096 := f.Const(4096)
+
+	f.Block("frameloop")
+	// Copy A params into the a[] global; a[0] = 4096.
+	aBase := f.Const(aOff)
+	f.StW(aBase, 0, q4096)
+	{
+		k := f.Reg()
+		src := f.Reg()
+		dst := f.Reg()
+		f.MovI(k, 1)
+		f.Mov(src, pp)
+		f.AddI(dst, aBase, 4)
+		f.Block("acopy")
+		v := f.Reg()
+		f.LdW(v, src, 0)
+		f.StW(dst, 0, v)
+		f.AddI(src, src, 4)
+		f.AddI(dst, dst, 4)
+		f.AddI(k, k, 1)
+		f.BrI(ir.CmpLT, k, int64(LPCOrder+1), "acopy")
+	}
+	f.Block("subpre")
+	s := f.Reg()
+	spp := f.Reg()
+	f.MovI(s, 0)
+	f.AddI(spp, pp, int64(4*LPCOrder))
+
+	f.Block("subloop")
+	// excP = excBase + 4*(MaxLag + fr*160 + s*40)
+	excP := f.Reg()
+	t := f.Reg()
+	f.MulI(t, fr, FrameSize)
+	t2 := f.Reg()
+	f.MulI(t2, s, SubSize)
+	f.Add(t, t, t2)
+	f.AddI(t, t, MaxLag)
+	f.ShlI(t, t, 2)
+	excB := f.Reg()
+	f.MovI(excB, excOff)
+	f.Add(excP, excB, t)
+
+	// E0a (40): clear the subframe excitation.
+	{
+		p := f.Reg()
+		i := f.Reg()
+		z := f.Const(0)
+		f.Mov(p, excP)
+		f.MovI(i, 0)
+		f.Block("e0a")
+		f.StW(p, 0, z)
+		f.AddI(p, p, 4)
+		f.AddI(i, i, 1)
+		f.BrI(ir.CmpLT, i, SubSize, "e0a")
+	}
+	f.Block("e0b_pre")
+	// E0b (10): algebraic pulses.
+	gc := f.Reg()
+	f.LdW(gc, spp, 8)
+	{
+		k := f.Reg()
+		posP := f.Reg()
+		sgnP := f.Reg()
+		f.MovI(k, 0)
+		f.AddI(posP, spp, 12)
+		f.AddI(sgnP, spp, 12+4*LPCOrder)
+		f.Block("e0b")
+		pos := f.Reg()
+		sgn := f.Reg()
+		addr := f.Reg()
+		v := f.Reg()
+		d := f.Reg()
+		f.LdW(pos, posP, 0)
+		f.LdW(sgn, sgnP, 0)
+		f.ShlI(addr, pos, 2)
+		f.Add(addr, addr, excP)
+		f.LdW(v, addr, 0)
+		f.Mul(d, sgn, gc)
+		f.Add(v, v, d)
+		f.StW(addr, 0, v)
+		f.AddI(posP, posP, 4)
+		f.AddI(sgnP, sgnP, 4)
+		f.AddI(k, k, 1)
+		f.BrI(ir.CmpLT, k, LPCOrder, "e0b")
+	}
+	f.Block("e0c_pre")
+	// E0c (40): adaptive contribution.
+	lag := f.Reg()
+	gp := f.Reg()
+	f.LdW(lag, spp, 0)
+	f.LdW(gp, spp, 4)
+	{
+		p := f.Reg()
+		qq := f.Reg()
+		i := f.Reg()
+		lb := f.Reg()
+		f.Mov(p, excP)
+		f.ShlI(lb, lag, 2)
+		f.Sub(qq, excP, lb)
+		f.MovI(i, 0)
+		f.Block("e0c")
+		pv := f.Reg()
+		x := f.Reg()
+		m := f.Reg()
+		f.LdW(pv, qq, 0)
+		f.LdW(x, p, 0)
+		f.Mul(m, gp, pv)
+		f.ShrI(m, m, 14)
+		f.Add(x, x, m)
+		// Branch-form saturation (ETSI basic-op style).
+		f.BrI(ir.CmpLE, x, 32767, "e0c_lo")
+		f.Block("e0c_sathi")
+		f.MovI(x, 32767)
+		f.Jump("e0c_st")
+		f.Block("e0c_lo")
+		f.BrI(ir.CmpGE, x, -32768, "e0c_st")
+		f.Block("e0c_satlo")
+		f.MovI(x, -32768)
+		f.Block("e0c_st")
+		f.StW(p, 0, x)
+		f.AddI(p, p, 4)
+		f.AddI(qq, qq, 4)
+		f.AddI(i, i, 1)
+		f.BrI(ir.CmpLT, i, SubSize, "e0c")
+	}
+	f.Block("syn_pre")
+	// Splice synthesis history into swork[0..10).
+	swB := f.Reg()
+	f.MovI(swB, sworkOff)
+	{
+		k := f.Reg()
+		src := f.Reg()
+		dst := f.Reg()
+		f.MovI(k, 0)
+		f.MovI(src, synHistOff)
+		f.Mov(dst, swB)
+		f.Block("shcopy")
+		v := f.Reg()
+		f.LdW(v, src, 0)
+		f.StW(dst, 0, v)
+		f.AddI(src, src, 4)
+		f.AddI(dst, dst, 4)
+		f.AddI(k, k, 1)
+		f.BrI(ir.CmpLT, k, LPCOrder, "shcopy")
+	}
+	f.Block("syn_outer_pre")
+	// Synthesis nest: for i in 40 { acc = exc<<12 - sum a[k]*swork[10+i-k]; }
+	{
+		i := f.Reg()
+		pe := f.Reg()
+		pw := f.Reg() // write pointer &swork[10+i]
+		f.MovI(i, 0)
+		f.Mov(pe, excP)
+		f.AddI(pw, swB, int64(4*LPCOrder))
+		f.Block("syn_outer")
+		acc := f.Reg()
+		k := f.Reg()
+		pa := f.Reg()
+		pr := f.Reg()
+		ev := f.Reg()
+		f.LdW(ev, pe, 0)
+		f.ShlI(acc, ev, 12)
+		f.MovI(k, 1)
+		f.AddI(pa, aBase, 4)
+		f.SubI(pr, pw, 4)
+		f.Block("syn_inner")
+		av := f.Reg()
+		wv := f.Reg()
+		mm := f.Reg()
+		f.LdW(av, pa, 0)
+		f.LdW(wv, pr, 0)
+		f.Mul(mm, av, wv)
+		f.Sub(acc, acc, mm)
+		f.AddI(pa, pa, 4)
+		f.SubI(pr, pr, 4)
+		f.AddI(k, k, 1)
+		f.BrI(ir.CmpLT, k, int64(LPCOrder+1), "syn_inner")
+		f.Block("syn_latch")
+		f.ShrI(acc, acc, 12)
+		f.MinI(acc, acc, 32767)
+		f.MaxI(acc, acc, -32768)
+		f.StW(pw, 0, acc)
+		f.AddI(pw, pw, 4)
+		f.AddI(pe, pe, 4)
+		f.AddI(i, i, 1)
+		f.BrI(ir.CmpLT, i, SubSize, "syn_outer")
+	}
+	f.Block("syn_roll")
+	// Roll synthesis history from swork[40..50).
+	{
+		k := f.Reg()
+		src := f.Reg()
+		dst := f.Reg()
+		f.MovI(k, 0)
+		f.AddI(src, swB, int64(4*SubSize))
+		f.MovI(dst, synHistOff)
+		f.Block("shroll")
+		v := f.Reg()
+		f.LdW(v, src, 0)
+		f.StW(dst, 0, v)
+		f.AddI(src, src, 4)
+		f.AddI(dst, dst, 4)
+		f.AddI(k, k, 1)
+		f.BrI(ir.CmpLT, k, LPCOrder, "shroll")
+	}
+	f.Block("pfcall")
+	f.Call(0, "postfilter")
+
+	// Output (40): saturate and store halfwords.
+	{
+		i := f.Reg()
+		src := f.Reg()
+		dst := f.Reg()
+		fo := f.Reg()
+		f.MovI(i, 0)
+		f.MovI(src, pfOff)
+		// out index = (fr*160 + s*40)
+		f.MulI(fo, fr, FrameSize)
+		t3 := f.Reg()
+		f.MulI(t3, s, SubSize)
+		f.Add(fo, fo, t3)
+		f.ShlI(fo, fo, 1)
+		f.AddI(fo, fo, outOff)
+		f.Mov(dst, fo)
+		f.Block("outcopy")
+		v := f.Reg()
+		f.LdW(v, src, 0)
+		f.BrI(ir.CmpLE, v, 32767, "oc_lo")
+		f.Block("oc_sathi")
+		f.MovI(v, 32767)
+		f.Jump("oc_st")
+		f.Block("oc_lo")
+		f.BrI(ir.CmpGE, v, -32768, "oc_st")
+		f.Block("oc_satlo")
+		f.MovI(v, -32768)
+		f.Block("oc_st")
+		f.StH(dst, 0, v)
+		f.AddI(src, src, 4)
+		f.AddI(dst, dst, 2)
+		f.AddI(i, i, 1)
+		f.BrI(ir.CmpLT, i, SubSize, "outcopy")
+	}
+	f.Block("subnext")
+	f.AddI(spp, spp, int64(4*subWords))
+	f.AddI(s, s, 1)
+	f.BrI(ir.CmpLT, s, NumSub, "subloop")
+	f.Block("framenext")
+	f.AddI(pp, pp, int64(4*frameWords))
+	f.AddI(fr, fr, 1)
+	f.BrI(ir.CmpLT, fr, int64(nFrames), "frameloop")
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild(), outOff
+}
+
+// Dec returns the g724dec benchmark.
+func Dec() bench.Benchmark {
+	speech := bench.Speech(NumFrames*FrameSize, 0x724D)
+	params := Encode(speech)
+	want := Decode(params)
+	prog, outOff := buildDec(params)
+	return bench.Benchmark{
+		Name:        "g724dec",
+		Description: "GSM-EFR-style speech decoder (PostFilter is the Figure 5 case study)",
+		Build:       func() *ir.Program { return prog },
+		Check: func(mem []byte) error {
+			return bench.CmpHalf(mem, outOff, want, "g724dec.out")
+		},
+	}
+}

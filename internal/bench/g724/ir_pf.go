@@ -1,0 +1,376 @@
+package g724
+
+import (
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+)
+
+// buildPostFilter emits the PostFilter() function: twelve inner loops
+// per subframe (labels follow the paper's Figure 5 discussion — B
+// weighting, I1/I2 splices, C FIR nest, D tilt, I3 splice, E IIR nest,
+// F/F2 energies, G gain ladder with a peelable inner Newton loop,
+// H1/H2 history rolls, J tilt+AGC with an internal saturation hammock,
+// K envelope tracking with an |x| hammock).
+func buildPostFilter(pb *irbuild.Program, aOff, sworkOff, numOff, denOff,
+	pworkOff, stwOff, rOff, pfSynHistOff, pfStHistOff, stateOff, pfOff int64) {
+
+	f := pb.Func("postfilter", 0, false)
+	f.Block("A") // header
+	aB := f.Const(aOff)
+	numB := f.Const(numOff)
+	denB := f.Const(denOff)
+	pwB := f.Const(pworkOff)
+	stwB := f.Const(stwOff)
+	rB := f.Const(rOff)
+	swB := f.Const(sworkOff)
+	stB := f.Const(stateOff)
+	pfB := f.Const(pfOff)
+
+	// B (10): coefficient weighting.
+	{
+		gn := f.Reg()
+		gd := f.Reg()
+		k := f.Reg()
+		pa := f.Reg()
+		pn := f.Reg()
+		pd := f.Reg()
+		f.MovI(gn, 32767)
+		f.MovI(gd, 32767)
+		f.MovI(k, 1)
+		f.AddI(pa, aB, 4)
+		f.AddI(pn, numB, 4)
+		f.AddI(pd, denB, 4)
+		f.Block("B")
+		av := f.Reg()
+		nv := f.Reg()
+		dv := f.Reg()
+		f.MulI(gn, gn, GammaN)
+		f.ShrI(gn, gn, 15)
+		f.MulI(gd, gd, GammaD)
+		f.ShrI(gd, gd, 15)
+		f.LdW(av, pa, 0)
+		f.Mul(nv, av, gn)
+		f.ShrI(nv, nv, 15)
+		f.StW(pn, 0, nv)
+		f.Mul(dv, av, gd)
+		f.ShrI(dv, dv, 15)
+		f.StW(pd, 0, dv)
+		f.AddI(pa, pa, 4)
+		f.AddI(pn, pn, 4)
+		f.AddI(pd, pd, 4)
+		f.AddI(k, k, 1)
+		f.BrI(ir.CmpLT, k, int64(LPCOrder+1), "B")
+	}
+	f.Block("I1pre")
+	copyLoop(f, "I1", pfSynHistOff, 0, pwB, 0, LPCOrder)
+	f.Block("I2pre")
+	copyLoopR(f, "I2", swB, 4*LPCOrder, pwB, 4*LPCOrder, SubSize)
+
+	// C (40x10 nest): FIR through the weighted numerator.
+	firNest(f, "C", pwB, numB, rB, false)
+
+	// D (8): tilt correlation, then k1.
+	tnum := f.Reg()
+	tden := f.Reg()
+	{
+		n := f.Reg()
+		p := f.Reg()
+		f.Block("Dpre")
+		f.MovI(tnum, 0)
+		f.MovI(tden, 0)
+		f.MovI(n, 0)
+		f.AddI(p, rB, 4) // &r[1]
+		f.Block("D")
+		v := f.Reg()
+		w := f.Reg()
+		m := f.Reg()
+		f.LdW(v, p, 0)
+		f.LdW(w, p, -4)
+		f.ShrI(v, v, 2)
+		f.ShrI(w, w, 2)
+		f.Mul(m, v, w)
+		f.ShrI(m, m, 4)
+		f.Add(tnum, tnum, m)
+		f.Mul(m, v, v)
+		f.ShrI(m, m, 4)
+		f.Add(tden, tden, m)
+		f.AddI(p, p, 20)
+		f.AddI(n, n, 1)
+		f.BrI(ir.CmpLT, n, 8, "D")
+	}
+	f.Block("k1calc")
+	k1 := f.Reg()
+	{
+		dd := f.Reg()
+		f.ShrI(dd, tden, 7)
+		f.AddI(dd, dd, 1)
+		nn := f.Reg()
+		f.ShrI(nn, tnum, 2)
+		f.Div(k1, nn, dd)
+		f.MinI(k1, k1, 16)
+		f.MaxI(k1, k1, -16)
+	}
+	copyLoop(f, "I3", pfStHistOff, 0, stwB, 0, LPCOrder)
+
+	// E (40x10 nest): IIR through the weighted denominator; input r[n].
+	firNest(f, "E", stwB, denB, rB, true)
+
+	// F / F2 (13 each): decimated energies.
+	est := energyLoop(f, "F", stwB)
+	esyn := energyLoop(f, "F2", pwB)
+
+	// G (3 outer, 3 inner): gain ladder with Newton sqrt inner loop.
+	target := f.Reg()
+	{
+		q := f.Reg()
+		dd := f.Reg()
+		f.Block("Gpre")
+		f.ShrI(dd, est, 4)
+		f.AddI(dd, dd, 1)
+		f.ShlI(q, esyn, 4)
+		f.Div(q, q, dd)
+		f.MinI(q, q, 1<<18)
+		f.ShlI(q, q, 8)
+		f.MovI(target, 4096)
+		it := f.Reg()
+		f.MovI(it, 0)
+		f.Block("G")
+		x := f.Reg()
+		j := f.Reg()
+		f.MovI(x, 4096)
+		f.MovI(j, 0)
+		f.Block("Gnewton")
+		d := f.Reg()
+		f.MaxI(x, x, 1)
+		f.Div(d, q, x)
+		f.Add(x, x, d)
+		f.ShrI(x, x, 1)
+		f.AddI(j, j, 1)
+		f.BrI(ir.CmpLT, j, 3, "Gnewton")
+		f.Block("Glatch")
+		f.MinI(x, x, 16384)
+		f.Add(target, target, x)
+		f.ShrI(target, target, 1)
+		f.AddI(it, it, 1)
+		f.BrI(ir.CmpLT, it, 3, "G")
+	}
+	f.Block("H1pre")
+	copyLoop(f, "H1", pworkOff+4*SubSize, 0, f.Const(pfSynHistOff), 0, LPCOrder)
+	f.Block("H2pre")
+	copyLoop(f, "H2", stwOff+4*SubSize, 0, f.Const(pfStHistOff), 0, LPCOrder)
+
+	// J (40, saturation hammock): tilt compensation + AGC.
+	{
+		prev := f.Reg()
+		g := f.Reg()
+		n := f.Reg()
+		ps := f.Reg()
+		po := f.Reg()
+		f.Block("Jpre")
+		f.LdW(prev, stB, 0)
+		f.LdW(g, stB, 4)
+		f.MovI(n, 0)
+		f.AddI(ps, stwB, int64(4*LPCOrder))
+		f.Mov(po, pfB)
+		f.Block("J")
+		sv := f.Reg()
+		v := f.Reg()
+		m := f.Reg()
+		sres := f.Reg()
+		f.LdW(sv, ps, 0)
+		f.Mul(m, k1, prev)
+		f.ShrI(m, m, 5)
+		f.Sub(v, sv, m)
+		f.Mov(prev, sv)
+		dgt := f.Reg()
+		f.Sub(dgt, target, g)
+		f.ShrI(dgt, dgt, 5)
+		f.Add(g, g, dgt)
+		f.Mul(sres, v, g)
+		f.ShrI(sres, sres, 12)
+		f.BrI(ir.CmpLE, sres, 32767, "Jlo")
+		f.Block("JsatHi")
+		f.MovI(sres, 32767)
+		f.Jump("Jstore")
+		f.Block("Jlo")
+		f.BrI(ir.CmpGE, sres, -32768, "Jstore")
+		f.Block("JsatLo")
+		f.MovI(sres, -32768)
+		f.Block("Jstore")
+		f.StW(po, 0, sres)
+		f.AddI(ps, ps, 4)
+		f.AddI(po, po, 4)
+		f.AddI(n, n, 1)
+		f.BrI(ir.CmpLT, n, SubSize, "J")
+		f.Block("Jpost")
+		f.StW(stB, 0, prev)
+		f.StW(stB, 4, g)
+	}
+
+	// K (40, |x| hammock): envelope tracking.
+	{
+		env := f.Reg()
+		n := f.Reg()
+		p := f.Reg()
+		f.Block("Kpre")
+		f.LdW(env, stB, 8)
+		f.MovI(n, 0)
+		f.Mov(p, pfB)
+		f.Block("K")
+		v := f.Reg()
+		f.LdW(v, p, 0)
+		f.BrI(ir.CmpGE, v, 0, "Kupd")
+		f.Block("Kneg")
+		z := f.Reg()
+		f.MovI(z, 0)
+		f.Sub(v, z, v)
+		f.Block("Kupd")
+		dv := f.Reg()
+		f.Sub(dv, v, env)
+		f.ShrI(dv, dv, 4)
+		f.Add(env, env, dv)
+		f.AddI(p, p, 4)
+		f.AddI(n, n, 1)
+		f.BrI(ir.CmpLT, n, SubSize, "K")
+		f.Block("Kpost")
+		f.StW(stB, 8, env)
+	}
+	f.Ret(0)
+}
+
+// copyLoop emits label: dst[i] = src[i] for n words. src/dst are
+// absolute offsets (srcOff) or registers.
+func copyLoop(f *irbuild.Func, label string, srcOff int64, srcAdj int64,
+	dstB ir.Reg, dstAdj int64, n int) {
+	k := f.Reg()
+	src := f.Reg()
+	dst := f.Reg()
+	f.MovI(k, 0)
+	f.MovI(src, srcOff+srcAdj)
+	f.AddI(dst, dstB, dstAdj)
+	f.Block(label)
+	v := f.Reg()
+	f.LdW(v, src, 0)
+	f.StW(dst, 0, v)
+	f.AddI(src, src, 4)
+	f.AddI(dst, dst, 4)
+	f.AddI(k, k, 1)
+	f.BrI(ir.CmpLT, k, int64(n), label)
+	f.Block(label + "_post")
+}
+
+// copyLoopR is copyLoop with a register source base.
+func copyLoopR(f *irbuild.Func, label string, srcB ir.Reg, srcAdj int64,
+	dstB ir.Reg, dstAdj int64, n int) {
+	k := f.Reg()
+	src := f.Reg()
+	dst := f.Reg()
+	f.MovI(k, 0)
+	f.AddI(src, srcB, srcAdj)
+	f.AddI(dst, dstB, dstAdj)
+	f.Block(label)
+	v := f.Reg()
+	f.LdW(v, src, 0)
+	f.StW(dst, 0, v)
+	f.AddI(src, src, 4)
+	f.AddI(dst, dst, 4)
+	f.AddI(k, k, 1)
+	f.BrI(ir.CmpLT, k, int64(n), label)
+	f.Block(label + "_post")
+}
+
+// firNest emits a 40x10 filter nest reading from inB[10+n-k], with
+// coefficients coefB[k], writing outB[n] (sub = false: acc += c*v,
+// writing r[n]; sub = true: acc -= c*v, writing inB[10+n], the IIR
+// form). Saturation uses min/max so the nest stays collapsible.
+func firNest(f *irbuild.Func, label string, inB, coefB, outB ir.Reg, sub bool) {
+	n := f.Reg()
+	pin := f.Reg() // &in[10+n]
+	pout := f.Reg()
+	f.Block(label + "_pre")
+	f.MovI(n, 0)
+	f.AddI(pin, inB, int64(4*LPCOrder))
+	if sub {
+		f.AddI(pout, inB, int64(4*LPCOrder))
+	} else {
+		f.Mov(pout, outB)
+	}
+	f.Block(label + "_outer")
+	acc := f.Reg()
+	k := f.Reg()
+	pc := f.Reg()
+	pv := f.Reg()
+	src := f.Reg()
+	f.LdW(src, pinSrc(f, sub, pin, outB, n), 0)
+	f.ShlI(acc, src, 12)
+	f.MovI(k, 1)
+	f.AddI(pc, coefB, 4)
+	f.SubI(pv, pin, 4)
+	f.Block(label + "_inner")
+	cv := f.Reg()
+	wv := f.Reg()
+	m := f.Reg()
+	f.LdW(cv, pc, 0)
+	f.LdW(wv, pv, 0)
+	f.Mul(m, cv, wv)
+	if sub {
+		f.Sub(acc, acc, m)
+	} else {
+		f.Add(acc, acc, m)
+	}
+	f.AddI(pc, pc, 4)
+	f.SubI(pv, pv, 4)
+	f.AddI(k, k, 1)
+	f.BrI(ir.CmpLT, k, int64(LPCOrder+1), label+"_inner")
+	f.Block(label + "_latch")
+	f.ShrI(acc, acc, 12)
+	f.MinI(acc, acc, 32767)
+	f.MaxI(acc, acc, -32768)
+	if sub {
+		f.StW(pin, 0, acc)
+	} else {
+		f.StW(pout, 0, acc)
+	}
+	f.AddI(pin, pin, 4)
+	f.AddI(pout, pout, 4)
+	f.AddI(n, n, 1)
+	f.BrI(ir.CmpLT, n, SubSize, label+"_outer")
+	f.Block(label + "_post")
+}
+
+// pinSrc returns the address register for the nest's input sample: the
+// FIR reads in[10+n] (pin); the IIR reads r[n].
+func pinSrc(f *irbuild.Func, sub bool, pin, outB, n ir.Reg) ir.Reg {
+	if !sub {
+		return pin
+	}
+	// &r[n] = outB + 4n, computed fresh each outer iteration.
+	a := f.Reg()
+	f.ShlI(a, n, 2)
+	f.Add(a, a, outB)
+	return a
+}
+
+// energyLoop emits a 13-trip decimated energy loop over buf[10+3n].
+func energyLoop(f *irbuild.Func, label string, bufB ir.Reg) ir.Reg {
+	e := f.Reg()
+	n := f.Reg()
+	p := f.Reg()
+	f.Block(label + "_pre")
+	f.MovI(e, 0)
+	f.MovI(n, 0)
+	f.AddI(p, bufB, int64(4*LPCOrder))
+	f.Block(label)
+	v := f.Reg()
+	m := f.Reg()
+	f.LdW(v, p, 0)
+	f.ShrI(v, v, 2)
+	f.Mul(m, v, v)
+	f.ShrI(m, m, 6)
+	f.Add(e, e, m)
+	f.AddI(p, p, 12)
+	f.AddI(n, n, 1)
+	f.BrI(ir.CmpLT, n, 13, label)
+	f.Block(label + "_post")
+	return e
+}

@@ -1,0 +1,86 @@
+package g724
+
+import (
+	"math"
+	"testing"
+
+	"lpbuf/internal/bench"
+)
+
+func TestLevinsonStability(t *testing.T) {
+	speech := bench.Speech(FrameSize, 0xAB)
+	x := make([]int32, FrameSize)
+	for i, s := range speech {
+		x[i] = int32(s)
+	}
+	a := levinson(autocorr(x, LPCOrder))
+	if a[0] != 4096 {
+		t.Fatalf("a[0] = %d", a[0])
+	}
+	// Coefficients stay in a sane Q12 range (clamped reflections).
+	for k := 1; k <= LPCOrder; k++ {
+		if a[k] > 16*4096 || a[k] < -16*4096 {
+			t.Fatalf("a[%d] = %d out of range", k, a[k])
+		}
+	}
+}
+
+func TestIsqrtAccuracy(t *testing.T) {
+	for _, v := range []int32{0, 1, 2, 3, 4, 15, 16, 17, 99, 100, 1 << 20, 1<<30 - 1} {
+		got := isqrt(v)
+		want := int32(math.Sqrt(float64(v)))
+		if got != want && got != want-1 && got != want+1 {
+			t.Fatalf("isqrt(%d) = %d, want ~%d", v, got, want)
+		}
+		if int64(got)*int64(got) > int64(v) {
+			t.Fatalf("isqrt(%d) = %d overshoots", v, got)
+		}
+	}
+}
+
+func TestPitchSearchFindsPeriod(t *testing.T) {
+	// A perfectly periodic excitation should yield its period as lag.
+	period := 40
+	exc := make([]int32, MaxLag+SubSize)
+	for i := range exc {
+		exc[i] = int32((i % period) * 100)
+	}
+	lag := pitchSearch(exc, MaxLag)
+	if int(lag)%period != 0 {
+		t.Fatalf("lag %d is not a multiple of the period %d", lag, period)
+	}
+}
+
+func TestPulsePositionsStayInTracks(t *testing.T) {
+	speech := bench.Speech(NumFrames*FrameSize, 0x724D)
+	for _, p := range Encode(speech) {
+		for s := 0; s < NumSub; s++ {
+			for k := 0; k < LPCOrder; k++ {
+				pos := int(p.Pulse[s][k])
+				base := trackBase(k)
+				if pos < base || pos >= base+4 {
+					t.Fatalf("pulse %d at %d outside track [%d,%d)", k, pos, base, base+4)
+				}
+				if sg := p.Sign[s][k]; sg != 1 && sg != -1 {
+					t.Fatalf("sign %d", sg)
+				}
+			}
+		}
+	}
+}
+
+func TestSerializeRoundTripLayout(t *testing.T) {
+	speech := bench.Speech(NumFrames*FrameSize, 0x724D)
+	params := Encode(speech)
+	words := serialize(params)
+	if len(words) != len(params)*frameWords {
+		t.Fatalf("serialized %d words, want %d", len(words), len(params)*frameWords)
+	}
+	// Spot-check frame 0, subframe 0 layout.
+	if words[LPCOrder] != params[0].Lag[0] {
+		t.Fatal("lag position wrong in layout")
+	}
+	if words[LPCOrder+1] != params[0].GainP[0] {
+		t.Fatal("gainP position wrong in layout")
+	}
+}

@@ -1,0 +1,287 @@
+// Package g724 implements the g724enc / g724dec benchmarks: a
+// GSM-EFR-style (ETSI 06.60) analysis-by-synthesis speech codec
+// substitute, built from the same integer-DSP stages the paper's g724
+// uses — LPC analysis (autocorrelation + Levinson-Durbin), open-loop
+// pitch search, track-structured algebraic excitation, gain
+// computation, LPC synthesis, and the adaptive post filter whose
+// thirteen-loop control-flow graph is the paper's Figure 5 case study
+// (PostFilter() accounts for about half of g724dec's cycles).
+//
+// The arithmetic is plain 32-bit integer math chosen to mirror the IR
+// instruction set exactly, so the IR implementation is bit-exact
+// against this reference.
+package g724
+
+// Frame/subframe geometry (EFR: 160-sample frames, 4 subframes of 40).
+const (
+	FrameSize = 160
+	SubSize   = 40
+	NumSub    = 4
+	LPCOrder  = 10
+	MinLag    = 20
+	MaxLag    = 85
+	NumFrames = 10
+)
+
+// Params is the "bitstream" for one frame.
+type Params struct {
+	A     [LPCOrder + 1]int32 // Q12 direct-form coefficients, A[0] = 4096
+	Lag   [NumSub]int32
+	GainP [NumSub]int32 // Q14 adaptive gain
+	Pulse [NumSub][LPCOrder]int32
+	Sign  [NumSub][LPCOrder]int32 // +1/-1
+	GainC [NumSub]int32           // fixed-codebook gain (linear)
+}
+
+func sat16(v int32) int32 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return v
+}
+
+// autocorr computes r[0..order] of a 160-sample window, with inputs
+// scaled down 3 bits to avoid overflow.
+func autocorr(x []int32, order int) []int32 {
+	r := make([]int32, order+1)
+	for k := 0; k <= order; k++ {
+		var acc int32
+		for n := k; n < FrameSize; n++ {
+			acc += (x[n] >> 3) * (x[n-k] >> 3) >> 8
+			// Overflow guard in the ETSI basic-op style (a branch, not
+			// an intrinsic — this is what keeps reference C loops out
+			// of the loop buffer before if-conversion).
+			if acc > 1<<28 {
+				acc = 1 << 28
+			}
+		}
+		r[k] = acc >> 6 // keep r small enough for Q12 products
+	}
+	if r[0] < 1 {
+		r[0] = 1
+	}
+	return r
+}
+
+// levinson runs integer Levinson-Durbin, producing Q12 coefficients.
+func levinson(r []int32) [LPCOrder + 1]int32 {
+	var a [LPCOrder + 1]int32
+	a[0] = 4096
+	var err int32 = r[0]
+	for i := 1; i <= LPCOrder; i++ {
+		var acc int32
+		for j := 1; j < i; j++ {
+			acc += a[j] * r[i-j] >> 12
+		}
+		num := r[i] - acc
+		if err == 0 {
+			err = 1
+		}
+		k := (num << 12) / err
+		// Reflection clamp for stability.
+		if k > 3900 {
+			k = 3900
+		}
+		if k < -3900 {
+			k = -3900
+		}
+		var tmp [LPCOrder + 1]int32
+		for j := 1; j < i; j++ {
+			tmp[j] = a[j] - (k * a[i-j] >> 12)
+		}
+		for j := 1; j < i; j++ {
+			a[j] = tmp[j]
+		}
+		a[i] = k
+		err -= k * (num >> 12)
+		if err < 1 {
+			err = 1
+		}
+	}
+	return a
+}
+
+// residual computes the LPC residual res[n] = x[n] + sum a[k] x[n-k].
+// hist supplies the 10 samples preceding x.
+func residual(x, hist []int32, a *[LPCOrder + 1]int32, res []int32) {
+	for n := 0; n < len(x); n++ {
+		acc := x[n] << 12
+		for k := 1; k <= LPCOrder; k++ {
+			var xv int32
+			if n-k >= 0 {
+				xv = x[n-k]
+			} else {
+				xv = hist[len(hist)+n-k]
+			}
+			acc += a[k] * xv
+		}
+		res[n] = sat16(acc >> 12)
+	}
+}
+
+// pitchSearch finds the lag maximizing a normalized-correlation merit
+// q = (c>>11)^2 / ((e>>8)+1) over the past excitation.
+func pitchSearch(exc []int32, off int) int32 {
+	bestLag, bestQ := int32(MinLag), int32(-1)
+	for lag := int32(MinLag); lag <= MaxLag; lag++ {
+		c, e := corrEnergyRef(exc, off, lag)
+		if c < 0 {
+			c = 0
+		}
+		cn := c >> 11
+		q := cn * cn / ((e >> 8) + 1)
+		if q > bestQ {
+			bestQ, bestLag = q, lag
+		}
+	}
+	return bestLag
+}
+
+// pitchGain computes the Q14 adaptive gain for the chosen lag, clamped
+// to [0, 16384].
+func pitchGain(exc []int32, off int, lag int32) int32 {
+	c, e := corrEnergyRef(exc, off, lag)
+	if c < 0 {
+		c = 0
+	}
+	q := (c >> 6) / ((e >> 13) + 1) // ~ 128*c/e
+	if q > 128 {
+		q = 128
+	}
+	return q << 7
+}
+
+// corrEnergyRef is the shared 40-tap correlation/energy kernel with
+// ETSI-style branchy overflow guards on both accumulators.
+func corrEnergyRef(exc []int32, off int, lag int32) (c, e int32) {
+	for n := 0; n < SubSize; n++ {
+		p := exc[off+n-int(lag)]
+		c += (exc[off+n] >> 2) * (p >> 2) >> 6
+		if c > 1<<28 {
+			c = 1 << 28
+		}
+		e += (p >> 2) * (p >> 2) >> 6
+		if e > 1<<28 {
+			e = 1 << 28
+		}
+	}
+	return c, e
+}
+
+// isqrt is the classic 16-step restoring integer square root.
+func isqrt(v int32) int32 {
+	root := int32(0)
+	bit := int32(1) << 30
+	for i := 0; i < 16; i++ {
+		if v >= root+bit {
+			v -= root + bit
+			root = root>>1 + bit
+		} else {
+			root >>= 1
+		}
+		bit >>= 2
+	}
+	return root
+}
+
+// tracks: pulse k may sit at positions k*4 + {0,1,2,3}.
+func trackBase(k int) int { return (k * SubSize) / LPCOrder }
+
+// pickPulses selects, per 4-position track, the position of maximum
+// |target| and its sign (a crude algebraic codebook).
+func pickPulses(target []int32, pulses, signs *[LPCOrder]int32) {
+	for k := 0; k < LPCOrder; k++ {
+		base := trackBase(k)
+		bestPos, bestMag, bestSign := int32(base), int32(-1), int32(1)
+		for j := 0; j < 4; j++ {
+			v := target[base+j]
+			m := v
+			if m < 0 {
+				m = -m
+			}
+			if m > bestMag {
+				bestMag = m
+				bestPos = int32(base + j)
+				if v < 0 {
+					bestSign = -1
+				} else {
+					bestSign = 1
+				}
+			}
+		}
+		pulses[k] = bestPos
+		signs[k] = bestSign
+	}
+}
+
+// fixedGain computes a gain matching pulse excitation energy to the
+// residual energy (integer sqrt of energy ratio proxy).
+func fixedGain(target []int32) int32 {
+	var e int32
+	for n := 0; n < SubSize; n++ {
+		e += (target[n] >> 3) * (target[n] >> 3) >> 4
+		if e > 1<<28 {
+			e = 1 << 28
+		}
+	}
+	g := isqrt(e/SubSize) << 2
+	if g < 1 {
+		g = 1
+	}
+	if g > 8192 {
+		g = 8192
+	}
+	return g
+}
+
+// Encode analyzes the input speech into frame parameters.
+func Encode(speech []int16) []Params {
+	nFrames := len(speech) / FrameSize
+	out := make([]Params, nFrames)
+	// Excitation history for pitch search (residual domain).
+	exc := make([]int32, MaxLag+nFrames*FrameSize)
+	hist := make([]int32, LPCOrder)
+	x := make([]int32, FrameSize)
+	res := make([]int32, SubSize)
+
+	for f := 0; f < nFrames; f++ {
+		for i := 0; i < FrameSize; i++ {
+			x[i] = int32(speech[f*FrameSize+i])
+		}
+		r := autocorr(x, LPCOrder)
+		a := levinson(r)
+		out[f].A = a
+
+		for s := 0; s < NumSub; s++ {
+			sub := x[s*SubSize : (s+1)*SubSize]
+			var h []int32
+			if s == 0 {
+				h = hist
+			} else {
+				h = x[s*SubSize-LPCOrder : s*SubSize]
+			}
+			residual(sub, h, &a, res)
+			off := MaxLag + f*FrameSize + s*SubSize
+			copy(exc[off:off+SubSize], res)
+
+			lag := pitchSearch(exc, off)
+			gp := pitchGain(exc, off, lag)
+			out[f].Lag[s] = lag
+			out[f].GainP[s] = gp
+
+			// Remove the adaptive contribution, then pick pulses on
+			// the remainder.
+			tgt := make([]int32, SubSize)
+			for n := 0; n < SubSize; n++ {
+				tgt[n] = res[n] - (gp*exc[off+n-int(lag)])>>14
+			}
+			pickPulses(tgt, &out[f].Pulse[s], &out[f].Sign[s])
+			out[f].GainC[s] = fixedGain(tgt)
+		}
+		copy(hist, x[FrameSize-LPCOrder:])
+	}
+	return out
+}

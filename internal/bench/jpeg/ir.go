@@ -1,0 +1,419 @@
+package jpeg
+
+import (
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+)
+
+func flat(m *[8][8]int32) []int32 {
+	out := make([]int32, 64)
+	for i := 0; i < 8; i++ {
+		copy(out[i*8:], m[i][:])
+	}
+	return out
+}
+
+// commonGlobals installs the shared tables; returns their offsets.
+type tables struct {
+	dctC, qtab, zig int64
+}
+
+func installTables(pb *irbuild.Program) tables {
+	return tables{
+		dctC: pb.GlobalW("dctC", 64, flat(&dctC)),
+		qtab: pb.GlobalW("qtab", 64, qtab[:]),
+		zig:  pb.GlobalW("zigzag", 64, zigzag[:]),
+	}
+}
+
+// matNest emits the triple nest out[a*8+b] = (sum_j f(j)) >> shift.
+// addrA computes the row operand address from (a, j); addrB the column
+// operand address from (j, b). Both receive fresh registers holding a,
+// b, j (word-indexed) and must return an address register.
+func matNest(f *irbuild.Func, label string, shift int64,
+	outB ir.Reg,
+	addrA func(a, j ir.Reg) ir.Reg, addrB func(j, b ir.Reg) ir.Reg) {
+
+	a := f.Reg()
+	f.MovI(a, 0)
+	f.Block(label + "_a")
+	b := f.Reg()
+	f.MovI(b, 0)
+	f.Block(label + "_b")
+	acc := f.Reg()
+	j := f.Reg()
+	f.MovI(acc, 0)
+	f.MovI(j, 0)
+	f.Block(label + "_j")
+	va := f.Reg()
+	vb := f.Reg()
+	m := f.Reg()
+	f.LdW(va, addrA(a, j), 0)
+	f.LdW(vb, addrB(j, b), 0)
+	f.Mul(m, va, vb)
+	f.Add(acc, acc, m)
+	f.AddI(j, j, 1)
+	f.BrI(ir.CmpLT, j, 8, label+"_j")
+	f.Block(label + "_blatch")
+	f.ShrI(acc, acc, shift)
+	po := f.Reg()
+	t := f.Reg()
+	f.ShlI(t, a, 3)
+	f.Add(t, t, b)
+	f.ShlI(t, t, 2)
+	f.Add(po, outB, t)
+	f.StW(po, 0, acc)
+	f.AddI(b, b, 1)
+	f.BrI(ir.CmpLT, b, 8, label+"_b")
+	f.Block(label + "_alatch")
+	f.AddI(a, a, 1)
+	f.BrI(ir.CmpLT, a, 8, label+"_a")
+	f.Block(label + "_post")
+}
+
+// idx emits an address reg base + 4*(r*8 + c).
+func idx(f *irbuild.Func, base ir.Reg, r, c ir.Reg) ir.Reg {
+	t := f.Reg()
+	a := f.Reg()
+	f.ShlI(t, r, 3)
+	f.Add(t, t, c)
+	f.ShlI(t, t, 2)
+	f.Add(a, base, t)
+	return a
+}
+
+func buildEnc(img []byte) (*ir.Program, int64) {
+	pb := irbuild.NewProgram(1 << 20)
+	tb := installTables(pb)
+	imgOff := pb.GlobalB("img", len(img), img)
+	inOff := pb.GlobalW("in", 64, nil)
+	tmpOff := pb.GlobalW("tmp", 64, nil)
+	dctOff := pb.GlobalW("dct", 64, nil)
+	outCap := Blocks * (64*2 + 2)
+	outOff := pb.P.AddGlobal("out", int64(outCap), nil)
+
+	f := pb.Func("main", 0, false)
+	f.Block("pre")
+	cB := f.Const(tb.dctC)
+	qB := f.Const(tb.qtab)
+	zB := f.Const(tb.zig)
+	inB := f.Const(inOff)
+	tmpB := f.Const(tmpOff)
+	dctB := f.Const(dctOff)
+	op := f.Reg()
+	f.MovI(op, outOff)
+	acc := f.Reg()
+	nbit := f.Reg()
+	f.MovI(acc, 0)
+	f.MovI(nbit, 0)
+	by := f.Reg()
+	f.MovI(by, 0)
+	f.Block("byloop")
+	bx := f.Reg()
+	f.MovI(bx, 0)
+	f.Block("bxloop")
+	// Load the block with level shift: in[y*8+x] = img[...] - 128.
+	{
+		base := f.Reg()
+		t := f.Reg()
+		f.MulI(t, by, 8*Width)
+		f.ShlI(base, bx, 3)
+		f.Add(base, base, t)
+		f.AddI(base, base, imgOff)
+		y := f.Reg()
+		pd := f.Reg()
+		f.MovI(y, 0)
+		f.Mov(pd, inB)
+		f.Block("ldy")
+		x := f.Reg()
+		ps := f.Reg()
+		f.MovI(x, 0)
+		f.Mov(ps, base)
+		f.Block("ldx")
+		v := f.Reg()
+		f.LdBU(v, ps, 0)
+		f.SubI(v, v, 128)
+		f.StW(pd, 0, v)
+		f.AddI(ps, ps, 1)
+		f.AddI(pd, pd, 4)
+		f.AddI(x, x, 1)
+		f.BrI(ir.CmpLT, x, 8, "ldx")
+		f.Block("ldylatch")
+		f.AddI(base, base, Width)
+		f.AddI(y, y, 1)
+		f.BrI(ir.CmpLT, y, 8, "ldy")
+	}
+	f.Block("fdct1")
+	// tmp[k*8+n] = (sum_j C[k][j] * in[j*8+n]) >> 10
+	matNest(f, "f1", 10, tmpB,
+		func(a, j ir.Reg) ir.Reg { return idx(f, cB, a, j) },
+		func(j, b ir.Reg) ir.Reg { return idx(f, inB, j, b) })
+	// dct[k*8+m] = (sum_j tmp[k*8+j] * C[m][j]) >> 13
+	matNest(f, "f2", 13, dctB,
+		func(a, j ir.Reg) ir.Reg { return idx(f, tmpB, a, j) },
+		func(j, b ir.Reg) ir.Reg { return idx(f, cB, b, j) })
+
+	// Entropy coding: quantize in zigzag order, run-length + put-bits
+	// with data-dependent flush loops (the Huffman-coder stand-in that
+	// keeps this stage out of the loop buffer).
+	{
+		run := f.Reg()
+		i := f.Reg()
+		pz := f.Reg()
+		f.MovI(run, 0)
+		f.MovI(i, 0)
+		f.Mov(pz, zB)
+		f.Block("rle")
+		z := f.Reg()
+		zz := f.Reg()
+		dv := f.Reg()
+		qv := f.Reg()
+		v := f.Reg()
+		f.LdW(z, pz, 0)
+		f.ShlI(zz, z, 2)
+		a1 := f.Reg()
+		f.Add(a1, dctB, zz)
+		f.LdW(dv, a1, 0)
+		a2 := f.Reg()
+		f.Add(a2, qB, zz)
+		f.LdW(qv, a2, 0)
+		f.Div(v, dv, qv)
+		f.BrI(ir.CmpNE, v, 0, "emit")
+		f.Block("zrun")
+		f.BrI(ir.CmpGE, run, 62, "emit")
+		f.Block("zrun2")
+		f.AddI(run, run, 1)
+		f.Jump("rlelatch")
+		f.Block("emit")
+		f.MinI(v, v, 127)
+		f.MaxI(v, v, -128)
+		f.AddI(v, v, 128)
+		op = emitPut(f, "p1", acc, nbit, op, run, symRunBits)
+		op = emitPut(f, "p2", acc, nbit, op, v, symValBits)
+		f.MovI(run, 0)
+		f.Block("rlelatch")
+		f.AddI(pz, pz, 4)
+		f.AddI(i, i, 1)
+		f.BrI(ir.CmpLT, i, 64, "rle")
+	}
+	f.Block("eob")
+	{
+		e1 := f.Reg()
+		f.MovI(e1, 63)
+		op = emitPut(f, "pe1", acc, nbit, op, e1, symRunBits)
+		e0 := f.Reg()
+		f.MovI(e0, 511)
+		op = emitPut(f, "pe2", acc, nbit, op, e0, symValBits)
+	}
+	f.Block("bxlatch")
+	f.AddI(bx, bx, 1)
+	f.BrI(ir.CmpLT, bx, Width/8, "bxloop")
+	f.Block("bylatch")
+	f.AddI(by, by, 1)
+	f.BrI(ir.CmpLT, by, Height/8, "byloop")
+	f.Block("finflush")
+	// Final flush of the bit accumulator.
+	f.BrI(ir.CmpEQ, nbit, 0, "done")
+	f.Block("flushlast")
+	sh := f.Reg()
+	t := f.Reg()
+	f.MovI(sh, 8)
+	f.Sub(sh, sh, nbit)
+	f.Shl(t, acc, sh)
+	f.StB(op, 0, t)
+	f.AddI(op, op, 1)
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild(), outOff
+}
+
+// emitPut emits the put-bits sequence: acc = acc<<n | (bits & mask);
+// nbit += n; while nbit >= 8 emit a byte. Returns the (same) output
+// pointer register. The flush loop's unconditional back edge keeps it
+// out of the loop buffer, as JPEG's real put_bits is.
+func emitPut(f *irbuild.Func, label string, acc, nbit, op, bits ir.Reg, n int64) ir.Reg {
+	t := f.Reg()
+	f.AndI(t, bits, (1<<uint(n))-1)
+	f.ShlI(acc, acc, n)
+	f.Or(acc, acc, t)
+	f.AddI(nbit, nbit, n)
+	f.Block(label + "_flush")
+	f.BrI(ir.CmpLT, nbit, 8, label+"_done")
+	f.Block(label + "_emit")
+	f.SubI(nbit, nbit, 8)
+	b := f.Reg()
+	f.Shr(b, acc, nbit)
+	f.StB(op, 0, b)
+	f.AddI(op, op, 1)
+	f.Jump(label + "_flush")
+	f.Block(label + "_done")
+	return op
+}
+
+func buildDec(stream []byte) (*ir.Program, int64) {
+	pb := irbuild.NewProgram(1 << 20)
+	tb := installTables(pb)
+	stOff := pb.GlobalB("stream", len(stream), stream)
+	dctOff := pb.GlobalW("dct", 64, nil)
+	tmpOff := pb.GlobalW("tmp", 64, nil)
+	pixOff := pb.GlobalW("pix", 64, nil)
+	outOff := pb.P.AddGlobal("img", Width*Height, nil)
+
+	f := pb.Func("main", 0, false)
+	f.Block("pre")
+	cB := f.Const(tb.dctC)
+	qB := f.Const(tb.qtab)
+	zB := f.Const(tb.zig)
+	dctB := f.Const(dctOff)
+	tmpB := f.Const(tmpOff)
+	pixB := f.Const(pixOff)
+	sp := f.Reg()
+	f.MovI(sp, stOff)
+	acc := f.Reg()
+	nbit := f.Reg()
+	f.MovI(acc, 0)
+	f.MovI(nbit, 0)
+	stEnd := stOff + int64(len(stream))
+	by := f.Reg()
+	f.MovI(by, 0)
+	f.Block("byloop")
+	bx := f.Reg()
+	f.MovI(bx, 0)
+	f.Block("bxloop")
+	// Clear dct (64).
+	{
+		k := f.Reg()
+		p := f.Reg()
+		z := f.Const(0)
+		f.MovI(k, 0)
+		f.Mov(p, dctB)
+		f.Block("clr")
+		f.StW(p, 0, z)
+		f.AddI(p, p, 4)
+		f.AddI(k, k, 1)
+		f.BrI(ir.CmpLT, k, 64, "clr")
+	}
+	f.Block("parse_pre")
+	// Entropy parse: get-bits with refill loops, EOB break.
+	{
+		i := f.Reg()
+		f.MovI(i, 0)
+		f.Block("parse")
+		run := f.Reg()
+		val := f.Reg()
+		emitGet(f, "g1", acc, nbit, sp, run, symRunBits, stEnd)
+		emitGet(f, "g2", acc, nbit, sp, val, symValBits, stEnd)
+		f.BrI(ir.CmpNE, run, 63, "notEob")
+		f.Block("maybeEob")
+		f.BrI(ir.CmpEQ, val, 511, "parse_done")
+		f.Block("notEob")
+		f.Add(i, i, run)
+		f.BrI(ir.CmpGE, i, 64, "skipstore")
+		f.Block("store")
+		z := f.Reg()
+		zz := f.Reg()
+		f.ShlI(z, i, 2)
+		za := f.Reg()
+		f.Add(za, zB, z)
+		f.LdW(zz, za, 0)
+		f.ShlI(zz, zz, 2)
+		qa := f.Reg()
+		qv := f.Reg()
+		f.Add(qa, qB, zz)
+		f.LdW(qv, qa, 0)
+		m := f.Reg()
+		f.SubI(m, val, 128)
+		f.Mul(m, m, qv)
+		da := f.Reg()
+		f.Add(da, dctB, zz)
+		f.StW(da, 0, m)
+		f.Block("skipstore")
+		f.AddI(i, i, 1)
+		f.Jump("parse")
+		f.Block("parse_done")
+	}
+	// IDCT: tmp[n*8+m] = (sum_k C[k][n]*dct[k*8+m]) >> 10
+	matNest(f, "i1", 10, tmpB,
+		func(a, j ir.Reg) ir.Reg { return idx(f, cB, j, a) },
+		func(j, b ir.Reg) ir.Reg { return idx(f, dctB, j, b) })
+	// pix[n*8+p] = (sum_k tmp[n*8+k]*C[k][p]) >> 7
+	matNest(f, "i2", 7, pixB,
+		func(a, j ir.Reg) ir.Reg { return idx(f, tmpB, a, j) },
+		func(j, b ir.Reg) ir.Reg { return idx(f, cB, j, b) })
+
+	// Store with +128 unshift and clamp hammocks (the Figure 2 Clip).
+	{
+		base := f.Reg()
+		t := f.Reg()
+		f.MulI(t, by, 8*Width)
+		f.ShlI(base, bx, 3)
+		f.Add(base, base, t)
+		f.AddI(base, base, outOff)
+		y := f.Reg()
+		ps := f.Reg()
+		f.MovI(y, 0)
+		f.Mov(ps, pixB)
+		f.Block("sty")
+		x := f.Reg()
+		pd := f.Reg()
+		f.MovI(x, 0)
+		f.Mov(pd, base)
+		f.Block("stx")
+		v := f.Reg()
+		f.LdW(v, ps, 0)
+		f.AddI(v, v, 128)
+		f.BrI(ir.CmpGE, v, 0, "sthf")
+		f.Block("stlo")
+		f.MovI(v, 0)
+		f.Jump("stok")
+		f.Block("sthf")
+		f.BrI(ir.CmpLE, v, 255, "stok")
+		f.Block("sthi")
+		f.MovI(v, 255)
+		f.Block("stok")
+		f.StB(pd, 0, v)
+		f.AddI(ps, ps, 4)
+		f.AddI(pd, pd, 1)
+		f.AddI(x, x, 1)
+		f.BrI(ir.CmpLT, x, 8, "stx")
+		f.Block("stylatch")
+		f.AddI(base, base, Width)
+		f.AddI(y, y, 1)
+		f.BrI(ir.CmpLT, y, 8, "sty")
+	}
+	f.Block("bxlatch")
+	f.AddI(bx, bx, 1)
+	f.BrI(ir.CmpLT, bx, Width/8, "bxloop")
+	f.Block("bylatch")
+	f.AddI(by, by, 1)
+	f.BrI(ir.CmpLT, by, Height/8, "byloop")
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild(), outOff
+}
+
+// emitGet emits the get-bits sequence: refill the accumulator byte by
+// byte while it holds fewer than n bits (reading 0 past the stream
+// end, as the reference does), then extract n bits into dst.
+func emitGet(f *irbuild.Func, label string, acc, nbit, sp, dst ir.Reg, n int64, end int64) {
+	f.Block(label + "_refill")
+	f.BrI(ir.CmpGE, nbit, n, label+"_extract")
+	f.Block(label + "_byte")
+	b := f.Reg()
+	f.MovI(b, 0)
+	f.BrI(ir.CmpGE, sp, end, label+"_have")
+	f.Block(label + "_load")
+	f.LdBU(b, sp, 0)
+	f.Block(label + "_have")
+	f.ShlI(acc, acc, 8)
+	f.Or(acc, acc, b)
+	f.AddI(sp, sp, 1)
+	f.AddI(nbit, nbit, 8)
+	f.Jump(label + "_refill")
+	f.Block(label + "_extract")
+	f.SubI(nbit, nbit, n)
+	f.Shr(dst, acc, nbit)
+	f.AndI(dst, dst, (1<<uint(n))-1)
+}

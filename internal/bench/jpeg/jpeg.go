@@ -1,0 +1,276 @@
+// Package jpeg implements the jpegenc / jpegdec benchmarks: a
+// JPEG-style still-image codec substitute — 8x8 blocked integer DCT,
+// quantization, zigzag reordering and run-length entropy coding — with
+// the inner-nest structure the paper observes for the IJG code
+// ("significant numbers of inner-nest loops for which the iteration
+// counts were generally small, but varied across different loop
+// invocations"), which caps jpegenc's buffer-issue fraction near 63%.
+package jpeg
+
+import (
+	"lpbuf/internal/bench"
+	"lpbuf/internal/ir"
+)
+
+// Image geometry: 8x8 blocks.
+const (
+	Width  = 64
+	Height = 48
+	Blocks = (Width / 8) * (Height / 8)
+)
+
+// dctC is an integer 8x8 DCT-II basis in Q10 (rows = frequency k,
+// cols = sample n): round(1024 * c(k) * cos((2n+1)k*pi/16) / 2) with
+// c(0)=1/sqrt2. Precomputed constants (no floating point at runtime).
+var dctC = [8][8]int32{
+	{362, 362, 362, 362, 362, 362, 362, 362},
+	{502, 426, 284, 100, -100, -284, -426, -502},
+	{473, 196, -196, -473, -473, -196, 196, 473},
+	{426, -100, -502, -284, 284, 502, 100, -426},
+	{362, -362, -362, 362, 362, -362, -362, 362},
+	{284, -502, 100, 426, -426, -100, 502, -284},
+	{196, -473, 473, -196, -196, 473, -473, 196},
+	{100, -284, 426, -502, 502, -426, 284, -100},
+}
+
+// qtab is a luminance-style quantization table.
+var qtab = [64]int32{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// zigzag order.
+var zigzag = [64]int32{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// fdctBlock computes out = C * in * C^T with Q10 basis and
+// renormalizing shifts (>>10 after each pass, then >>3 overall scale).
+func fdctBlock(in *[64]int32, out *[64]int32) {
+	var tmp [64]int32
+	for k := 0; k < 8; k++ {
+		for n := 0; n < 8; n++ {
+			var acc int32
+			for j := 0; j < 8; j++ {
+				acc += dctC[k][j] * in[j*8+n]
+			}
+			tmp[k*8+n] = acc >> 10
+		}
+	}
+	for k := 0; k < 8; k++ {
+		for m := 0; m < 8; m++ {
+			var acc int32
+			for j := 0; j < 8; j++ {
+				acc += tmp[k*8+j] * dctC[m][j]
+			}
+			out[k*8+m] = acc >> 13
+		}
+	}
+}
+
+// idctBlock computes out = C^T * in * C (the inverse for an orthogonal
+// basis, with matching shifts).
+func idctBlock(in *[64]int32, out *[64]int32) {
+	var tmp [64]int32
+	for n := 0; n < 8; n++ {
+		for m := 0; m < 8; m++ {
+			var acc int32
+			for k := 0; k < 8; k++ {
+				acc += dctC[k][n] * in[k*8+m]
+			}
+			tmp[n*8+m] = acc >> 10
+		}
+	}
+	for n := 0; n < 8; n++ {
+		for p := 0; p < 8; p++ {
+			var acc int32
+			for k := 0; k < 8; k++ {
+				acc += tmp[n*8+k] * dctC[k][p]
+			}
+			out[n*8+p] = acc >> 7
+		}
+	}
+}
+
+// quantDiv mirrors the IR's rounding division toward zero.
+func quantDiv(v, q int32) int32 { return v / q }
+
+// Entropy coding uses 15-bit symbols bit-packed into a byte stream (a
+// stand-in for JPEG's Huffman coder that keeps its defining property:
+// the put-bits accumulator with data-dependent flush loops, which no
+// loop buffer can hold). Symbol layout: run (6 bits) then value+128
+// (9 bits, covering clamped -128..127 values biased positive); the
+// end-of-block symbol is run=63, value bits = 511.
+const symRunBits = 6
+const symValBits = 9
+
+// bitWriter mirrors the IR's put-bits structure exactly.
+type bitWriter struct {
+	out  []byte
+	acc  int32 // pending bits, left-aligned in the low 24 bits
+	nbit int32
+}
+
+func (w *bitWriter) put(bits, n int32) {
+	w.acc = (w.acc << uint(n)) | (bits & ((1 << uint(n)) - 1))
+	w.nbit += n
+	for w.nbit >= 8 {
+		w.nbit -= 8
+		w.out = append(w.out, byte(w.acc>>uint(w.nbit)))
+	}
+}
+
+func (w *bitWriter) flush() {
+	if w.nbit > 0 {
+		w.out = append(w.out, byte(w.acc<<uint(8-w.nbit)))
+		w.nbit = 0
+	}
+}
+
+// bitReader mirrors the IR's get-bits structure exactly.
+type bitReader struct {
+	in   []byte
+	pos  int
+	acc  int32
+	nbit int32
+}
+
+func (r *bitReader) get(n int32) int32 {
+	for r.nbit < n {
+		var b int32
+		if r.pos < len(r.in) {
+			b = int32(r.in[r.pos])
+		}
+		r.pos++
+		r.acc = (r.acc << 8) | b
+		r.nbit += 8
+	}
+	r.nbit -= n
+	v := (r.acc >> uint(r.nbit)) & ((1 << uint(n)) - 1)
+	return v
+}
+
+// Encode runs the full encode pipeline, producing the bit-packed
+// entropy stream.
+func Encode(img []byte) []byte {
+	var w bitWriter
+	var in, dct [64]int32
+	for by := 0; by < Height/8; by++ {
+		for bx := 0; bx < Width/8; bx++ {
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					in[y*8+x] = int32(img[(by*8+y)*Width+bx*8+x]) - 128
+				}
+			}
+			fdctBlock(&in, &dct)
+			// Quantize + zigzag + run-length + bit packing.
+			run := int32(0)
+			for i := 0; i < 64; i++ {
+				v := quantDiv(dct[zigzag[i]], qtab[zigzag[i]])
+				if v == 0 && run < 62 {
+					run++
+					continue
+				}
+				if v > 127 {
+					v = 127
+				}
+				if v < -128 {
+					v = -128
+				}
+				w.put(run, symRunBits)
+				w.put(v+128, symValBits)
+				run = 0
+			}
+			w.put(63, symRunBits)
+			w.put(511, symValBits)
+		}
+	}
+	w.flush()
+	return w.out
+}
+
+// Decode reconstructs the image from the entropy stream.
+func Decode(stream []byte) []byte {
+	img := make([]byte, Width*Height)
+	var dct, pix [64]int32
+	r := bitReader{in: stream}
+	for by := 0; by < Height/8; by++ {
+		for bx := 0; bx < Width/8; bx++ {
+			for i := range dct {
+				dct[i] = 0
+			}
+			i := 0
+			for {
+				run := r.get(symRunBits)
+				val := r.get(symValBits)
+				if run == 63 && val == 511 {
+					break
+				}
+				i += int(run)
+				if i < 64 {
+					dct[zigzag[i]] = (val - 128) * qtab[zigzag[i]]
+				}
+				i++
+			}
+			idctBlock(&dct, &pix)
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					v := pix[y*8+x] + 128
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					img[(by*8+y)*Width+bx*8+x] = byte(v)
+				}
+			}
+		}
+	}
+	return img
+}
+
+func input() []byte { return bench.Image(Width, Height, 0x1A6) }
+
+// Enc returns the jpegenc benchmark.
+func Enc() bench.Benchmark {
+	img := input()
+	want := Encode(img)
+	prog, outOff := buildEnc(img)
+	return bench.Benchmark{
+		Name:        "jpegenc",
+		Description: "JPEG-style image encoder (DCT, quantization, RLE)",
+		Build:       func() *ir.Program { return prog },
+		Check: func(mem []byte) error {
+			return bench.CmpBytes(mem, outOff, want, "jpegenc.out")
+		},
+	}
+}
+
+// Dec returns the jpegdec benchmark.
+func Dec() bench.Benchmark {
+	stream := Encode(input())
+	want := Decode(stream)
+	prog, outOff := buildDec(stream)
+	return bench.Benchmark{
+		Name:        "jpegdec",
+		Description: "JPEG-style image decoder (RLE, dequant, IDCT)",
+		Build:       func() *ir.Program { return prog },
+		Check: func(mem []byte) error {
+			return bench.CmpBytes(mem, outOff, want, "jpegdec.out")
+		},
+	}
+}

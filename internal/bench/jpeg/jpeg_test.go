@@ -1,0 +1,55 @@
+package jpeg
+
+import (
+	"testing"
+
+	"lpbuf/internal/bench"
+	"lpbuf/internal/core"
+	"lpbuf/internal/interp"
+)
+
+func TestRoundTripQuality(t *testing.T) {
+	img := input()
+	dec := Decode(Encode(img))
+	var sumErr int64
+	for i := range img {
+		d := int64(dec[i]) - int64(img[i])
+		sumErr += d * d
+	}
+	mse := sumErr / int64(len(img))
+	if mse > 400 {
+		t.Fatalf("MSE %d too high: codec is broken", mse)
+	}
+}
+
+func TestIRMatchesReference(t *testing.T) {
+	for _, b := range []bench.Benchmark{Enc(), Dec()} {
+		prog := b.Build()
+		res, err := interp.Run(prog, interp.Options{})
+		if err != nil {
+			t.Fatalf("%s: interp: %v", b.Name, err)
+		}
+		if err := b.Check(res.Mem); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestCompiledMatchesReference(t *testing.T) {
+	for _, b := range []bench.Benchmark{Enc(), Dec()} {
+		prog := b.Build()
+		for _, cfg := range []core.Config{core.Traditional(256), core.Aggressive(256)} {
+			c, err := core.Compile(prog, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, cfg.Name, err)
+			}
+			res, err := c.Run()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, cfg.Name, err)
+			}
+			if err := b.Check(res.Mem); err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, cfg.Name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package jpeg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := map[int32]bool{}
+	for _, z := range zigzag {
+		if z < 0 || z > 63 || seen[z] {
+			t.Fatalf("zigzag invalid at %d", z)
+		}
+		seen[z] = true
+	}
+	if len(seen) != 64 {
+		t.Fatal("zigzag misses positions")
+	}
+}
+
+func TestBitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var w bitWriter
+	type sym struct{ v, n int32 }
+	var syms []sym
+	for i := 0; i < 500; i++ {
+		n := int32(1 + rng.Intn(15))
+		v := int32(rng.Int63()) & ((1 << uint(n)) - 1)
+		syms = append(syms, sym{v, n})
+		w.put(v, n)
+	}
+	w.flush()
+	r := bitReader{in: w.out}
+	for i, s := range syms {
+		if got := r.get(s.n); got != s.v {
+			t.Fatalf("symbol %d: got %d want %d (n=%d)", i, got, s.v, s.n)
+		}
+	}
+}
+
+func TestDCTRoundTripSmall(t *testing.T) {
+	// fdct followed by idct reconstructs within quantization-free
+	// truncation error.
+	var in, dct, out [64]int32
+	rng := rand.New(rand.NewSource(9))
+	for i := range in {
+		in[i] = int32(rng.Intn(256) - 128)
+	}
+	fdctBlock(&in, &dct)
+	idctBlock(&dct, &out)
+	// The integer DCT truncates at each pass (coefficients carry a /8
+	// scale), so individual pixels can be tens of levels off, but the
+	// average error must stay small.
+	var sum int64
+	for i := range in {
+		d := int64(in[i] - out[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > 80 {
+			t.Fatalf("dct round trip error %d at %d (in=%d out=%d)", d, i, in[i], out[i])
+		}
+		sum += d
+	}
+	if mean := sum / 64; mean > 20 {
+		t.Fatalf("mean |error| = %d", mean)
+	}
+}
+
+func TestDCTBasisRowNorms(t *testing.T) {
+	// All rows carry (approximately) equal energy: C*C^T ~ k*I.
+	var norms [8]int64
+	for k := 0; k < 8; k++ {
+		for n := 0; n < 8; n++ {
+			norms[k] += int64(dctC[k][n]) * int64(dctC[k][n])
+		}
+	}
+	for k := 1; k < 8; k++ {
+		diff := norms[k] - norms[0]
+		if diff < -2000 || diff > 2000 {
+			t.Fatalf("row %d norm %d differs from row 0 norm %d", k, norms[k], norms[0])
+		}
+	}
+}
+
+func TestFlatImageCompressesWell(t *testing.T) {
+	img := make([]byte, Width*Height)
+	for i := range img {
+		img[i] = 128
+	}
+	stream := Encode(img)
+	// A flat image is all EOBs: ~2 bytes per block.
+	if len(stream) > Blocks*4 {
+		t.Fatalf("flat image stream %d bytes for %d blocks", len(stream), Blocks)
+	}
+}

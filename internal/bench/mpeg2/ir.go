@@ -1,0 +1,534 @@
+package mpeg2
+
+import (
+	"lpbuf/internal/bench"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+)
+
+func flatC() []int32 {
+	out := make([]int32, 64)
+	for i := 0; i < 8; i++ {
+		copy(out[i*8:], dctC[i][:])
+	}
+	return out
+}
+
+func flatVideo(v [][]int32) []int32 {
+	out := make([]int32, 0, len(v)*BufSize)
+	for _, f := range v {
+		out = append(out, f...)
+	}
+	return out
+}
+
+func fill128() []int32 {
+	b := make([]int32, BufSize)
+	for i := range b {
+		b[i] = 128
+	}
+	return b
+}
+
+// matNest8 is the shared 8x8x8 matrix-multiply nest (see the jpeg
+// benchmark for the same shape).
+func matNest8(f *irbuild.Func, label string, shift int64, outB ir.Reg,
+	addrA func(a, j ir.Reg) ir.Reg, addrB func(j, b ir.Reg) ir.Reg) {
+	a := f.Reg()
+	f.MovI(a, 0)
+	f.Block(label + "_a")
+	b := f.Reg()
+	f.MovI(b, 0)
+	f.Block(label + "_b")
+	acc := f.Reg()
+	j := f.Reg()
+	f.MovI(acc, 0)
+	f.MovI(j, 0)
+	f.Block(label + "_j")
+	va := f.Reg()
+	vb := f.Reg()
+	m := f.Reg()
+	f.LdW(va, addrA(a, j), 0)
+	f.LdW(vb, addrB(j, b), 0)
+	f.Mul(m, va, vb)
+	f.Add(acc, acc, m)
+	f.AddI(j, j, 1)
+	f.BrI(ir.CmpLT, j, 8, label+"_j")
+	f.Block(label + "_blatch")
+	f.ShrI(acc, acc, shift)
+	po := f.Reg()
+	t := f.Reg()
+	f.ShlI(t, a, 3)
+	f.Add(t, t, b)
+	f.ShlI(t, t, 2)
+	f.Add(po, outB, t)
+	f.StW(po, 0, acc)
+	f.AddI(b, b, 1)
+	f.BrI(ir.CmpLT, b, 8, label+"_b")
+	f.Block(label + "_alatch")
+	f.AddI(a, a, 1)
+	f.BrI(ir.CmpLT, a, 8, label+"_a")
+	f.Block(label + "_post")
+}
+
+func widx(f *irbuild.Func, base ir.Reg, r, c ir.Reg) ir.Reg {
+	t := f.Reg()
+	a := f.Reg()
+	f.ShlI(t, r, 3)
+	f.Add(t, t, c)
+	f.ShlI(t, t, 2)
+	f.Add(a, base, t)
+	return a
+}
+
+func buildEnc(video [][]int32) (*ir.Program, int64) {
+	pb := irbuild.NewProgram(1 << 21)
+	cOff := pb.GlobalW("dctC", 64, flatC())
+	scanOff := pb.GlobalW("scan", 2*SearchR+1, scanOrder[:])
+	vidOff := pb.GlobalW("video", Frames*BufSize, flatVideo(video))
+	zrefOff := pb.GlobalW("zref", BufSize, fill128())
+	inOff := pb.GlobalW("in", 64, nil)
+	tmpOff := pb.GlobalW("tmp", 64, nil)
+	dctOff := pb.GlobalW("dct", 64, nil)
+	outCap := Frames * NumBlk * (2 + 64*2 + 2)
+	outOff := pb.P.AddGlobal("out", int64(outCap), nil)
+
+	f := pb.Func("main", 0, false)
+	f.Block("pre")
+	cB := f.Const(cOff)
+	inB := f.Const(inOff)
+	tmpB := f.Const(tmpOff)
+	dctB := f.Const(dctOff)
+	op := f.Reg()
+	f.MovI(op, outOff)
+	fr := f.Reg()
+	f.MovI(fr, 0)
+
+	f.Block("frameloop")
+	curB := f.Reg()
+	refB := f.Reg()
+	{
+		t := f.Reg()
+		f.MulI(t, fr, BufSize*4)
+		f.AddI(curB, t, vidOff)
+		f.BrI(ir.CmpEQ, fr, 0, "intra")
+		f.Block("inter")
+		f.SubI(refB, curB, BufSize*4)
+		f.Jump("blocks")
+		f.Block("intra")
+		f.MovI(refB, zrefOff)
+	}
+	f.Block("blocks")
+	by := f.Reg()
+	f.MovI(by, 0)
+	f.Block("byloop")
+	bx := f.Reg()
+	f.MovI(bx, 0)
+	f.Block("bxloop")
+	// off (byte) = 4*(Origin + by*8*Stride + bx*8)
+	off := f.Reg()
+	{
+		t := f.Reg()
+		f.MulI(t, by, 8*Stride)
+		u := f.Reg()
+		f.ShlI(u, bx, 3)
+		f.Add(t, t, u)
+		f.AddI(t, t, Origin)
+		f.ShlI(off, t, 2)
+	}
+	// Motion estimation: dy, dx in [0,4] representing -2..2.
+	bestSad := f.Reg()
+	bestOff := f.Reg()
+	bestDy := f.Reg()
+	bestDx := f.Reg()
+	{
+		f.MovI(bestSad, 1<<30)
+		f.MovI(bestDy, 2)
+		f.MovI(bestDx, 2)
+		ca := f.Reg()
+		f.Add(ca, curB, off)
+		f.Mov(bestOff, off)
+		scanB := f.Reg()
+		f.MovI(scanB, scanOff)
+		dyi := f.Reg()
+		f.MovI(dyi, 0)
+		f.Block("dyloop")
+		dy := f.Reg()
+		{
+			a := f.Reg()
+			f.ShlI(a, dyi, 2)
+			f.Add(a, a, scanB)
+			f.LdW(dy, a, 0)
+		}
+		dxi := f.Reg()
+		f.MovI(dxi, 0)
+		f.Block("dxloop")
+		dx := f.Reg()
+		{
+			a := f.Reg()
+			f.ShlI(a, dxi, 2)
+			f.Add(a, a, scanB)
+			f.LdW(dx, a, 0)
+		}
+		// refOff = off + 4*(dy*Stride + dx)
+		roff := f.Reg()
+		{
+			t := f.Reg()
+			f.MulI(t, dy, Stride)
+			f.Add(t, t, dx)
+			f.ShlI(t, t, 2)
+			f.Add(roff, off, t)
+		}
+		ra := f.Reg()
+		f.Add(ra, refB, roff)
+		// SAD 8x8 with |d| hammock.
+		s := f.Reg()
+		{
+			f.MovI(s, 0)
+			y := f.Reg()
+			pc := f.Reg()
+			pr := f.Reg()
+			f.MovI(y, 0)
+			f.Mov(pc, ca)
+			f.Mov(pr, ra)
+			f.Block("sady")
+			x := f.Reg()
+			f.MovI(x, 0)
+			f.Block("sadx")
+			cv := f.Reg()
+			rv := f.Reg()
+			d := f.Reg()
+			f.LdW(cv, pc, 0)
+			f.LdW(rv, pr, 0)
+			f.Sub(d, cv, rv)
+			f.BrI(ir.CmpGE, d, 0, "sadacc")
+			f.Block("sadneg")
+			z := f.Reg()
+			f.MovI(z, 0)
+			f.Sub(d, z, d)
+			f.Block("sadacc")
+			f.Add(s, s, d)
+			f.AddI(pc, pc, 4)
+			f.AddI(pr, pr, 4)
+			f.AddI(x, x, 1)
+			f.BrI(ir.CmpLT, x, 8, "sadx")
+			f.Block("sadterm")
+			// Early termination: this candidate cannot win.
+			f.Br(ir.CmpGE, s, bestSad, "sadcmp")
+			f.Block("sadylatch")
+			f.AddI(pc, pc, (Stride-8)*4)
+			f.AddI(pr, pr, (Stride-8)*4)
+			f.AddI(y, y, 1)
+			f.BrI(ir.CmpLT, y, 8, "sady")
+		}
+		f.Block("sadcmp")
+		f.Br(ir.CmpGE, s, bestSad, "menext")
+		f.Block("metake")
+		f.Mov(bestSad, s)
+		f.Mov(bestOff, roff)
+		f.AddI(bestDy, dy, 2)
+		f.AddI(bestDx, dx, 2)
+		f.Block("menext")
+		f.AddI(dxi, dxi, 1)
+		f.BrI(ir.CmpLE, dxi, 2*SearchR-1, "dxloop")
+		f.Block("dylatch")
+		f.AddI(dyi, dyi, 1)
+		f.BrI(ir.CmpLE, dyi, 2*SearchR-1, "dyloop")
+	}
+	f.Block("resid")
+	// Residual block: in[y*8+x] = cur - ref(best).
+	{
+		y := f.Reg()
+		pc := f.Reg()
+		pr := f.Reg()
+		pd := f.Reg()
+		f.Add(pc, curB, off)
+		f.Add(pr, refB, bestOff)
+		f.Mov(pd, inB)
+		f.MovI(y, 0)
+		f.Block("ry")
+		x := f.Reg()
+		f.MovI(x, 0)
+		f.Block("rx")
+		cv := f.Reg()
+		rv := f.Reg()
+		d := f.Reg()
+		f.LdW(cv, pc, 0)
+		f.LdW(rv, pr, 0)
+		f.Sub(d, cv, rv)
+		f.StW(pd, 0, d)
+		f.AddI(pc, pc, 4)
+		f.AddI(pr, pr, 4)
+		f.AddI(pd, pd, 4)
+		f.AddI(x, x, 1)
+		f.BrI(ir.CmpLT, x, 8, "rx")
+		f.Block("rylatch")
+		f.AddI(pc, pc, (Stride-8)*4)
+		f.AddI(pr, pr, (Stride-8)*4)
+		f.AddI(y, y, 1)
+		f.BrI(ir.CmpLT, y, 8, "ry")
+	}
+	f.Block("fdct")
+	matNest8(f, "f1", 10, tmpB,
+		func(a, j ir.Reg) ir.Reg { return widx(f, cB, a, j) },
+		func(j, b ir.Reg) ir.Reg { return widx(f, inB, j, b) })
+	matNest8(f, "f2", 13, dctB,
+		func(a, j ir.Reg) ir.Reg { return widx(f, tmpB, a, j) },
+		func(j, b ir.Reg) ir.Reg { return widx(f, cB, b, j) })
+	f.Block("emitmv")
+	f.StB(op, 0, bestDy)
+	f.StB(op, 1, bestDx)
+	f.AddI(op, op, 2)
+	// RLE raster order.
+	{
+		run := f.Reg()
+		i := f.Reg()
+		pd := f.Reg()
+		f.MovI(run, 0)
+		f.MovI(i, 0)
+		f.Mov(pd, dctB)
+		f.Block("rle")
+		dv := f.Reg()
+		v := f.Reg()
+		f.LdW(dv, pd, 0)
+		f.DivI(v, dv, QuantVal)
+		f.BrI(ir.CmpNE, v, 0, "emit")
+		f.Block("zrun")
+		f.BrI(ir.CmpGE, run, 254, "emit")
+		f.Block("zrun2")
+		f.AddI(run, run, 1)
+		f.Jump("rlelatch")
+		f.Block("emit")
+		f.MinI(v, v, 127)
+		f.MaxI(v, v, -128)
+		f.StB(op, 0, run)
+		f.StB(op, 1, v)
+		f.AddI(op, op, 2)
+		f.MovI(run, 0)
+		f.Block("rlelatch")
+		f.AddI(pd, pd, 4)
+		f.AddI(i, i, 1)
+		f.BrI(ir.CmpLT, i, 64, "rle")
+	}
+	f.Block("eob")
+	{
+		e1 := f.Const(255)
+		e0 := f.Const(0)
+		f.StB(op, 0, e1)
+		f.StB(op, 1, e0)
+		f.AddI(op, op, 2)
+	}
+	f.Block("bxlatch")
+	f.AddI(bx, bx, 1)
+	f.BrI(ir.CmpLT, bx, BlocksX, "bxloop")
+	f.Block("bylatch")
+	f.AddI(by, by, 1)
+	f.BrI(ir.CmpLT, by, BlocksY, "byloop")
+	f.Block("framelatch")
+	f.AddI(fr, fr, 1)
+	f.BrI(ir.CmpLT, fr, Frames, "frameloop")
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild(), outOff
+}
+
+func buildDec(stream []byte) (*ir.Program, int64) {
+	pb := irbuild.NewProgram(1 << 21)
+	cOff := pb.GlobalW("dctC", 64, flatC())
+	stOff := pb.GlobalB("stream", len(stream), stream)
+	clipOff := pb.GlobalB("clip", 2048, clipTab())
+	init := make([]int32, Frames*BufSize)
+	for i := range init {
+		init[i] = 128
+	}
+	recOff := pb.GlobalW("recon", Frames*BufSize, init)
+	zrefOff := pb.GlobalW("zref", BufSize, fill128())
+	dctOff := pb.GlobalW("dct", 64, nil)
+	tmpOff := pb.GlobalW("tmp", 64, nil)
+	pixOff := pb.GlobalW("pix", 64, nil)
+
+	f := pb.Func("main", 0, false)
+	f.Block("pre")
+	cB := f.Const(cOff)
+	clipB := f.Const(clipOff + 768)
+	dctB := f.Const(dctOff)
+	tmpB := f.Const(tmpOff)
+	pixB := f.Const(pixOff)
+	sp := f.Reg()
+	f.MovI(sp, stOff)
+	fr := f.Reg()
+	f.MovI(fr, 0)
+
+	f.Block("frameloop")
+	curB := f.Reg()
+	prevB := f.Reg()
+	{
+		t := f.Reg()
+		f.MulI(t, fr, BufSize*4)
+		f.AddI(curB, t, recOff)
+		f.BrI(ir.CmpEQ, fr, 0, "first")
+		f.Block("later")
+		f.SubI(prevB, curB, BufSize*4)
+		f.Jump("blocks")
+		f.Block("first")
+		f.MovI(prevB, zrefOff)
+	}
+	f.Block("blocks")
+	by := f.Reg()
+	f.MovI(by, 0)
+	f.Block("byloop")
+	bx := f.Reg()
+	f.MovI(bx, 0)
+	f.Block("bxloop")
+	off := f.Reg()
+	{
+		t := f.Reg()
+		f.MulI(t, by, 8*Stride)
+		u := f.Reg()
+		f.ShlI(u, bx, 3)
+		f.Add(t, t, u)
+		f.AddI(t, t, Origin)
+		f.ShlI(off, t, 2)
+	}
+	dy := f.Reg()
+	dx := f.Reg()
+	f.LdBU(dy, sp, 0)
+	f.LdBU(dx, sp, 1)
+	f.AddI(sp, sp, 2)
+	f.SubI(dy, dy, 2)
+	f.SubI(dx, dx, 2)
+	// Clear dct.
+	{
+		k := f.Reg()
+		p := f.Reg()
+		z := f.Const(0)
+		f.MovI(k, 0)
+		f.Mov(p, dctB)
+		f.Block("clr")
+		f.StW(p, 0, z)
+		f.AddI(p, p, 4)
+		f.AddI(k, k, 1)
+		f.BrI(ir.CmpLT, k, 64, "clr")
+	}
+	f.Block("parse_pre")
+	{
+		i := f.Reg()
+		f.MovI(i, 0)
+		f.Block("parse")
+		run := f.Reg()
+		val := f.Reg()
+		f.LdBU(run, sp, 0)
+		f.LdB(val, sp, 1)
+		f.AddI(sp, sp, 2)
+		f.BrI(ir.CmpNE, run, 255, "notEob")
+		f.Block("maybeEob")
+		f.BrI(ir.CmpEQ, val, 0, "parse_done")
+		f.Block("notEob")
+		f.Add(i, i, run)
+		f.BrI(ir.CmpGE, i, 64, "skipstore")
+		f.Block("store")
+		m := f.Reg()
+		da := f.Reg()
+		f.MulI(m, val, QuantVal)
+		f.ShlI(da, i, 2)
+		f.Add(da, da, dctB)
+		f.StW(da, 0, m)
+		f.Block("skipstore")
+		f.AddI(i, i, 1)
+		f.Jump("parse")
+		f.Block("parse_done")
+	}
+	matNest8(f, "i1", 10, tmpB,
+		func(a, j ir.Reg) ir.Reg { return widx(f, cB, j, a) },
+		func(j, b ir.Reg) ir.Reg { return widx(f, dctB, j, b) })
+	matNest8(f, "i2", 7, pixB,
+		func(a, j ir.Reg) ir.Reg { return widx(f, tmpB, a, j) },
+		func(j, b ir.Reg) ir.Reg { return widx(f, cB, j, b) })
+
+	// Add_Block (Figure 2): cur[..] = Clip[pix + pred].
+	{
+		poff := f.Reg()
+		t := f.Reg()
+		f.MulI(t, dy, Stride)
+		f.Add(t, t, dx)
+		f.ShlI(t, t, 2)
+		f.Add(poff, off, t)
+		bp := f.Reg()
+		rfp := f.Reg()
+		pp := f.Reg()
+		f.Mov(bp, pixB)
+		f.Add(rfp, curB, off)
+		f.Add(pp, prevB, poff)
+		y := f.Reg()
+		f.MovI(y, 0)
+		f.Block("aby")
+		x := f.Reg()
+		f.MovI(x, 0)
+		f.Block("abx")
+		v := f.Reg()
+		pv := f.Reg()
+		cv := f.Reg()
+		ca := f.Reg()
+		f.LdW(v, bp, 0)
+		f.LdW(pv, pp, 0)
+		f.Add(v, v, pv)
+		f.Add(ca, clipB, v)
+		f.LdBU(cv, ca, 0)
+		f.StW(rfp, 0, cv)
+		f.AddI(bp, bp, 4)
+		f.AddI(pp, pp, 4)
+		f.AddI(rfp, rfp, 4)
+		f.AddI(x, x, 1)
+		f.BrI(ir.CmpLT, x, 8, "abx")
+		f.Block("abylatch")
+		f.AddI(pp, pp, (Stride-8)*4)
+		f.AddI(rfp, rfp, (Stride-8)*4)
+		f.AddI(y, y, 1)
+		f.BrI(ir.CmpLT, y, 8, "aby")
+	}
+	f.Block("bxlatch")
+	f.AddI(bx, bx, 1)
+	f.BrI(ir.CmpLT, bx, BlocksX, "bxloop")
+	f.Block("bylatch")
+	f.AddI(by, by, 1)
+	f.BrI(ir.CmpLT, by, BlocksY, "byloop")
+	f.Block("framelatch")
+	f.AddI(fr, fr, 1)
+	f.BrI(ir.CmpLT, fr, Frames, "frameloop")
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild(), recOff
+}
+
+// Enc returns the mpeg2enc benchmark.
+func Enc() bench.Benchmark {
+	video := Video()
+	want := Encode(video)
+	prog, outOff := buildEnc(video)
+	return bench.Benchmark{
+		Name:        "mpeg2enc",
+		Description: "MPEG-2-style video encoder (motion estimation, DCT, RLE)",
+		Build:       func() *ir.Program { return prog },
+		Check: func(mem []byte) error {
+			return bench.CmpBytes(mem, outOff, want, "mpeg2enc.out")
+		},
+	}
+}
+
+// Dec returns the mpeg2dec benchmark.
+func Dec() bench.Benchmark {
+	stream := Encode(Video())
+	wantFrames := Decode(stream)
+	want := flatVideo(wantFrames)
+	prog, recOff := buildDec(stream)
+	return bench.Benchmark{
+		Name:        "mpeg2dec",
+		Description: "MPEG-2-style video decoder (Add_Block is the Figure 2 loop)",
+		Build:       func() *ir.Program { return prog },
+		Check: func(mem []byte) error {
+			return bench.CmpWords(mem, recOff, want, "mpeg2dec.recon")
+		},
+	}
+}

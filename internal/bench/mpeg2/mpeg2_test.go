@@ -1,0 +1,62 @@
+package mpeg2
+
+import (
+	"testing"
+
+	"lpbuf/internal/bench"
+	"lpbuf/internal/core"
+	"lpbuf/internal/interp"
+)
+
+func TestCodecQuality(t *testing.T) {
+	video := Video()
+	dec := Decode(Encode(video))
+	// Despite open-loop encoding drift, the reconstruction should stay
+	// reasonably close to the source.
+	var sumErr, n int64
+	for f := 0; f < Frames; f++ {
+		for y := 0; y < Height; y++ {
+			for x := 0; x < Width; x++ {
+				i := Origin + y*Stride + x
+				d := int64(dec[f][i] - video[f][i])
+				sumErr += d * d
+				n++
+			}
+		}
+	}
+	if mse := sumErr / n; mse > 800 {
+		t.Fatalf("MSE %d too high", mse)
+	}
+}
+
+func TestIRMatchesReference(t *testing.T) {
+	for _, b := range []bench.Benchmark{Enc(), Dec()} {
+		prog := b.Build()
+		res, err := interp.Run(prog, interp.Options{})
+		if err != nil {
+			t.Fatalf("%s: interp: %v", b.Name, err)
+		}
+		if err := b.Check(res.Mem); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestCompiledMatchesReference(t *testing.T) {
+	for _, b := range []bench.Benchmark{Enc(), Dec()} {
+		prog := b.Build()
+		for _, cfg := range []core.Config{core.Traditional(256), core.Aggressive(256)} {
+			c, err := core.Compile(prog, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, cfg.Name, err)
+			}
+			res, err := c.Run()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, cfg.Name, err)
+			}
+			if err := b.Check(res.Mem); err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, cfg.Name, err)
+			}
+		}
+	}
+}

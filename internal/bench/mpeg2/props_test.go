@@ -1,0 +1,91 @@
+package mpeg2
+
+import "testing"
+
+func TestClipTable(t *testing.T) {
+	tab := clipTab()
+	for i, b := range tab {
+		v := i - 768
+		want := v
+		if want < 0 {
+			want = 0
+		}
+		if want > 255 {
+			want = 255
+		}
+		if int(b) != want {
+			t.Fatalf("clip[%d] = %d, want %d", i, b, want)
+		}
+	}
+}
+
+func TestScanOrderCoversWindow(t *testing.T) {
+	seen := map[int32]bool{}
+	for _, d := range scanOrder {
+		seen[d] = true
+	}
+	for d := int32(-SearchR); d <= SearchR; d++ {
+		if !seen[d] {
+			t.Fatalf("scan order misses %d", d)
+		}
+	}
+	if scanOrder[0] != 0 {
+		t.Fatal("scan order must start at the center")
+	}
+}
+
+func TestSadProperties(t *testing.T) {
+	v := Video()
+	// SAD of a block with itself is 0.
+	off := Origin + 8*Stride + 8
+	if s := sad(v[0], off, v[0], off, 1<<30); s != 0 {
+		t.Fatalf("self-SAD = %d", s)
+	}
+	// Early termination returns at least the limit when it fires.
+	full := sad(v[0], off, v[1], off, 1<<30)
+	if full > 0 {
+		part := sad(v[0], off, v[1], off, 1)
+		if part < 1 {
+			t.Fatalf("terminated SAD %d below limit", part)
+		}
+	}
+}
+
+func TestMotionSearchFindsDrift(t *testing.T) {
+	// The synthetic scene drifts (+1,+1) per frame: most blocks should
+	// pick that vector.
+	video := Video()
+	stream := Encode(video)
+	hits, blocks := 0, 0
+	pos := 0
+	// Skip frame 0 (intra); scan frame 1's block headers.
+	for b := 0; b < NumBlk; b++ { // frame 0
+		pos += 2
+		for {
+			r, v := stream[pos], stream[pos+1]
+			pos += 2
+			if r == 255 && v == 0 {
+				break
+			}
+		}
+	}
+	for b := 0; b < NumBlk; b++ { // frame 1
+		dy := int(stream[pos]) - 2
+		dx := int(stream[pos+1]) - 2
+		pos += 2
+		blocks++
+		if dy == 1 && dx == 1 {
+			hits++
+		}
+		for {
+			r, v := stream[pos], stream[pos+1]
+			pos += 2
+			if r == 255 && v == 0 {
+				break
+			}
+		}
+	}
+	if hits*2 < blocks {
+		t.Fatalf("only %d/%d blocks found the (1,1) drift", hits, blocks)
+	}
+}

@@ -1,0 +1,275 @@
+// Package mpeg2 implements the mpeg2enc / mpeg2dec benchmarks: a
+// block-based video codec substitute with motion estimation/compensation,
+// 8x8 integer DCT, quantization and RLE. mpeg2dec contains the paper's
+// Figure 2 loop (Add_Block's clip-table loop, *rfp++ = Clip[*bp++ +
+// 128]); mpeg2enc reproduces the paper's pathology — "many large,
+// highly nested loop structures which only iterate several times"
+// (the +-2 motion search), keeping its buffer-issue fraction low.
+package mpeg2
+
+import "lpbuf/internal/bench"
+
+// Video geometry.
+const (
+	Width    = 64
+	Height   = 32
+	Border   = 2
+	Stride   = Width + 2*Border
+	BufSize  = (Height + 2*Border) * Stride
+	Origin   = Border*Stride + Border
+	Frames   = 6
+	BlocksX  = Width / 8
+	BlocksY  = Height / 8
+	NumBlk   = BlocksX * BlocksY
+	SearchR  = 2 // +-2 pixel motion search
+	QuantVal = 12
+)
+
+// dct basis (Q10), same substitute basis as the jpeg benchmark.
+var dctC = [8][8]int32{
+	{362, 362, 362, 362, 362, 362, 362, 362},
+	{502, 426, 284, 100, -100, -284, -426, -502},
+	{473, 196, -196, -473, -473, -196, 196, 473},
+	{426, -100, -502, -284, 284, 502, 100, -426},
+	{362, -362, -362, 362, 362, -362, -362, 362},
+	{284, -502, 100, 426, -426, -100, 502, -284},
+	{196, -473, 473, -196, -196, 473, -473, 196},
+	{100, -284, 426, -502, 502, -426, 284, -100},
+}
+
+func fdct(in, out *[64]int32) {
+	var tmp [64]int32
+	for k := 0; k < 8; k++ {
+		for n := 0; n < 8; n++ {
+			var acc int32
+			for j := 0; j < 8; j++ {
+				acc += dctC[k][j] * in[j*8+n]
+			}
+			tmp[k*8+n] = acc >> 10
+		}
+	}
+	for k := 0; k < 8; k++ {
+		for m := 0; m < 8; m++ {
+			var acc int32
+			for j := 0; j < 8; j++ {
+				acc += tmp[k*8+j] * dctC[m][j]
+			}
+			out[k*8+m] = acc >> 13
+		}
+	}
+}
+
+func idct(in, out *[64]int32) {
+	var tmp [64]int32
+	for n := 0; n < 8; n++ {
+		for m := 0; m < 8; m++ {
+			var acc int32
+			for k := 0; k < 8; k++ {
+				acc += dctC[k][n] * in[k*8+m]
+			}
+			tmp[n*8+m] = acc >> 10
+		}
+	}
+	for n := 0; n < 8; n++ {
+		for p := 0; p < 8; p++ {
+			var acc int32
+			for k := 0; k < 8; k++ {
+				acc += tmp[n*8+k] * dctC[k][p]
+			}
+			out[n*8+p] = acc >> 7
+		}
+	}
+}
+
+// newBuf allocates a padded frame buffer with 128 borders.
+func newBuf() []int32 {
+	b := make([]int32, BufSize)
+	for i := range b {
+		b[i] = 128
+	}
+	return b
+}
+
+// Video synthesizes Frames padded frames: a drifting textured scene.
+func Video() [][]int32 {
+	base := bench.Image(Width+16, Height+16, 0x3E6)
+	out := make([][]int32, Frames)
+	for f := 0; f < Frames; f++ {
+		buf := newBuf()
+		// Scene drifts diagonally one pixel per frame plus a little noise.
+		rng := bench.NewRand(uint64(0xF00 + f))
+		for y := 0; y < Height; y++ {
+			for x := 0; x < Width; x++ {
+				v := int32(base[(y+f)*(Width+16)+x+f]) + int32(rng.Intn(5)-2)
+				if v < 0 {
+					v = 0
+				}
+				if v > 255 {
+					v = 255
+				}
+				buf[Origin+y*Stride+x] = v
+			}
+		}
+		out[f] = buf
+	}
+	return out
+}
+
+// scanOrder visits motion candidates center-out.
+var scanOrder = [2*SearchR + 1]int32{0, 1, -1, 2, -2}
+
+// sad computes the sum of absolute differences between the current
+// block and a candidate prediction, with branchy |x| (as C abs is) and
+// the reference encoder's early termination: once the partial sum
+// reaches the best distance so far, the remaining rows are skipped.
+// The data-dependent exit is what keeps this nest from collapsing into
+// a single bufferable loop, reproducing mpeg2enc's poor buffer issue.
+func sad(cur []int32, curOff int, ref []int32, refOff int, limit int32) int32 {
+	var s int32
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			d := cur[curOff+y*Stride+x] - ref[refOff+y*Stride+x]
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		if s >= limit {
+			break
+		}
+	}
+	return s
+}
+
+// Encode produces the bitstream: per frame, per block: [dy+2, dx+2,
+// RLE pairs..., 255, 0]. Frame 0 is intra (mv encoded as 2,2 and
+// prediction = the 128 border value buffer).
+func Encode(video [][]int32) []byte {
+	var out []byte
+	zeroRef := newBuf() // all-128 reference for intra frames
+	var in, dct [64]int32
+	for f := 0; f < len(video); f++ {
+		cur := video[f]
+		var ref []int32
+		if f == 0 {
+			ref = zeroRef
+		} else {
+			ref = video[f-1] // open-loop reference
+		}
+		for by := 0; by < BlocksY; by++ {
+			for bx := 0; bx < BlocksX; bx++ {
+				off := Origin + by*8*Stride + bx*8
+				// Motion search (+-SearchR), center-first scan order so
+				// the early-termination limit tightens quickly.
+				bestSad := int32(1 << 30)
+				bestDy, bestDx := int32(0), int32(0)
+				for dyi := 0; dyi < 2*SearchR+1; dyi++ {
+					dy := int(scanOrder[dyi])
+					for dxi := 0; dxi < 2*SearchR+1; dxi++ {
+						dx := int(scanOrder[dxi])
+						s := sad(cur, off, ref, off+dy*Stride+dx, bestSad)
+						if s < bestSad {
+							bestSad = s
+							bestDy, bestDx = int32(dy), int32(dx)
+						}
+					}
+				}
+				pOff := off + int(bestDy)*Stride + int(bestDx)
+				// Residual block.
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						in[y*8+x] = cur[off+y*Stride+x] - ref[pOff+y*Stride+x]
+					}
+				}
+				fdct(&in, &dct)
+				out = append(out, byte(bestDy+2), byte(bestDx+2))
+				// RLE in raster order (simplified: no zigzag).
+				run := int32(0)
+				for i := 0; i < 64; i++ {
+					v := dct[i] / QuantVal
+					if v == 0 && run < 254 {
+						run++
+						continue
+					}
+					if v > 127 {
+						v = 127
+					}
+					if v < -128 {
+						v = -128
+					}
+					out = append(out, byte(run), byte(v))
+					run = 0
+				}
+				out = append(out, 255, 0)
+			}
+		}
+	}
+	return out
+}
+
+// clipTab is the Figure 2 Clip table: clipTab[v+768] clamps v to
+// 0..255 (sized to cover worst-case IDCT output plus prediction).
+func clipTab() []byte {
+	t := make([]byte, 2048)
+	for i := range t {
+		v := i - 768
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		t[i] = byte(v)
+	}
+	return t
+}
+
+// Decode reconstructs the video.
+func Decode(stream []byte) [][]int32 {
+	clip := clipTab()
+	prev := newBuf()
+	var frames [][]int32
+	var dct, pix [64]int32
+	pos := 0
+	for f := 0; f < Frames; f++ {
+		cur := newBuf()
+		for by := 0; by < BlocksY; by++ {
+			for bx := 0; bx < BlocksX; bx++ {
+				off := Origin + by*8*Stride + bx*8
+				dy := int32(stream[pos]) - 2
+				dx := int32(stream[pos+1]) - 2
+				pos += 2
+				for i := range dct {
+					dct[i] = 0
+				}
+				i := 0
+				for {
+					run := int32(stream[pos])
+					val := int32(int8(stream[pos+1]))
+					pos += 2
+					if run == 255 && val == 0 {
+						break
+					}
+					i += int(run)
+					if i < 64 {
+						dct[i] = val * QuantVal
+					}
+					i++
+				}
+				idct(&dct, &pix)
+				// Add_Block: *rfp++ = Clip[*bp++ + pred] — the Figure 2
+				// loop, with the prediction added in.
+				pOff := off + int(dy)*Stride + int(dx)
+				for y := 0; y < 8; y++ {
+					for x := 0; x < 8; x++ {
+						v := pix[y*8+x] + prev[pOff+y*Stride+x]
+						cur[off+y*Stride+x] = int32(clip[v+768])
+					}
+				}
+			}
+		}
+		frames = append(frames, cur)
+		prev = cur
+	}
+	return frames
+}

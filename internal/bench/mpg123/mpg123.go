@@ -1,0 +1,357 @@
+// Package mpg123 implements the mpg123 benchmark: an MPEG-audio-style
+// subband synthesis decoder substitute — per granule, a 32x32
+// matrixing transform, a sliding synthesis FIFO, and three band-split
+// 16-tap windowing filters with unrolled bodies. Its hot working set
+// is deliberately spread across several mid-sized loops whose combined
+// footprint exceeds a 256-op buffer, reproducing the paper's
+// observation that mpg123 "struggles except for very large buffer
+// sizes" because its hot loops "must all remain in the loop buffer
+// simultaneously".
+package mpg123
+
+import (
+	"lpbuf/internal/bench"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+)
+
+const (
+	NumBands  = 32
+	FifoLen   = 512
+	Taps      = 16
+	Granules  = 160
+	WindowLen = NumBands * Taps // 512
+)
+
+// matrix is the 32x32 integer "synthesis matrix" (Q10), built from the
+// same integer triangle-cosine family as the other benchmarks.
+func matrix() []int32 {
+	m := make([]int32, NumBands*NumBands)
+	for k := 0; k < NumBands; k++ {
+		for n := 0; n < NumBands; n++ {
+			// tri(p) is a triangle wave of period 4096 scaled to +-1024.
+			p := (2*n + 1) * k * 32 % 4096
+			var v int32
+			if p < 2048 {
+				v = int32(p - 1024)
+			} else {
+				v = int32(3072 - p)
+			}
+			if k == 0 {
+				v = 724 // ~1024/sqrt(2)
+			}
+			m[k*NumBands+n] = v
+		}
+	}
+	return m
+}
+
+// window is the 512-entry synthesis window (Q10): a decaying ripple.
+func window() []int32 {
+	w := make([]int32, WindowLen)
+	for i := range w {
+		decay := int32(1024 - i*2)
+		if decay < 16 {
+			decay = 16
+		}
+		sign := int32(1)
+		if (i/NumBands)%2 == 1 {
+			sign = -1
+		}
+		w[i] = sign * decay
+	}
+	return w
+}
+
+// input synthesizes Granules*32 subband coefficients.
+func input() []int32 {
+	rng := bench.NewRand(0x123)
+	in := make([]int32, Granules*NumBands)
+	for i := range in {
+		// Spectral shape: lower bands carry more energy.
+		band := i % NumBands
+		amp := 4096 >> uint(band/6)
+		in[i] = int32(rng.Intn(2*amp+1) - amp)
+	}
+	return in
+}
+
+// Decode is the reference synthesis pipeline.
+func Decode(in []int32) []int16 {
+	m := matrix()
+	w := window()
+	fifo := make([]int32, FifoLen)
+	out := make([]int16, Granules*NumBands)
+
+	for g := 0; g < Granules; g++ {
+		s := in[g*NumBands : (g+1)*NumBands]
+		// 1. Dequant/descale (32, unrolled x4 in the IR).
+		var sc [NumBands]int32
+		for i := 0; i < NumBands; i++ {
+			v := s[i]
+			sc[i] = v + (v >> 3)
+		}
+		// 2. Matrixing: v[k] = sum_n M[k][n]*sc[n] >> 10, saturated.
+		var vvec [NumBands]int32
+		for k := 0; k < NumBands; k++ {
+			var acc int32
+			for n := 0; n < NumBands; n++ {
+				acc += m[k*NumBands+n] * sc[n] >> 6
+			}
+			acc >>= 4
+			if acc > 1<<24 {
+				acc = 1 << 24
+			}
+			if acc < -(1 << 24) {
+				acc = -(1 << 24)
+			}
+			vvec[k] = acc
+		}
+		// 3. FIFO shift by 32 (the sliding synthesis buffer).
+		copy(fifo[NumBands:], fifo[:FifoLen-NumBands])
+		copy(fifo[:NumBands], vvec[:])
+		// 4. Windowing in three bands (bass 0..9, mid 10..20, treble
+		// 21..31), each its own loop in the IR.
+		var pcm [NumBands]int32
+		bandRanges := [3][2]int{{0, 10}, {10, 21}, {21, 32}}
+		for b := 0; b < 3; b++ {
+			for j := bandRanges[b][0]; j < bandRanges[b][1]; j++ {
+				var acc int32
+				for i := 0; i < Taps; i++ {
+					acc += w[j+NumBands*i] * (fifo[j+NumBands*i] >> 10)
+				}
+				pcm[j] = acc >> 10
+			}
+		}
+		// 5. Output clamp (branchy saturation).
+		for j := 0; j < NumBands; j++ {
+			v := pcm[j]
+			if v > 32767 {
+				v = 32767
+			} else if v < -32768 {
+				v = -32768
+			}
+			out[g*NumBands+j] = int16(v)
+		}
+	}
+	return out
+}
+
+// Bench returns the mpg123 benchmark.
+func Bench() bench.Benchmark {
+	in := input()
+	want := Decode(in)
+	prog, outOff := build(in)
+	return bench.Benchmark{
+		Name:        "mpg123",
+		Description: "MPEG-audio-style subband synthesis decoder",
+		Build:       func() *ir.Program { return prog },
+		Check: func(mem []byte) error {
+			return bench.CmpHalf(mem, outOff, want, "mpg123.out")
+		},
+	}
+}
+
+func build(in []int32) (*ir.Program, int64) {
+	pb := irbuild.NewProgram(1 << 20)
+	mOff := pb.GlobalW("matrix", NumBands*NumBands, matrix())
+	wOff := pb.GlobalW("window", WindowLen, window())
+	inOff := pb.GlobalW("in", len(in), in)
+	scOff := pb.GlobalW("sc", NumBands, nil)
+	vOff := pb.GlobalW("v", NumBands, nil)
+	fifoOff := pb.GlobalW("fifo", FifoLen, nil)
+	pcmOff := pb.GlobalW("pcm", NumBands, nil)
+	outOff := pb.P.AddGlobal("out", int64(2*Granules*NumBands), nil)
+
+	f := pb.Func("main", 0, false)
+	f.Block("pre")
+	mB := f.Const(mOff)
+	wB := f.Const(wOff)
+	scB := f.Const(scOff)
+	vB := f.Const(vOff)
+	fifoB := f.Const(fifoOff)
+	pcmB := f.Const(pcmOff)
+	ip := f.Reg()
+	opp := f.Reg()
+	g := f.Reg()
+	f.MovI(ip, inOff)
+	f.MovI(opp, outOff)
+	f.MovI(g, 0)
+
+	f.Block("granule")
+	// 1. Descale, unrolled x4 (8 trips).
+	{
+		i := f.Reg()
+		ps := f.Reg()
+		pd := f.Reg()
+		f.MovI(i, 0)
+		f.Mov(ps, ip)
+		f.Mov(pd, scB)
+		f.Block("descale")
+		for u := int64(0); u < 4; u++ {
+			v := f.Reg()
+			t := f.Reg()
+			f.LdW(v, ps, 4*u)
+			f.ShrI(t, v, 3)
+			f.Add(v, v, t)
+			f.StW(pd, 4*u, v)
+		}
+		f.AddI(ps, ps, 16)
+		f.AddI(pd, pd, 16)
+		f.AddI(i, i, 1)
+		f.BrI(ir.CmpLT, i, NumBands/4, "descale")
+	}
+	f.Block("matrix_pre")
+	// 2. Matrixing nest (32x32) with saturation in the latch.
+	{
+		k := f.Reg()
+		pm := f.Reg()
+		pv := f.Reg()
+		f.MovI(k, 0)
+		f.Mov(pm, mB)
+		f.Mov(pv, vB)
+		f.Block("mat_outer")
+		acc := f.Reg()
+		n := f.Reg()
+		psc := f.Reg()
+		f.MovI(acc, 0)
+		f.MovI(n, 0)
+		f.Mov(psc, scB)
+		f.Block("mat_inner")
+		for u := int64(0); u < 4; u++ {
+			mv := f.Reg()
+			sv := f.Reg()
+			mm := f.Reg()
+			f.LdW(mv, pm, 4*u)
+			f.LdW(sv, psc, 4*u)
+			f.Mul(mm, mv, sv)
+			f.ShrI(mm, mm, 6)
+			f.Add(acc, acc, mm)
+		}
+		f.AddI(pm, pm, 16)
+		f.AddI(psc, psc, 16)
+		f.AddI(n, n, 1)
+		f.BrI(ir.CmpLT, n, NumBands/4, "mat_inner")
+		f.Block("mat_latch")
+		f.ShrI(acc, acc, 4)
+		f.MinI(acc, acc, 1<<24)
+		f.MaxI(acc, acc, -(1 << 24))
+		f.StW(pv, 0, acc)
+		f.AddI(pv, pv, 4)
+		f.AddI(k, k, 1)
+		f.BrI(ir.CmpLT, k, NumBands, "mat_outer")
+	}
+	f.Block("shift_pre")
+	// 3. FIFO shift by 32 words, back to front, unrolled x4 (120 trips).
+	{
+		i := f.Reg()
+		ps := f.Reg()
+		pd := f.Reg()
+		f.MovI(i, 0)
+		f.AddI(ps, fifoB, int64(4*(FifoLen-NumBands-8)))
+		f.AddI(pd, fifoB, int64(4*(FifoLen-8)))
+		f.Block("shift")
+		for u := int64(0); u < 8; u++ {
+			v := f.Reg()
+			f.LdW(v, ps, 4*u)
+			f.StW(pd, 4*u, v)
+		}
+		f.SubI(ps, ps, 32)
+		f.SubI(pd, pd, 32)
+		f.AddI(i, i, 1)
+		f.BrI(ir.CmpLT, i, (FifoLen-NumBands)/8, "shift")
+	}
+	f.Block("splice_pre")
+	// Splice the new v vector at the front (8 trips, unrolled x4).
+	{
+		i := f.Reg()
+		ps := f.Reg()
+		pd := f.Reg()
+		f.MovI(i, 0)
+		f.Mov(ps, vB)
+		f.Mov(pd, fifoB)
+		f.Block("splice")
+		for u := int64(0); u < 4; u++ {
+			v := f.Reg()
+			f.LdW(v, ps, 4*u)
+			f.StW(pd, 4*u, v)
+		}
+		f.AddI(ps, ps, 16)
+		f.AddI(pd, pd, 16)
+		f.AddI(i, i, 1)
+		f.BrI(ir.CmpLT, i, NumBands/4, "splice")
+	}
+	// 4. Windowing bands: three distinct loops, inner 16 taps unrolled
+	// x4 (4 trips -> peeled by the aggressive config).
+	bands := [3][2]int64{{0, 10}, {10, 21}, {21, 32}}
+	for b, rng := range bands {
+		label := []string{"bass", "mid", "treble"}[b]
+		f.Block(label + "_pre")
+		j := f.Reg()
+		f.MovI(j, rng[0])
+		f.Block(label)
+		acc := f.Reg()
+		pw := f.Reg()
+		pf := f.Reg()
+		f.MovI(acc, 0)
+		t := f.Reg()
+		f.ShlI(t, j, 2)
+		f.Add(pw, wB, t)
+		f.Add(pf, fifoB, t)
+		// Fully unrolled 16-tap window (as the real synthesis loop is),
+		// giving each band loop a wide single-block body: together the
+		// three bands plus the matrix/shift loops exceed a 256-op
+		// buffer, which is why mpg123 saturates only at large sizes.
+		for u := int64(0); u < Taps; u++ {
+			wv := f.Reg()
+			fv := f.Reg()
+			mm := f.Reg()
+			f.LdW(wv, pw, 4*NumBands*u)
+			f.LdW(fv, pf, 4*NumBands*u)
+			f.ShrI(fv, fv, 10)
+			f.Mul(mm, wv, fv)
+			f.Add(acc, acc, mm)
+		}
+		f.ShrI(acc, acc, 10)
+		pp := f.Reg()
+		tt := f.Reg()
+		f.ShlI(tt, j, 2)
+		f.Add(pp, pcmB, tt)
+		f.StW(pp, 0, acc)
+		f.AddI(j, j, 1)
+		f.BrI(ir.CmpLT, j, rng[1], label)
+	}
+	f.Block("clamp_pre")
+	// 5. Output clamp with saturation hammocks.
+	{
+		j := f.Reg()
+		ps := f.Reg()
+		f.MovI(j, 0)
+		f.Mov(ps, pcmB)
+		f.Block("clamp")
+		v := f.Reg()
+		f.LdW(v, ps, 0)
+		f.BrI(ir.CmpLE, v, 32767, "cl_lo")
+		f.Block("cl_hi")
+		f.MovI(v, 32767)
+		f.Jump("cl_st")
+		f.Block("cl_lo")
+		f.BrI(ir.CmpGE, v, -32768, "cl_st")
+		f.Block("cl_neg")
+		f.MovI(v, -32768)
+		f.Block("cl_st")
+		f.StH(opp, 0, v)
+		f.AddI(opp, opp, 2)
+		f.AddI(ps, ps, 4)
+		f.AddI(j, j, 1)
+		f.BrI(ir.CmpLT, j, NumBands, "clamp")
+	}
+	f.Block("glatch")
+	f.AddI(ip, ip, 4*NumBands)
+	f.AddI(g, g, 1)
+	f.BrI(ir.CmpLT, g, Granules, "granule")
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild(), outOff
+}

@@ -1,0 +1,49 @@
+package mpg123
+
+import (
+	"testing"
+
+	"lpbuf/internal/core"
+	"lpbuf/internal/interp"
+)
+
+func TestDecodeProducesSignal(t *testing.T) {
+	out := Decode(input())
+	var e int64
+	for _, v := range out {
+		e += int64(v) * int64(v)
+	}
+	if e == 0 {
+		t.Fatal("synthesis produced silence")
+	}
+}
+
+func TestIRMatchesReference(t *testing.T) {
+	b := Bench()
+	prog := b.Build()
+	res, err := interp.Run(prog, interp.Options{})
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	if err := b.Check(res.Mem); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompiledMatchesReference(t *testing.T) {
+	b := Bench()
+	prog := b.Build()
+	for _, cfg := range []core.Config{core.Traditional(256), core.Aggressive(256)} {
+		c, err := core.Compile(prog, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		res, err := c.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if err := b.Check(res.Mem); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package mpg123
+
+import "testing"
+
+func TestMatrixBounded(t *testing.T) {
+	for i, v := range matrix() {
+		if v < -1024 || v > 1024 {
+			t.Fatalf("matrix[%d] = %d out of Q10 range", i, v)
+		}
+	}
+}
+
+func TestWindowShape(t *testing.T) {
+	w := window()
+	if len(w) != WindowLen {
+		t.Fatalf("window length %d", len(w))
+	}
+	// Decaying magnitude overall: the last taps are much smaller than
+	// the first.
+	var head, tail int64
+	for i := 0; i < 64; i++ {
+		head += abs64(int64(w[i]))
+		tail += abs64(int64(w[WindowLen-1-i]))
+	}
+	if tail*4 > head {
+		t.Fatalf("window does not decay: head %d tail %d", head, tail)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestDecodeDeterministic(t *testing.T) {
+	in := input()
+	a := Decode(in)
+	b := Decode(in)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic synthesis")
+		}
+	}
+}
+
+func TestSilenceStaysSilent(t *testing.T) {
+	in := make([]int32, Granules*NumBands)
+	out := Decode(in)
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("silence synthesized to %d at %d", v, i)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package pgp
+
+import (
+	"bytes"
+	"testing"
+
+	"lpbuf/internal/bench"
+	"lpbuf/internal/core"
+	"lpbuf/internal/interp"
+)
+
+func TestCFBRoundTrip(t *testing.T) {
+	msg := message()
+	k := key()
+	ct := EncryptCFB(msg, k)
+	pt := DecryptCFB(ct, k)
+	if !bytes.Equal(pt[:MsgLen], msg) {
+		t.Fatal("CFB round trip failed")
+	}
+	if bytes.Equal(ct[:64], msg[:64]) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+}
+
+func TestMulModProperties(t *testing.T) {
+	// mul is multiplication in the group Z*_65537 with 0 = 2^16: it
+	// must be commutative and 1 must be the identity.
+	vals := []int32{0, 1, 2, 255, 256, 32767, 32768, 65535}
+	for _, a := range vals {
+		for _, b := range vals {
+			if mul(a, b) != mul(b, a) {
+				t.Fatalf("mul(%d,%d) not commutative", a, b)
+			}
+		}
+		if mul(a, 1) != a {
+			t.Fatalf("mul(%d,1) = %d", a, mul(a, 1))
+		}
+	}
+	// Spot-check against big-integer math: treat 0 as 65536.
+	big := func(a, b int32) int32 {
+		aa, bb := int64(a), int64(b)
+		if aa == 0 {
+			aa = 65536
+		}
+		if bb == 0 {
+			bb = 65536
+		}
+		r := aa * bb % 65537
+		if r == 65536 {
+			r = 0
+		}
+		return int32(r)
+	}
+	rng := bench.NewRand(7)
+	for i := 0; i < 10000; i++ {
+		a, b := int32(rng.Intn(65536)), int32(rng.Intn(65536))
+		if mul(a, b) != big(a, b) {
+			t.Fatalf("mul(%d,%d) = %d, want %d", a, b, mul(a, b), big(a, b))
+		}
+	}
+}
+
+func TestIRMatchesReference(t *testing.T) {
+	for _, b := range []bench.Benchmark{Enc(), Dec()} {
+		prog := b.Build()
+		res, err := interp.Run(prog, interp.Options{})
+		if err != nil {
+			t.Fatalf("%s: interp: %v", b.Name, err)
+		}
+		if err := b.Check(res.Mem); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestCompiledMatchesReference(t *testing.T) {
+	for _, b := range []bench.Benchmark{Enc(), Dec()} {
+		prog := b.Build()
+		for _, cfg := range []core.Config{core.Traditional(256), core.Aggressive(256)} {
+			c, err := core.Compile(prog, cfg)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, cfg.Name, err)
+			}
+			res, err := c.Run()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, cfg.Name, err)
+			}
+			if err := b.Check(res.Mem); err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, cfg.Name, err)
+			}
+		}
+	}
+}

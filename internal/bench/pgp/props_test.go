@@ -1,0 +1,71 @@
+package pgp
+
+import (
+	stdcrc "hash/crc32"
+	"testing"
+)
+
+func TestCRCTableMatchesStdlib(t *testing.T) {
+	std := stdcrc.MakeTable(stdcrc.IEEE)
+	ours := crcTable()
+	for i := 0; i < 256; i++ {
+		if uint32(ours[i]) != std[i] {
+			t.Fatalf("crc table differs at %d: %x vs %x", i, uint32(ours[i]), std[i])
+		}
+	}
+}
+
+func TestCRCMatchesStdlib(t *testing.T) {
+	msg := message()
+	want := stdcrc.ChecksumIEEE(msg)
+	// Reproduce the reference CRC loop.
+	tbl := crcTable()
+	crc := int32(-1)
+	for i := 0; i < len(msg); i++ {
+		idx := (crc ^ int32(msg[i])) & 0xff
+		crc = int32(uint32(crc)>>8) ^ tbl[idx]
+	}
+	crc = ^crc
+	if uint32(crc) != want {
+		t.Fatalf("crc %x, want %x", uint32(crc), want)
+	}
+}
+
+func TestKeyScheduleNontrivial(t *testing.T) {
+	ks := keySchedule(key())
+	seen := map[int32]int{}
+	for _, k := range ks {
+		if k < 0 || k > 0xffff {
+			t.Fatalf("subkey %d out of 16-bit range", k)
+		}
+		seen[k]++
+	}
+	if len(seen) < NumKeys/2 {
+		t.Fatalf("only %d distinct subkeys", len(seen))
+	}
+}
+
+func TestCipherAvalanche(t *testing.T) {
+	ks := keySchedule(key())
+	a := cipher([4]int32{1, 2, 3, 4}, &ks)
+	b := cipher([4]int32{1, 2, 3, 5}, &ks) // one-bit-ish change
+	diff := 0
+	for i := 0; i < 4; i++ {
+		x := uint16(a[i]) ^ uint16(b[i])
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff < 16 {
+		t.Fatalf("weak avalanche: %d/64 bits differ", diff)
+	}
+}
+
+func TestCipherDeterministic(t *testing.T) {
+	ks := keySchedule(key())
+	a := cipher([4]int32{7, 8, 9, 10}, &ks)
+	b := cipher([4]int32{7, 8, 9, 10}, &ks)
+	if a != b {
+		t.Fatal("cipher nondeterministic")
+	}
+}

@@ -1,0 +1,36 @@
+// Package suite registers the full benchmark set of the paper's
+// Table 1: adpcm, g724, jpeg, mpeg2 (enc/dec each), mpg123 and pgp
+// (enc/dec).
+package suite
+
+import (
+	"lpbuf/internal/bench"
+	"lpbuf/internal/bench/adpcm"
+	"lpbuf/internal/bench/g724"
+	"lpbuf/internal/bench/jpeg"
+	"lpbuf/internal/bench/mpeg2"
+	"lpbuf/internal/bench/mpg123"
+	"lpbuf/internal/bench/pgp"
+)
+
+// All returns the benchmarks in the paper's Table 1 order.
+func All() []bench.Benchmark {
+	return []bench.Benchmark{
+		adpcm.Enc(), adpcm.Dec(),
+		g724.Enc(), g724.Dec(),
+		jpeg.Enc(), jpeg.Dec(),
+		mpeg2.Enc(), mpeg2.Dec(),
+		mpg123.Bench(),
+		pgp.Enc(), pgp.Dec(),
+	}
+}
+
+// ByName returns a single registered benchmark.
+func ByName(name string) (bench.Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return bench.Benchmark{}, false
+}

@@ -1,0 +1,268 @@
+// Package core ties the reproduction together: it drives the full
+// compilation pipeline (profiling, inlining, scalar optimization, the
+// control transformations of Section 3, predicate promotion, counted
+// loop conversion, scheduling and loop-buffer assignment) in the
+// paper's two configurations — "traditional" and aggressively
+// transformed — and runs the result on the cycle-level VLIW simulator
+// with execution-verified semantics.
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"lpbuf/internal/hyperblock"
+	"lpbuf/internal/inline"
+	"lpbuf/internal/interp"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/loopbuffer"
+	"lpbuf/internal/looptrans"
+	"lpbuf/internal/machine"
+	"lpbuf/internal/opt"
+	"lpbuf/internal/predicate"
+	"lpbuf/internal/profile"
+	"lpbuf/internal/sched"
+	"lpbuf/internal/vliw"
+)
+
+// Config selects a compilation configuration.
+type Config struct {
+	// Name labels the configuration in reports.
+	Name string
+	// Inline enables profile-guided inlining (both paper configs).
+	Inline bool
+	// LoopTransforms enables peeling and predicated loop collapsing.
+	LoopTransforms bool
+	// Predication enables if-conversion, branch combining and
+	// predicate promotion.
+	Predication bool
+	// Modulo enables software pipelining of counted loops.
+	Modulo bool
+	// Ablation knobs: disable one transformation at a time while
+	// keeping the rest of the aggressive pipeline (used by the
+	// design-choice ablation experiments).
+	DisablePeel     bool
+	DisableCollapse bool
+	DisableUnroll   bool
+	DisableCombine  bool
+	DisablePromote  bool
+	// BufferCapacity is the loop buffer size in operations.
+	BufferCapacity int
+	// Machine overrides the default machine description.
+	Machine *machine.Desc
+	// EntryArgs are passed to the program entry on every run.
+	EntryArgs []int64
+	// MaxOps bounds interpreter steps while profiling.
+	MaxOps int64
+}
+
+// Traditional returns the paper's baseline configuration: classical
+// optimization only (no predication, no loop collapsing), but — as in
+// the paper — with profile-guided inlining, modulo scheduling and
+// buffer scheduling ("In both cases ... modulo scheduling ... was
+// performed, and loop bodies were scheduled into the loop buffer").
+func Traditional(bufferOps int) Config {
+	return Config{Name: "traditional", Inline: true, Modulo: true,
+		BufferCapacity: bufferOps}
+}
+
+// Aggressive returns the paper's transformed configuration: hyperblock
+// formation, peeling, collapsing, branch combining, promotion and
+// modulo scheduling on top of the baseline.
+func Aggressive(bufferOps int) Config {
+	return Config{Name: "aggressive", Inline: true, LoopTransforms: true,
+		Predication: true, Modulo: true, BufferCapacity: bufferOps}
+}
+
+// Compiled is a fully compiled program plus its reference behaviour.
+type Compiled struct {
+	Config Config
+	Code   *sched.Code
+	Plan   *vliw.BufferPlan
+	// Prof is the profile of the transformed program.
+	Prof *profile.Profile
+	// Ref is the reference execution (interpreter, original program).
+	Ref *interp.Result
+	// TransformedIR is the post-transformation, pre-scheduling program
+	// (for predication statistics).
+	TransformedIR *ir.Program
+
+	// Stats reports what the compiler did.
+	Stats PassStats
+}
+
+// PassStats reports compiler activity.
+type PassStats struct {
+	OrigOps       int
+	FinalOps      int
+	Inlined       int
+	Peeled        int
+	Unrolled      int
+	Collapsed     int
+	Converted     int
+	Combined      int
+	Promoted      int
+	Speculated    int
+	CLoops        int
+	ModuloKernels int
+	// MaxLiveRegs is the worst-case register pressure over all
+	// functions after transformation (reported against the machine's
+	// 64 architected registers; virtual registers are not allocated,
+	// see DESIGN.md).
+	MaxLiveRegs int
+}
+
+// Compile runs the full pipeline on (a clone of) prog.
+func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
+	if cfg.Machine == nil {
+		cfg.Machine = machine.Default()
+	}
+	if cfg.BufferCapacity == 0 {
+		cfg.BufferCapacity = 256
+	}
+	c := &Compiled{Config: cfg}
+	c.Stats.OrigOps = prog.OpCount()
+
+	// Reference execution + initial profile on the original program.
+	prof0 := profile.New()
+	ref, err := interp.Run(prog, interp.Options{Profile: prof0,
+		EntryArgs: cfg.EntryArgs, MaxOps: cfg.MaxOps})
+	if err != nil {
+		return nil, fmt.Errorf("%s: reference run: %w", cfg.Name, err)
+	}
+	c.Ref = ref
+
+	p := prog.Clone()
+	// Seed block weights from the original-program profile so the
+	// control transformations can make profile-guided decisions
+	// (inlining and the later passes preserve/copy weights).
+	prof0.ApplyWeights(p)
+
+	if cfg.Inline {
+		c.Stats.Inlined = inline.Apply(p, prof0, inline.Options{})
+	}
+	opt.Optimize(p)
+
+	// Control transformations interleave: if-converting an inner loop
+	// with internal control flow turns it into a single block, which
+	// can unlock collapsing of its parent, which can expose further
+	// conversion. Iterate to a fixpoint (bounded).
+	if cfg.LoopTransforms || cfg.Predication {
+		for round := 0; round < 4; round++ {
+			changed := 0
+			for _, name := range p.Order {
+				f := p.Funcs[name]
+				if cfg.LoopTransforms {
+					if !cfg.DisablePeel {
+						n := looptrans.PeelAll(f, looptrans.Options{})
+						c.Stats.Peeled += n
+						changed += n
+					}
+					if !cfg.DisableCollapse {
+						n := looptrans.CollapseAll(f, looptrans.Options{})
+						c.Stats.Collapsed += n
+						changed += n
+					}
+					if !cfg.DisableUnroll {
+						n := looptrans.UnrollAll(f, looptrans.Options{})
+						c.Stats.Unrolled += n
+						changed += n
+					}
+				}
+				if cfg.Predication {
+					n := hyperblock.ConvertLoops(f, hyperblock.Options{})
+					c.Stats.Converted += n
+					changed += n
+				}
+			}
+			if changed == 0 {
+				break
+			}
+		}
+		if cfg.Predication {
+			for _, name := range p.Order {
+				f := p.Funcs[name]
+				if !cfg.DisableCombine {
+					c.Stats.Combined += hyperblock.CombineExits(f)
+				}
+				if !cfg.DisablePromote {
+					c.Stats.Promoted += predicate.Promote(f)
+					c.Stats.Speculated += predicate.SpeculateLoads(f)
+				}
+			}
+		}
+		opt.Optimize(p)
+	}
+	for _, name := range p.Order {
+		f := p.Funcs[name]
+		c.Stats.CLoops += looptrans.CLoopifyAll(f)
+		looptrans.MarkLoopBacks(f)
+	}
+
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("%s: transformed program invalid: %w", cfg.Name, err)
+	}
+
+	// Re-profile the transformed program and check it still computes
+	// the reference behaviour (execution-verified transformations).
+	prof1 := profile.New()
+	tres, err := interp.Run(p, interp.Options{Profile: prof1,
+		EntryArgs: cfg.EntryArgs, MaxOps: cfg.MaxOps})
+	if err != nil {
+		return nil, fmt.Errorf("%s: transformed program run: %w", cfg.Name, err)
+	}
+	if tres.Ret != ref.Ret || !bytes.Equal(tres.Mem, ref.Mem) {
+		return nil, fmt.Errorf("%s: transformations changed program behaviour", cfg.Name)
+	}
+	prof1.ApplyWeights(p)
+	c.Prof = prof1
+	c.TransformedIR = p.Clone()
+	c.Stats.FinalOps = p.OpCount()
+	for _, name := range p.Order {
+		if ml := opt.MaxLive(p.Funcs[name]); ml > c.Stats.MaxLiveRegs {
+			c.Stats.MaxLiveRegs = ml
+		}
+	}
+
+	// Schedule (may rewrite pipelined loop counters inside p).
+	code, err := sched.Schedule(p, cfg.Machine, sched.Options{EnableModulo: cfg.Modulo})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+	}
+	c.Code = code
+	for _, fc := range code.Funcs {
+		for _, sec := range fc.Sections {
+			if sec.Kind == sched.KindKernel {
+				c.Stats.ModuloKernels++
+			}
+		}
+	}
+
+	c.Plan = loopbuffer.Plan(code, prof1, cfg.BufferCapacity)
+	return c, nil
+}
+
+// Run executes the compiled program on the cycle simulator and checks
+// its output against the reference execution.
+func (c *Compiled) Run() (*vliw.Result, error) { return c.runPlan(c.Plan) }
+
+// RunWithBuffer re-plans buffer assignment for a different capacity and
+// runs (the schedule itself is buffer-size independent).
+func (c *Compiled) RunWithBuffer(capacity int) (*vliw.Result, error) {
+	return c.runPlan(loopbuffer.Plan(c.Code, c.Prof, capacity))
+}
+
+func (c *Compiled) runPlan(plan *vliw.BufferPlan) (*vliw.Result, error) {
+	res, err := vliw.Run(c.Code, plan, vliw.Options{EntryArgs: c.Config.EntryArgs})
+	if err != nil {
+		return nil, fmt.Errorf("%s: simulation: %w", c.Config.Name, err)
+	}
+	if res.Ret != c.Ref.Ret {
+		return nil, fmt.Errorf("%s: simulated return %d != reference %d",
+			c.Config.Name, res.Ret, c.Ref.Ret)
+	}
+	if !bytes.Equal(res.Mem, c.Ref.Mem) {
+		return nil, fmt.Errorf("%s: simulated memory differs from reference", c.Config.Name)
+	}
+	return res, nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestAblationKnobs(t *testing.T) {
+	prog := diamondLoopProgram()
+	full, err := Compile(prog, Aggressive(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPred := Aggressive(256)
+	noPred.Predication = false
+	np, err := Compile(prog, noPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.Converted == 0 || np.Stats.Converted != 0 {
+		t.Fatalf("conversion counts: full=%d nopred=%d", full.Stats.Converted, np.Stats.Converted)
+	}
+	noProm := Aggressive(256)
+	noProm.DisablePromote = true
+	npr, err := Compile(prog, noProm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if npr.Stats.Promoted != 0 {
+		t.Fatalf("promotion ran despite DisablePromote: %d", npr.Stats.Promoted)
+	}
+	// All variants stay semantically correct.
+	for _, c := range []*Compiled{full, np, npr} {
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRegisterPressureReported(t *testing.T) {
+	prog := nestedLoopProgram()
+	c, err := Compile(prog, Aggressive(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.MaxLiveRegs <= 0 {
+		t.Fatal("no register pressure reported")
+	}
+	// The benchmarks are written to fit the paper's 64-register machine.
+	if c.Stats.MaxLiveRegs > c.Config.Machine.IntRegs {
+		t.Fatalf("register pressure %d exceeds the machine's %d registers",
+			c.Stats.MaxLiveRegs, c.Config.Machine.IntRegs)
+	}
+}
+
+func TestTraditionalUsesModulo(t *testing.T) {
+	// The paper modulo-schedules both configurations.
+	prog := diamondLoopProgram()
+	c, err := Compile(prog, Traditional(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Config.Modulo {
+		t.Fatal("traditional config must enable modulo scheduling")
+	}
+}
+
+func TestCompileRejectsBrokenEntry(t *testing.T) {
+	prog := diamondLoopProgram()
+	prog.Entry = "nosuch"
+	if _, err := Compile(prog, Traditional(256)); err == nil {
+		t.Fatal("expected error for missing entry")
+	}
+}

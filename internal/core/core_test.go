@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+)
+
+// diamondLoopProgram: a loop with an if/else diamond, 200 iterations.
+func diamondLoopProgram() *ir.Program {
+	pb := irbuild.NewProgram(16 << 10)
+	n := 200
+	vals := make([]int32, n)
+	rng := rand.New(rand.NewSource(11))
+	for i := range vals {
+		vals[i] = int32(rng.Intn(400) - 200)
+	}
+	inOff := pb.GlobalW("in", n, vals)
+	outOff := pb.GlobalW("out", n, nil)
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	i := f.Reg()
+	in := f.Const(inOff)
+	out := f.Const(outOff)
+	acc := f.Reg()
+	f.MovI(i, 0)
+	f.MovI(acc, 0)
+	f.Block("head")
+	x, y := f.Reg(), f.Reg()
+	f.LdW(x, in, 0)
+	f.BrI(ir.CmpGE, x, 0, "else")
+	f.Block("then")
+	f.MulI(y, x, -3)
+	f.Jump("join")
+	f.Block("else")
+	f.AddI(y, x, 7)
+	f.Block("join")
+	f.StW(out, 0, y)
+	f.Add(acc, acc, y)
+	f.AddI(in, in, 4)
+	f.AddI(out, out, 4)
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, int64(n), "head")
+	f.Block("done")
+	f.Ret(acc)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+// nestedLoopProgram: the Figure 2 Add_Block shape, 8x8, run 20 times.
+func nestedLoopProgram() *ir.Program {
+	pb := irbuild.NewProgram(16 << 10)
+	clip := make([]byte, 1024)
+	for i := range clip {
+		v := i - 384
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		clip[i] = byte(v)
+	}
+	clipOff := pb.GlobalB("Clip", 1024, clip)
+	src := make([]byte, 64*20)
+	rng := rand.New(rand.NewSource(5))
+	for i := range src {
+		src[i] = byte(rng.Intn(256))
+	}
+	bpOff := pb.GlobalB("bp", int(64*20), src)
+	rfpOff := pb.GlobalB("rfp", 64*20+512, nil)
+
+	f := pb.Func("main", 0, true)
+	f.Block("outer2pre")
+	blk := f.Reg()
+	bp := f.Const(bpOff)
+	rfp := f.Const(rfpOff)
+	clipBase := f.Const(clipOff + 256 + 128)
+	f.MovI(blk, 0)
+	f.Block("blockloop")
+	i := f.Reg()
+	f.MovI(i, 0)
+	f.Block("outer")
+	j := f.Reg()
+	f.MovI(j, 0)
+	f.Block("inner")
+	v := f.Reg()
+	f.LdB(v, bp, 0)
+	addr := f.Reg()
+	cv := f.Reg()
+	f.Add(addr, clipBase, v)
+	f.LdBU(cv, addr, 0)
+	f.StB(rfp, 0, cv)
+	f.AddI(bp, bp, 1)
+	f.AddI(rfp, rfp, 1)
+	f.AddI(j, j, 1)
+	f.BrI(ir.CmpLT, j, 8, "inner")
+	f.Block("latch")
+	f.AddI(rfp, rfp, 2)
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, 8, "outer")
+	f.Block("blocklatch")
+	f.AddI(blk, blk, 1)
+	f.BrI(ir.CmpLT, blk, 20, "blockloop")
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+func compileRun(t *testing.T, prog *ir.Program, cfg Config) (*Compiled, float64, int64) {
+	t.Helper()
+	c, err := Compile(prog, cfg)
+	if err != nil {
+		t.Fatalf("compile %s: %v", cfg.Name, err)
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatalf("run %s: %v", cfg.Name, err)
+	}
+	return c, res.Stats.BufferIssueRatio(), res.Stats.Cycles
+}
+
+func TestPipelineDiamondLoop(t *testing.T) {
+	prog := diamondLoopProgram()
+	_, tradRatio, tradCycles := compileRun(t, prog, Traditional(256))
+	ca, aggRatio, aggCycles := compileRun(t, prog, Aggressive(256))
+
+	if ca.Stats.Converted == 0 {
+		t.Fatal("aggressive config converted no loops")
+	}
+	if aggRatio <= tradRatio {
+		t.Fatalf("aggressive buffer ratio %.3f should beat traditional %.3f",
+			aggRatio, tradRatio)
+	}
+	if aggRatio < 0.80 {
+		t.Fatalf("aggressive buffer ratio %.3f too low for a hot loop program", aggRatio)
+	}
+	if aggCycles >= tradCycles {
+		t.Fatalf("aggressive (%d cycles) should beat traditional (%d cycles)",
+			aggCycles, tradCycles)
+	}
+}
+
+func TestPipelineNestedLoop(t *testing.T) {
+	prog := nestedLoopProgram()
+	_, tradRatio, _ := compileRun(t, prog, Traditional(256))
+	ca, aggRatio, _ := compileRun(t, prog, Aggressive(256))
+
+	if ca.Stats.Collapsed == 0 {
+		t.Fatal("aggressive config collapsed no loops")
+	}
+	if aggRatio <= tradRatio {
+		t.Fatalf("aggressive ratio %.3f should beat traditional %.3f", aggRatio, tradRatio)
+	}
+	if aggRatio < 0.70 {
+		t.Fatalf("aggressive buffer ratio %.3f too low after collapsing", aggRatio)
+	}
+}
+
+func TestPipelineTinyBufferDegrades(t *testing.T) {
+	prog := nestedLoopProgram()
+	_, big, _ := compileRun(t, prog, Aggressive(256))
+	_, tiny, _ := compileRun(t, prog, Aggressive(4))
+	if tiny >= big {
+		t.Fatalf("4-op buffer ratio %.3f should be below 256-op ratio %.3f", tiny, big)
+	}
+}
+
+func TestModuloSchedulingEngages(t *testing.T) {
+	prog := diamondLoopProgram()
+	cfg := Aggressive(256)
+	c, err := Compile(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.ModuloKernels == 0 {
+		t.Fatal("expected at least one modulo-scheduled kernel")
+	}
+	// And the pipelined code must still be correct.
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Modulo scheduling should beat the non-pipelined aggressive build.
+	cfgNoMS := cfg
+	cfgNoMS.Modulo = false
+	cnm, err := Compile(prog, cfgNoMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cnm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Cycles >= r2.Stats.Cycles {
+		t.Fatalf("modulo (%d cycles) should beat list-scheduled (%d cycles)",
+			r1.Stats.Cycles, r2.Stats.Cycles)
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+)
+
+// randomProgram generates a structured random program: a few globals,
+// nested counted loops with optional diamonds, side exits, saturation
+// hammocks and stores — the shapes the compiler's transformations
+// target. All programs terminate by construction.
+func randomProgram(rng *rand.Rand) *ir.Program {
+	pb := irbuild.NewProgram(32 << 10)
+	nIn := 64 + rng.Intn(128)
+	vals := make([]int32, nIn)
+	for i := range vals {
+		vals[i] = int32(rng.Intn(1<<16) - 1<<15)
+	}
+	inOff := pb.GlobalW("in", nIn, vals)
+	outOff := pb.GlobalW("out", 512, nil)
+
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	in := f.Const(inOff)
+	out := f.Const(outOff)
+	acc := f.Reg()
+	f.MovI(acc, 0)
+
+	label := 0
+	fresh := func(p string) string {
+		label++
+		return fmt.Sprintf("%s%d", p, label)
+	}
+
+	// A pool of live registers to draw operands from.
+	regs := []ir.Reg{acc, f.Const(int64(rng.Intn(100) + 1)), f.Const(int64(rng.Intn(7) - 3))}
+	pick := func() ir.Reg { return regs[rng.Intn(len(regs))] }
+
+	// emitBody emits a few random ALU ops plus optional memory traffic
+	// and diamonds in the current block context.
+	var emitBody func(idx ir.Reg, depth int)
+	emitBody = func(idx ir.Reg, depth int) {
+		nOps := 2 + rng.Intn(6)
+		for k := 0; k < nOps; k++ {
+			switch rng.Intn(8) {
+			case 0: // load in[idx % nIn]
+				d := f.Reg()
+				t := f.Reg()
+				f.RemI(t, idx, int64(nIn))
+				f.Abs(t, t)
+				f.ShlI(t, t, 2)
+				f.Add(t, t, in)
+				f.LdW(d, t, 0)
+				regs = append(regs, d)
+			case 1: // store acc to out[idx % 512]
+				t := f.Reg()
+				f.RemI(t, idx, 512)
+				f.Abs(t, t)
+				f.ShlI(t, t, 2)
+				f.Add(t, t, out)
+				f.StW(t, 0, pick())
+			case 2: // diamond
+				thenL, joinL := fresh("then"), fresh("join")
+				v := f.Reg()
+				f.Mov(v, pick())
+				f.BrI(ir.CmpLT, v, int64(rng.Intn(100)-50), thenL)
+				f.Block(fresh("else"))
+				f.AddI(v, v, int64(rng.Intn(9)-4))
+				f.Jump(joinL)
+				f.Block(thenL)
+				f.MulI(v, v, int64(rng.Intn(5)-2))
+				f.Block(joinL)
+				f.Add(acc, acc, v)
+				regs = append(regs, v)
+			case 3: // saturation hammock
+				okL := fresh("ok")
+				f.BrI(ir.CmpLE, acc, 1<<26, okL)
+				f.Block(fresh("sat"))
+				f.MovI(acc, 1<<26)
+				f.Block(okL)
+			default: // plain ALU
+				opc := []ir.Opcode{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd,
+					ir.OpOr, ir.OpXor, ir.OpMin, ir.OpMax}[rng.Intn(8)]
+				d := f.Reg()
+				f.Bin(opc, d, pick(), pick())
+				regs = append(regs, d)
+				if rng.Intn(3) == 0 {
+					f.Add(acc, acc, d)
+				}
+			}
+		}
+		_ = depth
+	}
+
+	// Between 1 and 3 top-level loops, possibly nested two deep.
+	nLoops := 1 + rng.Intn(3)
+	for l := 0; l < nLoops; l++ {
+		trips := 3 + rng.Intn(30)
+		i := f.Reg()
+		f.MovI(i, 0)
+		hdr := fresh("loop")
+		f.Block(hdr)
+		emitBody(i, 0)
+		if rng.Intn(2) == 0 {
+			// Nested counted inner loop.
+			innerTrips := 2 + rng.Intn(8)
+			j := f.Reg()
+			f.MovI(j, 0)
+			innerL := fresh("inner")
+			f.Block(innerL)
+			emitBody(j, 1)
+			f.AddI(j, j, 1)
+			f.BrI(ir.CmpLT, j, int64(innerTrips), innerL)
+			f.Block(fresh("postinner"))
+		}
+		if rng.Intn(3) == 0 {
+			// Data-dependent side exit.
+			f.BrI(ir.CmpEQ, acc, int64(rng.Intn(1000)+7777777), fresh("exit")+"X")
+			// The target block is created lazily below; wire it to done.
+		}
+		f.AddI(i, i, 1)
+		f.BrI(ir.CmpLT, i, int64(trips), hdr)
+		f.Block(fresh("after"))
+	}
+	f.Block("finish")
+	f.Ret(acc)
+	// Wire any side-exit targets to finish.
+	for _, blk := range f.F.Blocks {
+		if len(blk.Ops) == 0 && blk.Fall == 0 && blk.ID != f.F.Entry {
+			blk.Fall = f.BlockID("finish")
+		}
+	}
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+// TestDifferentialRandomPrograms is the repository's end-to-end fuzzer:
+// every random program is compiled in both configurations and must
+// produce the interpreter's bit-exact result on the cycle simulator,
+// at several buffer sizes.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		prog := randomProgram(rng)
+		for _, cfg := range []Config{Traditional(256), Aggressive(256)} {
+			c, err := Compile(prog, cfg)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, cfg.Name, err)
+			}
+			for _, size := range []int{16, 64, 256} {
+				if _, err := c.RunWithBuffer(size); err != nil {
+					t.Fatalf("trial %d %s @%d: %v", trial, cfg.Name, size, err)
+				}
+			}
+		}
+	}
+}

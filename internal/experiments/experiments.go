@@ -1,0 +1,560 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 7): the buffer-issue curves of Figure 7,
+// the performance/code-size/fetch comparison of Figure 8(a), the
+// normalized instruction-fetch power of Figure 8(b), the predication
+// characterization of Figure 3, and the PostFilter buffer traces of
+// Figure 5. Every simulated run is verified against the interpreter's
+// reference output before its numbers are reported.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"lpbuf/internal/bench"
+	"lpbuf/internal/bench/suite"
+	"lpbuf/internal/core"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/power"
+	"lpbuf/internal/predicate"
+	"lpbuf/internal/sched"
+	"lpbuf/internal/vliw"
+)
+
+// BufferSizes is the sweep of Figure 7 (operations).
+var BufferSizes = []int{16, 32, 64, 128, 256, 512, 1024, 2048}
+
+// Suite caches compiled benchmarks across experiments.
+type Suite struct {
+	mu    sync.Mutex
+	cache map[string]*core.Compiled
+}
+
+// New creates an empty experiment suite.
+func New() *Suite {
+	return &Suite{cache: map[string]*core.Compiled{}}
+}
+
+// Benchmarks returns the Table 1 benchmark names in order.
+func Benchmarks() []string {
+	var names []string
+	for _, b := range suite.All() {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+// compiled returns the cached compile of one benchmark/config.
+func (s *Suite) compiled(name, cfg string) (*core.Compiled, bench.Benchmark, error) {
+	b, ok := suite.ByName(name)
+	if !ok {
+		return nil, b, fmt.Errorf("unknown benchmark %q", name)
+	}
+	key := name + "/" + cfg
+	s.mu.Lock()
+	c := s.cache[key]
+	s.mu.Unlock()
+	if c != nil {
+		return c, b, nil
+	}
+	var config core.Config
+	switch cfg {
+	case "traditional":
+		config = core.Traditional(256)
+	case "aggressive":
+		config = core.Aggressive(256)
+	default:
+		return nil, b, fmt.Errorf("unknown config %q", cfg)
+	}
+	prog := b.Build()
+	c, err := core.Compile(prog, config)
+	if err != nil {
+		return nil, b, fmt.Errorf("%s/%s: %w", name, cfg, err)
+	}
+	s.mu.Lock()
+	s.cache[key] = c
+	s.mu.Unlock()
+	return c, b, nil
+}
+
+// Run is one verified simulation outcome.
+type Run struct {
+	Bench     string
+	Config    string
+	BufferOps int
+	Stats     vliw.Stats
+	Pass      core.PassStats
+	// StaticOps is the scheduled code size in operations (including
+	// software-pipelining expansion).
+	StaticOps int
+}
+
+// RunAt compiles (cached), re-plans the buffer at the given capacity,
+// runs, verifies the output against both the interpreter reference and
+// the pure-Go reference, and reports the statistics.
+func (s *Suite) RunAt(name, cfg string, bufferOps int) (*Run, error) {
+	c, b, err := s.compiled(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.RunWithBuffer(bufferOps)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Check(res.Mem); err != nil {
+		return nil, fmt.Errorf("%s/%s@%d: output check: %w", name, cfg, bufferOps, err)
+	}
+	static := 0
+	for _, fc := range c.Code.Funcs {
+		static += fc.OpCount()
+	}
+	return &Run{Bench: name, Config: cfg, BufferOps: bufferOps,
+		Stats: res.Stats, Pass: c.Stats, StaticOps: static}, nil
+}
+
+// Disasm returns the aggressive-config scheduled-code listing of a
+// benchmark (all functions).
+func (s *Suite) Disasm(name string) (string, error) {
+	c, _, err := s.compiled(name, "aggressive")
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, fname := range c.Code.Prog.Order {
+		sb.WriteString(c.Code.Funcs[fname].Disasm())
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}
+
+// ---- Figure 7: buffer issue fraction vs buffer size ----
+
+// Fig7Row is one benchmark's curve.
+type Fig7Row struct {
+	Bench  string
+	Ratios map[int]float64 // buffer size -> fraction
+}
+
+// Figure7 computes the Figure 7(a) (traditional) or 7(b) (aggressive)
+// curves for all benchmarks.
+func (s *Suite) Figure7(cfg string, sizes []int) ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, name := range Benchmarks() {
+		row := Fig7Row{Bench: name, Ratios: map[int]float64{}}
+		for _, sz := range sizes {
+			r, err := s.RunAt(name, cfg, sz)
+			if err != nil {
+				return nil, err
+			}
+			row.Ratios[sz] = r.Stats.BufferIssueRatio()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig7 formats the curves as a table.
+func RenderFig7(title string, rows []Fig7Row, sizes []int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%-10s", title, "bench")
+	for _, sz := range sizes {
+		fmt.Fprintf(&sb, "%8d", sz)
+	}
+	sb.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s", r.Bench)
+		for _, sz := range sizes {
+			fmt.Fprintf(&sb, "%7.1f%%", 100*r.Ratios[sz])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// ---- Figure 8(a): speedup, code size, fetch counts ----
+
+// Fig8aRow compares aggressive vs traditional for one benchmark.
+type Fig8aRow struct {
+	Bench string
+	// Speedup is traditional cycles / aggressive cycles.
+	Speedup float64
+	// CodeSize is aggressive static ops / traditional static ops.
+	CodeSize float64
+	// TotalFetch is aggressive fetched ops / traditional fetched ops.
+	TotalFetch float64
+	// MemFetch is the ratio of ops fetched from global memory.
+	MemFetch float64
+}
+
+// Figure8a computes the Figure 8(a) ratios at the paper's 256-op buffer.
+func (s *Suite) Figure8a() ([]Fig8aRow, error) {
+	var rows []Fig8aRow
+	for _, name := range Benchmarks() {
+		tr, err := s.RunAt(name, "traditional", 256)
+		if err != nil {
+			return nil, err
+		}
+		ag, err := s.RunAt(name, "aggressive", 256)
+		if err != nil {
+			return nil, err
+		}
+		trMem := tr.Stats.OpsIssued - tr.Stats.OpsFromBuffer
+		agMem := ag.Stats.OpsIssued - ag.Stats.OpsFromBuffer
+		rows = append(rows, Fig8aRow{
+			Bench:      name,
+			Speedup:    float64(tr.Stats.Cycles) / float64(ag.Stats.Cycles),
+			CodeSize:   float64(ag.StaticOps) / float64(tr.StaticOps),
+			TotalFetch: float64(ag.Stats.OpsIssued) / float64(tr.Stats.OpsIssued),
+			MemFetch:   float64(agMem) / float64(trMem),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig8a formats the comparison.
+func RenderFig8a(rows []Fig8aRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 8(a): aggressive vs traditional (256-op buffer)\n")
+	fmt.Fprintf(&sb, "%-10s %9s %10s %11s %10s\n", "bench", "speedup", "code size", "total fetch", "mem fetch")
+	var gs float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %8.2fx %9.2fx %10.2fx %9.2fx\n",
+			r.Bench, r.Speedup, r.CodeSize, r.TotalFetch, r.MemFetch)
+		gs += r.Speedup
+	}
+	fmt.Fprintf(&sb, "average speedup: %.2fx (paper: 1.81x)\n", gs/float64(len(rows)))
+	return sb.String()
+}
+
+// ---- Figure 8(b): normalized instruction fetch power ----
+
+// Fig8bRow gives normalized fetch energy for one benchmark.
+type Fig8bRow struct {
+	Bench string
+	// BaselineBuffered: traditional code with the 256-op buffer.
+	BaselineBuffered float64
+	// TransformedBuffered: aggressive code with the 256-op buffer.
+	TransformedBuffered float64
+}
+
+// Figure8b computes Figure 8(b), normalized to buffer-less issue of
+// traditionally optimized code.
+func (s *Suite) Figure8b() ([]Fig8bRow, error) {
+	model := power.Default()
+	var rows []Fig8bRow
+	for _, name := range Benchmarks() {
+		tr, err := s.RunAt(name, "traditional", 256)
+		if err != nil {
+			return nil, err
+		}
+		ag, err := s.RunAt(name, "aggressive", 256)
+		if err != nil {
+			return nil, err
+		}
+		base := tr.Stats.OpsIssued // all-memory baseline fetches
+		trMem := tr.Stats.OpsIssued - tr.Stats.OpsFromBuffer
+		agMem := ag.Stats.OpsIssued - ag.Stats.OpsFromBuffer
+		rows = append(rows, Fig8bRow{
+			Bench:               name,
+			BaselineBuffered:    model.Normalized(trMem, tr.Stats.OpsFromBuffer, 256, base),
+			TransformedBuffered: model.Normalized(agMem, ag.Stats.OpsFromBuffer, 256, base),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig8b formats the power results.
+func RenderFig8b(rows []Fig8bRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 8(b): normalized instruction fetch power (1.0 = unbuffered traditional)\n")
+	fmt.Fprintf(&sb, "%-10s %18s %20s\n", "bench", "baseline buffered", "transformed buffered")
+	var sb1, sb2 float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %17.3f %19.3f\n", r.Bench, r.BaselineBuffered, r.TransformedBuffered)
+		sb1 += r.BaselineBuffered
+		sb2 += r.TransformedBuffered
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(&sb, "average: baseline buffered %.3f (paper: 0.654), transformed %.3f (paper: 0.277)\n",
+		sb1/n, sb2/n)
+	return sb.String()
+}
+
+// ---- Figure 3: predication characterization ----
+
+// Fig3 aggregates the three cumulative distributions of Figure 3 over
+// the aggressive compiles of all benchmarks.
+type Fig3 struct {
+	// ConsumersStatic[n] counts defines with exactly n consumers;
+	// ConsumersDynamic weights by profiled block execution.
+	ConsumersStatic  map[int]int64
+	ConsumersDynamic map[int]int64
+	// Durations[d] counts defines whose value lives d cycles in the
+	// final schedule (dynamic weighting).
+	Durations map[int]int64
+	// Overlap[m] counts loops whose schedule keeps at most m predicates
+	// simultaneously live (weighted by loop iterations).
+	Overlap map[int]int64
+	// PredicatedLoops / TotalLoops count loop sections.
+	PredicatedLoops, TotalLoops int
+	// SensitiveDynamic / IssuedDynamic give the fraction of dynamic
+	// operations in predicated loops carrying the sensitivity bit.
+	SensitiveDynamic, IssuedDynamic int64
+	// MaxLiveMax is the largest observed simultaneous liveness.
+	MaxLiveMax int
+	// SlotModelOK reports whether every loop fit the 8-slot model.
+	SlotModelOK bool
+	// OverflowLoops counts loops needing live-range splitting (more
+	// than 8 simultaneously live predicates; the paper notes such
+	// loops need extra defines to regenerate values in split ranges).
+	OverflowLoops int
+	// ExtraDefines totals replica defines the slot model would insert.
+	ExtraDefines int
+}
+
+// Figure3 computes the predication statistics.
+func (s *Suite) Figure3() (*Fig3, error) {
+	out := &Fig3{
+		ConsumersStatic:  map[int]int64{},
+		ConsumersDynamic: map[int]int64{},
+		Durations:        map[int]int64{},
+		Overlap:          map[int]int64{},
+		SlotModelOK:      true,
+	}
+	for _, name := range Benchmarks() {
+		c, _, err := s.compiled(name, "aggressive")
+		if err != nil {
+			return nil, err
+		}
+		for _, fname := range c.Code.Prog.Order {
+			fc := c.Code.Funcs[fname]
+			irf := c.TransformedIR.Funcs[fname]
+			for _, sec := range fc.Sections {
+				if !isLoopSection(fc, sec) {
+					continue
+				}
+				out.TotalLoops++
+				blk := irf.Block(sec.Block)
+				weight := int64(1)
+				if blk != nil && blk.Weight > 0 {
+					weight = int64(blk.Weight)
+				}
+				// Scheduled ops of the section.
+				var sops []predicate.SchedOp
+				pred := false
+				for ci, bun := range sec.Bundles {
+					for _, so := range bun.Ops {
+						sops = append(sops, predicate.SchedOp{Op: so.Op, Cycle: ci, Slot: so.Slot})
+						if so.Op.Guard != 0 || so.Op.IsPredDefine() {
+							pred = true
+						}
+					}
+				}
+				if !pred {
+					continue
+				}
+				out.PredicatedLoops++
+				bind := predicate.BindSlots(dedupe(sops, sec), 8)
+				out.Overlap[bind.MaxLive] += weight
+				if bind.MaxLive > out.MaxLiveMax {
+					out.MaxLiveMax = bind.MaxLive
+				}
+				if !bind.OK {
+					out.SlotModelOK = false
+					out.OverflowLoops++
+				}
+				out.ExtraDefines += bind.ExtraDefines
+				out.SensitiveDynamic += int64(bind.Sensitive) * weight
+				out.IssuedDynamic += int64(len(dedupe(sops, sec))) * weight
+				// Consumers per define (on the IR block, one iteration).
+				if blk != nil {
+					for _, n := range predicate.ConsumersPerDefine(blk) {
+						out.ConsumersStatic[n]++
+						out.ConsumersDynamic[n] += weight
+					}
+				}
+				// Live-range durations in the kernel schedule.
+				for _, d := range durations(dedupe(sops, sec)) {
+					out.Durations[d] += weight
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// dedupe keeps one scheduled instance per op (pipelined sections emit
+// prologue/epilogue copies; the kernel instance is representative).
+func dedupe(sops []predicate.SchedOp, sec *sched.BlockCode) []predicate.SchedOp {
+	seen := map[*ir.Op]bool{}
+	var out []predicate.SchedOp
+	for _, so := range sops {
+		if seen[so.Op] {
+			continue
+		}
+		seen[so.Op] = true
+		out = append(out, so)
+	}
+	return out
+}
+
+// durations computes per-define live-range lengths (define cycle to
+// last guarded consumer cycle).
+func durations(sops []predicate.SchedOp) []int {
+	defC := map[ir.PredReg]int{}
+	lastU := map[ir.PredReg]int{}
+	for _, so := range sops {
+		if so.Op.Guard != 0 {
+			if so.Cycle > lastU[so.Op.Guard] {
+				lastU[so.Op.Guard] = so.Cycle
+			}
+		}
+		for _, pd := range so.Op.PredDefines() {
+			if c, ok := defC[pd.Pred]; !ok || so.Cycle < c {
+				defC[pd.Pred] = so.Cycle
+			}
+		}
+	}
+	var out []int
+	for p, d := range defC {
+		u, ok := lastU[p]
+		if !ok || u < d {
+			continue
+		}
+		out = append(out, u-d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func isLoopSection(fc *sched.FuncCode, sec *sched.BlockCode) bool {
+	if sec.Kind == sched.KindKernel {
+		return true
+	}
+	if sec.Kind != sched.KindStraight {
+		return false
+	}
+	for _, b := range sec.Bundles {
+		for _, so := range b.Ops {
+			if so.Op.LoopBack && so.Op.IsBranch() && so.TargetBundle == sec.Start {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RenderFig3 formats the distributions as cumulative percentages.
+func RenderFig3(f *Fig3) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 3: predication characterization (aggressive config)\n")
+	fmt.Fprintf(&sb, "loops: %d total, %d predicated (paper: 564 candidates, 122 predicated)\n",
+		f.TotalLoops, f.PredicatedLoops)
+	sb.WriteString(renderCDF("(a) consumers per define", f.ConsumersDynamic, "consumers"))
+	sb.WriteString(renderCDF("(b) live range duration (cycles)", f.Durations, "cycles"))
+	sb.WriteString(renderCDF("(c) simultaneously live predicates per loop", f.Overlap, "preds"))
+	if f.IssuedDynamic > 0 {
+		fmt.Fprintf(&sb, "sensitivity: %.1f%% of dynamic ops in predicated loops carry the bit (paper: 21.5%%)\n",
+			100*float64(f.SensitiveDynamic)/float64(f.IssuedDynamic))
+	}
+	fmt.Fprintf(&sb, "max simultaneously live predicates: %d (8 slots available)\n", f.MaxLiveMax)
+	if f.SlotModelOK {
+		sb.WriteString("the slot model fits every predicated loop without splitting\n")
+	} else {
+		fmt.Fprintf(&sb, "%d of %d predicated loops exceed 8 live predicates and need\n",
+			f.OverflowLoops, f.PredicatedLoops)
+		sb.WriteString("live-range splitting (the paper's \"extra predicate defines\" case;\n")
+		sb.WriteString("here it is the IDEA multiplication loop's rare-path hammocks)\n")
+	}
+	fmt.Fprintf(&sb, "replica defines required by the slot model: %d\n", f.ExtraDefines)
+	return sb.String()
+}
+
+func renderCDF(title string, hist map[int]int64, unit string) string {
+	var keys []int
+	var total int64
+	for k, v := range hist {
+		keys = append(keys, k)
+		total += v
+	}
+	if total == 0 {
+		return title + ": (no data)\n"
+	}
+	sort.Ints(keys)
+	var sb strings.Builder
+	sb.WriteString(title + ":\n")
+	var cum int64
+	for _, k := range keys {
+		cum += hist[k]
+		fmt.Fprintf(&sb, "  <=%3d %s: %5.1f%%\n", k, unit, 100*float64(cum)/float64(total))
+		if float64(cum)/float64(total) > 0.999 {
+			break
+		}
+	}
+	return sb.String()
+}
+
+// ---- Headline numbers ----
+
+// Headline aggregates the paper's headline claims.
+type Headline struct {
+	// BufferIssueTraditional/Aggressive: averages at 256 ops excluding
+	// jpegenc and mpeg2enc (the paper's footnote 1).
+	BufferIssueTraditional float64
+	BufferIssueAggressive  float64
+	AvgSpeedup             float64
+	// FetchPowerReduction at 256 ops vs unbuffered traditional.
+	FetchPowerBaseline    float64
+	FetchPowerTransformed float64
+}
+
+// ComputeHeadline runs everything needed for the abstract's numbers.
+func (s *Suite) ComputeHeadline() (*Headline, error) {
+	h := &Headline{}
+	excluded := map[string]bool{"jpegenc": true, "mpeg2enc": true}
+	n := 0
+	for _, name := range Benchmarks() {
+		tr, err := s.RunAt(name, "traditional", 256)
+		if err != nil {
+			return nil, err
+		}
+		ag, err := s.RunAt(name, "aggressive", 256)
+		if err != nil {
+			return nil, err
+		}
+		h.AvgSpeedup += float64(tr.Stats.Cycles) / float64(ag.Stats.Cycles)
+		if !excluded[name] {
+			h.BufferIssueTraditional += tr.Stats.BufferIssueRatio()
+			h.BufferIssueAggressive += ag.Stats.BufferIssueRatio()
+			n++
+		}
+	}
+	h.BufferIssueTraditional /= float64(n)
+	h.BufferIssueAggressive /= float64(n)
+	h.AvgSpeedup /= float64(len(Benchmarks()))
+	p, err := s.Figure8b()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range p {
+		h.FetchPowerBaseline += r.BaselineBuffered
+		h.FetchPowerTransformed += r.TransformedBuffered
+	}
+	h.FetchPowerBaseline /= float64(len(p))
+	h.FetchPowerTransformed /= float64(len(p))
+	return h, nil
+}
+
+// RenderHeadline formats the headline comparison.
+func RenderHeadline(h *Headline) string {
+	var sb strings.Builder
+	sb.WriteString("Headline numbers (paper values in parentheses):\n")
+	fmt.Fprintf(&sb, "  buffer issue, traditional:  %5.1f%%  (38.7%%)\n", 100*h.BufferIssueTraditional)
+	fmt.Fprintf(&sb, "  buffer issue, transformed:  %5.1f%%  (89.0%%)\n", 100*h.BufferIssueAggressive)
+	fmt.Fprintf(&sb, "  average speedup:            %5.2fx  (1.81x)\n", h.AvgSpeedup)
+	fmt.Fprintf(&sb, "  fetch power, baseline buf:  %5.1f%%  (65.4%%)\n", 100*h.FetchPowerBaseline)
+	fmt.Fprintf(&sb, "  fetch power, transformed:   %5.1f%%  (27.7%%)\n", 100*h.FetchPowerTransformed)
+	return sb.String()
+}

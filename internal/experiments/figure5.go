@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lpbuf/internal/core"
+	"lpbuf/internal/loopbuffer"
+	"lpbuf/internal/vliw"
+)
+
+// planFor recomputes the buffer plan for a capacity (cheap).
+func planFor(c *core.Compiled, capacity int) *vliw.BufferPlan {
+	return loopbuffer.Plan(c.Code, c.Prof, capacity)
+}
+
+// Fig5Loop is one loop's runtime buffer behaviour at one buffer size.
+type Fig5Loop struct {
+	Label              string
+	Ops                int
+	Offset             int
+	Entries            int64
+	Iterations         int64
+	BufferedIterations int64
+	OpsBuffered        int64
+	OpsMemory          int64
+}
+
+// Fig5 reports the PostFilter-loop buffer traces for one buffer size
+// (the paper's Figure 5 shows 16, 32 and 64 operations).
+type Fig5 struct {
+	BufferOps int
+	Loops     []Fig5Loop
+	// PFIssueFromBuffer is the fraction of the traced loops' issued
+	// operations served by the buffer.
+	PFIssueFromBuffer float64
+	// TotalIssueFromBuffer is the whole-benchmark fraction.
+	TotalIssueFromBuffer float64
+}
+
+// Figure5 runs g724dec at the given buffer size and extracts the
+// post-filter loop traces.
+func (s *Suite) Figure5(bufferOps int) (*Fig5, error) {
+	c, b, err := s.compiled("g724dec", "aggressive")
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.RunWithBuffer(bufferOps)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Check(res.Mem); err != nil {
+		return nil, err
+	}
+	out := &Fig5{BufferOps: bufferOps,
+		TotalIssueFromBuffer: res.Stats.BufferIssueRatio()}
+
+	// Planned loops give footprint/offset; runtime stats give traces.
+	// The post filter may have been inlined into main, so match loops
+	// by their source block labels rather than by function.
+	loops := map[string]Fig5Loop{}
+	for key, ls := range res.Stats.Loops {
+		loops[key] = Fig5Loop{Label: key,
+			Entries: ls.Entries, Iterations: ls.Iterations,
+			BufferedIterations: ls.BufferedIterations,
+			OpsBuffered:        ls.OpsBuffered, OpsMemory: ls.OpsMemory}
+	}
+	// Names/footprints from a fresh plan.
+	for _, pl := range planFor(c, bufferOps).Loops {
+		if l, ok := loops[pl.Key()]; ok {
+			l.Label = pl.Label
+			l.Ops = pl.Ops
+			l.Offset = pl.Offset
+			loops[pl.Key()] = l
+		}
+	}
+	var pfOps, pfBuf int64
+	for _, l := range loops {
+		if !isPostFilterLoop(l.Label) {
+			continue
+		}
+		out.Loops = append(out.Loops, l)
+		pfOps += l.OpsBuffered + l.OpsMemory
+		pfBuf += l.OpsBuffered
+	}
+	sort.Slice(out.Loops, func(i, j int) bool { return out.Loops[i].Label < out.Loops[j].Label })
+	if pfOps > 0 {
+		out.PFIssueFromBuffer = float64(pfBuf) / float64(pfOps)
+	}
+	return out, nil
+}
+
+// isPostFilterLoop recognizes the post-filter loop labels (B, I1, I2,
+// C, D, E, F, G, H1, H2, J, K and their nest sublabels).
+func isPostFilterLoop(label string) bool {
+	i := strings.LastIndex(label, ":")
+	if i < 0 {
+		return false
+	}
+	name := label[i+1:]
+	switch name {
+	case "B", "I1", "I2", "I3", "D", "G", "Gnewton", "H1", "H2", "J", "K",
+		"F", "F2", "C_outer", "E_outer", "C_inner", "E_inner":
+		return true
+	}
+	return false
+}
+
+// RenderFig5 formats one buffer-size trace.
+func RenderFig5(f *Fig5) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5: g724dec post-filter loops, %d-operation buffer\n", f.BufferOps)
+	fmt.Fprintf(&sb, "%-22s %5s %6s %8s %10s %12s\n",
+		"loop", "ops", "off", "entries", "iterations", "buffered")
+	for _, l := range f.Loops {
+		fmt.Fprintf(&sb, "%-22s %5d %6d %8d %10d %7d/%d\n",
+			l.Label, l.Ops, l.Offset, l.Entries, l.Iterations,
+			l.BufferedIterations, l.Iterations)
+	}
+	fmt.Fprintf(&sb, "post-filter loop issue from buffer: %.2f%%\n", 100*f.PFIssueFromBuffer)
+	fmt.Fprintf(&sb, "whole-benchmark issue from buffer:  %.2f%%\n", 100*f.TotalIssueFromBuffer)
+	fmt.Fprintf(&sb, "(paper, 16/32/64-op buffers: 1.23%% / 6.32%% / 98.22%% of PostFilter instruction issue)\n")
+	return sb.String()
+}

@@ -1,0 +1,104 @@
+package hyperblock
+
+import (
+	"lpbuf/internal/ir"
+)
+
+// CombineExits applies branch combining (Section 3): in single-block
+// loops with two or more guarded side-exit jumps, the exits are folded
+// into one "summary predicate" computed with or-type defines; a single
+// summary jump leads to a decode block that re-discerns the desired
+// target from the individual exit predicates. Returns the number of
+// loops rewritten.
+func CombineExits(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		last := b.LastOp()
+		if last == nil || !last.IsBranch() || last.Target != b.ID || !last.LoopBack {
+			continue
+		}
+		if combineBlock(f, b) {
+			n++
+		}
+	}
+	return n
+}
+
+func combineBlock(f *ir.Func, b *ir.Block) bool {
+	type exit struct {
+		idx   int
+		guard ir.PredReg
+		tgt   ir.BlockID
+	}
+	var exits []exit
+	for i, op := range b.Ops[:len(b.Ops)-1] {
+		if op.Opcode == ir.OpJump && op.Guard != 0 && op.Target != b.ID {
+			exits = append(exits, exit{idx: i, guard: op.Guard, tgt: op.Target})
+		}
+		if op.IsBranch() && op.Guard == 0 {
+			return false // unexpected unguarded mid-block transfer
+		}
+	}
+	if len(exits) < 2 {
+		return false
+	}
+
+	newID := func(op *ir.Op) *ir.Op { op.ID = f.NewOpID(); return op }
+
+	// ps is the summary predicate ("some exit fired"); pns is its
+	// complement, maintained with and-type defines, used to re-guard
+	// ops that were provably-unguarded before combining (latch code):
+	// once the exits are deferred to the bottom of the block, those ops
+	// must not execute on an exiting iteration.
+	ps := f.NewPred()
+	pns := f.NewPred()
+	z := f.NewReg()
+
+	// Decode block: test the individual exit predicates in original
+	// priority order; the final exit needs no guard (the summary
+	// predicate guarantees some exit fired).
+	decode := f.NewBlock()
+	decode.Weight = 0
+	for i, e := range exits {
+		j := newID(&ir.Op{Opcode: ir.OpJump, Target: e.tgt})
+		if i != len(exits)-1 {
+			j.Guard = e.guard
+		}
+		decode.Ops = append(decode.Ops, j)
+	}
+
+	// Rewrite the loop: each exit jump becomes an or-type contribution
+	// to the summary predicate.
+	var out []*ir.Op
+	out = append(out, newID(&ir.Op{Opcode: ir.OpMov, Dest: []ir.Reg{z}, Imm: 0, HasImm: true}))
+	// One define initializes both: ps = false (ut of a false cond),
+	// pns = true (uf of the same).
+	init := newID(&ir.Op{Opcode: ir.OpCmpP, Cmp: ir.CmpNE, Src: []ir.Reg{z}, Imm: 0, HasImm: true})
+	init.PDest[0] = ir.PredDest{Pred: ps, Type: ir.PTUT}
+	init.PDest[1] = ir.PredDest{Pred: pns, Type: ir.PTUF}
+	out = append(out, init)
+
+	exitAt := map[int]exit{}
+	for _, e := range exits {
+		exitAt[e.idx] = e
+	}
+	for i, op := range b.Ops[:len(b.Ops)-1] {
+		if e, ok := exitAt[i]; ok {
+			or := newID(&ir.Op{Opcode: ir.OpCmpP, Cmp: ir.CmpEQ,
+				Src: []ir.Reg{z}, Imm: 0, HasImm: true, Guard: e.guard})
+			or.PDest[0] = ir.PredDest{Pred: ps, Type: ir.PTOT}
+			or.PDest[1] = ir.PredDest{Pred: pns, Type: ir.PTAF}
+			out = append(out, or)
+			continue
+		}
+		if i > exits[0].idx && op.Guard == 0 && !op.IsBranch() && !op.IsPredDefine() {
+			op.Guard = pns
+		}
+		out = append(out, op)
+	}
+	// Summary jump, then the loop-back branch.
+	out = append(out, newID(&ir.Op{Opcode: ir.OpJump, Target: decode.ID, Guard: ps}))
+	out = append(out, b.Ops[len(b.Ops)-1])
+	b.Ops = out
+	return true
+}

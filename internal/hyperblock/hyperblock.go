@@ -1,0 +1,416 @@
+// Package hyperblock implements if-conversion: transforming acyclic
+// control flow inside loop bodies into straight-line predicated code
+// (hyperblocks), plus branch combining of infrequently taken side exits
+// through a summary predicate (Section 3 of the paper).
+package hyperblock
+
+import (
+	"sort"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/looptrans"
+)
+
+// Options tune hyperblock formation.
+type Options struct {
+	// MaxRegionOps bounds the operation count of a region to convert
+	// (0 = default 240, slightly under the 256-op loop buffer).
+	MaxRegionOps int
+	// MinAvgTrips declines conversion of loops whose profiled average
+	// trip count is below this bound (0 = default 6, matching the
+	// paper's "short loop" threshold used for peeling). Hyperblock
+	// formation is profile-guided: predicating a loop that leaves
+	// after one or two iterations only wastes issue slots, and such
+	// loops do not amortize loop-buffer recording either (this is what
+	// keeps the reference mpeg2 encoder's early-terminating SAD rows
+	// out of the buffer). Loops with no profile data are converted.
+	MinAvgTrips float64
+	// CombineExits enables branch combining when a converted loop has
+	// at least two side exits.
+	CombineExits bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRegionOps == 0 {
+		o.MaxRegionOps = 240
+	}
+	if o.MinAvgTrips == 0 {
+		o.MinAvgTrips = 6
+	}
+	return o
+}
+
+// ConvertLoops if-converts every innermost loop whose body is an
+// acyclic single-entry region (apart from its back edges) into a
+// single-block predicated loop. Returns the number of loops converted.
+func ConvertLoops(f *ir.Func, opts Options) int {
+	opts = opts.withDefaults()
+	n := 0
+	for {
+		loops := looptrans.FindLoops(f)
+		did := false
+		for _, l := range loops {
+			if len(l.Children) != 0 || len(l.Blocks) < 2 {
+				continue
+			}
+			if convertLoop(f, l, opts) {
+				n++
+				did = true
+				break // CFG changed; recompute
+			}
+		}
+		if !did {
+			return n
+		}
+	}
+}
+
+// convertLoop if-converts one loop body. The loop must have a single
+// latch whose back edge is an unguarded conditional branch (or the
+// latch falls only to the exit), and the body must be acyclic ignoring
+// the back edge.
+func convertLoop(f *ir.Func, l *looptrans.Loop, opts Options) bool {
+	if len(l.Latches) != 1 {
+		return false
+	}
+	latch := l.Latches[0]
+
+	// Profile guidance: decline short-running loops.
+	if hdr := f.Block(l.Header); hdr != nil && hdr.Weight > 0 {
+		if looptrans.AvgTrips(f, l) < opts.MinAvgTrips {
+			return false
+		}
+	}
+
+	// Region legality: ops must be unpredicated, call-free; total size
+	// bounded.
+	total := 0
+	for id := range l.Blocks {
+		b := f.Block(id)
+		for _, op := range b.Ops {
+			if op.Guard != 0 || op.IsPredDefine() || op.Opcode == ir.OpCall ||
+				op.Opcode == ir.OpRet || op.IsBufferOp() || op.Opcode == ir.OpBrCLoop {
+				return false
+			}
+			total++
+		}
+	}
+	if total > opts.MaxRegionOps {
+		return false
+	}
+
+	// Each block may end with at most one branch, and only as its last
+	// op (mid-block branches would need multi-branch path predicates).
+	for id := range l.Blocks {
+		b := f.Block(id)
+		for i, op := range b.Ops {
+			if op.IsBranch() && i != len(b.Ops)-1 {
+				return false
+			}
+		}
+	}
+
+	// Only the header may be a branch target from outside the loop.
+	preds := f.Preds()
+	for id := range l.Blocks {
+		if id == l.Header {
+			continue
+		}
+		for _, p := range preds[id] {
+			if !l.Blocks[p] {
+				return false
+			}
+		}
+	}
+
+	// The latch must end with an unguarded conditional back edge; no
+	// other block may branch or jump to the header (a "continue" from
+	// the middle would need a second back edge).
+	latchBr := f.Block(latch).LastOp()
+	if latchBr == nil || latchBr.Opcode != ir.OpBr || latchBr.Target != l.Header {
+		return false
+	}
+	for id := range l.Blocks {
+		b := f.Block(id)
+		for i, op := range b.Ops {
+			if op.IsBranch() && op.Target == l.Header && !(id == latch && i == len(b.Ops)-1) {
+				return false
+			}
+		}
+		if b.Fall == l.Header && id != latch {
+			return false
+		}
+	}
+
+	// Topological order of the body ignoring back edges, latch last.
+	order, ok := topoOrder(f, l, latch)
+	if !ok {
+		return false
+	}
+
+	buildHyperblock(f, l, order)
+	return true
+}
+
+// topoOrder sorts loop blocks topologically over intra-loop edges
+// excluding edges to the header, placing the latch last. Returns
+// ok=false when the subgraph is cyclic.
+func topoOrder(f *ir.Func, l *looptrans.Loop, latch ir.BlockID) ([]ir.BlockID, bool) {
+	indeg := map[ir.BlockID]int{}
+	succs := map[ir.BlockID][]ir.BlockID{}
+	for id := range l.Blocks {
+		indeg[id] += 0
+		for _, s := range f.Block(id).Succs() {
+			if l.Blocks[s] && s != l.Header {
+				succs[id] = append(succs[id], s)
+				indeg[s]++
+			}
+		}
+	}
+	var ready []ir.BlockID
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	var order []ir.BlockID
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool {
+			// Defer the latch as long as possible; otherwise stable by ID.
+			if (ready[i] == latch) != (ready[j] == latch) {
+				return ready[j] == latch
+			}
+			return ready[i] < ready[j]
+		})
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		for _, s := range succs[n] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != len(l.Blocks) {
+		return nil, false
+	}
+	if order[len(order)-1] != latch {
+		return nil, false
+	}
+	if order[0] != l.Header {
+		return nil, false
+	}
+	return order, true
+}
+
+// buildHyperblock performs the actual conversion, rewriting the header
+// block in place and removing the other body blocks.
+func buildHyperblock(f *ir.Func, l *looptrans.Loop, order []ir.BlockID) *ir.Block {
+	head := f.Block(l.Header)
+	latchID := order[len(order)-1]
+
+	// Count intra-region predecessors per block to choose define types.
+	inEdges := map[ir.BlockID]int{}
+	for _, id := range order {
+		for _, s := range f.Block(id).Succs() {
+			if l.Blocks[s] && s != l.Header {
+				inEdges[s]++
+			}
+		}
+	}
+
+	// Allocate block predicates (header executes unconditionally).
+	bpred := map[ir.BlockID]ir.PredReg{l.Header: 0}
+	for _, id := range order[1:] {
+		bpred[id] = f.NewPred()
+	}
+
+	newID := func(op *ir.Op) *ir.Op { op.ID = f.NewOpID(); return op }
+
+	var out []*ir.Op
+	// Zero register for predicate initialization and direct transfers.
+	var zreg ir.Reg
+	needZ := false
+	for _, id := range order[1:] {
+		if inEdges[id] > 1 {
+			needZ = true
+		}
+	}
+	// Uncond transfers also need a trivially-true condition register.
+	for _, id := range order {
+		b := f.Block(id)
+		last := b.LastOp()
+		if last == nil || !last.IsBranch() || last.Opcode == ir.OpJump {
+			needZ = true
+		}
+	}
+	if needZ {
+		zreg = f.NewReg()
+		out = append(out, newID(&ir.Op{Opcode: ir.OpMov, Dest: []ir.Reg{zreg},
+			Imm: 0, HasImm: true}))
+	}
+	// Initialize multi-predecessor block predicates to false. Pack two
+	// per define.
+	var multi []ir.PredReg
+	for _, id := range order[1:] {
+		if inEdges[id] > 1 {
+			multi = append(multi, bpred[id])
+		}
+	}
+	for i := 0; i < len(multi); i += 2 {
+		op := &ir.Op{Opcode: ir.OpCmpP, Cmp: ir.CmpNE, Src: []ir.Reg{zreg},
+			Imm: 0, HasImm: true}
+		op.PDest[0] = ir.PredDest{Pred: multi[i], Type: ir.PTUT}
+		if i+1 < len(multi) {
+			op.PDest[1] = ir.PredDest{Pred: multi[i+1], Type: ir.PTUT}
+		}
+		out = append(out, newID(op))
+	}
+
+	// contribute emits predicate computation for edge (from -> to) with
+	// branch condition described by cmpOp (nil for unconditional).
+	edgeType := func(to ir.BlockID, negated bool) ir.PType {
+		if inEdges[to] > 1 {
+			if negated {
+				return ir.PTOF
+			}
+			return ir.PTOT
+		}
+		if negated {
+			return ir.PTUF
+		}
+		return ir.PTUT
+	}
+
+	var backBranch *ir.Op // emitted last
+	exitJumps := 0
+
+	for _, id := range order {
+		b := f.Block(id)
+		guard := bpred[id]
+		if id == latchID {
+			// Every path that does not exit the loop reaches the latch
+			// (all exits are explicit guarded jumps emitted earlier, and
+			// the region has no other terminal blocks), so the latch
+			// predicate is true whenever its ops issue: emit the latch
+			// and the back edge unguarded. This keeps if-converted
+			// counted loops recognizable for br.cloop conversion.
+			guard = 0
+		}
+		ops := b.Ops
+		var br *ir.Op
+		if last := b.LastOp(); last != nil && last.IsBranch() {
+			br = last
+			ops = ops[:len(ops)-1]
+		}
+		// Body ops, guarded by the block predicate.
+		for _, op := range ops {
+			c := op
+			if id != l.Header {
+				c.Guard = guard
+			}
+			out = append(out, c)
+		}
+		// Control transfer handling.
+		fall := b.Fall
+		if br != nil && br.Opcode == ir.OpBr {
+			taken := br.Target
+			if taken == l.Header {
+				// Loop back edge (precheck guarantees id == latchID):
+				// keep as guarded conditional branch, emitted last.
+				nb := br.Clone(f.NewOpID())
+				nb.Guard = guard
+				nb.LoopBack = true
+				backBranch = nb
+				// Fallthrough of the latch is the loop exit; the new
+				// block's Fall is set below.
+				fall = 0
+			} else {
+				// The branch condition splits the block predicate into
+				// a taken side and a fall side.
+				cp := &ir.Op{Opcode: ir.OpCmpP, Cmp: br.Cmp,
+					Src: append([]ir.Reg{}, br.Src...), Imm: br.Imm, HasImm: br.HasImm,
+					Guard: guard}
+				var takenExit, fallExit ir.PredReg
+				if l.Blocks[taken] {
+					cp.PDest[0] = ir.PredDest{Pred: bpred[taken], Type: edgeType(taken, false)}
+				} else {
+					takenExit = f.NewPred()
+					cp.PDest[0] = ir.PredDest{Pred: takenExit, Type: ir.PTUT}
+				}
+				if fall != 0 {
+					if l.Blocks[fall] && fall != l.Header {
+						cp.PDest[1] = ir.PredDest{Pred: bpred[fall], Type: edgeType(fall, true)}
+					} else if !l.Blocks[fall] {
+						fallExit = f.NewPred()
+						cp.PDest[1] = ir.PredDest{Pred: fallExit, Type: ir.PTUF}
+					}
+					fall = 0
+				}
+				out = append(out, newID(cp))
+				if takenExit != 0 {
+					out = append(out, newID(&ir.Op{Opcode: ir.OpJump, Target: taken, Guard: takenExit}))
+					exitJumps++
+				}
+				if fallExit != 0 {
+					out = append(out, newID(&ir.Op{Opcode: ir.OpJump, Target: b.Fall, Guard: fallExit}))
+					exitJumps++
+				}
+			}
+		} else if br != nil && br.Opcode == ir.OpJump {
+			if l.Blocks[br.Target] {
+				// Internal unconditional transfer: to = to OR guard.
+				// (Precheck rejects jumps to the header.)
+				cp := &ir.Op{Opcode: ir.OpCmpP, Cmp: ir.CmpEQ,
+					Src: []ir.Reg{zreg}, Imm: 0, HasImm: true, Guard: guard}
+				cp.PDest[0] = ir.PredDest{Pred: bpred[br.Target], Type: edgeType(br.Target, false)}
+				out = append(out, newID(cp))
+			} else {
+				nb := br.Clone(f.NewOpID())
+				nb.Guard = guard
+				out = append(out, nb)
+				exitJumps++
+			}
+			fall = 0
+		}
+		// Remaining fallthrough edge.
+		if fall != 0 && id != latchID {
+			if l.Blocks[fall] {
+				cp := &ir.Op{Opcode: ir.OpCmpP, Cmp: ir.CmpEQ,
+					Src: []ir.Reg{zreg}, Imm: 0, HasImm: true, Guard: guard}
+				cp.PDest[0] = ir.PredDest{Pred: bpred[fall], Type: edgeType(fall, false)}
+				out = append(out, newID(cp))
+			} else {
+				// Fallthrough exit from a non-latch block: taken
+				// exactly when the block executed (no branch intervened).
+				out = append(out, newID(&ir.Op{Opcode: ir.OpJump, Target: fall, Guard: guard}))
+				exitJumps++
+			}
+		}
+	}
+	if backBranch == nil {
+		panic("hyperblock: precheck admitted a loop without a back branch")
+	}
+	out = append(out, backBranch)
+
+	// Install: header holds everything; latch's fallthrough becomes the
+	// hyperblock's exit.
+	latchBlk := f.Block(latchID)
+	head.Ops = out
+	head.Fall = latchBlk.Fall
+	// Retarget the back branch to the header.
+	backBranch.Target = head.ID
+
+	// Remove the absorbed blocks.
+	var kept []*ir.Block
+	for _, b := range f.Blocks {
+		if b.ID != head.ID && l.Blocks[b.ID] {
+			continue
+		}
+		kept = append(kept, b)
+	}
+	f.Blocks = kept
+	f.Reindex()
+	return head
+}

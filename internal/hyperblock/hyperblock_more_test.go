@@ -1,0 +1,149 @@
+package hyperblock
+
+import (
+	"testing"
+
+	"lpbuf/internal/interp"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+	"lpbuf/internal/looptrans"
+	"lpbuf/internal/profile"
+)
+
+func TestMinAvgTripsDeclinesShortLoops(t *testing.T) {
+	// The diamond loop runs 50 iterations per entry; with a profile
+	// attached and a high MinAvgTrips bound, conversion is declined.
+	p := diamondLoop(50)
+	prof := profile.New()
+	if _, err := interp.Run(p, interp.Options{Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	prof.ApplyWeights(p)
+	f := p.Funcs["main"]
+	if n := ConvertLoops(f, Options{MinAvgTrips: 100}); n != 0 {
+		t.Fatalf("converted %d loops despite MinAvgTrips", n)
+	}
+	// With the default bound (6 < 50) it converts.
+	if n := ConvertLoops(f, Options{}); n != 1 {
+		t.Fatalf("converted %d loops, want 1", n)
+	}
+}
+
+func TestMinAvgTripsIgnoredWithoutProfile(t *testing.T) {
+	// No weights: the heuristic cannot fire, conversion proceeds.
+	p := diamondLoop(50)
+	f := p.Funcs["main"]
+	if n := ConvertLoops(f, Options{MinAvgTrips: 100}); n != 1 {
+		t.Fatalf("converted %d loops, want 1 (no profile data)", n)
+	}
+}
+
+func TestMaxRegionOpsBound(t *testing.T) {
+	p := diamondLoop(50)
+	f := p.Funcs["main"]
+	if n := ConvertLoops(f, Options{MaxRegionOps: 3}); n != 0 {
+		t.Fatalf("converted %d loops despite a 3-op region bound", n)
+	}
+}
+
+func TestConversionEmitsPairedDefines(t *testing.T) {
+	// A diamond's branch should become one cmpp with both ut and uf
+	// destinations (or ot/of), not two separate defines.
+	p := diamondLoop(30)
+	f := p.Funcs["main"]
+	if n := ConvertLoops(f, Options{}); n != 1 {
+		t.Fatal("conversion failed")
+	}
+	paired := false
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			if op.IsPredDefine() && len(op.PredDefines()) == 2 {
+				paired = true
+			}
+		}
+	}
+	if !paired {
+		t.Fatal("expected a two-destination predicate define for the diamond")
+	}
+}
+
+func TestConvertedLoopSurvivesInterpAtScale(t *testing.T) {
+	// Larger input stresses cross-iteration predicate recycling.
+	p := diamondLoop(500)
+	ref, err := interp.Run(p.Clone(), interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Funcs["main"]
+	if n := ConvertLoops(f, Options{}); n != 1 {
+		t.Fatal("conversion failed")
+	}
+	res, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Mem {
+		if ref.Mem[i] != res.Mem[i] {
+			t.Fatalf("memory differs at %d", i)
+		}
+	}
+}
+
+func TestCombineSkipsSingleExit(t *testing.T) {
+	// One side exit: combining would only add overhead; it must skip.
+	p := singleExitLoop(20)
+	f := p.Funcs["main"]
+	if n := ConvertLoops(f, Options{}); n != 1 {
+		t.Fatal("conversion failed")
+	}
+	if n := CombineExits(f); n != 0 {
+		t.Fatalf("combined a single-exit loop")
+	}
+}
+
+// singleExitLoop builds a counted loop with exactly one data-dependent
+// side exit.
+func singleExitLoop(n int) *ir.Program {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	i := f.Reg()
+	acc := f.Reg()
+	f.MovI(i, 0)
+	f.MovI(acc, 0)
+	f.Block("head")
+	f.Add(acc, acc, i)
+	f.BrI(ir.CmpGT, acc, 1<<20, "exitA")
+	f.Block("latch")
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, int64(n), "head")
+	f.Block("fallout")
+	f.Ret(acc)
+	f.Block("exitA")
+	m := f.Const(-1)
+	f.Ret(m)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+func TestConvertKeepsLoopCounted(t *testing.T) {
+	// After conversion + cloopify, the kernel is a counted loop the
+	// buffer can predict (the latch-unguarding invariant).
+	p := diamondLoop(40)
+	f := p.Funcs["main"]
+	if n := ConvertLoops(f, Options{}); n != 1 {
+		t.Fatal("conversion failed")
+	}
+	if n := looptrans.CLoopifyAll(f); n != 1 {
+		t.Fatal("cloopify failed on the converted loop")
+	}
+	found := false
+	for _, b := range f.Blocks {
+		if last := b.LastOp(); last != nil && last.Opcode == ir.OpBrCLoop {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no br.cloop after conversion")
+	}
+}

@@ -1,0 +1,391 @@
+package hyperblock
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lpbuf/internal/interp"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+	"lpbuf/internal/looptrans"
+)
+
+func mustRun(t *testing.T, p *ir.Program, args ...int64) *interp.Result {
+	t.Helper()
+	res, err := interp.Run(p, interp.Options{EntryArgs: args})
+	if err != nil {
+		t.Fatalf("interp: %v\n%s", err, p.Funcs["main"])
+	}
+	return res
+}
+
+// diamondLoop builds a loop containing an if/else diamond:
+//
+//	for (i = 0; i < n; i++) {
+//	    x = in[i];
+//	    if (x < 0) y = -x * 3; else y = x + 7;
+//	    out[i] = y;
+//	}
+func diamondLoop(n int) *ir.Program {
+	pb := irbuild.NewProgram(16 << 10)
+	vals := make([]int32, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range vals {
+		vals[i] = int32(rng.Intn(200) - 100)
+	}
+	inOff := pb.GlobalW("in", n, vals)
+	outOff := pb.GlobalW("out", n, nil)
+
+	f := pb.Func("main", 0, false)
+	f.Block("pre")
+	i := f.Reg()
+	in := f.Const(inOff)
+	out := f.Const(outOff)
+	f.MovI(i, 0)
+	f.Block("head")
+	x := f.Reg()
+	y := f.Reg()
+	f.LdW(x, in, 0)
+	f.BrI(ir.CmpGE, x, 0, "else")
+	f.Block("then")
+	t1 := f.Reg()
+	f.SubI(t1, x, 0)
+	f.MulI(y, x, -3)
+	f.Jump("join")
+	f.Block("else")
+	f.AddI(y, x, 7)
+	f.Block("join")
+	f.StW(out, 0, y)
+	f.AddI(in, in, 4)
+	f.AddI(out, out, 4)
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, int64(n), "head")
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+func TestConvertDiamondLoop(t *testing.T) {
+	want := mustRun(t, diamondLoop(50)).Mem
+
+	p := diamondLoop(50)
+	f := p.Funcs["main"]
+	if n := ConvertLoops(f, Options{}); n != 1 {
+		t.Fatalf("converted %d loops, want 1", n)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, f)
+	}
+	loops := looptrans.FindLoops(f)
+	if len(loops) != 1 || len(loops[0].Blocks) != 1 {
+		t.Fatalf("expected a single-block loop, got %d loops", len(loops))
+	}
+	got := mustRun(t, p).Mem
+	if !bytes.Equal(want, got) {
+		t.Fatal("if-conversion changed behaviour")
+	}
+	// The converted loop must be recognizable as counted.
+	c := looptrans.DetectCounted(f, loops[0])
+	if c == nil {
+		t.Fatal("converted loop is not counted (latch ops should be unguarded)")
+	}
+	if n := looptrans.CLoopifyAll(f); n != 1 {
+		t.Fatal("cloopify after if-conversion failed")
+	}
+	if !bytes.Equal(want, mustRun(t, p).Mem) {
+		t.Fatal("cloopify after conversion changed behaviour")
+	}
+}
+
+// exitLoop builds a loop with two data-dependent side exits:
+//
+//	for (i = 0; i < n; i++) {
+//	    x = in[i];
+//	    if (x == sentinelA) goto exitA;
+//	    acc += x;
+//	    if (acc > limit) goto exitB;
+//	}
+func exitLoop(n int, sentinelA, limit int64, vals []int32) *ir.Program {
+	pb := irbuild.NewProgram(16 << 10)
+	inOff := pb.GlobalW("in", n, vals)
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	i := f.Reg()
+	acc := f.Reg()
+	in := f.Const(inOff)
+	f.MovI(i, 0)
+	f.MovI(acc, 0)
+	f.Block("head")
+	x := f.Reg()
+	f.LdW(x, in, 0)
+	f.BrI(ir.CmpEQ, x, sentinelA, "exitA")
+	f.Block("accblk")
+	f.Add(acc, acc, x)
+	f.BrI(ir.CmpGT, acc, limit, "exitB")
+	f.Block("latch")
+	f.AddI(in, in, 4)
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, int64(n), "head")
+	f.Block("fallout")
+	r := f.Reg()
+	f.MovI(r, 1000)
+	f.Add(r, r, acc)
+	f.Ret(r)
+	f.Block("exitA")
+	ra := f.Reg()
+	f.MovI(ra, 2000)
+	f.Add(ra, ra, i)
+	f.Ret(ra)
+	f.Block("exitB")
+	rb := f.Reg()
+	f.MovI(rb, 3000)
+	f.Add(rb, rb, acc)
+	f.Ret(rb)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+func exitVals(kind string, n int) []int32 {
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = 1
+	}
+	switch kind {
+	case "sentinel":
+		vals[n/2] = -77 // triggers exitA
+	case "limit":
+		vals[n/3] = 10000 // pushes acc over limit -> exitB
+	}
+	return vals
+}
+
+func TestConvertLoopWithSideExits(t *testing.T) {
+	for _, kind := range []string{"clean", "sentinel", "limit"} {
+		vals := exitVals(kind, 30)
+		want := mustRun(t, exitLoop(30, -77, 20000, vals)).Ret
+
+		p := exitLoop(30, -77, 20000, vals)
+		f := p.Funcs["main"]
+		if n := ConvertLoops(f, Options{}); n != 1 {
+			t.Fatalf("%s: converted %d loops, want 1", kind, n)
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatalf("%s: verify: %v", kind, err)
+		}
+		got := mustRun(t, p).Ret
+		if got != want {
+			t.Fatalf("%s: ret %d, want %d\n%s", kind, got, want, f)
+		}
+	}
+}
+
+func TestCombineExits(t *testing.T) {
+	for _, kind := range []string{"clean", "sentinel", "limit"} {
+		vals := exitVals(kind, 30)
+		want := mustRun(t, exitLoop(30, -77, 20000, vals)).Ret
+
+		p := exitLoop(30, -77, 20000, vals)
+		f := p.Funcs["main"]
+		if n := ConvertLoops(f, Options{}); n != 1 {
+			t.Fatal("conversion failed")
+		}
+		if n := CombineExits(f); n != 1 {
+			t.Fatalf("%s: combined %d loops, want 1", kind, n)
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatalf("%s: verify: %v\n%s", kind, err, f)
+		}
+		got := mustRun(t, p).Ret
+		if got != want {
+			t.Fatalf("%s: ret %d, want %d\n%s", kind, got, want, f)
+		}
+		// Exactly one guarded jump (the summary) remains in the loop.
+		loops := looptrans.FindLoops(f)
+		var loopBlk *ir.Block
+		for _, l := range loops {
+			if len(l.Blocks) == 1 {
+				loopBlk = f.Block(l.Header)
+			}
+		}
+		if loopBlk == nil {
+			t.Fatalf("%s: no single-block loop after combining", kind)
+		}
+		jumps := 0
+		for _, op := range loopBlk.Ops {
+			if op.Opcode == ir.OpJump && op.Guard != 0 {
+				jumps++
+			}
+		}
+		if jumps != 1 {
+			t.Fatalf("%s: %d guarded jumps in loop, want 1 (summary)", kind, jumps)
+		}
+	}
+}
+
+// multiPathLoop exercises or-type predicate defines: a join block with
+// three predecessors inside the loop.
+func multiPathLoop(n int, vals []int32) *ir.Program {
+	pb := irbuild.NewProgram(16 << 10)
+	inOff := pb.GlobalW("in", n, vals)
+	outOff := pb.GlobalW("out", n, nil)
+	f := pb.Func("main", 0, false)
+	f.Block("pre")
+	i := f.Reg()
+	in := f.Const(inOff)
+	out := f.Const(outOff)
+	f.MovI(i, 0)
+	f.Block("head")
+	x := f.Reg()
+	y := f.Reg()
+	f.LdW(x, in, 0)
+	f.MovI(y, 0)
+	f.BrI(ir.CmpLT, x, -10, "caseA")
+	f.Block("mid")
+	f.BrI(ir.CmpGT, x, 10, "caseB")
+	f.Block("caseC")
+	f.MovI(y, 3)
+	f.Jump("join")
+	f.Block("caseA")
+	f.MovI(y, 1)
+	f.Jump("join")
+	f.Block("caseB")
+	f.MovI(y, 2)
+	f.Block("join")
+	f.StW(out, 0, y)
+	f.AddI(in, in, 4)
+	f.AddI(out, out, 4)
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, int64(n), "head")
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+func TestConvertMultiPathJoin(t *testing.T) {
+	vals := make([]int32, 40)
+	rng := rand.New(rand.NewSource(9))
+	for i := range vals {
+		vals[i] = int32(rng.Intn(60) - 30)
+	}
+	want := mustRun(t, multiPathLoop(40, vals)).Mem
+
+	p := multiPathLoop(40, vals)
+	f := p.Funcs["main"]
+	if n := ConvertLoops(f, Options{}); n != 1 {
+		t.Fatalf("converted %d loops, want 1", n)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	got := mustRun(t, p).Mem
+	if !bytes.Equal(want, got) {
+		t.Fatalf("multi-path if-conversion changed behaviour\n%s", f)
+	}
+	// or-type defines must appear (join block has multiple preds).
+	orSeen := false
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			for _, pd := range op.PredDefines() {
+				if pd.Type == ir.PTOT || pd.Type == ir.PTOF {
+					orSeen = true
+				}
+			}
+		}
+	}
+	if !orSeen {
+		t.Fatal("expected or-type predicate defines for the multi-pred join")
+	}
+}
+
+func TestConvertSkipsLoopsWithCalls(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	g := pb.Func("callee", 0, true)
+	g.Block("e")
+	one := g.Const(1)
+	g.Ret(one)
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	i := f.Reg()
+	acc := f.Reg()
+	f.MovI(i, 0)
+	f.MovI(acc, 0)
+	f.Block("head")
+	v := f.Reg()
+	f.BrI(ir.CmpEQ, i, 3, "skip")
+	f.Block("callblk")
+	f.Call(v, "callee")
+	f.Add(acc, acc, v)
+	f.Block("skip")
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, 10, "head")
+	f.Block("done")
+	f.Ret(acc)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	if n := ConvertLoops(p.Funcs["main"], Options{}); n != 0 {
+		t.Fatalf("converted %d loops containing calls, want 0", n)
+	}
+}
+
+// TestConvertRandomDiamondChains stress-tests conversion on random
+// loops made of chained diamonds.
+func TestConvertRandomDiamondChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + rng.Intn(30)
+		depth := 1 + rng.Intn(3)
+		build := func() *ir.Program {
+			pb := irbuild.NewProgram(16 << 10)
+			vals := make([]int32, n)
+			r2 := rand.New(rand.NewSource(int64(trial)))
+			for i := range vals {
+				vals[i] = int32(r2.Intn(100) - 50)
+			}
+			inOff := pb.GlobalW("in", n, vals)
+			outOff := pb.GlobalW("out", n, nil)
+			f := pb.Func("main", 0, false)
+			f.Block("pre")
+			i := f.Reg()
+			in := f.Const(inOff)
+			out := f.Const(outOff)
+			f.MovI(i, 0)
+			f.Block("head")
+			x := f.Reg()
+			f.LdW(x, in, 0)
+			for d := 0; d < depth; d++ {
+				thenL := "then" + string(rune('0'+d))
+				joinL := "join" + string(rune('0'+d))
+				f.BrI(ir.CmpLT, x, int64(10*d), thenL)
+				f.Block("elseblk" + string(rune('0'+d)))
+				f.AddI(x, x, int64(d+1))
+				f.Jump(joinL)
+				f.Block(thenL)
+				f.MulI(x, x, -1)
+				f.Block(joinL)
+			}
+			f.StW(out, 0, x)
+			f.AddI(in, in, 4)
+			f.AddI(out, out, 4)
+			f.AddI(i, i, 1)
+			f.BrI(ir.CmpLT, i, int64(n), "head")
+			f.Block("done")
+			f.Ret(0)
+			pb.SetEntry("main")
+			return pb.MustBuild()
+		}
+		want := mustRun(t, build()).Mem
+		p := build()
+		if cn := ConvertLoops(p.Funcs["main"], Options{}); cn != 1 {
+			t.Fatalf("trial %d: converted %d", trial, cn)
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(want, mustRun(t, p).Mem) {
+			t.Fatalf("trial %d: behaviour changed", trial)
+		}
+	}
+}

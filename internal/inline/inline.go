@@ -1,0 +1,220 @@
+// Package inline implements profile-guided function inlining with a
+// static code-expansion budget (the paper uses selective inlining up to
+// an estimated 50% static code expansion to enhance loop-region
+// formation, since loop regions may not contain subroutine calls).
+package inline
+
+import (
+	"sort"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/profile"
+)
+
+// Options tune inlining.
+type Options struct {
+	// ExpansionBudget is the allowed whole-program static growth as a
+	// fraction of the original op count (0 = default 0.5).
+	ExpansionBudget float64
+	// MaxCalleeOps skips callees larger than this (0 = default 250).
+	MaxCalleeOps int
+	// MaxRounds bounds repeated inlining sweeps (0 = default 4).
+	MaxRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ExpansionBudget == 0 {
+		o.ExpansionBudget = 0.5
+	}
+	if o.MaxCalleeOps == 0 {
+		o.MaxCalleeOps = 250
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 4
+	}
+	return o
+}
+
+// site identifies an inlinable call site.
+type site struct {
+	caller string
+	opID   int
+	callee string
+	count  int64
+}
+
+// Apply inlines hot call sites, hottest first, until the expansion
+// budget is exhausted. Returns the number of sites inlined.
+func Apply(p *ir.Program, prof *profile.Profile, opts Options) int {
+	opts = opts.withDefaults()
+	baseOps := p.OpCount()
+	budget := int(float64(baseOps) * opts.ExpansionBudget)
+	inlined := 0
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		var sites []site
+		for _, name := range p.Order {
+			f := p.Funcs[name]
+			fp := prof.Funcs[name]
+			for _, b := range f.Blocks {
+				for _, op := range b.Ops {
+					if op.Opcode != ir.OpCall || op.Guard != 0 {
+						continue
+					}
+					if op.Callee == name {
+						continue // no self-inlining
+					}
+					callee := p.Funcs[op.Callee]
+					if callee == nil || callee.OpCount() > opts.MaxCalleeOps {
+						continue
+					}
+					var cnt int64
+					if fp != nil {
+						cnt = fp.CallSite[op.ID]
+					}
+					if cnt == 0 {
+						continue // cold or never-executed site
+					}
+					sites = append(sites, site{caller: name, opID: op.ID,
+						callee: op.Callee, count: cnt})
+				}
+			}
+		}
+		if len(sites) == 0 {
+			return inlined
+		}
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].count != sites[j].count {
+				return sites[i].count > sites[j].count
+			}
+			if sites[i].caller != sites[j].caller {
+				return sites[i].caller < sites[j].caller
+			}
+			return sites[i].opID < sites[j].opID
+		})
+		did := false
+		for _, s := range sites {
+			cost := p.Funcs[s.callee].OpCount()
+			if p.OpCount()+cost > baseOps+budget {
+				continue
+			}
+			if inlineSite(p.Funcs[s.caller], s.opID, p.Funcs[s.callee]) {
+				inlined++
+				did = true
+			}
+		}
+		if !did {
+			return inlined
+		}
+	}
+	return inlined
+}
+
+// inlineSite splices a clone of callee into caller at the call op with
+// the given ID. Returns false if the site no longer exists.
+func inlineSite(caller *ir.Func, opID int, callee *ir.Func) bool {
+	var blk *ir.Block
+	idx := -1
+	for _, b := range caller.Blocks {
+		for i, op := range b.Ops {
+			if op.ID == opID && op.Opcode == ir.OpCall {
+				blk, idx = b, i
+				break
+			}
+		}
+		if blk != nil {
+			break
+		}
+	}
+	if blk == nil {
+		return false
+	}
+	call := blk.Ops[idx]
+
+	// Continuation block receives the ops after the call.
+	cont := caller.NewBlock()
+	cont.Ops = append(cont.Ops, blk.Ops[idx+1:]...)
+	cont.Fall = blk.Fall
+	cont.Weight = blk.Weight
+
+	// Clone the callee with renamed registers, predicates and blocks.
+	regMap := map[ir.Reg]ir.Reg{}
+	mapReg := func(r ir.Reg) ir.Reg {
+		if r == 0 {
+			return 0
+		}
+		nr, ok := regMap[r]
+		if !ok {
+			nr = caller.NewReg()
+			regMap[r] = nr
+		}
+		return nr
+	}
+	predMap := map[ir.PredReg]ir.PredReg{}
+	mapPred := func(pr ir.PredReg) ir.PredReg {
+		if pr == 0 {
+			return 0
+		}
+		np, ok := predMap[pr]
+		if !ok {
+			np = caller.NewPred()
+			predMap[pr] = np
+		}
+		return np
+	}
+	blockMap := map[ir.BlockID]ir.BlockID{}
+	for _, cb := range callee.Blocks {
+		nb := caller.NewBlock()
+		nb.Weight = blk.Weight
+		nb.Name = cb.Name
+		blockMap[cb.ID] = nb.ID
+	}
+	for _, cb := range callee.Blocks {
+		nb := caller.Block(blockMap[cb.ID])
+		for _, op := range cb.Ops {
+			c := op.Clone(caller.NewOpID())
+			for i := range c.Dest {
+				c.Dest[i] = mapReg(c.Dest[i])
+			}
+			for i := range c.Src {
+				c.Src[i] = mapReg(c.Src[i])
+			}
+			c.Guard = mapPred(c.Guard)
+			for i := range c.PDest {
+				if c.PDest[i].Type != ir.PTNone {
+					c.PDest[i].Pred = mapPred(c.PDest[i].Pred)
+				}
+			}
+			if c.IsBranch() {
+				c.Target = blockMap[c.Target]
+			}
+			if c.Opcode == ir.OpRet {
+				// Return: copy the value to the call's dest, then go to
+				// the continuation. A guarded ret becomes a guarded
+				// jump preceded by a guarded move.
+				if len(call.Dest) > 0 && len(c.Src) > 0 {
+					mv := &ir.Op{ID: caller.NewOpID(), Opcode: ir.OpMov,
+						Dest: []ir.Reg{call.Dest[0]}, Src: []ir.Reg{c.Src[0]},
+						Guard: c.Guard}
+					nb.Ops = append(nb.Ops, mv)
+				}
+				c = &ir.Op{ID: caller.NewOpID(), Opcode: ir.OpJump,
+					Target: cont.ID, Guard: c.Guard}
+			}
+			nb.Ops = append(nb.Ops, c)
+		}
+		if cb.Fall != 0 {
+			nb.Fall = blockMap[cb.Fall]
+		}
+	}
+
+	// Rewrite the call into parameter moves plus fallthrough to the
+	// cloned entry.
+	blk.Ops = blk.Ops[:idx]
+	for i, parm := range callee.Params {
+		blk.Ops = append(blk.Ops, &ir.Op{ID: caller.NewOpID(), Opcode: ir.OpMov,
+			Dest: []ir.Reg{mapReg(parm)}, Src: []ir.Reg{call.Src[i]}})
+	}
+	blk.Fall = blockMap[callee.Entry]
+	return true
+}

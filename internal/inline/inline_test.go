@@ -1,0 +1,178 @@
+package inline
+
+import (
+	"bytes"
+	"testing"
+
+	"lpbuf/internal/interp"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+	"lpbuf/internal/profile"
+)
+
+// callerProgram: main loops n times calling clampAdd(acc, in[i]).
+func callerProgram(n int) *ir.Program {
+	pb := irbuild.NewProgram(16 << 10)
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = int32(i*13 - 40)
+	}
+	inOff := pb.GlobalW("in", n, vals)
+
+	g := pb.Func("clampAdd", 2, true)
+	g.Block("e")
+	s := g.Reg()
+	g.Add(s, g.Param(0), g.Param(1))
+	g.BrI(ir.CmpLE, s, 100, "ok")
+	g.Block("clamp")
+	g.MovI(s, 100)
+	g.Block("ok")
+	g.Ret(s)
+
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	i := f.Reg()
+	acc := f.Reg()
+	in := f.Const(inOff)
+	f.MovI(i, 0)
+	f.MovI(acc, 0)
+	f.Block("loop")
+	x := f.Reg()
+	f.LdW(x, in, 0)
+	f.Call(acc, "clampAdd", acc, x)
+	f.AddI(in, in, 4)
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, int64(n), "loop")
+	f.Block("done")
+	f.Ret(acc)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+func TestInlinePreservesSemantics(t *testing.T) {
+	p := callerProgram(20)
+	prof := profile.New()
+	ref, err := interp.Run(p, interp.Options{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := Apply(p, prof, Options{ExpansionBudget: 2.0})
+	if n != 1 {
+		t.Fatalf("inlined %d sites, want 1", n)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v\n%s", err, p.Funcs["main"])
+	}
+	// No calls remain in main.
+	for _, b := range p.Funcs["main"].Blocks {
+		for _, op := range b.Ops {
+			if op.Opcode == ir.OpCall {
+				t.Fatal("call survived inlining")
+			}
+		}
+	}
+	res, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != ref.Ret {
+		t.Fatalf("ret changed: %d -> %d", ref.Ret, res.Ret)
+	}
+	if !bytes.Equal(res.Mem, ref.Mem) {
+		t.Fatal("memory changed")
+	}
+}
+
+func TestInlineRespectsBudget(t *testing.T) {
+	p := callerProgram(20)
+	prof := profile.New()
+	if _, err := interp.Run(p, interp.Options{Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	// Budget too small for the callee: nothing inlined.
+	if n := Apply(p, prof, Options{ExpansionBudget: 0.01}); n != 0 {
+		t.Fatalf("inlined %d sites with near-zero budget", n)
+	}
+}
+
+func TestInlineSkipsColdSites(t *testing.T) {
+	p := callerProgram(20)
+	// Empty profile: all sites cold.
+	if n := Apply(p, profile.New(), Options{}); n != 0 {
+		t.Fatalf("inlined %d cold sites", n)
+	}
+}
+
+func TestInlineNestedChains(t *testing.T) {
+	// a calls b calls c: repeated rounds inline the whole chain.
+	pb := irbuild.NewProgram(16 << 10)
+	c := pb.Func("c", 1, true)
+	c.Block("e")
+	d := c.Reg()
+	c.AddI(d, c.Param(0), 5)
+	c.Ret(d)
+	b := pb.Func("b", 1, true)
+	b.Block("e")
+	r := b.Reg()
+	b.Call(r, "c", b.Param(0))
+	b.MulI(r, r, 2)
+	b.Ret(r)
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	i := f.Reg()
+	acc := f.Reg()
+	f.MovI(i, 0)
+	f.MovI(acc, 0)
+	f.Block("loop")
+	v := f.Reg()
+	f.Call(v, "b", i)
+	f.Add(acc, acc, v)
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, 20, "loop")
+	f.Block("done")
+	f.Ret(acc)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	prof := profile.New()
+	ref, err := interp.Run(p, interp.Options{Profile: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := Apply(p, prof, Options{ExpansionBudget: 4.0})
+	if n < 2 {
+		t.Fatalf("inlined %d sites, want the chain", n)
+	}
+	for _, blk := range p.Funcs["main"].Blocks {
+		for _, op := range blk.Ops {
+			if op.Opcode == ir.OpCall {
+				t.Fatal("call chain not fully inlined")
+			}
+		}
+	}
+	res, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != ref.Ret {
+		t.Fatalf("ret changed: %d -> %d", ref.Ret, res.Ret)
+	}
+}
+
+func TestInlinePreservesBlockNames(t *testing.T) {
+	p := callerProgram(10)
+	prof := profile.New()
+	if _, err := interp.Run(p, interp.Options{Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	Apply(p, prof, Options{ExpansionBudget: 2.0})
+	found := false
+	for _, blk := range p.Funcs["main"].Blocks {
+		if blk.Name == "clamp" { // callee's block label survives
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inlined blocks lost their source labels")
+	}
+}

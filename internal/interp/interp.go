@@ -1,0 +1,346 @@
+// Package interp is a functional interpreter for the IR. It executes
+// programs in CFG form (before or after the control transformations —
+// it fully understands guards and predicate defines), produces the
+// reference outputs the cycle-level simulator is validated against, and
+// optionally gathers execution profiles for the profile-guided passes.
+package interp
+
+import (
+	"fmt"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/profile"
+)
+
+// Options configure a run.
+type Options struct {
+	// Profile, when non-nil, receives execution counts.
+	Profile *profile.Profile
+	// MaxOps bounds dynamic operations (0 = default 4e9).
+	MaxOps int64
+	// MaxDepth bounds call depth (0 = default 256).
+	MaxDepth int
+	// EntryArgs are passed to the entry function's parameters.
+	EntryArgs []int64
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Mem is the final data memory.
+	Mem []byte
+	// Ret is the entry function's return value (0 for void).
+	Ret int64
+	// Ops is the number of dynamic operations executed (nullified
+	// guarded operations count: they issued).
+	Ops int64
+}
+
+type state struct {
+	prog  *ir.Program
+	mem   []byte
+	prof  *profile.Profile
+	ops   int64
+	maxOp int64
+	depth int
+	maxD  int
+}
+
+// Run executes the program from its entry function.
+func Run(prog *ir.Program, opts Options) (*Result, error) {
+	entry := prog.Funcs[prog.Entry]
+	if entry == nil {
+		return nil, fmt.Errorf("interp: no entry function %q", prog.Entry)
+	}
+	st := &state{
+		prog:  prog,
+		mem:   make([]byte, prog.MemSize),
+		prof:  opts.Profile,
+		maxOp: opts.MaxOps,
+		maxD:  opts.MaxDepth,
+	}
+	if st.maxOp == 0 {
+		st.maxOp = 4e9
+	}
+	if st.maxD == 0 {
+		st.maxD = 256
+	}
+	for _, g := range prog.Globals {
+		copy(st.mem[g.Offset:g.Offset+g.Size], g.Init)
+	}
+	ret, err := st.call(entry, opts.EntryArgs)
+	if err != nil {
+		return nil, err
+	}
+	if st.prof != nil {
+		st.prof.TotalOps = st.ops
+	}
+	return &Result{Mem: st.mem, Ret: ret, Ops: st.ops}, nil
+}
+
+func (st *state) call(f *ir.Func, args []int64) (int64, error) {
+	if st.depth >= st.maxD {
+		return 0, fmt.Errorf("interp: call depth limit in %s", f.Name)
+	}
+	st.depth++
+	defer func() { st.depth-- }()
+
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("interp: %s expects %d args, got %d", f.Name, len(f.Params), len(args))
+	}
+	regs := make([]int64, f.NumRegs()+1)
+	preds := make([]bool, f.NumPreds()+1)
+	preds[0] = true
+	for i, p := range f.Params {
+		regs[p] = ir.W32(args[i])
+	}
+
+	var fp *profile.FuncProfile
+	if st.prof != nil {
+		fp = st.prof.ForFunc(f.Name)
+		fp.Calls++
+	}
+
+	cur := f.Entry
+	for {
+		b := f.Block(cur)
+		if b == nil {
+			return 0, fmt.Errorf("interp: %s: missing block B%d", f.Name, cur)
+		}
+		if fp != nil {
+			fp.Block[b.ID]++
+		}
+		next, ret, returned, err := st.execBlock(f, fp, b, regs, preds)
+		if err != nil {
+			return 0, err
+		}
+		if returned {
+			return ret, nil
+		}
+		if next == 0 {
+			return 0, fmt.Errorf("interp: %s: B%d fell off the end", f.Name, b.ID)
+		}
+		if fp != nil {
+			fp.Edge[profile.Edge{From: b.ID, To: next}]++
+		}
+		cur = next
+	}
+}
+
+// execBlock runs the ops of b. It returns the next block (0 if none),
+// or a return value when the function returned.
+func (st *state) execBlock(f *ir.Func, fp *profile.FuncProfile, b *ir.Block,
+	regs []int64, preds []bool) (next ir.BlockID, ret int64, returned bool, err error) {
+
+	src := func(op *ir.Op, i int) int64 {
+		// The immediate, when present, stands in the last source slot.
+		if op.HasImm && i == len(op.Src) {
+			return op.Imm
+		}
+		return regs[op.Src[i]]
+	}
+
+	for _, op := range b.Ops {
+		st.ops++
+		if fp != nil {
+			fp.Ops++
+		}
+		if st.ops > st.maxOp {
+			return 0, 0, false, fmt.Errorf("interp: op limit exceeded in %s", f.Name)
+		}
+		guard := preds[op.Guard]
+		switch {
+		case op.Opcode == ir.OpNop:
+
+		case op.Opcode == ir.OpCmpP:
+			cond := op.Cmp.Eval(src(op, 0), src(op, 1))
+			for _, pd := range op.PredDefines() {
+				v, w := pd.Type.Update(guard, cond)
+				if w {
+					preds[pd.Pred] = v
+				}
+			}
+
+		case op.Opcode == ir.OpSel:
+			if guard {
+				if regs[op.Src[0]] != 0 {
+					regs[op.Dest[0]] = regs[op.Src[1]]
+				} else {
+					regs[op.Dest[0]] = regs[op.Src[2]]
+				}
+			}
+
+		case ir.IsALUEvaluable(op.Opcode):
+			if guard {
+				var a, bb int64
+				if op.Opcode == ir.OpMov {
+					a = src(op, 0)
+				} else if op.Opcode == ir.OpAbs {
+					a = src(op, 0)
+				} else {
+					a, bb = src(op, 0), src(op, 1)
+				}
+				regs[op.Dest[0]] = ir.EvalALU(op.Opcode, op.Cmp, a, bb)
+			}
+
+		case op.IsLoad():
+			if guard {
+				addr := regs[op.Src[0]] + op.Imm
+				v, lerr := st.loadMem(op.Opcode, addr)
+				if lerr != nil {
+					if op.Speculative {
+						v = 0 // speculative loads squash faults
+					} else {
+						return 0, 0, false, fmt.Errorf("%s in %s B%d: %v", op, f.Name, b.ID, lerr)
+					}
+				}
+				regs[op.Dest[0]] = v
+			}
+
+		case op.IsStore():
+			if guard {
+				addr := regs[op.Src[0]] + op.Imm
+				if serr := st.storeMem(op.Opcode, addr, regs[op.Src[1]]); serr != nil {
+					return 0, 0, false, fmt.Errorf("%s in %s B%d: %v", op, f.Name, b.ID, serr)
+				}
+			}
+
+		case op.Opcode == ir.OpBr:
+			taken := false
+			if guard {
+				taken = op.Cmp.Eval(src(op, 0), src(op, 1))
+				if fp != nil {
+					fp.BranchExec[op.ID]++
+					if taken {
+						fp.BranchTaken[op.ID]++
+					}
+				}
+			}
+			if taken {
+				return op.Target, 0, false, nil
+			}
+
+		case op.Opcode == ir.OpJump:
+			if guard {
+				if fp != nil {
+					fp.BranchExec[op.ID]++
+					fp.BranchTaken[op.ID]++
+				}
+				return op.Target, 0, false, nil
+			}
+
+		case op.Opcode == ir.OpBrCLoop:
+			if guard {
+				c := ir.W32(regs[op.Src[0]] - 1)
+				regs[op.Dest[0]] = c
+				if fp != nil {
+					fp.BranchExec[op.ID]++
+				}
+				if c > 0 {
+					if fp != nil {
+						fp.BranchTaken[op.ID]++
+					}
+					return op.Target, 0, false, nil
+				}
+			}
+
+		case op.Opcode == ir.OpCall:
+			if guard {
+				callee := st.prog.Funcs[op.Callee]
+				if callee == nil {
+					return 0, 0, false, fmt.Errorf("interp: call to undefined %q", op.Callee)
+				}
+				args := make([]int64, len(op.Src))
+				for i, r := range op.Src {
+					args[i] = regs[r]
+				}
+				if fp != nil {
+					fp.CallSite[op.ID]++
+				}
+				rv, cerr := st.call(callee, args)
+				if cerr != nil {
+					return 0, 0, false, cerr
+				}
+				if len(op.Dest) > 0 {
+					regs[op.Dest[0]] = rv
+				}
+			}
+
+		case op.Opcode == ir.OpRet:
+			if guard {
+				var rv int64
+				if len(op.Src) > 0 {
+					rv = regs[op.Src[0]]
+				}
+				return 0, rv, true, nil
+			}
+
+		case op.IsBufferOp():
+			// Buffer management ops are fetch-engine directives; they
+			// are semantic no-ops to the interpreter except that
+			// exec_[cw]loop transfers control to the buffered loop,
+			// which in IR form is just its Target block.
+			if guard && (op.Opcode == ir.OpExecCLoop || op.Opcode == ir.OpExecWLoop) {
+				return op.Target, 0, false, nil
+			}
+
+		default:
+			return 0, 0, false, fmt.Errorf("interp: unhandled op %s in %s", op, f.Name)
+		}
+	}
+	return b.Fall, 0, false, nil
+}
+
+func (st *state) loadMem(opc ir.Opcode, addr int64) (int64, error) {
+	sz := memSize(opc)
+	if addr < 0 || addr+sz > int64(len(st.mem)) {
+		return 0, fmt.Errorf("load out of range: addr=%d size=%d", addr, sz)
+	}
+	switch opc {
+	case ir.OpLdB:
+		return int64(int8(st.mem[addr])), nil
+	case ir.OpLdBU:
+		return int64(st.mem[addr]), nil
+	case ir.OpLdH:
+		return int64(int16(uint16(st.mem[addr]) | uint16(st.mem[addr+1])<<8)), nil
+	case ir.OpLdHU:
+		return int64(uint16(st.mem[addr]) | uint16(st.mem[addr+1])<<8), nil
+	case ir.OpLdW:
+		v := uint32(st.mem[addr]) | uint32(st.mem[addr+1])<<8 |
+			uint32(st.mem[addr+2])<<16 | uint32(st.mem[addr+3])<<24
+		return int64(int32(v)), nil
+	}
+	return 0, fmt.Errorf("not a load: %s", opc)
+}
+
+func (st *state) storeMem(opc ir.Opcode, addr, v int64) error {
+	sz := memSize(opc)
+	if addr < 0 || addr+sz > int64(len(st.mem)) {
+		return fmt.Errorf("store out of range: addr=%d size=%d", addr, sz)
+	}
+	switch opc {
+	case ir.OpStB:
+		st.mem[addr] = byte(v)
+	case ir.OpStH:
+		st.mem[addr] = byte(v)
+		st.mem[addr+1] = byte(uint64(v) >> 8)
+	case ir.OpStW:
+		st.mem[addr] = byte(v)
+		st.mem[addr+1] = byte(uint64(v) >> 8)
+		st.mem[addr+2] = byte(uint64(v) >> 16)
+		st.mem[addr+3] = byte(uint64(v) >> 24)
+	default:
+		return fmt.Errorf("not a store: %s", opc)
+	}
+	return nil
+}
+
+func memSize(opc ir.Opcode) int64 {
+	switch opc {
+	case ir.OpLdB, ir.OpLdBU, ir.OpStB:
+		return 1
+	case ir.OpLdH, ir.OpLdHU, ir.OpStH:
+		return 2
+	default:
+		return 4
+	}
+}

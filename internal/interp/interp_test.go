@@ -1,0 +1,277 @@
+package interp
+
+import (
+	"testing"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+	"lpbuf/internal/profile"
+)
+
+// sumProgram builds: for i in [0,n): acc += i; return acc.
+func sumProgram(n int64) *ir.Program {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	acc, i := f.Reg(), f.Reg()
+	f.Block("entry")
+	f.MovI(acc, 0)
+	f.MovI(i, 0)
+	f.Block("loop")
+	f.Add(acc, acc, i)
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, n, "loop")
+	f.Block("done")
+	f.Ret(acc)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+func TestSumLoop(t *testing.T) {
+	res, err := Run(sumProgram(10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 45 {
+		t.Fatalf("ret = %d, want 45", res.Ret)
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	prof := profile.New()
+	if _, err := Run(sumProgram(10), Options{Profile: prof}); err != nil {
+		t.Fatal(err)
+	}
+	fp := prof.Funcs["main"]
+	if fp == nil {
+		t.Fatal("no profile for main")
+	}
+	var loopID ir.BlockID = 2 // second block created
+	if fp.Block[loopID] != 10 {
+		t.Fatalf("loop block count = %d, want 10", fp.Block[loopID])
+	}
+	if fp.Calls != 1 {
+		t.Fatalf("calls = %d", fp.Calls)
+	}
+	// The back edge is taken 9 times.
+	if fp.Edge[profile.Edge{From: loopID, To: loopID}] != 9 {
+		t.Fatalf("back edge = %d, want 9", fp.Edge[profile.Edge{From: loopID, To: loopID}])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	base := pb.Global("buf", 64, nil)
+	f := pb.Func("main", 0, true)
+	f.Block("entry")
+	b := f.Const(base)
+	v := f.Const(-2)
+	f.StW(b, 0, v)
+	f.StH(b, 4, v)
+	f.StB(b, 6, v)
+	w, h, hu, bb, bu := f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	f.LdW(w, b, 0)
+	f.LdH(h, b, 4)
+	f.LdHU(hu, b, 4)
+	f.LdB(bb, b, 6)
+	f.LdBU(bu, b, 6)
+	s := f.Reg()
+	f.Add(s, w, h)  // -2 + -2 = -4
+	f.Add(s, s, hu) // -4 + 65534 = 65530
+	f.Add(s, s, bb) // 65530 - 2 = 65528
+	f.Add(s, s, bu) // 65528 + 254 = 65782
+	f.Ret(s)
+	pb.SetEntry("main")
+	res, err := Run(pb.MustBuild(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 65782 {
+		t.Fatalf("ret = %d, want 65782", res.Ret)
+	}
+}
+
+func TestGlobalInit(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	base := pb.GlobalW("tab", 4, []int32{10, -20, 30, -40})
+	f := pb.Func("main", 0, true)
+	f.Block("entry")
+	b := f.Const(base)
+	x, y := f.Reg(), f.Reg()
+	f.LdW(x, b, 4)
+	f.LdW(y, b, 12)
+	f.Add(x, x, y)
+	f.Ret(x)
+	pb.SetEntry("main")
+	res, err := Run(pb.MustBuild(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != -60 {
+		t.Fatalf("ret = %d, want -60", res.Ret)
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	g := pb.Func("square", 1, true)
+	g.Block("entry")
+	d := g.Reg()
+	g.Mul(d, g.Param(0), g.Param(0))
+	g.Ret(d)
+
+	f := pb.Func("main", 0, true)
+	f.Block("entry")
+	a := f.Const(7)
+	r := f.Reg()
+	f.Call(r, "square", a)
+	f.Ret(r)
+	pb.SetEntry("main")
+	res, err := Run(pb.MustBuild(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 49 {
+		t.Fatalf("ret = %d, want 49", res.Ret)
+	}
+}
+
+func TestPredicatedExecution(t *testing.T) {
+	// if (x < 5) y = 1 else y = 2, fully if-converted by hand.
+	build := func(x int64) *ir.Program {
+		pb := irbuild.NewProgram(16 << 10)
+		f := pb.Func("main", 0, true)
+		f.Block("entry")
+		xr := f.Const(x)
+		y := f.Reg()
+		pt, pf := f.F.NewPred(), f.F.NewPred()
+		f.CmpPI(pt, ir.PTUT, pf, ir.PTUF, ir.CmpLT, xr, 5)
+		f.MovI(y, 1).Guard = pt
+		f.MovI(y, 2).Guard = pf
+		f.Ret(y)
+		pb.SetEntry("main")
+		return pb.MustBuild()
+	}
+	for _, c := range []struct{ x, want int64 }{{3, 1}, {5, 2}, {9, 2}} {
+		res, err := Run(build(c.x), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ret != c.want {
+			t.Fatalf("x=%d: ret = %d, want %d", c.x, res.Ret, c.want)
+		}
+	}
+}
+
+func TestOrTypePredicates(t *testing.T) {
+	// p = (x < 0) || (x > 3), via or-type defines.
+	build := func(x int64) *ir.Program {
+		pb := irbuild.NewProgram(16 << 10)
+		f := pb.Func("main", 0, true)
+		f.Block("entry")
+		xr := f.Const(x)
+		y := f.Reg()
+		f.MovI(y, 0)
+		p := f.F.NewPred()
+		// Initialize p to 0 with a ut define of a false condition, then
+		// OR in the two conditions.
+		zero := f.Const(0)
+		f.CmpPI(p, ir.PTUT, 0, ir.PTNone, ir.CmpNE, zero, 0)
+		f.CmpPI(p, ir.PTOT, 0, ir.PTNone, ir.CmpLT, xr, 0)
+		f.CmpPI(p, ir.PTOT, 0, ir.PTNone, ir.CmpGT, xr, 3)
+		f.MovI(y, 1).Guard = p
+		f.Ret(y)
+		pb.SetEntry("main")
+		return pb.MustBuild()
+	}
+	for _, c := range []struct{ x, want int64 }{{-1, 1}, {0, 0}, {3, 0}, {4, 1}} {
+		res, err := Run(build(c.x), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ret != c.want {
+			t.Fatalf("x=%d: ret = %d, want %d", c.x, res.Ret, c.want)
+		}
+	}
+}
+
+func TestCLoop(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("entry")
+	c := f.Const(5)
+	acc := f.Reg()
+	f.MovI(acc, 0)
+	f.Block("loop")
+	f.AddI(acc, acc, 3)
+	f.CLoop(c, "loop")
+	f.Block("done")
+	f.Ret(acc)
+	pb.SetEntry("main")
+	res, err := Run(pb.MustBuild(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 15 {
+		t.Fatalf("ret = %d, want 15 (5 iterations)", res.Ret)
+	}
+}
+
+func TestOpLimit(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, false)
+	f.Block("loop")
+	f.Jump("loop")
+	pb.SetEntry("main")
+	if _, err := Run(pb.MustBuild(), Options{MaxOps: 1000}); err == nil {
+		t.Fatal("expected op-limit error for infinite loop")
+	}
+}
+
+func TestLoadOutOfRangeFaults(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("entry")
+	a := f.Const(1 << 20)
+	d := f.Reg()
+	f.LdW(d, a, 0)
+	f.Ret(d)
+	pb.SetEntry("main")
+	if _, err := Run(pb.MustBuild(), Options{}); err == nil {
+		t.Fatal("expected fault for out-of-range load")
+	}
+}
+
+func TestSpeculativeLoadSquashesFault(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("entry")
+	a := f.Const(1 << 20)
+	d := f.Reg()
+	f.LdW(d, a, 0).Speculative = true
+	f.Ret(d)
+	pb.SetEntry("main")
+	res, err := Run(pb.MustBuild(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 0 {
+		t.Fatalf("speculative faulting load should yield 0, got %d", res.Ret)
+	}
+}
+
+func TestEntryArgs(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 2, true)
+	f.Block("entry")
+	d := f.Reg()
+	f.Sub(d, f.Param(0), f.Param(1))
+	f.Ret(d)
+	pb.SetEntry("main")
+	res, err := Run(pb.MustBuild(), Options{EntryArgs: []int64{10, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 6 {
+		t.Fatalf("ret = %d, want 6", res.Ret)
+	}
+}

@@ -1,0 +1,105 @@
+package ir
+
+// The datapath is 32 bits wide; register values are carried in int64s
+// but always kept sign-extended from 32 bits. W32 renormalizes.
+
+// W32 truncates to 32 bits and sign-extends.
+func W32(x int64) int64 { return int64(int32(x)) }
+
+func sat16(x int64) int64 {
+	if x > 32767 {
+		return 32767
+	}
+	if x < -32768 {
+		return -32768
+	}
+	return x
+}
+
+func sat32(x int64) int64 {
+	if x > 2147483647 {
+		return 2147483647
+	}
+	if x < -2147483648 {
+		return -2147483648
+	}
+	return x
+}
+
+// EvalALU evaluates a pure ALU/intrinsic opcode on 32-bit operands.
+// It covers every opcode for which IsALUEvaluable returns true.
+func EvalALU(opc Opcode, cmp CmpKind, a, b int64) int64 {
+	switch opc {
+	case OpMov:
+		// Unary: result is the single operand (callers pass it as a).
+		return W32(a)
+	case OpAdd:
+		return W32(a + b)
+	case OpSub:
+		return W32(a - b)
+	case OpMul:
+		return W32(a * b)
+	case OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return W32(a / b)
+	case OpRem:
+		if b == 0 {
+			return 0
+		}
+		return W32(a % b)
+	case OpAnd:
+		return W32(a & b)
+	case OpOr:
+		return W32(a | b)
+	case OpXor:
+		return W32(a ^ b)
+	case OpShl:
+		return W32(a << (uint64(b) & 31))
+	case OpShr:
+		return W32(a >> (uint64(b) & 31))
+	case OpShrU:
+		return W32(int64(uint32(a) >> (uint64(b) & 31)))
+	case OpAbs:
+		if a < 0 {
+			return W32(-a)
+		}
+		return W32(a)
+	case OpMin:
+		if a < b {
+			return W32(a)
+		}
+		return W32(b)
+	case OpMax:
+		if a > b {
+			return W32(a)
+		}
+		return W32(b)
+	case OpSAdd16:
+		return sat16(a + b)
+	case OpSSub16:
+		return sat16(a - b)
+	case OpSAdd32:
+		return sat32(a + b)
+	case OpSSub32:
+		return sat32(a - b)
+	case OpCmpW:
+		if cmp.Eval(a, b) {
+			return 1
+		}
+		return 0
+	}
+	panic("ir: EvalALU on non-ALU opcode " + opc.String())
+}
+
+// IsALUEvaluable reports whether EvalALU handles opc.
+func IsALUEvaluable(opc Opcode) bool {
+	switch opc {
+	case OpMov, OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor,
+		OpShl, OpShr, OpShrU, OpAbs, OpMin, OpMax,
+		OpSAdd16, OpSSub16, OpSAdd32, OpSSub32, OpCmpW:
+		return true
+	}
+	return false
+}

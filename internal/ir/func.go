@@ -1,0 +1,429 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Block is a basic block: an ordered list of operations. Branches may
+// appear anywhere in the block (mid-block branches are hyperblock side
+// exits); control falls through to Fall when no branch is taken by the
+// end of the block.
+type Block struct {
+	ID BlockID
+	// Name is an optional source-level label (set by irbuild), used in
+	// reports such as the Figure 5 buffer traces.
+	Name string
+	Ops  []*Op
+
+	// Fall is the fallthrough successor, or 0 when the block always
+	// leaves via an explicit branch/return.
+	Fall BlockID
+
+	// Weight is the block's profiled execution count.
+	Weight float64
+}
+
+// Succs returns the distinct successor block IDs (branch targets plus
+// fallthrough), in deterministic order: branch targets in op order,
+// then fallthrough.
+func (b *Block) Succs() []BlockID {
+	var out []BlockID
+	seen := map[BlockID]bool{}
+	add := func(id BlockID) {
+		if id != 0 && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, op := range b.Ops {
+		if op.IsBranch() {
+			add(op.Target)
+		}
+	}
+	add(b.Fall)
+	return out
+}
+
+// Terminated reports whether the block cannot fall through (ends in an
+// unguarded jump, return, or counted-loop branch with no fallthrough).
+func (b *Block) Terminated() bool {
+	if len(b.Ops) == 0 {
+		return false
+	}
+	last := b.Ops[len(b.Ops)-1]
+	return last.IsUncondJump() || last.Opcode == OpRet
+}
+
+// LastOp returns the final op or nil.
+func (b *Block) LastOp() *Op {
+	if len(b.Ops) == 0 {
+		return nil
+	}
+	return b.Ops[len(b.Ops)-1]
+}
+
+// Func is a single function: blocks in layout order with an entry block.
+type Func struct {
+	Name string
+	// Params are the registers that receive the caller's arguments.
+	Params []Reg
+	// HasRet reports whether the function produces a return value.
+	HasRet bool
+
+	Blocks []*Block
+	Entry  BlockID
+
+	nextReg  Reg
+	nextPred PredReg
+	nextOp   int
+	nextBlk  BlockID
+
+	index map[BlockID]*Block
+}
+
+// NewFunc creates an empty function.
+func NewFunc(name string) *Func {
+	return &Func{
+		Name:     name,
+		nextReg:  1,
+		nextPred: 1,
+		nextOp:   1,
+		nextBlk:  1,
+		index:    map[BlockID]*Block{},
+	}
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *Func) NewReg() Reg {
+	r := f.nextReg
+	f.nextReg++
+	return r
+}
+
+// NewPred allocates a fresh virtual predicate register.
+func (f *Func) NewPred() PredReg {
+	p := f.nextPred
+	f.nextPred++
+	return p
+}
+
+// NewOpID allocates a fresh operation ID.
+func (f *Func) NewOpID() int {
+	id := f.nextOp
+	f.nextOp++
+	return id
+}
+
+// NumRegs returns an upper bound on allocated register ids (exclusive).
+func (f *Func) NumRegs() Reg { return f.nextReg }
+
+// NumPreds returns an upper bound on allocated predicate ids (exclusive).
+func (f *Func) NumPreds() PredReg { return f.nextPred }
+
+// NewBlock appends a new empty block to the layout and returns it.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: f.nextBlk}
+	f.nextBlk++
+	f.Blocks = append(f.Blocks, b)
+	f.index[b.ID] = b
+	return b
+}
+
+// Block returns the block with the given ID, or nil.
+func (f *Func) Block(id BlockID) *Block {
+	if f.index == nil {
+		f.Reindex()
+	}
+	return f.index[id]
+}
+
+// Reindex rebuilds the internal block index (call after bulk edits to
+// f.Blocks).
+func (f *Func) Reindex() {
+	f.index = make(map[BlockID]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		f.index[b.ID] = b
+		if b.ID >= f.nextBlk {
+			f.nextBlk = b.ID + 1
+		}
+	}
+}
+
+// Preds computes the predecessor map of the CFG.
+func (f *Func) Preds() map[BlockID][]BlockID {
+	preds := map[BlockID][]BlockID{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b.ID)
+		}
+	}
+	return preds
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry and
+// returns how many were removed.
+func (f *Func) RemoveUnreachable() int {
+	reach := map[BlockID]bool{}
+	var stack []BlockID
+	push := func(id BlockID) {
+		if id != 0 && !reach[id] {
+			reach[id] = true
+			stack = append(stack, id)
+		}
+	}
+	push(f.Entry)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := f.Block(id)
+		if b == nil {
+			continue
+		}
+		for _, s := range b.Succs() {
+			push(s)
+		}
+	}
+	var kept []*Block
+	removed := 0
+	for _, b := range f.Blocks {
+		if reach[b.ID] {
+			kept = append(kept, b)
+		} else {
+			removed++
+		}
+	}
+	if removed > 0 {
+		f.Blocks = kept
+		f.Reindex()
+	}
+	return removed
+}
+
+// OpCount returns the number of non-nop operations in the function.
+func (f *Func) OpCount() int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			if op.Opcode != OpNop {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the function.
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:     f.Name,
+		Params:   append([]Reg(nil), f.Params...),
+		HasRet:   f.HasRet,
+		Entry:    f.Entry,
+		nextReg:  f.nextReg,
+		nextPred: f.nextPred,
+		nextOp:   f.nextOp,
+		nextBlk:  f.nextBlk,
+		index:    map[BlockID]*Block{},
+	}
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Name: b.Name, Fall: b.Fall, Weight: b.Weight}
+		for _, op := range b.Ops {
+			nb.Ops = append(nb.Ops, op.Clone(op.ID))
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+		nf.index[nb.ID] = nb
+	}
+	return nf
+}
+
+// Verify checks structural invariants: branch targets exist, the entry
+// exists, fallthroughs resolve, params are distinct, op IDs are unique.
+func (f *Func) Verify() error {
+	if f.Block(f.Entry) == nil {
+		return fmt.Errorf("func %s: entry B%d missing", f.Name, f.Entry)
+	}
+	ids := map[int]bool{}
+	for _, b := range f.Blocks {
+		if b.Fall != 0 && f.Block(b.Fall) == nil {
+			return fmt.Errorf("func %s: B%d falls to missing B%d", f.Name, b.ID, b.Fall)
+		}
+		for i, op := range b.Ops {
+			if ids[op.ID] {
+				return fmt.Errorf("func %s: duplicate op id %d in B%d", f.Name, op.ID, b.ID)
+			}
+			ids[op.ID] = true
+			if op.IsBranch() && f.Block(op.Target) == nil {
+				return fmt.Errorf("func %s: B%d op %d targets missing B%d", f.Name, b.ID, op.ID, op.Target)
+			}
+			if op.IsUncondJump() && i != len(b.Ops)-1 {
+				return fmt.Errorf("func %s: B%d has unguarded jump mid-block", f.Name, b.ID)
+			}
+			if op.Opcode == OpCmpP && len(op.PredDefines()) == 0 {
+				return fmt.Errorf("func %s: B%d op %d cmpp with no destinations", f.Name, b.ID, op.ID)
+			}
+		}
+		if !b.Terminated() && b.Fall == 0 {
+			// A block with no fallthrough must end in ret/jump or a
+			// branch that is always taken; only flag the clear case.
+			last := b.LastOp()
+			if last == nil || !(last.Opcode == OpRet || last.IsBranch()) {
+				return fmt.Errorf("func %s: B%d has no terminator and no fallthrough", f.Name, b.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the function.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	fmt.Fprintf(&b, ") entry=B%d\n", f.Entry)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "B%d: (w=%.0f", blk.ID, blk.Weight)
+		if blk.Fall != 0 {
+			fmt.Fprintf(&b, " fall=B%d", blk.Fall)
+		}
+		b.WriteString(")\n")
+		for _, op := range blk.Ops {
+			fmt.Fprintf(&b, "\t%s\n", op)
+		}
+	}
+	return b.String()
+}
+
+// Global is a named region of the program's flat data memory.
+type Global struct {
+	Name   string
+	Offset int64
+	Size   int64
+	// Init holds initial bytes (zero-filled to Size when shorter).
+	Init []byte
+}
+
+// Program is a set of functions plus a flat data-memory layout.
+type Program struct {
+	Funcs map[string]*Func
+	// Order lists function names in definition order (deterministic
+	// iteration).
+	Order   []string
+	Globals []Global
+	// MemSize is the size of data memory in bytes.
+	MemSize int64
+	// Entry is the name of the function where execution starts.
+	Entry string
+}
+
+// NewProgram creates an empty program with the given memory size.
+func NewProgram(memSize int64) *Program {
+	return &Program{Funcs: map[string]*Func{}, MemSize: memSize}
+}
+
+// AddFunc registers a function (replacing any previous definition).
+func (p *Program) AddFunc(f *Func) {
+	if _, ok := p.Funcs[f.Name]; !ok {
+		p.Order = append(p.Order, f.Name)
+	}
+	p.Funcs[f.Name] = f
+}
+
+// AddGlobal reserves sz bytes, 8-byte aligned, and returns the offset.
+// The first 4 KiB of data memory are reserved (a null page): small
+// integer constants then never coincide with global addresses, which
+// keeps the scheduler's pointer-region analysis precise.
+func (p *Program) AddGlobal(name string, sz int64, init []byte) int64 {
+	off := int64(4096)
+	for _, g := range p.Globals {
+		end := g.Offset + g.Size
+		if end > off {
+			off = end
+		}
+	}
+	off = (off + 7) &^ 7
+	if off+sz > p.MemSize {
+		panic(fmt.Sprintf("program memory overflow: global %s needs %d bytes at %d (mem %d)",
+			name, sz, off, p.MemSize))
+	}
+	p.Globals = append(p.Globals, Global{Name: name, Offset: off, Size: sz, Init: init})
+	return off
+}
+
+// GlobalOffset returns the offset of a named global.
+func (p *Program) GlobalOffset(name string) (int64, bool) {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g.Offset, true
+		}
+	}
+	return 0, false
+}
+
+// Clone deep-copies the program (globals share Init backing arrays,
+// which are never mutated).
+func (p *Program) Clone() *Program {
+	np := &Program{
+		Funcs:   map[string]*Func{},
+		Order:   append([]string(nil), p.Order...),
+		Globals: append([]Global(nil), p.Globals...),
+		MemSize: p.MemSize,
+		Entry:   p.Entry,
+	}
+	for name, f := range p.Funcs {
+		np.Funcs[name] = f.Clone()
+	}
+	return np
+}
+
+// Verify checks all functions and cross-function references.
+func (p *Program) Verify() error {
+	if p.Entry == "" || p.Funcs[p.Entry] == nil {
+		return fmt.Errorf("program: missing entry function %q", p.Entry)
+	}
+	names := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := p.Funcs[n]
+		if err := f.Verify(); err != nil {
+			return err
+		}
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				if op.Opcode == OpCall {
+					callee, ok := p.Funcs[op.Callee]
+					if !ok {
+						return fmt.Errorf("func %s: call to undefined %q", f.Name, op.Callee)
+					}
+					if len(op.Src) != len(callee.Params) {
+						return fmt.Errorf("func %s: call %s passes %d args, callee wants %d",
+							f.Name, op.Callee, len(op.Src), len(callee.Params))
+					}
+					if (len(op.Dest) > 0) && !callee.HasRet {
+						return fmt.Errorf("func %s: call %s expects a result from a void callee",
+							f.Name, op.Callee)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// OpCount returns total non-nop ops across all functions.
+func (p *Program) OpCount() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += f.OpCount()
+	}
+	return n
+}

@@ -1,0 +1,228 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPTypeTruthTable(t *testing.T) {
+	// Table 2 of the paper. Rows: (guard, cond); '-' means no write.
+	type row struct {
+		guard, cond bool
+		// for each type: (write, value); value meaningless when !write
+		want map[PType][2]bool // [write, value]
+	}
+	rows := []row{
+		{false, false, map[PType][2]bool{
+			PTUT: {true, false}, PTUF: {true, false},
+			PTOT: {false, false}, PTOF: {false, false},
+			PTAT: {false, false}, PTAF: {false, false},
+			PTCT: {false, false}, PTCF: {false, false},
+		}},
+		{false, true, map[PType][2]bool{
+			PTUT: {true, false}, PTUF: {true, false},
+			PTOT: {false, false}, PTOF: {false, false},
+			PTAT: {false, false}, PTAF: {false, false},
+			PTCT: {false, false}, PTCF: {false, false},
+		}},
+		{true, false, map[PType][2]bool{
+			PTUT: {true, false}, PTUF: {true, true},
+			PTOT: {false, false}, PTOF: {true, true},
+			PTAT: {true, false}, PTAF: {false, false},
+			PTCT: {true, false}, PTCF: {true, true},
+		}},
+		{true, true, map[PType][2]bool{
+			PTUT: {true, true}, PTUF: {true, false},
+			PTOT: {true, true}, PTOF: {false, false},
+			PTAT: {false, false}, PTAF: {true, false},
+			PTCT: {true, true}, PTCF: {true, false},
+		}},
+	}
+	for _, r := range rows {
+		for pt, want := range r.want {
+			v, w := pt.Update(r.guard, r.cond)
+			if w != want[0] {
+				t.Errorf("%s guard=%v cond=%v: write=%v want %v", pt, r.guard, r.cond, w, want[0])
+			}
+			if w && v != want[1] {
+				t.Errorf("%s guard=%v cond=%v: value=%v want %v", pt, r.guard, r.cond, v, want[1])
+			}
+		}
+	}
+}
+
+func TestCmpKindNegateSwap(t *testing.T) {
+	all := []CmpKind{CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE, CmpLTU, CmpGEU, CmpGTU, CmpLEU}
+	f := func(a, b int32) bool {
+		x, y := int64(a), int64(b)
+		for _, c := range all {
+			if c.Eval(x, y) == c.Negate().Eval(x, y) {
+				return false
+			}
+			if c.Eval(x, y) != c.Swap().Eval(y, x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalALU32BitSemantics(t *testing.T) {
+	cases := []struct {
+		opc  Opcode
+		a, b int64
+		want int64
+	}{
+		{OpAdd, 0x7fffffff, 1, -0x80000000},
+		{OpSub, -0x80000000, 1, 0x7fffffff},
+		{OpMul, 0x10000, 0x10000, 0},
+		{OpDiv, 7, -2, -3},
+		{OpDiv, 7, 0, 0},
+		{OpRem, 7, 0, 0},
+		{OpShl, 1, 33, 2}, // shift counts are mod 32
+		{OpShr, -8, 1, -4},
+		{OpShrU, -8, 1, 0x7ffffffc},
+		{OpAbs, -5, 0, 5},
+		{OpMin, -3, 2, -3},
+		{OpMax, -3, 2, 2},
+		{OpSAdd16, 30000, 10000, 32767},
+		{OpSSub16, -30000, 10000, -32768},
+		{OpSAdd32, 0x7fffffff, 10, 0x7fffffff},
+		{OpSSub32, -0x80000000, 10, -0x80000000},
+	}
+	for _, c := range cases {
+		got := EvalALU(c.opc, CmpEQ, c.a, c.b)
+		if got != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.opc, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUSignExtensionInvariant(t *testing.T) {
+	ops := []Opcode{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpShrU,
+		OpMin, OpMax, OpSAdd16, OpSSub16, OpSAdd32, OpSSub32}
+	f := func(a, b int32) bool {
+		for _, opc := range ops {
+			v := EvalALU(opc, CmpEQ, int64(a), int64(b))
+			if v != W32(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockSuccsAndVerify(t *testing.T) {
+	f := NewFunc("t")
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b3 := f.NewBlock()
+	f.Entry = b1.ID
+	r := f.NewReg()
+	b1.Ops = append(b1.Ops,
+		&Op{ID: f.NewOpID(), Opcode: OpBr, Cmp: CmpLT, Src: []Reg{r}, Imm: 5, HasImm: true, Target: b3.ID})
+	b1.Fall = b2.ID
+	b2.Ops = append(b2.Ops, &Op{ID: f.NewOpID(), Opcode: OpRet})
+	b3.Ops = append(b3.Ops, &Op{ID: f.NewOpID(), Opcode: OpRet})
+
+	succs := b1.Succs()
+	if len(succs) != 2 || succs[0] != b3.ID || succs[1] != b2.ID {
+		t.Fatalf("succs = %v", succs)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	preds := f.Preds()
+	if len(preds[b3.ID]) != 1 || preds[b3.ID][0] != b1.ID {
+		t.Fatalf("preds of b3: %v", preds[b3.ID])
+	}
+}
+
+func TestVerifyCatchesBadTarget(t *testing.T) {
+	f := NewFunc("t")
+	b1 := f.NewBlock()
+	f.Entry = b1.ID
+	b1.Ops = append(b1.Ops, &Op{ID: f.NewOpID(), Opcode: OpJump, Target: 99})
+	if err := f.Verify(); err == nil {
+		t.Fatal("expected verify error for missing branch target")
+	}
+}
+
+func TestVerifyCatchesMidBlockJump(t *testing.T) {
+	f := NewFunc("t")
+	b1 := f.NewBlock()
+	f.Entry = b1.ID
+	b1.Ops = append(b1.Ops,
+		&Op{ID: f.NewOpID(), Opcode: OpJump, Target: b1.ID},
+		&Op{ID: f.NewOpID(), Opcode: OpRet})
+	if err := f.Verify(); err == nil {
+		t.Fatal("expected verify error for mid-block unguarded jump")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := NewFunc("t")
+	b := f.NewBlock()
+	f.Entry = b.ID
+	r := f.NewReg()
+	b.Ops = append(b.Ops,
+		&Op{ID: f.NewOpID(), Opcode: OpMov, Dest: []Reg{r}, Imm: 1, HasImm: true},
+		&Op{ID: f.NewOpID(), Opcode: OpRet, Src: []Reg{r}})
+	c := f.Clone()
+	c.Blocks[0].Ops[0].Imm = 42
+	c.Blocks[0].Ops[1].Src[0] = Reg(99)
+	if f.Blocks[0].Ops[0].Imm != 1 || f.Blocks[0].Ops[1].Src[0] != r {
+		t.Fatal("clone shares op state with original")
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	f := NewFunc("t")
+	b1 := f.NewBlock()
+	b2 := f.NewBlock() // unreachable
+	f.Entry = b1.ID
+	b1.Ops = append(b1.Ops, &Op{ID: f.NewOpID(), Opcode: OpRet})
+	b2.Ops = append(b2.Ops, &Op{ID: f.NewOpID(), Opcode: OpRet})
+	if n := f.RemoveUnreachable(); n != 1 {
+		t.Fatalf("removed %d, want 1", n)
+	}
+	if f.Block(b2.ID) != nil {
+		t.Fatal("unreachable block still indexed")
+	}
+}
+
+func TestProgramGlobalsLayout(t *testing.T) {
+	p := NewProgram(16 << 10)
+	o1 := p.AddGlobal("a", 5, nil)
+	o2 := p.AddGlobal("b", 3, nil)
+	if o1 != 4096 {
+		t.Fatalf("first global at %d, want 4096 (null page reserved)", o1)
+	}
+	if o2 != 4104 {
+		t.Fatalf("second global at %d, want 4104 (aligned)", o2)
+	}
+	if off, ok := p.GlobalOffset("b"); !ok || off != 4104 {
+		t.Fatalf("GlobalOffset(b) = %d,%v", off, ok)
+	}
+}
+
+func TestOpRenameAndClone(t *testing.T) {
+	op := &Op{Opcode: OpAdd, Dest: []Reg{1}, Src: []Reg{2, 3}, Guard: 4}
+	op.PDest[0] = PredDest{Pred: 5, Type: PTUT}
+	c := op.Clone(7)
+	c.RenameUses(map[Reg]Reg{2: 20, 3: 30})
+	c.RenameDefs(map[Reg]Reg{1: 10})
+	c.RenamePreds(map[PredReg]PredReg{4: 40, 5: 50})
+	if op.Src[0] != 2 || op.Dest[0] != 1 || op.Guard != 4 || op.PDest[0].Pred != 5 {
+		t.Fatal("rename leaked into original")
+	}
+	if c.Src[0] != 20 || c.Src[1] != 30 || c.Dest[0] != 10 || c.Guard != 40 || c.PDest[0].Pred != 50 {
+		t.Fatalf("rename incomplete: %v", c)
+	}
+}

@@ -1,0 +1,311 @@
+// Package irbuild provides a small builder DSL for constructing ir
+// programs. The media benchmarks and most compiler tests are written
+// against it.
+package irbuild
+
+import (
+	"fmt"
+
+	"lpbuf/internal/ir"
+)
+
+// Program wraps an ir.Program under construction.
+type Program struct {
+	P *ir.Program
+}
+
+// NewProgram creates a program with the given data-memory size.
+func NewProgram(memSize int64) *Program {
+	return &Program{P: ir.NewProgram(memSize)}
+}
+
+// Global reserves a named memory region and returns its offset.
+func (p *Program) Global(name string, size int64, init []byte) int64 {
+	return p.P.AddGlobal(name, size, init)
+}
+
+// GlobalW reserves a region of n 32-bit words initialized from vals.
+func (p *Program) GlobalW(name string, n int, vals []int32) int64 {
+	buf := make([]byte, 4*n)
+	for i, v := range vals {
+		le32(buf[4*i:], uint32(v))
+	}
+	return p.P.AddGlobal(name, int64(4*n), buf)
+}
+
+// GlobalH reserves a region of n 16-bit halfwords initialized from vals.
+func (p *Program) GlobalH(name string, n int, vals []int16) int64 {
+	buf := make([]byte, 2*n)
+	for i, v := range vals {
+		buf[2*i] = byte(v)
+		buf[2*i+1] = byte(uint16(v) >> 8)
+	}
+	return p.P.AddGlobal(name, int64(2*n), buf)
+}
+
+// GlobalB reserves a byte region initialized from vals.
+func (p *Program) GlobalB(name string, n int, vals []byte) int64 {
+	return p.P.AddGlobal(name, int64(n), vals)
+}
+
+func le32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+// Func starts a new function with nparams parameters. The first block
+// subsequently started becomes the entry.
+func (p *Program) Func(name string, nparams int, hasRet bool) *Func {
+	f := ir.NewFunc(name)
+	for i := 0; i < nparams; i++ {
+		f.Params = append(f.Params, f.NewReg())
+	}
+	f.HasRet = hasRet
+	p.P.AddFunc(f)
+	return &Func{P: p, F: f, labels: map[string]*ir.Block{}}
+}
+
+// SetEntry names the program's entry function.
+func (p *Program) SetEntry(name string) { p.P.Entry = name }
+
+// Build verifies and returns the program.
+func (p *Program) Build() (*ir.Program, error) {
+	if err := p.P.Verify(); err != nil {
+		return nil, err
+	}
+	return p.P, nil
+}
+
+// MustBuild is Build that panics on error (tests, fixed benchmarks).
+func (p *Program) MustBuild() *ir.Program {
+	prog, err := p.Build()
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Func wraps an ir.Func under construction.
+type Func struct {
+	P   *Program
+	F   *ir.Func
+	cur *ir.Block
+
+	labels map[string]*ir.Block
+}
+
+// Param returns the i-th parameter register.
+func (f *Func) Param(i int) ir.Reg { return f.F.Params[i] }
+
+// Reg allocates a fresh virtual register.
+func (f *Func) Reg() ir.Reg { return f.F.NewReg() }
+
+// Label returns (creating if needed) the block named name.
+func (f *Func) label(name string) *ir.Block {
+	if b, ok := f.labels[name]; ok {
+		return b
+	}
+	b := f.F.NewBlock()
+	b.Name = name
+	f.labels[name] = b
+	return b
+}
+
+// BlockID returns the ID of the named block, creating it if needed.
+func (f *Func) BlockID(name string) ir.BlockID { return f.label(name).ID }
+
+// Block starts (or resumes) the named block. If the previous current
+// block has no terminator and no fallthrough yet, it falls through to
+// this one. The first block started becomes the function entry.
+func (f *Func) Block(name string) *Func {
+	b := f.label(name)
+	if f.cur != nil && f.cur != b && !f.cur.Terminated() && f.cur.Fall == 0 {
+		f.cur.Fall = b.ID
+	}
+	if f.F.Entry == 0 {
+		f.F.Entry = b.ID
+	}
+	f.cur = b
+	return f
+}
+
+// Fall explicitly sets the current block's fallthrough.
+func (f *Func) Fall(name string) *Func {
+	f.cur.Fall = f.BlockID(name)
+	return f
+}
+
+func (f *Func) emit(op *ir.Op) *ir.Op {
+	if f.cur == nil {
+		panic(fmt.Sprintf("irbuild: emit before Block() in %s", f.F.Name))
+	}
+	op.ID = f.F.NewOpID()
+	f.cur.Ops = append(f.cur.Ops, op)
+	return op
+}
+
+// Raw emits a pre-constructed op (assigning it a fresh ID).
+func (f *Func) Raw(op *ir.Op) *ir.Op { return f.emit(op) }
+
+// MovI emits d = imm.
+func (f *Func) MovI(d ir.Reg, imm int64) *ir.Op {
+	return f.emit(&ir.Op{Opcode: ir.OpMov, Dest: []ir.Reg{d}, Imm: imm, HasImm: true})
+}
+
+// Mov emits d = s.
+func (f *Func) Mov(d, s ir.Reg) *ir.Op {
+	return f.emit(&ir.Op{Opcode: ir.OpMov, Dest: []ir.Reg{d}, Src: []ir.Reg{s}})
+}
+
+// Const allocates a register holding imm.
+func (f *Func) Const(imm int64) ir.Reg {
+	d := f.Reg()
+	f.MovI(d, imm)
+	return d
+}
+
+// Bin emits d = a <op> b.
+func (f *Func) Bin(opc ir.Opcode, d, a, b ir.Reg) *ir.Op {
+	return f.emit(&ir.Op{Opcode: opc, Dest: []ir.Reg{d}, Src: []ir.Reg{a, b}})
+}
+
+// BinI emits d = a <op> imm.
+func (f *Func) BinI(opc ir.Opcode, d, a ir.Reg, imm int64) *ir.Op {
+	return f.emit(&ir.Op{Opcode: opc, Dest: []ir.Reg{d}, Src: []ir.Reg{a}, Imm: imm, HasImm: true})
+}
+
+// Arithmetic sugar.
+func (f *Func) Add(d, a, b ir.Reg) *ir.Op          { return f.Bin(ir.OpAdd, d, a, b) }
+func (f *Func) AddI(d, a ir.Reg, imm int64) *ir.Op { return f.BinI(ir.OpAdd, d, a, imm) }
+func (f *Func) Sub(d, a, b ir.Reg) *ir.Op          { return f.Bin(ir.OpSub, d, a, b) }
+func (f *Func) SubI(d, a ir.Reg, imm int64) *ir.Op { return f.BinI(ir.OpSub, d, a, imm) }
+func (f *Func) Mul(d, a, b ir.Reg) *ir.Op          { return f.Bin(ir.OpMul, d, a, b) }
+func (f *Func) MulI(d, a ir.Reg, imm int64) *ir.Op { return f.BinI(ir.OpMul, d, a, imm) }
+func (f *Func) Div(d, a, b ir.Reg) *ir.Op          { return f.Bin(ir.OpDiv, d, a, b) }
+func (f *Func) DivI(d, a ir.Reg, imm int64) *ir.Op { return f.BinI(ir.OpDiv, d, a, imm) }
+func (f *Func) Rem(d, a, b ir.Reg) *ir.Op          { return f.Bin(ir.OpRem, d, a, b) }
+func (f *Func) RemI(d, a ir.Reg, imm int64) *ir.Op { return f.BinI(ir.OpRem, d, a, imm) }
+func (f *Func) And(d, a, b ir.Reg) *ir.Op          { return f.Bin(ir.OpAnd, d, a, b) }
+func (f *Func) AndI(d, a ir.Reg, imm int64) *ir.Op { return f.BinI(ir.OpAnd, d, a, imm) }
+func (f *Func) Or(d, a, b ir.Reg) *ir.Op           { return f.Bin(ir.OpOr, d, a, b) }
+func (f *Func) OrI(d, a ir.Reg, imm int64) *ir.Op  { return f.BinI(ir.OpOr, d, a, imm) }
+func (f *Func) Xor(d, a, b ir.Reg) *ir.Op          { return f.Bin(ir.OpXor, d, a, b) }
+func (f *Func) XorI(d, a ir.Reg, imm int64) *ir.Op { return f.BinI(ir.OpXor, d, a, imm) }
+func (f *Func) Shl(d, a, b ir.Reg) *ir.Op          { return f.Bin(ir.OpShl, d, a, b) }
+func (f *Func) ShlI(d, a ir.Reg, imm int64) *ir.Op { return f.BinI(ir.OpShl, d, a, imm) }
+func (f *Func) Shr(d, a, b ir.Reg) *ir.Op          { return f.Bin(ir.OpShr, d, a, b) }
+func (f *Func) ShrI(d, a ir.Reg, imm int64) *ir.Op { return f.BinI(ir.OpShr, d, a, imm) }
+func (f *Func) ShrU(d, a, b ir.Reg) *ir.Op         { return f.Bin(ir.OpShrU, d, a, b) }
+func (f *Func) ShrUI(d, a ir.Reg, imm int64) *ir.Op {
+	return f.BinI(ir.OpShrU, d, a, imm)
+}
+func (f *Func) Abs(d, a ir.Reg) *ir.Op {
+	return f.emit(&ir.Op{Opcode: ir.OpAbs, Dest: []ir.Reg{d}, Src: []ir.Reg{a}})
+}
+func (f *Func) Min(d, a, b ir.Reg) *ir.Op          { return f.Bin(ir.OpMin, d, a, b) }
+func (f *Func) Max(d, a, b ir.Reg) *ir.Op          { return f.Bin(ir.OpMax, d, a, b) }
+func (f *Func) MinI(d, a ir.Reg, imm int64) *ir.Op { return f.BinI(ir.OpMin, d, a, imm) }
+func (f *Func) MaxI(d, a ir.Reg, imm int64) *ir.Op { return f.BinI(ir.OpMax, d, a, imm) }
+func (f *Func) SAdd16(d, a, b ir.Reg) *ir.Op       { return f.Bin(ir.OpSAdd16, d, a, b) }
+func (f *Func) SSub16(d, a, b ir.Reg) *ir.Op       { return f.Bin(ir.OpSSub16, d, a, b) }
+func (f *Func) SAdd32(d, a, b ir.Reg) *ir.Op       { return f.Bin(ir.OpSAdd32, d, a, b) }
+func (f *Func) SSub32(d, a, b ir.Reg) *ir.Op       { return f.Bin(ir.OpSSub32, d, a, b) }
+
+// CmpW emits d = (a cmp b) ? 1 : 0.
+func (f *Func) CmpW(cmp ir.CmpKind, d, a, b ir.Reg) *ir.Op {
+	return f.emit(&ir.Op{Opcode: ir.OpCmpW, Cmp: cmp, Dest: []ir.Reg{d}, Src: []ir.Reg{a, b}})
+}
+
+// CmpWI emits d = (a cmp imm) ? 1 : 0.
+func (f *Func) CmpWI(cmp ir.CmpKind, d, a ir.Reg, imm int64) *ir.Op {
+	return f.emit(&ir.Op{Opcode: ir.OpCmpW, Cmp: cmp, Dest: []ir.Reg{d},
+		Src: []ir.Reg{a}, Imm: imm, HasImm: true})
+}
+
+// Sel emits d = cond != 0 ? a : b.
+func (f *Func) Sel(d, cond, a, b ir.Reg) *ir.Op {
+	return f.emit(&ir.Op{Opcode: ir.OpSel, Dest: []ir.Reg{d}, Src: []ir.Reg{cond, a, b}})
+}
+
+// Loads: d = mem[base+off].
+func (f *Func) LdW(d, base ir.Reg, off int64) *ir.Op  { return f.load(ir.OpLdW, d, base, off) }
+func (f *Func) LdH(d, base ir.Reg, off int64) *ir.Op  { return f.load(ir.OpLdH, d, base, off) }
+func (f *Func) LdHU(d, base ir.Reg, off int64) *ir.Op { return f.load(ir.OpLdHU, d, base, off) }
+func (f *Func) LdB(d, base ir.Reg, off int64) *ir.Op  { return f.load(ir.OpLdB, d, base, off) }
+func (f *Func) LdBU(d, base ir.Reg, off int64) *ir.Op { return f.load(ir.OpLdBU, d, base, off) }
+
+func (f *Func) load(opc ir.Opcode, d, base ir.Reg, off int64) *ir.Op {
+	return f.emit(&ir.Op{Opcode: opc, Dest: []ir.Reg{d}, Src: []ir.Reg{base},
+		Imm: off, HasImm: true})
+}
+
+// Stores: mem[base+off] = v.
+func (f *Func) StW(base ir.Reg, off int64, v ir.Reg) *ir.Op { return f.store(ir.OpStW, base, off, v) }
+func (f *Func) StH(base ir.Reg, off int64, v ir.Reg) *ir.Op { return f.store(ir.OpStH, base, off, v) }
+func (f *Func) StB(base ir.Reg, off int64, v ir.Reg) *ir.Op { return f.store(ir.OpStB, base, off, v) }
+
+func (f *Func) store(opc ir.Opcode, base ir.Reg, off int64, v ir.Reg) *ir.Op {
+	return f.emit(&ir.Op{Opcode: opc, Src: []ir.Reg{base, v}, Imm: off, HasImm: true})
+}
+
+// CmpP emits a predicate define with up to two destinations.
+func (f *Func) CmpP(d0 ir.PredReg, t0 ir.PType, d1 ir.PredReg, t1 ir.PType,
+	cmp ir.CmpKind, a, b ir.Reg) *ir.Op {
+	op := &ir.Op{Opcode: ir.OpCmpP, Cmp: cmp, Src: []ir.Reg{a, b}}
+	op.PDest[0] = ir.PredDest{Pred: d0, Type: t0}
+	op.PDest[1] = ir.PredDest{Pred: d1, Type: t1}
+	return f.emit(op)
+}
+
+// CmpPI is CmpP with an immediate second comparand.
+func (f *Func) CmpPI(d0 ir.PredReg, t0 ir.PType, d1 ir.PredReg, t1 ir.PType,
+	cmp ir.CmpKind, a ir.Reg, imm int64) *ir.Op {
+	op := &ir.Op{Opcode: ir.OpCmpP, Cmp: cmp, Src: []ir.Reg{a}, Imm: imm, HasImm: true}
+	op.PDest[0] = ir.PredDest{Pred: d0, Type: t0}
+	op.PDest[1] = ir.PredDest{Pred: d1, Type: t1}
+	return f.emit(op)
+}
+
+// Br emits: if (a cmp b) goto label.
+func (f *Func) Br(cmp ir.CmpKind, a, b ir.Reg, label string) *ir.Op {
+	return f.emit(&ir.Op{Opcode: ir.OpBr, Cmp: cmp, Src: []ir.Reg{a, b},
+		Target: f.BlockID(label)})
+}
+
+// BrI emits: if (a cmp imm) goto label.
+func (f *Func) BrI(cmp ir.CmpKind, a ir.Reg, imm int64, label string) *ir.Op {
+	return f.emit(&ir.Op{Opcode: ir.OpBr, Cmp: cmp, Src: []ir.Reg{a},
+		Imm: imm, HasImm: true, Target: f.BlockID(label)})
+}
+
+// Jump emits an unconditional jump.
+func (f *Func) Jump(label string) *ir.Op {
+	return f.emit(&ir.Op{Opcode: ir.OpJump, Target: f.BlockID(label)})
+}
+
+// CLoop emits a counted loop-back branch: counter--; if counter > 0
+// goto label.
+func (f *Func) CLoop(counter ir.Reg, label string) *ir.Op {
+	return f.emit(&ir.Op{Opcode: ir.OpBrCLoop, Dest: []ir.Reg{counter},
+		Src: []ir.Reg{counter}, Target: f.BlockID(label), LoopBack: true})
+}
+
+// Call emits a call; d may be 0 for void calls.
+func (f *Func) Call(d ir.Reg, callee string, args ...ir.Reg) *ir.Op {
+	op := &ir.Op{Opcode: ir.OpCall, Callee: callee, Src: append([]ir.Reg(nil), args...)}
+	if d != 0 {
+		op.Dest = []ir.Reg{d}
+	}
+	return f.emit(op)
+}
+
+// Ret emits a return of v (0 for void).
+func (f *Func) Ret(v ir.Reg) *ir.Op {
+	op := &ir.Op{Opcode: ir.OpRet}
+	if v != 0 {
+		op.Src = []ir.Reg{v}
+	}
+	return f.emit(op)
+}

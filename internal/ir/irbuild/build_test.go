@@ -1,0 +1,115 @@
+package irbuild
+
+import (
+	"testing"
+
+	"lpbuf/internal/ir"
+)
+
+func TestAutoFallthrough(t *testing.T) {
+	pb := NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("a")
+	r := f.Const(1)
+	f.Block("b") // a falls to b automatically
+	f.AddI(r, r, 1)
+	f.Ret(r)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	fn := p.Funcs["main"]
+	var a *ir.Block
+	for _, blk := range fn.Blocks {
+		if blk.Name == "a" {
+			a = blk
+		}
+	}
+	if a.Fall == 0 {
+		t.Fatal("no automatic fallthrough")
+	}
+	if fn.Entry != a.ID {
+		t.Fatal("first block is not the entry")
+	}
+}
+
+func TestTerminatedBlockDoesNotFall(t *testing.T) {
+	pb := NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("a")
+	one := f.Const(1)
+	f.Ret(one)
+	f.Block("b")
+	two := f.Const(2)
+	f.Ret(two)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	fn := p.Funcs["main"]
+	for _, blk := range fn.Blocks {
+		if blk.Name == "a" && blk.Fall != 0 {
+			t.Fatal("ret-terminated block must not fall through")
+		}
+	}
+}
+
+func TestGlobalEncodings(t *testing.T) {
+	pb := NewProgram(32 << 10)
+	wOff := pb.GlobalW("w", 2, []int32{-1, 0x01020304})
+	hOff := pb.GlobalH("h", 2, []int16{-2, 0x0506})
+	bOff := pb.GlobalB("b", 2, []byte{7, 8})
+	p := pb.P
+	find := func(name string) ir.Global {
+		for _, g := range p.Globals {
+			if g.Name == name {
+				return g
+			}
+		}
+		t.Fatalf("missing global %s", name)
+		return ir.Global{}
+	}
+	w := find("w")
+	if w.Offset != wOff || w.Init[0] != 0xff || w.Init[4] != 0x04 || w.Init[7] != 0x01 {
+		t.Fatalf("word encoding wrong: %v", w.Init)
+	}
+	h := find("h")
+	if h.Offset != hOff || h.Init[0] != 0xfe || h.Init[2] != 0x06 || h.Init[3] != 0x05 {
+		t.Fatalf("half encoding wrong: %v", h.Init)
+	}
+	bg := find("b")
+	if bg.Offset != bOff || bg.Init[0] != 7 || bg.Init[1] != 8 {
+		t.Fatalf("byte encoding wrong: %v", bg.Init)
+	}
+}
+
+func TestBuildRejectsInvalidProgram(t *testing.T) {
+	pb := NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("a")
+	one := f.Const(1)
+	f.Ret(one)
+	// No entry set: Verify must fail.
+	if _, err := pb.Build(); err == nil {
+		t.Fatal("expected verify error without an entry")
+	}
+	pb.SetEntry("main")
+	if _, err := pb.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelIdentity(t *testing.T) {
+	pb := NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	id1 := f.BlockID("target") // created before being started
+	f.Block("a")
+	one := f.Const(1)
+	f.Jump("target")
+	f.Block("target")
+	f.Ret(one)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	fn := p.Funcs["main"]
+	for _, blk := range fn.Blocks {
+		if blk.Name == "target" && blk.ID != id1 {
+			t.Fatal("label did not resolve to the same block")
+		}
+	}
+}

@@ -1,0 +1,522 @@
+// Package ir defines the compiler's intermediate representation: typed
+// operations over virtual registers and virtual predicate registers,
+// organized into basic blocks and functions with an explicit control
+// flow graph.
+//
+// The representation follows the shape of the IMPACT compiler's Lcode as
+// used by the reproduced paper: three-address operations, an optional
+// guard predicate on every operation, explicit predicate-define
+// operations with the HPL-PD destination types (Table 2 of the paper),
+// compare-and-branch conditional branches in the 'C6x style, and a
+// special counted-loop branch used by the loop buffer.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg names a virtual integer register. Reg 0 is "no register".
+type Reg int32
+
+// PredReg names a virtual predicate register. PredReg 0 is the constant
+// true predicate (an unguarded operation).
+type PredReg int32
+
+// BlockID names a basic block within a function. BlockID 0 is "none".
+type BlockID int32
+
+func (r Reg) String() string {
+	if r == 0 {
+		return "r?"
+	}
+	return fmt.Sprintf("r%d", int32(r))
+}
+
+func (p PredReg) String() string {
+	if p == 0 {
+		return "p0"
+	}
+	return fmt.Sprintf("p%d", int32(p))
+}
+
+// Opcode enumerates IR operations.
+type Opcode uint8
+
+const (
+	OpNop Opcode = iota
+
+	// Data movement. Mov copies Src[0] (or Imm) to Dest[0].
+	OpMov
+
+	// Integer arithmetic and logic on the 32-bit datapath. Binary
+	// operations read Src[0] and Src[1] (or Imm when HasImm).
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // signed; traps-free (x/0 = 0 in this model)
+	OpRem // signed; x%0 = 0
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr  // arithmetic (sign-propagating) right shift
+	OpShrU // logical right shift
+
+	// DSP intrinsics ("intrinsic emulation support" per the paper).
+	OpAbs
+	OpMin
+	OpMax
+	OpSAdd16 // saturating 16-bit add
+	OpSSub16 // saturating 16-bit subtract
+	OpSAdd32 // saturating 32-bit add
+	OpSSub32 // saturating 32-bit subtract
+
+	// OpCmpW writes the boolean result of (Src[0] Cmp Src[1]/Imm) to
+	// Dest[0] as 0/1. Used by the partial-predication (cmov) baseline.
+	OpCmpW
+	// OpSel implements a conditional move: Dest[0] = Src[0] != 0 ?
+	// Src[1] : Src[2].
+	OpSel
+
+	// Memory. Effective address is Src[0]+Imm for loads; stores write
+	// Src[1] to Src[0]+Imm. Sub-word loads have signed and unsigned
+	// variants.
+	OpLdB
+	OpLdBU
+	OpLdH
+	OpLdHU
+	OpLdW
+	OpStB
+	OpStH
+	OpStW
+
+	// OpCmpP is a predicate define: it evaluates (Src[0] Cmp
+	// Src[1]/Imm) under the guard and updates up to two predicate
+	// destinations PDest[0], PDest[1] per their destination types.
+	OpCmpP
+
+	// Control flow. OpBr is a compare-and-branch ('C6x style): taken
+	// when (Src[0] Cmp Src[1]/Imm). OpJump is unconditional (it may be
+	// guarded, which is how hyperblock side exits are expressed).
+	// OpBrCLoop decrements the counter in Src[0] (also Dest[0]) and
+	// branches to Target while it remains positive.
+	OpBr
+	OpJump
+	OpBrCLoop
+
+	// OpCall transfers to Callee, passing Src values to the callee's
+	// parameter registers; Dest[0], if set, receives the return value.
+	// OpRet returns Src[0] (if present) to the caller.
+	OpCall
+	OpRet
+
+	// Loop buffer management (Table 3 of the paper). These are
+	// branch-unit operations inserted by the buffer-assignment pass.
+	// BufAddr is the buffer offset, BufLen the operation count of the
+	// buffered loop body.
+	OpRecCLoop
+	OpRecWLoop
+	OpExecCLoop
+	OpExecWLoop
+
+	numOpcodes
+)
+
+var opcodeNames = [numOpcodes]string{
+	OpNop: "nop", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr", OpShrU: "shru",
+	OpAbs: "abs", OpMin: "min", OpMax: "max",
+	OpSAdd16: "sadd16", OpSSub16: "ssub16", OpSAdd32: "sadd32", OpSSub32: "ssub32",
+	OpCmpW: "cmpw", OpSel: "sel",
+	OpLdB: "ld.b", OpLdBU: "ld.bu", OpLdH: "ld.h", OpLdHU: "ld.hu", OpLdW: "ld.w",
+	OpStB: "st.b", OpStH: "st.h", OpStW: "st.w",
+	OpCmpP: "cmpp",
+	OpBr:   "br", OpJump: "jump", OpBrCLoop: "br.cloop",
+	OpCall: "call", OpRet: "ret",
+	OpRecCLoop: "rec_cloop", OpRecWLoop: "rec_wloop",
+	OpExecCLoop: "exec_cloop", OpExecWLoop: "exec_wloop",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) && opcodeNames[o] != "" {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// CmpKind enumerates comparison conditions.
+type CmpKind uint8
+
+const (
+	CmpEQ CmpKind = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpLTU
+	CmpGEU
+	CmpGTU
+	CmpLEU
+)
+
+var cmpNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge", "ltu", "geu", "gtu", "leu"}
+
+func (c CmpKind) String() string {
+	if int(c) < len(cmpNames) {
+		return cmpNames[c]
+	}
+	return fmt.Sprintf("cmp(%d)", uint8(c))
+}
+
+// Negate returns the complementary comparison.
+func (c CmpKind) Negate() CmpKind {
+	switch c {
+	case CmpEQ:
+		return CmpNE
+	case CmpNE:
+		return CmpEQ
+	case CmpLT:
+		return CmpGE
+	case CmpGE:
+		return CmpLT
+	case CmpLE:
+		return CmpGT
+	case CmpGT:
+		return CmpLE
+	case CmpLTU:
+		return CmpGEU
+	case CmpGEU:
+		return CmpLTU
+	case CmpGTU:
+		return CmpLEU
+	case CmpLEU:
+		return CmpGTU
+	}
+	return c
+}
+
+// Swap returns the comparison with operands exchanged.
+func (c CmpKind) Swap() CmpKind {
+	switch c {
+	case CmpLT:
+		return CmpGT
+	case CmpGT:
+		return CmpLT
+	case CmpLE:
+		return CmpGE
+	case CmpGE:
+		return CmpLE
+	case CmpLTU:
+		return CmpGTU
+	case CmpGTU:
+		return CmpLTU
+	case CmpLEU:
+		return CmpGEU
+	case CmpGEU:
+		return CmpLEU
+	}
+	return c
+}
+
+// Eval evaluates the comparison on 32-bit values held in int64s.
+func (c CmpKind) Eval(a, b int64) bool {
+	switch c {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	case CmpLTU:
+		return uint32(a) < uint32(b)
+	case CmpGEU:
+		return uint32(a) >= uint32(b)
+	case CmpGTU:
+		return uint32(a) > uint32(b)
+	case CmpLEU:
+		return uint32(a) <= uint32(b)
+	}
+	return false
+}
+
+// PType is an HPL-PD / IMPACT predicate-define destination type
+// (Table 2 of the paper).
+type PType uint8
+
+const (
+	PTNone PType = iota
+	PTUT         // unconditional true
+	PTUF         // unconditional false
+	PTOT         // wired-or true
+	PTOF         // wired-or false
+	PTAT         // wired-and true
+	PTAF         // wired-and false
+	PTCT         // conditional true
+	PTCF         // conditional false
+)
+
+var ptypeNames = [...]string{"", "ut", "uf", "ot", "of", "at", "af", "ct", "cf"}
+
+func (t PType) String() string {
+	if int(t) < len(ptypeNames) {
+		return ptypeNames[t]
+	}
+	return fmt.Sprintf("ptype(%d)", uint8(t))
+}
+
+// Update applies the Table 2 semantics: given the guard value and the
+// comparison result, it returns the value to write and whether a write
+// occurs at all.
+func (t PType) Update(guard, cond bool) (value bool, write bool) {
+	switch t {
+	case PTUT:
+		return guard && cond, true
+	case PTUF:
+		return guard && !cond, true
+	case PTOT:
+		return true, guard && cond
+	case PTOF:
+		return true, guard && !cond
+	case PTAT:
+		return false, guard && !cond
+	case PTAF:
+		return false, guard && cond
+	case PTCT:
+		return cond, guard
+	case PTCF:
+		return !cond, guard
+	}
+	return false, false
+}
+
+// PredDest is one destination of a predicate define.
+type PredDest struct {
+	Pred PredReg
+	Type PType
+}
+
+// Op is a single IR operation. Fields beyond Opcode are interpreted per
+// opcode; unused fields are zero.
+type Op struct {
+	ID     int
+	Opcode Opcode
+
+	Dest []Reg
+	Src  []Reg
+	Imm  int64
+	// HasImm indicates the last source operand position is the
+	// immediate Imm rather than a register.
+	HasImm bool
+
+	Cmp   CmpKind
+	PDest [2]PredDest
+
+	// Guard nullifies the operation when its predicate is false.
+	// PredReg 0 means always execute.
+	Guard PredReg
+
+	Target BlockID
+	// LoopBack marks a branch as the loop-back branch of its loop.
+	LoopBack bool
+
+	Callee string
+
+	// BufAddr/BufLen parameterize loop-buffer operations, and on a
+	// loop-back branch BufLen carries nothing; see loopbuffer.
+	BufAddr int
+	BufLen  int
+
+	// Speculative marks an operation hoisted above a guard or branch
+	// (predicate promotion / control speculation); it must not fault.
+	Speculative bool
+}
+
+// IsBranch reports whether the op can transfer control to Target.
+func (o *Op) IsBranch() bool {
+	switch o.Opcode {
+	case OpBr, OpJump, OpBrCLoop:
+		return true
+	}
+	return false
+}
+
+// IsUncondJump reports an unguarded unconditional jump.
+func (o *Op) IsUncondJump() bool {
+	return o.Opcode == OpJump && o.Guard == 0
+}
+
+// IsLoad reports whether the op reads memory.
+func (o *Op) IsLoad() bool {
+	switch o.Opcode {
+	case OpLdB, OpLdBU, OpLdH, OpLdHU, OpLdW:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the op writes memory.
+func (o *Op) IsStore() bool {
+	switch o.Opcode {
+	case OpStB, OpStH, OpStW:
+		return true
+	}
+	return false
+}
+
+// IsPredDefine reports whether the op defines predicate registers.
+func (o *Op) IsPredDefine() bool { return o.Opcode == OpCmpP }
+
+// IsBufferOp reports whether the op manages the loop buffer.
+func (o *Op) IsBufferOp() bool {
+	switch o.Opcode {
+	case OpRecCLoop, OpRecWLoop, OpExecCLoop, OpExecWLoop:
+		return true
+	}
+	return false
+}
+
+// MayTrap reports whether the operation could fault if executed with
+// arbitrary operands (used by speculation legality checks). In this
+// model loads may fault (out-of-range address) and stores always may.
+func (o *Op) MayTrap() bool {
+	return (o.IsLoad() && !o.Speculative) || o.IsStore()
+}
+
+// HasSideEffect reports whether the op affects state beyond its
+// destination registers/predicates (memory, control, calls).
+func (o *Op) HasSideEffect() bool {
+	return o.IsStore() || o.IsBranch() || o.IsBufferOp() ||
+		o.Opcode == OpCall || o.Opcode == OpRet
+}
+
+// PredDefines returns the active predicate destinations.
+func (o *Op) PredDefines() []PredDest {
+	var out []PredDest
+	for _, pd := range o.PDest {
+		if pd.Type != PTNone && pd.Pred != 0 {
+			out = append(out, pd)
+		}
+	}
+	return out
+}
+
+// UsedPreds returns predicate registers read by the op (guard plus, for
+// defines, nothing extra: define destination types never read the old
+// value under HPL-PD semantics).
+func (o *Op) UsedPreds() []PredReg {
+	if o.Guard != 0 {
+		return []PredReg{o.Guard}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the op with the given new ID.
+func (o *Op) Clone(id int) *Op {
+	c := *o
+	c.ID = id
+	c.Dest = append([]Reg(nil), o.Dest...)
+	c.Src = append([]Reg(nil), o.Src...)
+	return &c
+}
+
+// RenameUses substitutes register uses via the map (identity when a
+// register is absent).
+func (o *Op) RenameUses(m map[Reg]Reg) {
+	for i, r := range o.Src {
+		if nr, ok := m[r]; ok {
+			o.Src[i] = nr
+		}
+	}
+}
+
+// RenameDefs substitutes register definitions via the map.
+func (o *Op) RenameDefs(m map[Reg]Reg) {
+	for i, r := range o.Dest {
+		if nr, ok := m[r]; ok {
+			o.Dest[i] = nr
+		}
+	}
+}
+
+// RenamePreds substitutes predicate registers (guard and destinations).
+func (o *Op) RenamePreds(m map[PredReg]PredReg) {
+	if np, ok := m[o.Guard]; ok && o.Guard != 0 {
+		o.Guard = np
+	}
+	for i := range o.PDest {
+		if o.PDest[i].Type == PTNone {
+			continue
+		}
+		if np, ok := m[o.PDest[i].Pred]; ok {
+			o.PDest[i].Pred = np
+		}
+	}
+}
+
+// String renders the op in an assembly-like syntax.
+func (o *Op) String() string {
+	var b strings.Builder
+	if o.Guard != 0 {
+		fmt.Fprintf(&b, "(%s) ", o.Guard)
+	}
+	b.WriteString(o.Opcode.String())
+	switch o.Opcode {
+	case OpBr:
+		fmt.Fprintf(&b, " %s", o.Cmp)
+	case OpCmpP:
+		b.WriteString(" ")
+		for i, pd := range o.PredDefines() {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "%s_%s", pd.Pred, pd.Type)
+		}
+		fmt.Fprintf(&b, " = %s", o.Cmp)
+	case OpCmpW:
+		fmt.Fprintf(&b, " %s", o.Cmp)
+	}
+	first := true
+	emit := func(s string) {
+		if first {
+			b.WriteString(" ")
+			first = false
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(s)
+	}
+	for _, d := range o.Dest {
+		emit(d.String() + "=")
+	}
+	for _, s := range o.Src {
+		emit(s.String())
+	}
+	if o.HasImm {
+		emit(fmt.Sprintf("#%d", o.Imm))
+	}
+	if o.IsBranch() {
+		emit(fmt.Sprintf("B%d", o.Target))
+		if o.LoopBack {
+			emit("<loopback>")
+		}
+	}
+	if o.Opcode == OpCall {
+		emit("@" + o.Callee)
+	}
+	if o.IsBufferOp() {
+		emit(fmt.Sprintf("buf=%d len=%d", o.BufAddr, o.BufLen))
+	}
+	if o.Speculative {
+		emit("<spec>")
+	}
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"lpbuf/internal/machine"
+)
+
+func TestOpClassifiers(t *testing.T) {
+	cases := []struct {
+		op     Op
+		branch bool
+		load   bool
+		store  bool
+		side   bool
+	}{
+		{Op{Opcode: OpBr}, true, false, false, true},
+		{Op{Opcode: OpJump}, true, false, false, true},
+		{Op{Opcode: OpBrCLoop}, true, false, false, true},
+		{Op{Opcode: OpLdW}, false, true, false, false},
+		{Op{Opcode: OpLdBU}, false, true, false, false},
+		{Op{Opcode: OpStH}, false, false, true, true},
+		{Op{Opcode: OpCall}, false, false, false, true},
+		{Op{Opcode: OpRet}, false, false, false, true},
+		{Op{Opcode: OpAdd}, false, false, false, false},
+		{Op{Opcode: OpRecCLoop}, false, false, false, true},
+		{Op{Opcode: OpExecWLoop}, false, false, false, true},
+	}
+	for _, c := range cases {
+		if c.op.IsBranch() != c.branch {
+			t.Errorf("%s IsBranch = %v", c.op.Opcode, c.op.IsBranch())
+		}
+		if c.op.IsLoad() != c.load {
+			t.Errorf("%s IsLoad = %v", c.op.Opcode, c.op.IsLoad())
+		}
+		if c.op.IsStore() != c.store {
+			t.Errorf("%s IsStore = %v", c.op.Opcode, c.op.IsStore())
+		}
+		if c.op.HasSideEffect() != c.side {
+			t.Errorf("%s HasSideEffect = %v", c.op.Opcode, c.op.HasSideEffect())
+		}
+	}
+}
+
+func TestMayTrap(t *testing.T) {
+	ld := Op{Opcode: OpLdW}
+	if !ld.MayTrap() {
+		t.Fatal("loads may trap")
+	}
+	ld.Speculative = true
+	if ld.MayTrap() {
+		t.Fatal("speculative loads do not trap")
+	}
+	st := Op{Opcode: OpStW}
+	if !st.MayTrap() {
+		t.Fatal("stores may trap")
+	}
+	add := Op{Opcode: OpAdd}
+	if add.MayTrap() {
+		t.Fatal("adds do not trap")
+	}
+}
+
+func TestIsUncondJump(t *testing.T) {
+	j := Op{Opcode: OpJump}
+	if !j.IsUncondJump() {
+		t.Fatal("unguarded jump")
+	}
+	j.Guard = 3
+	if j.IsUncondJump() {
+		t.Fatal("guarded jump is conditional")
+	}
+}
+
+func TestPredDefinesFiltering(t *testing.T) {
+	op := Op{Opcode: OpCmpP}
+	op.PDest[0] = PredDest{Pred: 1, Type: PTUT}
+	op.PDest[1] = PredDest{Type: PTNone}
+	if n := len(op.PredDefines()); n != 1 {
+		t.Fatalf("PredDefines = %d, want 1", n)
+	}
+	op.PDest[1] = PredDest{Pred: 2, Type: PTOF}
+	if n := len(op.PredDefines()); n != 2 {
+		t.Fatalf("PredDefines = %d, want 2", n)
+	}
+}
+
+func TestUsedPreds(t *testing.T) {
+	op := Op{Opcode: OpAdd}
+	if len(op.UsedPreds()) != 0 {
+		t.Fatal("unguarded op uses no predicates")
+	}
+	op.Guard = 5
+	got := op.UsedPreds()
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("UsedPreds = %v", got)
+	}
+}
+
+func TestOpStringFormats(t *testing.T) {
+	op := &Op{Opcode: OpAdd, Dest: []Reg{1}, Src: []Reg{2}, Imm: 4, HasImm: true, Guard: 3}
+	s := op.String()
+	for _, want := range []string{"(p3)", "add", "r1=", "r2", "#4"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String %q lacks %q", s, want)
+		}
+	}
+	cp := &Op{Opcode: OpCmpP, Cmp: CmpLT, Src: []Reg{2}, Imm: 0, HasImm: true}
+	cp.PDest[0] = PredDest{Pred: 1, Type: PTUT}
+	cp.PDest[1] = PredDest{Pred: 2, Type: PTUF}
+	s = cp.String()
+	if !strings.Contains(s, "p1_ut") || !strings.Contains(s, "p2_uf") || !strings.Contains(s, "lt") {
+		t.Fatalf("cmpp String %q", s)
+	}
+	br := &Op{Opcode: OpBrCLoop, Dest: []Reg{4}, Src: []Reg{4}, Target: 7, LoopBack: true}
+	s = br.String()
+	if !strings.Contains(s, "B7") || !strings.Contains(s, "loopback") {
+		t.Fatalf("cloop String %q", s)
+	}
+}
+
+func TestUnitForAndLatency(t *testing.T) {
+	lat := machine.Default().Latency
+	cases := []struct {
+		opc  Opcode
+		unit machine.UnitClass
+		lat  int
+	}{
+		{OpAdd, machine.UnitIALU, 1},
+		{OpMul, machine.UnitIMul, 2},
+		{OpDiv, machine.UnitIMul, 8},
+		{OpLdW, machine.UnitMem, 3},
+		{OpStW, machine.UnitMem, 1},
+		{OpBr, machine.UnitBranch, 1},
+		{OpCmpP, machine.UnitPred, 1},
+		{OpRecCLoop, machine.UnitBranch, 1},
+		{OpSel, machine.UnitIALU, 1},
+	}
+	for _, c := range cases {
+		op := &Op{Opcode: c.opc}
+		if got := UnitFor(op); got != c.unit {
+			t.Errorf("%s unit = %s, want %s", c.opc, got, c.unit)
+		}
+		if got := LatencyOf(op, lat); got != c.lat {
+			t.Errorf("%s latency = %d, want %d", c.opc, got, c.lat)
+		}
+	}
+}
+
+func TestFuncStringSmoke(t *testing.T) {
+	f := NewFunc("demo")
+	b := f.NewBlock()
+	f.Entry = b.ID
+	r := f.NewReg()
+	b.Ops = append(b.Ops,
+		&Op{ID: f.NewOpID(), Opcode: OpMov, Dest: []Reg{r}, Imm: 9, HasImm: true},
+		&Op{ID: f.NewOpID(), Opcode: OpRet, Src: []Reg{r}})
+	s := f.String()
+	if !strings.Contains(s, "func demo") || !strings.Contains(s, "mov") {
+		t.Fatalf("Func String %q", s)
+	}
+}
+
+func TestProgramVerifyCrossFunction(t *testing.T) {
+	p := NewProgram(1 << 14)
+	f := NewFunc("main")
+	b := f.NewBlock()
+	f.Entry = b.ID
+	b.Ops = append(b.Ops,
+		&Op{ID: f.NewOpID(), Opcode: OpCall, Callee: "missing"},
+		&Op{ID: f.NewOpID(), Opcode: OpRet})
+	p.AddFunc(f)
+	p.Entry = "main"
+	if err := p.Verify(); err == nil {
+		t.Fatal("expected undefined-callee error")
+	}
+	// Arity mismatch.
+	g := NewFunc("callee")
+	gb := g.NewBlock()
+	g.Entry = gb.ID
+	g.Params = []Reg{g.NewReg(), g.NewReg()}
+	gb.Ops = append(gb.Ops, &Op{ID: g.NewOpID(), Opcode: OpRet})
+	p.AddFunc(g)
+	b.Ops[0].Callee = "callee"
+	b.Ops[0].Src = []Reg{1}
+	if err := p.Verify(); err == nil {
+		t.Fatal("expected arity error")
+	}
+}

@@ -1,0 +1,40 @@
+package ir
+
+import "lpbuf/internal/machine"
+
+// UnitFor returns the functional-unit class required to execute op.
+func UnitFor(op *Op) machine.UnitClass {
+	switch op.Opcode {
+	case OpMul, OpDiv, OpRem:
+		return machine.UnitIMul
+	case OpLdB, OpLdBU, OpLdH, OpLdHU, OpLdW, OpStB, OpStH, OpStW:
+		return machine.UnitMem
+	case OpBr, OpJump, OpBrCLoop, OpCall, OpRet,
+		OpRecCLoop, OpRecWLoop, OpExecCLoop, OpExecWLoop:
+		return machine.UnitBranch
+	case OpCmpP:
+		return machine.UnitPred
+	default:
+		return machine.UnitIALU
+	}
+}
+
+// LatencyOf returns the result latency of op in cycles under lat.
+func LatencyOf(op *Op, lat machine.Latencies) int {
+	switch op.Opcode {
+	case OpMul:
+		return lat.IMul
+	case OpDiv, OpRem:
+		return lat.IDiv
+	case OpLdB, OpLdBU, OpLdH, OpLdHU, OpLdW:
+		return lat.Load
+	case OpStB, OpStH, OpStW:
+		return lat.Store
+	case OpCmpP:
+		return lat.Pred
+	case OpBr, OpJump, OpBrCLoop, OpCall, OpRet:
+		return lat.Branch
+	default:
+		return lat.IALU
+	}
+}

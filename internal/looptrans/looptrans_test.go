@@ -1,0 +1,350 @@
+package looptrans
+
+import (
+	"bytes"
+	"testing"
+
+	"lpbuf/internal/interp"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+)
+
+// addBlockProgram builds the Figure 2 mpeg2dec Add_Block()-style loop:
+//
+//	for (i = 0; i < 8; i++) {
+//	    for (j = 0; j < 8; j++) { *rfp++ = Clip[*bp++ + 128]; }
+//	    rfp += incr;
+//	}
+func addBlockProgram() *ir.Program {
+	pb := irbuild.NewProgram(16 << 10)
+	clip := make([]byte, 1024)
+	for i := range clip {
+		v := i - 384 // clip table centered so [x+128+256] clamps x to 0..255
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		clip[i] = byte(v)
+	}
+	clipOff := pb.GlobalB("Clip", 1024, clip)
+	bpOff := pb.GlobalB("bp", 64, func() []byte {
+		b := make([]byte, 64)
+		for i := range b {
+			b[i] = byte(i*7 - 100)
+		}
+		return b
+	}())
+	rfpOff := pb.GlobalB("rfp", 256, nil)
+
+	f := pb.Func("main", 0, false)
+	f.Block("pre")
+	i := f.Reg()
+	bp := f.Const(bpOff)
+	rfp := f.Const(rfpOff)
+	clipBase := f.Const(clipOff + 256 + 128) // bias folded into base
+	incr := f.Const(8)
+	f.MovI(i, 0)
+	f.Block("outer")
+	j := f.Reg()
+	f.MovI(j, 0)
+	f.Block("inner")
+	v := f.Reg()
+	f.LdB(v, bp, 0)
+	cv := f.Reg()
+	addr := f.Reg()
+	f.Add(addr, clipBase, v)
+	f.LdBU(cv, addr, 0)
+	f.StB(rfp, 0, cv)
+	f.AddI(bp, bp, 1)
+	f.AddI(rfp, rfp, 1)
+	f.AddI(j, j, 1)
+	f.BrI(ir.CmpLT, j, 8, "inner")
+	f.Block("latch")
+	f.Add(rfp, rfp, incr)
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, 8, "outer")
+	f.Block("done")
+	f.Ret(0)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+func mustRun(t *testing.T, p *ir.Program) []byte {
+	t.Helper()
+	res, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatalf("interp: %v\n%s", err, p.Funcs["main"])
+	}
+	return res.Mem
+}
+
+func TestFindLoopsNesting(t *testing.T) {
+	p := addBlockProgram()
+	f := p.Funcs["main"]
+	loops := FindLoops(f)
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	inner, outer := loops[0], loops[1]
+	if inner.Depth != 2 || outer.Depth != 1 {
+		t.Fatalf("depths: inner=%d outer=%d", inner.Depth, outer.Depth)
+	}
+	if inner.Parent != outer {
+		t.Fatal("inner loop's parent is not the outer loop")
+	}
+	if len(outer.Children) != 1 || outer.Children[0] != inner {
+		t.Fatal("outer loop does not list inner as child")
+	}
+	if len(inner.Blocks) != 1 {
+		t.Fatalf("inner loop has %d blocks, want 1", len(inner.Blocks))
+	}
+	if len(outer.Blocks) != 3 {
+		t.Fatalf("outer loop has %d blocks, want 3", len(outer.Blocks))
+	}
+}
+
+func TestDetectCounted(t *testing.T) {
+	p := addBlockProgram()
+	f := p.Funcs["main"]
+	loops := FindLoops(f)
+	c := DetectCounted(f, loops[0])
+	if c == nil {
+		t.Fatal("inner loop not detected as counted")
+	}
+	if c.Step != 1 || !c.InitKnown || c.Init != 0 || !c.BoundIsImm || c.BoundImm != 8 {
+		t.Fatalf("counted fields: %+v", c)
+	}
+	trips, ok := c.Trips()
+	if !ok || trips != 8 {
+		t.Fatalf("trips = %d,%v want 8", trips, ok)
+	}
+}
+
+func TestCollapsePreservesSemantics(t *testing.T) {
+	orig := addBlockProgram()
+	want := mustRun(t, orig)
+
+	p := addBlockProgram()
+	f := p.Funcs["main"]
+	n := CollapseAll(f, Options{})
+	if n != 1 {
+		t.Fatalf("collapsed %d loops, want 1", n)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify after collapse: %v\n%s", err, f)
+	}
+	// The result must be a single-block self loop ending in br.cloop.
+	loops := FindLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("%d loops after collapse, want 1", len(loops))
+	}
+	if len(loops[0].Blocks) != 1 {
+		t.Fatalf("collapsed loop has %d blocks", len(loops[0].Blocks))
+	}
+	body := f.Block(loops[0].Header)
+	if last := body.LastOp(); last.Opcode != ir.OpBrCLoop {
+		t.Fatalf("collapsed loop ends with %s, want br.cloop", last)
+	}
+	got := mustRun(t, p)
+	if !bytes.Equal(want, got) {
+		t.Fatal("collapse changed program behaviour")
+	}
+}
+
+func TestPeelPreservesSemantics(t *testing.T) {
+	// A 4-iteration inner loop qualifies for peeling (< 6 trips).
+	build := func() *ir.Program {
+		pb := irbuild.NewProgram(16 << 10)
+		out := pb.GlobalB("out", 256, nil)
+		f := pb.Func("main", 0, false)
+		f.Block("pre")
+		i := f.Reg()
+		ptr := f.Const(out)
+		acc := f.Reg()
+		f.MovI(i, 0)
+		f.MovI(acc, 0)
+		f.Block("outer")
+		j := f.Reg()
+		f.MovI(j, 0)
+		f.Block("inner")
+		f.Add(acc, acc, i)
+		f.Add(acc, acc, j)
+		f.AddI(j, j, 1)
+		f.BrI(ir.CmpLT, j, 4, "inner")
+		f.Block("latch")
+		f.StW(ptr, 0, acc)
+		f.AddI(ptr, ptr, 4)
+		f.AddI(i, i, 1)
+		f.BrI(ir.CmpLT, i, 10, "outer")
+		f.Block("done")
+		f.Ret(0)
+		pb.SetEntry("main")
+		return pb.MustBuild()
+	}
+	want := mustRun(t, build())
+
+	p := build()
+	f := p.Funcs["main"]
+	n := PeelAll(f, Options{})
+	if n != 1 {
+		t.Fatalf("peeled %d loops, want 1", n)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify after peel: %v", err)
+	}
+	// Only the outer loop remains.
+	if loops := FindLoops(f); len(loops) != 1 {
+		t.Fatalf("%d loops after peel, want 1", len(loops))
+	}
+	if !bytes.Equal(want, mustRun(t, p)) {
+		t.Fatal("peel changed program behaviour")
+	}
+}
+
+func TestPeelRespectsOpBudget(t *testing.T) {
+	p := addBlockProgram() // 8 iterations: not peelable (>= 6 trips)
+	f := p.Funcs["main"]
+	if n := PeelAll(f, Options{}); n != 0 {
+		t.Fatalf("peeled %d loops, want 0 (trip count too high)", n)
+	}
+}
+
+func TestCLoopify(t *testing.T) {
+	// Simple counted loop with literal bounds becomes br.cloop.
+	build := func() *ir.Program {
+		pb := irbuild.NewProgram(16 << 10)
+		out := pb.GlobalB("out", 128, nil)
+		f := pb.Func("main", 0, true)
+		f.Block("pre")
+		i := f.Reg()
+		acc := f.Reg()
+		ptr := f.Const(out)
+		f.MovI(i, 0)
+		f.MovI(acc, 0)
+		f.Block("loop")
+		f.Add(acc, acc, i)
+		f.StW(ptr, 0, acc)
+		f.AddI(ptr, ptr, 4)
+		f.AddI(i, i, 1)
+		f.BrI(ir.CmpLT, i, 13, "loop")
+		f.Block("done")
+		f.Ret(acc)
+		pb.SetEntry("main")
+		return pb.MustBuild()
+	}
+	orig := build()
+	refRes, err := interp.Run(orig, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := build()
+	f := p.Funcs["main"]
+	if n := CLoopifyAll(f); n != 1 {
+		t.Fatalf("cloopified %d, want 1", n)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != refRes.Ret {
+		t.Fatalf("ret changed: %d -> %d", refRes.Ret, res.Ret)
+	}
+	if !bytes.Equal(res.Mem, refRes.Mem) {
+		t.Fatal("memory changed by cloopify")
+	}
+}
+
+func TestCLoopifyRegisterBound(t *testing.T) {
+	// Loop bound in a register (loop-invariant): trip computation is
+	// emitted in the preheader.
+	build := func(n int64) *ir.Program {
+		pb := irbuild.NewProgram(16 << 10)
+		f := pb.Func("main", 1, true)
+		f.Block("pre")
+		i := f.Reg()
+		acc := f.Reg()
+		f.MovI(i, 0)
+		f.MovI(acc, 0)
+		f.Block("loop")
+		f.Add(acc, acc, i)
+		f.AddI(i, i, 1)
+		f.Br(ir.CmpLT, i, f.Param(0), "loop")
+		f.Block("done")
+		f.Ret(acc)
+		pb.SetEntry("main")
+		return pb.MustBuild()
+	}
+	for _, n := range []int64{1, 2, 7, 100} {
+		orig := build(n)
+		ref, err := interp.Run(orig, interp.Options{EntryArgs: []int64{n}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := build(n)
+		f := p.Funcs["main"]
+		if cn := CLoopifyAll(f); cn != 1 {
+			t.Fatalf("n=%d: cloopified %d, want 1", n, cn)
+		}
+		res, err := interp.Run(p, interp.Options{EntryArgs: []int64{n}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ret != ref.Ret {
+			t.Fatalf("n=%d: ret %d -> %d", n, ref.Ret, res.Ret)
+		}
+	}
+}
+
+func TestCollapsedAddBlockMatchesFigure2Shape(t *testing.T) {
+	// After collapsing, the loop body should contain the guarded
+	// outer-loop ops and a predicate define, per Figure 2(c)/(d).
+	p := addBlockProgram()
+	f := p.Funcs["main"]
+	if n := CollapseAll(f, Options{}); n != 1 {
+		t.Fatal("collapse failed")
+	}
+	loops := FindLoops(f)
+	body := f.Block(loops[0].Header)
+	guarded, defines := 0, 0
+	for _, op := range body.Ops {
+		if op.Guard != 0 {
+			guarded++
+		}
+		if op.IsPredDefine() {
+			defines++
+		}
+	}
+	if guarded < 3 {
+		t.Fatalf("collapsed body has %d guarded ops, want >= 3 (outer code + reset)", guarded)
+	}
+	if defines != 1 {
+		t.Fatalf("collapsed body has %d predicate defines, want 1", defines)
+	}
+	// 64 total iterations via br.cloop: counter initialized to 64.
+	pre := f.Block(f.Entry)
+	found := false
+	for _, op := range pre.Ops {
+		if op.Opcode == ir.OpMov && op.HasImm && op.Imm == 64 {
+			found = true
+		}
+	}
+	// The counter init may live in the A-block (outer header) instead.
+	if !found {
+		for _, b := range f.Blocks {
+			for _, op := range b.Ops {
+				if op.Opcode == ir.OpMov && op.HasImm && op.Imm == 64 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no 64-iteration counter initialization found")
+	}
+}

@@ -1,0 +1,539 @@
+package looptrans
+
+import (
+	"lpbuf/internal/ir"
+)
+
+// Options tune the transformation heuristics. Zero values select the
+// paper's defaults.
+type Options struct {
+	// MaxPeelTrips: peel counted loops with fewer than this many
+	// iterations (paper: 6).
+	MaxPeelTrips int64
+	// MaxPeelOps: only peel when peeling creates at most this many new
+	// operations (paper: 36).
+	MaxPeelOps int
+	// MaxCollapseOuterOps bounds the operation count absorbed from the
+	// outer loop (blocks A and F) into the inner body.
+	MaxCollapseOuterOps int
+	// MaxCollapseInnerTrips bounds the inner loop's iteration count for
+	// collapsing ("not excessive" per the paper).
+	MaxCollapseInnerTrips int64
+	// Width is the machine issue width used by the collapse cost model.
+	Width int
+	// MaxUnrollTrips / MaxUnrollOps bound full unrolling of counted
+	// inner loops (the paper's "unrolling" transform: flattening a
+	// short fixed-count inner filter loop into its parent, which is
+	// how the 36-49 op flat loops of Figure 5 arise from 10-tap
+	// filter nests).
+	MaxUnrollTrips int64
+	MaxUnrollOps   int
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.MaxPeelTrips == 0 {
+		o.MaxPeelTrips = 6
+	}
+	if o.MaxPeelOps == 0 {
+		o.MaxPeelOps = 36
+	}
+	if o.MaxCollapseOuterOps == 0 {
+		o.MaxCollapseOuterOps = 24
+	}
+	if o.MaxCollapseInnerTrips == 0 {
+		o.MaxCollapseInnerTrips = 64
+	}
+	if o.Width == 0 {
+		o.Width = 8
+	}
+	if o.MaxUnrollTrips == 0 {
+		o.MaxUnrollTrips = 16
+	}
+	if o.MaxUnrollOps == 0 {
+		o.MaxUnrollOps = 160
+	}
+	return o
+}
+
+// PeelAll fully peels qualifying nested counted loops (Figure 1a):
+// literal trip count below MaxPeelTrips and code expansion below
+// MaxPeelOps. Returns the number of loops peeled.
+func PeelAll(f *ir.Func, opts Options) int {
+	opts = opts.withDefaults()
+	peeled := 0
+	for {
+		loops := FindLoops(f)
+		did := false
+		for _, l := range loops {
+			if l.Parent == nil {
+				continue // peel only inner loops into their parents
+			}
+			c := DetectCounted(f, l)
+			if c == nil {
+				continue
+			}
+			trips, ok := c.Trips()
+			if !ok || trips < 1 || trips >= opts.MaxPeelTrips {
+				continue
+			}
+			bodyOps := len(f.Block(c.Body).Ops) - 1 // minus back edge
+			if int(trips-1)*bodyOps > opts.MaxPeelOps {
+				continue
+			}
+			peel(f, c, trips)
+			peeled++
+			did = true
+			break // CFG changed; recompute loops
+		}
+		if !did {
+			return peeled
+		}
+	}
+}
+
+// UnrollAll fully unrolls counted inner loops with literal trip counts
+// up to MaxUnrollTrips, provided the expansion stays within
+// MaxUnrollOps. Full unrolling flattens short fixed-count filter loops
+// (10-tap LPC filters, 8-tap DCT rows) into their parent loop's body,
+// which then if-converts and modulo-schedules as one wide loop.
+// Returns the number of loops unrolled.
+func UnrollAll(f *ir.Func, opts Options) int {
+	opts = opts.withDefaults()
+	unrolled := 0
+	for {
+		loops := FindLoops(f)
+		did := false
+		for _, l := range loops {
+			if l.Parent == nil {
+				continue
+			}
+			c := DetectCounted(f, l)
+			if c == nil {
+				continue
+			}
+			trips, ok := c.Trips()
+			if !ok || trips < 2 || trips > opts.MaxUnrollTrips {
+				continue
+			}
+			bodyOps := len(f.Block(c.Body).Ops) - 1
+			if int(trips-1)*bodyOps > opts.MaxUnrollOps {
+				continue
+			}
+			peel(f, c, trips)
+			unrolled++
+			did = true
+			break
+		}
+		if !did {
+			return unrolled
+		}
+	}
+}
+
+// peel replaces the single-block counted loop with trips sequential
+// copies of its body.
+func peel(f *ir.Func, c *Counted, trips int64) {
+	body := f.Block(c.Body)
+	exit := body.Fall
+	weight := body.Weight / float64(trips)
+	template := body.Ops[:len(body.Ops)-1] // drop back edge
+
+	// First copy lives in the original block (preserving entry edges).
+	body.Ops = template
+	body.Weight = weight
+	prev := body
+	for k := int64(1); k < trips; k++ {
+		nb := f.NewBlock()
+		nb.Weight = weight
+		for _, op := range template {
+			nb.Ops = append(nb.Ops, op.Clone(f.NewOpID()))
+		}
+		prev.Fall = nb.ID
+		prev = nb
+	}
+	prev.Fall = exit
+}
+
+// CollapseAll applies predicated loop collapsing (Figure 1b / Figure 2)
+// to qualifying doubly-nested counted loops. Returns the number of
+// loops collapsed.
+func CollapseAll(f *ir.Func, opts Options) int {
+	opts = opts.withDefaults()
+	collapsed := 0
+	for {
+		loops := FindLoops(f)
+		did := false
+		for _, outer := range loops {
+			if len(outer.Children) != 1 || len(outer.Blocks) != 3 {
+				continue
+			}
+			if collapse(f, outer, opts) {
+				collapsed++
+				did = true
+				break
+			}
+		}
+		if !did {
+			return collapsed
+		}
+	}
+}
+
+// collapse attempts to collapse one outer loop of the required shape:
+//
+//	P (preheader) -> A (outer header) -> B (inner single-block counted
+//	loop) -> F (outer latch) -back-> A ; F falls to the outer exit.
+func collapse(f *ir.Func, outer *Loop, opts Options) bool {
+	inner := outer.Children[0]
+	ci := DetectCounted(f, inner)
+	if ci == nil || ci.Preheader != outer.Header {
+		return false
+	}
+	innerTrips, ok := ci.Trips()
+	if !ok || innerTrips < 2 || innerTrips > opts.MaxCollapseInnerTrips {
+		return false
+	}
+	aID := outer.Header
+	bID := ci.Body
+	// Identify F: the remaining block.
+	var fID ir.BlockID
+	for id := range outer.Blocks {
+		if id != aID && id != bID {
+			fID = id
+		}
+	}
+	if fID == 0 {
+		return false
+	}
+	A, B, F := f.Block(aID), f.Block(bID), f.Block(fID)
+	if A == nil || B == nil || F == nil {
+		return false
+	}
+	// Structural checks: A falls (or jumps) only to B; B falls to F; F
+	// ends with the outer back edge to A and falls to the outer exit.
+	if len(outer.Latches) != 1 || outer.Latches[0] != fID {
+		return false
+	}
+	if B.Fall != fID {
+		return false
+	}
+	outerBr := F.LastOp()
+	if outerBr == nil || outerBr.Opcode != ir.OpBr || outerBr.Guard != 0 ||
+		outerBr.Target != aID || F.Fall == 0 {
+		return false
+	}
+	// A and F must be straight-line, unpredicated, call-free code.
+	aOps := A.Ops
+	if last := A.LastOp(); last != nil && last.IsUncondJump() && last.Target == bID {
+		aOps = aOps[:len(aOps)-1]
+	}
+	if A.Fall != bID && !(A.LastOp() != nil && A.LastOp().IsUncondJump() &&
+		A.LastOp().Target == bID) {
+		return false
+	}
+	fOps := F.Ops[:len(F.Ops)-1]
+	for _, op := range append(append([]*ir.Op{}, aOps...), fOps...) {
+		if op.IsBranch() || op.Opcode == ir.OpCall || op.Opcode == ir.OpRet ||
+			op.Guard != 0 || op.IsPredDefine() || op.IsBufferOp() {
+			return false
+		}
+	}
+	if len(aOps)+len(fOps) > opts.MaxCollapseOuterOps {
+		return false
+	}
+	// Cost model (the paper's "provided that the inner loop schedule
+	// can accommodate the extra instructions"): the absorbed outer ops
+	// plus the phase-counter bookkeeping occupy issue slots on *every*
+	// collapsed iteration, so they must fit the slack of the inner
+	// loop's initiation interval. Estimate the II from resources plus
+	// the schedule slack long-latency ops create in small loops.
+	innerOps := len(f.Block(bID).Ops) - 1
+	slack := 0
+	for _, op := range f.Block(bID).Ops {
+		if op.IsLoad() {
+			slack += 2
+		}
+		if op.Opcode == ir.OpMul || op.Opcode == ir.OpDiv || op.Opcode == ir.OpRem {
+			slack++
+		}
+	}
+	iiEst := (innerOps + slack + opts.Width - 1) / opts.Width
+	if iiEst < 1 {
+		iiEst = 1
+	}
+	absorbed := len(aOps) + len(fOps) + 3
+	if innerOps+absorbed > iiEst*opts.Width {
+		return false
+	}
+	// The outer loop must itself be counted with literal trips: its
+	// induction register has a single unguarded literal-step add in A
+	// or F, a literal init in the outer preheader, and the back edge
+	// tests it against a literal.
+	outerTrips, ok := detectOuterTrips(f, outer, A, F, outerBr)
+	if !ok || outerTrips < 2 {
+		return false
+	}
+
+	// ---- Rewrite ----
+	p1 := f.NewPred()
+	q := f.NewReg()
+	cnt := f.NewReg()
+
+	newOp := func(op ir.Op) *ir.Op {
+		op.ID = f.NewOpID()
+		return &op
+	}
+
+	// Top-of-body prologue: F-ops then A-ops, guarded by p1, then the
+	// phase-counter reset.
+	var top []*ir.Op
+	for _, op := range fOps {
+		c := op.Clone(f.NewOpID())
+		c.Guard = p1
+		top = append(top, c)
+	}
+	for _, op := range aOps {
+		c := op.Clone(f.NewOpID())
+		c.Guard = p1
+		top = append(top, c)
+	}
+	reset := newOp(ir.Op{Opcode: ir.OpMov, Dest: []ir.Reg{q}, Imm: 0, HasImm: true})
+	reset.Guard = p1
+	top = append(top, reset)
+
+	// Bottom: advance the phase counter, recompute p1, counted loop
+	// back edge.
+	bodyOps := B.Ops[:len(B.Ops)-1] // drop inner back edge
+	bottom := []*ir.Op{
+		newOp(ir.Op{Opcode: ir.OpAdd, Dest: []ir.Reg{q}, Src: []ir.Reg{q}, Imm: 1, HasImm: true}),
+	}
+	cmp := newOp(ir.Op{Opcode: ir.OpCmpP, Cmp: ir.CmpEQ, Src: []ir.Reg{q},
+		Imm: innerTrips, HasImm: true})
+	cmp.PDest[0] = ir.PredDest{Pred: p1, Type: ir.PTUT}
+	bottom = append(bottom, cmp)
+	back := newOp(ir.Op{Opcode: ir.OpBrCLoop, Dest: []ir.Reg{cnt},
+		Src: []ir.Reg{cnt}, Target: bID, LoopBack: true})
+	bottom = append(bottom, back)
+
+	B.Ops = append(append(top, bodyOps...), bottom...)
+	B.Weight = float64(outerTrips * innerTrips)
+
+	// A becomes the one-time prologue: init q, p1=false, cloop counter.
+	initQ := newOp(ir.Op{Opcode: ir.OpMov, Dest: []ir.Reg{q}, Imm: 0, HasImm: true})
+	initP := newOp(ir.Op{Opcode: ir.OpCmpP, Cmp: ir.CmpNE, Src: []ir.Reg{q},
+		Imm: 0, HasImm: true})
+	initP.PDest[0] = ir.PredDest{Pred: p1, Type: ir.PTUT}
+	initC := newOp(ir.Op{Opcode: ir.OpMov, Dest: []ir.Reg{cnt},
+		Imm: outerTrips * innerTrips, HasImm: true})
+	// Preserve a trailing jump-to-B if present.
+	var tail []*ir.Op
+	if len(A.Ops) > len(aOps) {
+		tail = A.Ops[len(aOps):]
+	}
+	A.Ops = append(append(append([]*ir.Op{}, aOps...), initQ, initP, initC), tail...)
+	A.Weight = 1
+
+	// F becomes the one-time epilogue: drop the outer back edge.
+	F.Ops = F.Ops[:len(F.Ops)-1]
+	F.Weight = 1
+	return true
+}
+
+// detectOuterTrips recognizes the outer counted-loop pattern and
+// returns its literal trip count.
+func detectOuterTrips(f *ir.Func, outer *Loop, A, F *ir.Block, br *ir.Op) (int64, bool) {
+	if len(br.Src) < 1 || !br.HasImm {
+		return 0, false
+	}
+	o := br.Src[0]
+	// Single unguarded literal add of o within the loop.
+	var step int64
+	found := 0
+	for _, blk := range []*ir.Block{A, F} {
+		for _, op := range blk.Ops {
+			for _, d := range op.Dest {
+				if d != o {
+					continue
+				}
+				if (op.Opcode != ir.OpAdd && op.Opcode != ir.OpSub) || op.Guard != 0 ||
+					!op.HasImm || len(op.Src) != 1 || op.Src[0] != o {
+					return 0, false
+				}
+				step = op.Imm
+				if op.Opcode == ir.OpSub {
+					step = -step
+				}
+				found++
+			}
+		}
+	}
+	// Also reject defs of o in the inner body.
+	bBlk := f.Block(outerInnerBody(outer))
+	if bBlk != nil {
+		for _, op := range bBlk.Ops {
+			for _, d := range op.Dest {
+				if d == o {
+					return 0, false
+				}
+			}
+		}
+	}
+	if found != 1 || step == 0 {
+		return 0, false
+	}
+	// Literal init in the outer preheader.
+	preds := f.Preds()
+	var pre ir.BlockID
+	n := 0
+	for _, p := range preds[outer.Header] {
+		if !outer.Blocks[p] {
+			pre = p
+			n++
+		}
+	}
+	if n != 1 {
+		return 0, false
+	}
+	init, ok := literalInit(f.Block(pre), o)
+	if !ok {
+		return 0, false
+	}
+	c := &Counted{Cmp: br.Cmp, BoundIsImm: true, BoundImm: br.Imm,
+		Init: init, InitKnown: true, Step: step}
+	return c.TripsValue()
+}
+
+// TripsValue is Trips without requiring loop context fields.
+func (c *Counted) TripsValue() (int64, bool) { return c.Trips() }
+
+// outerInnerBody returns the single child loop's body block if the
+// outer loop has exactly three blocks (A, B, F shape), else 0.
+func outerInnerBody(outer *Loop) ir.BlockID {
+	if len(outer.Children) != 1 {
+		return 0
+	}
+	return outer.Children[0].Header
+}
+
+// literalInit scans block b backwards for an unguarded mov-immediate
+// into r as the last def of r.
+func literalInit(b *ir.Block, r ir.Reg) (int64, bool) {
+	if b == nil {
+		return 0, false
+	}
+	for i := len(b.Ops) - 1; i >= 0; i-- {
+		op := b.Ops[i]
+		for _, d := range op.Dest {
+			if d != r {
+				continue
+			}
+			if op.Opcode == ir.OpMov && op.Guard == 0 && op.HasImm && len(op.Src) == 0 {
+				return op.Imm, true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// CLoopifyAll converts qualifying single-block counted loops to the
+// br.cloop form (installing "a special counted loop branch", Section 3),
+// computing the trip count in the preheader. Returns conversions made.
+func CLoopifyAll(f *ir.Func) int {
+	n := 0
+	loops := FindLoops(f)
+	for _, l := range loops {
+		c := DetectCounted(f, l)
+		if c == nil {
+			continue
+		}
+		if cloopify(f, c) {
+			n++
+		}
+	}
+	return n
+}
+
+// cloopify rewrites one counted loop. Supported shapes: step > 0 with
+// CmpLT/CmpLE bound tests (the common ascending forms).
+func cloopify(f *ir.Func, c *Counted) bool {
+	if c.Step <= 0 || (c.Cmp != ir.CmpLT && c.Cmp != ir.CmpLE) {
+		return false
+	}
+	body := f.Block(c.Body)
+	pre := f.Block(c.Preheader)
+	br := body.Ops[c.BrIdx]
+	cnt := f.NewReg()
+
+	newOp := func(op ir.Op) *ir.Op {
+		op.ID = f.NewOpID()
+		return &op
+	}
+
+	// Compute trips in the preheader. Bottom-tested loops run at least
+	// once: trips = max(1, ceil((bound' - init) / step)), with bound'
+	// = bound (LT) or bound+1 (LE). The computed ops write only fresh
+	// registers, so they are inserted before any trailing branches of
+	// the preheader (harmless on non-loop paths).
+	var setup []*ir.Op
+	if trips, ok := c.Trips(); ok {
+		setup = append(setup, newOp(ir.Op{Opcode: ir.OpMov,
+			Dest: []ir.Reg{cnt}, Imm: trips, HasImm: true}))
+	} else if c.InitKnown && !c.BoundIsImm {
+		adj := c.Step - 1 - c.Init
+		if c.Cmp == ir.CmpLE {
+			adj++
+		}
+		t := f.NewReg()
+		setup = append(setup, newOp(ir.Op{Opcode: ir.OpAdd, Dest: []ir.Reg{t},
+			Src: []ir.Reg{c.BoundReg}, Imm: adj, HasImm: true}))
+		if c.Step != 1 {
+			setup = append(setup, newOp(ir.Op{Opcode: ir.OpDiv,
+				Dest: []ir.Reg{t}, Src: []ir.Reg{t}, Imm: c.Step, HasImm: true}))
+		}
+		setup = append(setup, newOp(ir.Op{Opcode: ir.OpMax,
+			Dest: []ir.Reg{cnt}, Src: []ir.Reg{t}, Imm: 1, HasImm: true}))
+	} else {
+		return false
+	}
+	insertBeforeBranches(pre, setup)
+
+	// Replace the back edge with br.cloop.
+	br.Opcode = ir.OpBrCLoop
+	br.Dest = []ir.Reg{cnt}
+	br.Src = []ir.Reg{cnt}
+	br.HasImm = false
+	br.Imm = 0
+	br.LoopBack = true
+	return true
+}
+
+// insertBeforeBranches inserts ops before the block's trailing run of
+// branch operations (so the block's control transfers stay terminal).
+func insertBeforeBranches(b *ir.Block, ops []*ir.Op) {
+	i := len(b.Ops)
+	for i > 0 && b.Ops[i-1].IsBranch() {
+		i--
+	}
+	tail := append([]*ir.Op{}, b.Ops[i:]...)
+	b.Ops = append(append(b.Ops[:i], ops...), tail...)
+}
+
+// MarkLoopBacks flags the back-edge branch of every single-block
+// self-loop (needed by the wloop buffering path for loops that did not
+// convert to br.cloop). Returns how many branches were marked.
+func MarkLoopBacks(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		last := b.LastOp()
+		if last == nil || !last.IsBranch() || last.Target != b.ID {
+			continue
+		}
+		if !last.LoopBack {
+			last.LoopBack = true
+			n++
+		}
+	}
+	return n
+}

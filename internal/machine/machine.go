@@ -1,0 +1,206 @@
+// Package machine describes the modeled VLIW target: issue slots,
+// functional-unit classes, operation latencies and encoding parameters.
+//
+// The default description follows Section 7 / Figure 6 of Sias, Hunter &
+// Hwu (MICRO-34, 2001): an 8-wide unified VLIW loosely modeled on the TI
+// 'C6x with eight integer ALUs (two multiply-capable), three memory
+// units, one branch unit, two floating-point-capable units and four
+// predicate-generating units, with a fixed assignment of units to slots.
+package machine
+
+import "fmt"
+
+// UnitClass identifies a functional-unit capability required by an
+// operation. A slot may provide several classes.
+type UnitClass uint8
+
+const (
+	// UnitIALU executes single-cycle integer arithmetic and logic.
+	UnitIALU UnitClass = iota
+	// UnitIMul executes integer multiplies (and, in this model, divides).
+	UnitIMul
+	// UnitMem executes loads and stores.
+	UnitMem
+	// UnitBranch executes control-transfer and loop-buffer operations.
+	UnitBranch
+	// UnitPred generates predicate values (predicate defines).
+	UnitPred
+	// UnitFP executes floating-point arithmetic.
+	UnitFP
+
+	// NumUnitClasses is the number of distinct unit classes.
+	NumUnitClasses
+)
+
+var unitClassNames = [NumUnitClasses]string{"ialu", "imul", "mem", "br", "pred", "fp"}
+
+func (c UnitClass) String() string {
+	if int(c) < len(unitClassNames) {
+		return unitClassNames[c]
+	}
+	return fmt.Sprintf("unit(%d)", uint8(c))
+}
+
+// Slot describes one issue slot of the VLIW.
+type Slot struct {
+	// Index is the slot's position in the bundle, 0-based.
+	Index int
+	// Classes lists the unit classes this slot can execute.
+	Classes []UnitClass
+}
+
+// Has reports whether the slot provides unit class c.
+func (s *Slot) Has(c UnitClass) bool {
+	for _, have := range s.Classes {
+		if have == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Desc is a complete machine description.
+type Desc struct {
+	// Name identifies the description (for reports).
+	Name string
+	// Slots holds the issue slots in bundle order.
+	Slots []Slot
+	// Latency maps an operation latency class to its cycle count.
+	Latency Latencies
+	// BranchPenalty is the redirect penalty, in cycles, charged for a
+	// taken branch resolved against the global fetch path. Loop-back
+	// branches of buffered loops do not pay it (the buffer supplies
+	// perfect loop-back prediction).
+	BranchPenalty int
+	// OpBits is the encoded size of one operation in bits. NOPs are
+	// assumed to be compressed away in memory (as on the 'C6x).
+	OpBits int
+	// IntRegs is the number of architected general registers. The
+	// compiler reports pressure against this bound.
+	IntRegs int
+	// PredSlots is the number of slots addressable by slot-based
+	// predicate defines (all slots can consume predicates).
+	PredSlots int
+}
+
+// Latencies gives operation result latencies in cycles.
+type Latencies struct {
+	IALU   int
+	IMul   int
+	IDiv   int
+	Load   int
+	Store  int
+	FP     int
+	Branch int // cycles before a branch redirects fetch
+	Pred   int // predicate define to consumer
+}
+
+// Width returns the issue width (number of slots).
+func (d *Desc) Width() int { return len(d.Slots) }
+
+// SlotsFor returns the indices of slots providing unit class c.
+func (d *Desc) SlotsFor(c UnitClass) []int {
+	var out []int
+	for i := range d.Slots {
+		if d.Slots[i].Has(c) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CountFor returns how many slots provide unit class c.
+func (d *Desc) CountFor(c UnitClass) int { return len(d.SlotsFor(c)) }
+
+// Validate checks internal consistency of the description.
+func (d *Desc) Validate() error {
+	if len(d.Slots) == 0 {
+		return fmt.Errorf("machine %q: no issue slots", d.Name)
+	}
+	for i := range d.Slots {
+		if d.Slots[i].Index != i {
+			return fmt.Errorf("machine %q: slot %d has index %d", d.Name, i, d.Slots[i].Index)
+		}
+		if len(d.Slots[i].Classes) == 0 {
+			return fmt.Errorf("machine %q: slot %d has no unit classes", d.Name, i)
+		}
+	}
+	if d.CountFor(UnitBranch) == 0 {
+		return fmt.Errorf("machine %q: no branch-capable slot", d.Name)
+	}
+	if d.BranchPenalty < 0 {
+		return fmt.Errorf("machine %q: negative branch penalty", d.Name)
+	}
+	return nil
+}
+
+// Default returns the paper's experimental machine (Figure 6):
+//
+//	slot:  0     1     2     3     4     5     6     7
+//	       Ialu  Ialu  Ialu  Ialu  Ialu  Ialu  Imul/F Imul/F
+//	       Pred  Pred  Mem   Mem   Mem   Br    Pred   Pred
+//
+// Eight integer ALUs (the two Imul/F slots also execute plain integer
+// ALU operations), two integer-multiply slots, three memory units, one
+// branch unit, two FP units, four predicate-generating units; arithmetic
+// latency 1, multiply 2, divide 8, load 3, FP 2; 64 integer registers.
+func Default() *Desc {
+	d := &Desc{
+		Name: "paper-8wide",
+		Slots: []Slot{
+			{Index: 0, Classes: []UnitClass{UnitIALU, UnitPred}},
+			{Index: 1, Classes: []UnitClass{UnitIALU, UnitPred}},
+			{Index: 2, Classes: []UnitClass{UnitIALU, UnitMem}},
+			{Index: 3, Classes: []UnitClass{UnitIALU, UnitMem}},
+			{Index: 4, Classes: []UnitClass{UnitIALU, UnitMem}},
+			{Index: 5, Classes: []UnitClass{UnitIALU, UnitBranch}},
+			{Index: 6, Classes: []UnitClass{UnitIALU, UnitIMul, UnitFP, UnitPred}},
+			{Index: 7, Classes: []UnitClass{UnitIALU, UnitIMul, UnitFP, UnitPred}},
+		},
+		Latency: Latencies{
+			IALU:   1,
+			IMul:   2,
+			IDiv:   8,
+			Load:   3,
+			Store:  1,
+			FP:     2,
+			Branch: 1,
+			Pred:   1,
+		},
+		BranchPenalty: 3,
+		OpBits:        32,
+		IntRegs:       64,
+		PredSlots:     8,
+	}
+	return d
+}
+
+// Four returns a 4-wide variant of the machine (half the paper's
+// resources), used by the width-sensitivity experiments: two of the
+// slots keep multiply/FP and predicate capability, memory and branch
+// units fold into shared slots.
+func Four() *Desc {
+	d := Default()
+	d.Name = "paper-4wide"
+	d.Slots = []Slot{
+		{Index: 0, Classes: []UnitClass{UnitIALU, UnitPred}},
+		{Index: 1, Classes: []UnitClass{UnitIALU, UnitMem}},
+		{Index: 2, Classes: []UnitClass{UnitIALU, UnitMem, UnitBranch}},
+		{Index: 3, Classes: []UnitClass{UnitIALU, UnitIMul, UnitFP, UnitPred}},
+	}
+	d.PredSlots = 4
+	return d
+}
+
+// Two returns a minimal dual-issue variant (LIW-class, like the
+// DSP16000 the paper's related work studies).
+func Two() *Desc {
+	d := Default()
+	d.Name = "paper-2wide"
+	d.Slots = []Slot{
+		{Index: 0, Classes: []UnitClass{UnitIALU, UnitMem, UnitPred}},
+		{Index: 1, Classes: []UnitClass{UnitIALU, UnitIMul, UnitFP, UnitBranch, UnitPred}},
+	}
+	d.PredSlots = 2
+	return d
+}

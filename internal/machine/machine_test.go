@@ -1,0 +1,98 @@
+package machine
+
+import "testing"
+
+func TestDefaultMatchesFigure6(t *testing.T) {
+	d := Default()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Width() != 8 {
+		t.Fatalf("width = %d, want 8", d.Width())
+	}
+	// "eight integer ALUs, two of which can issue integer multiplies;
+	// three memory units; one branch unit; two floating-point units;
+	// and four units capable of generating predicate values."
+	checks := []struct {
+		cls  UnitClass
+		want int
+	}{
+		{UnitIALU, 8},
+		{UnitIMul, 2},
+		{UnitMem, 3},
+		{UnitBranch, 1},
+		{UnitFP, 2},
+		{UnitPred, 4},
+	}
+	for _, c := range checks {
+		if got := d.CountFor(c.cls); got != c.want {
+			t.Errorf("%s units = %d, want %d", c.cls, got, c.want)
+		}
+	}
+}
+
+func TestPaperLatencies(t *testing.T) {
+	d := Default()
+	// "Arithmetic operations have a latency of 1 cycle; multiplies, 2
+	// cycles; divides, 8 cycles; loads, 3 cycles; and floating point
+	// arithmetic, 2 cycles. Sixty-four (64) integer registers."
+	if d.Latency.IALU != 1 || d.Latency.IMul != 2 || d.Latency.IDiv != 8 ||
+		d.Latency.Load != 3 || d.Latency.FP != 2 {
+		t.Fatalf("latencies = %+v", d.Latency)
+	}
+	if d.IntRegs != 64 {
+		t.Fatalf("IntRegs = %d", d.IntRegs)
+	}
+	if d.OpBits != 32 {
+		t.Fatalf("OpBits = %d", d.OpBits)
+	}
+	if d.PredSlots != 8 {
+		t.Fatalf("PredSlots = %d", d.PredSlots)
+	}
+}
+
+func TestSlotsFor(t *testing.T) {
+	d := Default()
+	mem := d.SlotsFor(UnitMem)
+	if len(mem) != 3 {
+		t.Fatalf("mem slots = %v", mem)
+	}
+	for _, s := range mem {
+		if !d.Slots[s].Has(UnitMem) {
+			t.Fatalf("slot %d listed but lacks mem", s)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	d := Default()
+	d.Slots[3].Index = 7
+	if err := d.Validate(); err == nil {
+		t.Fatal("expected index mismatch error")
+	}
+	d = Default()
+	d.Slots = nil
+	if err := d.Validate(); err == nil {
+		t.Fatal("expected empty-slots error")
+	}
+	d = Default()
+	d.Slots[5].Classes = []UnitClass{UnitIALU} // drop the branch unit
+	if err := d.Validate(); err == nil {
+		t.Fatal("expected missing-branch-unit error")
+	}
+}
+
+func TestNarrowMachinesValidate(t *testing.T) {
+	for _, d := range []*Desc{Four(), Two()} {
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if d.CountFor(UnitBranch) < 1 || d.CountFor(UnitMem) < 1 ||
+			d.CountFor(UnitIMul) < 1 || d.CountFor(UnitPred) < 1 {
+			t.Fatalf("%s lacks a required unit class", d.Name)
+		}
+	}
+	if Four().Width() != 4 || Two().Width() != 2 {
+		t.Fatal("widths wrong")
+	}
+}

@@ -1,0 +1,216 @@
+// Package opt implements the "traditional" scalar optimizations of the
+// compilation pipeline: liveness analysis, dead-code elimination,
+// local constant folding/propagation, copy propagation, local common
+// subexpression elimination, and control-flow cleanup. These form the
+// baseline configuration of the paper's experiments; the aggressive
+// configuration layers the control transformations of packages
+// hyperblock and looptrans on top.
+package opt
+
+import (
+	"lpbuf/internal/ir"
+)
+
+// RegSet is a dense bitset over virtual registers.
+type RegSet []uint64
+
+// NewRegSet returns a set sized for registers < n.
+func NewRegSet(n ir.Reg) RegSet { return make(RegSet, (int(n)+64)/64) }
+
+// Has reports membership.
+func (s RegSet) Has(r ir.Reg) bool { return s[int(r)/64]&(1<<(uint(r)%64)) != 0 }
+
+// Add inserts r.
+func (s RegSet) Add(r ir.Reg) { s[int(r)/64] |= 1 << (uint(r) % 64) }
+
+// Remove deletes r.
+func (s RegSet) Remove(r ir.Reg) { s[int(r)/64] &^= 1 << (uint(r) % 64) }
+
+// Union merges o into s, reporting whether s changed.
+func (s RegSet) Union(o RegSet) bool {
+	changed := false
+	for i := range s {
+		if i >= len(o) {
+			break
+		}
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Clone copies the set.
+func (s RegSet) Clone() RegSet { return append(RegSet(nil), s...) }
+
+// Count returns the number of members.
+func (s RegSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// PredSet is a dense bitset over predicate registers.
+type PredSet []uint64
+
+// NewPredSet returns a set sized for predicates < n.
+func NewPredSet(n ir.PredReg) PredSet { return make(PredSet, (int(n)+64)/64) }
+
+// Has reports membership.
+func (s PredSet) Has(p ir.PredReg) bool { return s[int(p)/64]&(1<<(uint(p)%64)) != 0 }
+
+// Add inserts p.
+func (s PredSet) Add(p ir.PredReg) { s[int(p)/64] |= 1 << (uint(p) % 64) }
+
+// Remove deletes p.
+func (s PredSet) Remove(p ir.PredReg) { s[int(p)/64] &^= 1 << (uint(p) % 64) }
+
+// Union merges o into s, reporting whether s changed.
+func (s PredSet) Union(o PredSet) bool {
+	changed := false
+	for i := range s {
+		if i >= len(o) {
+			break
+		}
+		n := s[i] | o[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Clone copies the set.
+func (s PredSet) Clone() PredSet { return append(PredSet(nil), s...) }
+
+// Live holds the result of liveness analysis: live-in and live-out
+// register and predicate sets per block.
+type Live struct {
+	In, Out   map[ir.BlockID]RegSet
+	PIn, POut map[ir.BlockID]PredSet
+	numRegs   ir.Reg
+	numPreds  ir.PredReg
+}
+
+// opReads appends the registers read by op.
+func opReads(op *ir.Op) []ir.Reg { return op.Src }
+
+// opWrites appends the registers written by op and whether the write is
+// unconditional (an unguarded op writes for sure; a guarded op may not).
+func opWrites(op *ir.Op) (regs []ir.Reg, uncond bool) {
+	return op.Dest, op.Guard == 0
+}
+
+// Liveness computes predicate-aware liveness. Guarded definitions do
+// not kill (the write may be nullified); guards are treated as
+// predicate uses, and predicate defines as conditional predicate
+// definitions (or/and-type defines never kill; ut/uf and ct/cf defines
+// kill only when unguarded, since a guarded define may leave the old
+// value).
+func Liveness(f *ir.Func) *Live {
+	lv := &Live{
+		In: map[ir.BlockID]RegSet{}, Out: map[ir.BlockID]RegSet{},
+		PIn: map[ir.BlockID]PredSet{}, POut: map[ir.BlockID]PredSet{},
+		numRegs:  f.NumRegs(),
+		numPreds: f.NumPreds(),
+	}
+	for _, b := range f.Blocks {
+		lv.In[b.ID] = NewRegSet(lv.numRegs)
+		lv.Out[b.ID] = NewRegSet(lv.numRegs)
+		lv.PIn[b.ID] = NewPredSet(lv.numPreds)
+		lv.POut[b.ID] = NewPredSet(lv.numPreds)
+	}
+	// Iterate to fixpoint, visiting blocks in reverse layout order.
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := lv.Out[b.ID]
+			pout := lv.POut[b.ID]
+			for _, s := range b.Succs() {
+				if out.Union(lv.In[s]) {
+					changed = true
+				}
+				if pout.Union(lv.PIn[s]) {
+					changed = true
+				}
+			}
+			in, pin := BlockLiveIn(b, out, pout)
+			if lv.In[b.ID].Union(in) {
+				changed = true
+			}
+			if lv.PIn[b.ID].Union(pin) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// BlockLiveIn computes a block's live-in sets from its live-out sets by
+// a backward scan.
+func BlockLiveIn(b *ir.Block, out RegSet, pout PredSet) (RegSet, PredSet) {
+	in := out.Clone()
+	pin := pout.Clone()
+	for i := len(b.Ops) - 1; i >= 0; i-- {
+		op := b.Ops[i]
+		stepLive(op, in, pin)
+	}
+	return in, pin
+}
+
+// stepLive updates live sets backward across one op.
+func stepLive(op *ir.Op, live RegSet, plive PredSet) {
+	regs, uncond := opWrites(op)
+	if uncond {
+		for _, d := range regs {
+			if d != 0 {
+				live.Remove(d)
+			}
+		}
+	}
+	for _, pd := range op.PredDefines() {
+		kills := op.Guard == 0 && (pd.Type == ir.PTUT || pd.Type == ir.PTUF ||
+			pd.Type == ir.PTCT || pd.Type == ir.PTCF)
+		if kills {
+			plive.Remove(pd.Pred)
+		}
+	}
+	for _, s := range opReads(op) {
+		if s != 0 {
+			live.Add(s)
+		}
+	}
+	if op.Guard != 0 {
+		plive.Add(op.Guard)
+	}
+}
+
+// MaxLive returns the maximum number of simultaneously live registers
+// at any program point in f (a register-pressure report against the
+// machine's architected register count).
+func MaxLive(f *ir.Func) int {
+	lv := Liveness(f)
+	max := 0
+	for _, b := range f.Blocks {
+		cur := lv.Out[b.ID].Clone()
+		pcur := lv.POut[b.ID].Clone()
+		if n := cur.Count(); n > max {
+			max = n
+		}
+		for i := len(b.Ops) - 1; i >= 0; i-- {
+			stepLive(b.Ops[i], cur, pcur)
+			if n := cur.Count(); n > max {
+				max = n
+			}
+		}
+	}
+	return max
+}

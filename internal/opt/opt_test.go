@@ -1,0 +1,465 @@
+package opt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lpbuf/internal/interp"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+)
+
+// run executes a program and returns (ret, mem).
+func run(t *testing.T, p *ir.Program) (int64, []byte) {
+	t.Helper()
+	res, err := interp.Run(p, interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Ret, res.Mem
+}
+
+// checkPreserves asserts Optimize does not change observable behaviour.
+func checkPreserves(t *testing.T, p *ir.Program) {
+	t.Helper()
+	before, memB := run(t, p)
+	opt := p.Clone()
+	Optimize(opt)
+	if err := opt.Verify(); err != nil {
+		t.Fatalf("optimized program fails verify: %v", err)
+	}
+	after, memA := run(t, opt)
+	if before != after {
+		t.Fatalf("ret changed: %d -> %d", before, after)
+	}
+	if !bytes.Equal(memB, memA) {
+		t.Fatal("memory state changed by optimization")
+	}
+}
+
+func TestConstFold(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("entry")
+	a := f.Const(6)
+	b := f.Const(7)
+	c := f.Reg()
+	f.Mul(c, a, b)
+	f.Ret(c)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	Optimize(p)
+	// After folding + DCE the function should be mov + ret.
+	fn := p.Funcs["main"]
+	if n := fn.OpCount(); n > 2 {
+		t.Fatalf("expected <=2 ops after fold+DCE, got %d:\n%s", n, fn)
+	}
+	if ret, _ := run(t, p); ret != 42 {
+		t.Fatalf("ret = %d", ret)
+	}
+}
+
+func TestCopyPropAndDCE(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 1, true)
+	f.Block("entry")
+	a := f.Reg()
+	b := f.Reg()
+	c := f.Reg()
+	dead := f.Reg()
+	f.Mov(a, f.Param(0))
+	f.Mov(b, a)
+	f.AddI(c, b, 1)
+	f.MulI(dead, c, 100) // dead
+	f.Ret(c)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	Optimize(p)
+	fn := p.Funcs["main"]
+	for _, blk := range fn.Blocks {
+		for _, op := range blk.Ops {
+			if len(op.Dest) > 0 && op.Dest[0] == dead {
+				t.Fatalf("dead op survived: %s", op)
+			}
+		}
+	}
+	res, err := interp.Run(p, interp.Options{EntryArgs: []int64{41}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 42 {
+		t.Fatalf("ret = %d", res.Ret)
+	}
+}
+
+func TestCSE(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 2, true)
+	f.Block("entry")
+	x, y := f.Param(0), f.Param(1)
+	a, b, c := f.Reg(), f.Reg(), f.Reg()
+	f.Add(a, x, y)
+	f.Add(b, x, y) // CSE with a
+	f.Add(c, a, b)
+	f.Ret(c)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	Optimize(p)
+	adds := 0
+	for _, blk := range p.Funcs["main"].Blocks {
+		for _, op := range blk.Ops {
+			if op.Opcode == ir.OpAdd {
+				adds++
+			}
+		}
+	}
+	if adds > 2 {
+		t.Fatalf("CSE failed: %d adds remain", adds)
+	}
+	res, err := interp.Run(p, interp.Options{EntryArgs: []int64{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 14 {
+		t.Fatalf("ret = %d", res.Ret)
+	}
+}
+
+func TestGuardedDefDoesNotKill(t *testing.T) {
+	// r gets 1; under false predicate gets 2; r must stay live and the
+	// first def must not be removed.
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("entry")
+	r := f.Reg()
+	f.MovI(r, 1)
+	zero := f.Const(0)
+	pr := f.F.NewPred()
+	f.CmpPI(pr, ir.PTUT, 0, ir.PTNone, ir.CmpNE, zero, 0) // pr = false
+	f.MovI(r, 2).Guard = pr
+	f.Ret(r)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	checkPreserves(t, p)
+	opt := p.Clone()
+	Optimize(opt)
+	if ret, _ := run(t, opt); ret != 1 {
+		t.Fatalf("ret = %d, want 1", ret)
+	}
+}
+
+func TestDeadPredDefineRemoved(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("entry")
+	a := f.Const(1)
+	pr := f.F.NewPred()
+	f.CmpPI(pr, ir.PTUT, 0, ir.PTNone, ir.CmpEQ, a, 1) // dead: pr unused
+	f.Ret(a)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	Optimize(p)
+	for _, blk := range p.Funcs["main"].Blocks {
+		for _, op := range blk.Ops {
+			if op.Opcode == ir.OpCmpP {
+				t.Fatalf("dead cmpp survived: %s", op)
+			}
+		}
+	}
+}
+
+func TestCleanCFGMergesChains(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("a")
+	r := f.Const(1)
+	f.Block("b")
+	f.AddI(r, r, 1)
+	f.Block("c")
+	f.AddI(r, r, 1)
+	f.Ret(r)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	Optimize(p)
+	if n := len(p.Funcs["main"].Blocks); n != 1 {
+		t.Fatalf("expected 1 block after merge, got %d", n)
+	}
+	if ret, _ := run(t, p); ret != 3 {
+		t.Fatalf("ret = %d", ret)
+	}
+}
+
+func TestJumpThreading(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 1, true)
+	f.Block("entry")
+	f.BrI(ir.CmpLT, f.Param(0), 0, "trampoline")
+	f.Block("pos")
+	one := f.Const(1)
+	f.Ret(one)
+	f.Block("trampoline")
+	f.Jump("neg")
+	f.Block("neg")
+	m := f.Const(-1)
+	f.Ret(m)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	Optimize(p)
+	// The branch must now target "neg" directly.
+	for _, blk := range p.Funcs["main"].Blocks {
+		for _, op := range blk.Ops {
+			if op.Opcode == ir.OpBr {
+				tgt := p.Funcs["main"].Block(op.Target)
+				if len(tgt.Ops) == 1 && tgt.Ops[0].IsUncondJump() {
+					t.Fatal("jump not threaded")
+				}
+			}
+		}
+	}
+	for _, args := range [][]int64{{5}, {-5}} {
+		res, err := interp.Run(p, interp.Options{EntryArgs: args})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(1)
+		if args[0] < 0 {
+			want = -1
+		}
+		if res.Ret != want {
+			t.Fatalf("arg %d: ret = %d, want %d", args[0], res.Ret, want)
+		}
+	}
+}
+
+// TestOptimizePreservesRandomPrograms builds random (but structured)
+// programs and checks optimization preserves their behaviour.
+func TestOptimizePreservesRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		pb := irbuild.NewProgram(16 << 10)
+		gbase := pb.Global("g", 256, nil)
+		f := pb.Func("main", 0, true)
+		f.Block("entry")
+		regs := []ir.Reg{f.Const(int64(rng.Intn(100) - 50)), f.Const(int64(rng.Intn(100)))}
+		base := f.Const(gbase)
+		n := f.Const(int64(rng.Intn(6) + 2))
+		i := f.Reg()
+		f.MovI(i, 0)
+		f.Block("loop")
+		for k := 0; k < 3+rng.Intn(8); k++ {
+			opc := []ir.Opcode{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr,
+				ir.OpXor, ir.OpMin, ir.OpMax}[rng.Intn(8)]
+			d := f.Reg()
+			a := regs[rng.Intn(len(regs))]
+			b := regs[rng.Intn(len(regs))]
+			f.Bin(opc, d, a, b)
+			regs = append(regs, d)
+		}
+		// A store and a load for side effects.
+		addr := f.Reg()
+		f.ShlI(addr, i, 2)
+		f.Add(addr, addr, base)
+		f.StW(addr, 0, regs[len(regs)-1])
+		ld := f.Reg()
+		f.LdW(ld, addr, 0)
+		regs = append(regs, ld)
+		f.AddI(i, i, 1)
+		f.Br(ir.CmpLT, i, n, "loop")
+		f.Block("done")
+		f.Ret(regs[len(regs)-1])
+		pb.SetEntry("main")
+		checkPreserves(t, pb.MustBuild())
+	}
+}
+
+func TestMaxLive(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("entry")
+	a := f.Const(1)
+	b := f.Const(2)
+	c := f.Const(3)
+	s := f.Reg()
+	f.Add(s, a, b)
+	f.Add(s, s, c)
+	f.Ret(s)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	if ml := MaxLive(p.Funcs["main"]); ml < 3 {
+		t.Fatalf("MaxLive = %d, want >= 3", ml)
+	}
+}
+
+func TestStrengthReduction(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 1, true)
+	f.Block("entry")
+	x := f.Param(0)
+	a, b, c, d := f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	f.MulI(a, x, 8) // -> shl 3
+	f.MulI(b, x, 1) // -> mov
+	f.MulI(c, x, 0) // -> mov #0
+	f.AddI(d, x, 0) // -> mov
+	s := f.Reg()
+	f.Add(s, a, b)
+	f.Add(s, s, c)
+	f.Add(s, s, d)
+	f.Ret(s)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	ref, err := interp.Run(p.Clone(), interp.Options{EntryArgs: []int64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Optimize(p)
+	for _, blk := range p.Funcs["main"].Blocks {
+		for _, op := range blk.Ops {
+			if op.Opcode == ir.OpMul {
+				t.Fatalf("mul survived strength reduction: %s", op)
+			}
+		}
+	}
+	res, err := interp.Run(p, interp.Options{EntryArgs: []int64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != ref.Ret {
+		t.Fatalf("ret changed: %d -> %d", ref.Ret, res.Ret)
+	}
+}
+
+func TestStrengthReductionSignedDivUntouched(t *testing.T) {
+	// Signed division must NOT become a shift (different rounding for
+	// negative operands).
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 1, true)
+	f.Block("entry")
+	d := f.Reg()
+	f.DivI(d, f.Param(0), 4)
+	f.Ret(d)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	Optimize(p)
+	divs := 0
+	for _, blk := range p.Funcs["main"].Blocks {
+		for _, op := range blk.Ops {
+			if op.Opcode == ir.OpDiv {
+				divs++
+			}
+		}
+	}
+	if divs != 1 {
+		t.Fatalf("signed division was rewritten (%d divs remain)", divs)
+	}
+	res, err := interp.Run(p, interp.Options{EntryArgs: []int64{-7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != -1 { // -7/4 truncates toward zero
+		t.Fatalf("-7/4 = %d, want -1", res.Ret)
+	}
+}
+
+func TestLivenessAcrossBlocks(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 1, true)
+	f.Block("a")
+	x := f.Reg()
+	f.MovI(x, 5)
+	f.BrI(ir.CmpLT, f.Param(0), 0, "c")
+	f.Block("b")
+	f.AddI(x, x, 1)
+	f.Block("c")
+	f.Ret(x)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	fn := p.Funcs["main"]
+	lv := Liveness(fn)
+	// x is live out of block a (read in c either way).
+	var aID ir.BlockID
+	for _, b := range fn.Blocks {
+		if b.Name == "a" {
+			aID = b.ID
+		}
+	}
+	if !lv.Out[aID].Has(x) {
+		t.Fatal("x should be live out of block a")
+	}
+}
+
+func TestRegSetQuick(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		s1 := NewRegSet(300)
+		s2 := NewRegSet(300)
+		for _, v := range a {
+			s1.Add(ir.Reg(v))
+		}
+		for _, v := range b {
+			s2.Add(ir.Reg(v))
+		}
+		union := s1.Clone()
+		union.Union(s2)
+		for _, v := range a {
+			if !union.Has(ir.Reg(v)) {
+				return false
+			}
+		}
+		for _, v := range b {
+			if !union.Has(ir.Reg(v)) {
+				return false
+			}
+		}
+		// Count agrees with a map-based model.
+		m := map[uint8]bool{}
+		for _, v := range a {
+			m[v] = true
+		}
+		for _, v := range b {
+			m[v] = true
+		}
+		if union.Count() != len(m) {
+			return false
+		}
+		// Remove restores absence.
+		for _, v := range a {
+			union.Remove(ir.Reg(v))
+			if union.Has(ir.Reg(v)) {
+				return false
+			}
+			union.Add(ir.Reg(v))
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredSetQuick(t *testing.T) {
+	f := func(a []uint8) bool {
+		s := NewPredSet(300)
+		for _, v := range a {
+			s.Add(ir.PredReg(v))
+		}
+		for _, v := range a {
+			if !s.Has(ir.PredReg(v)) {
+				return false
+			}
+		}
+		c := s.Clone()
+		for _, v := range a {
+			c.Remove(ir.PredReg(v))
+		}
+		for _, v := range a {
+			if c.Has(ir.PredReg(v)) || !s.Has(ir.PredReg(v)) {
+				return false // Remove leaked into the original
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

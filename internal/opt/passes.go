@@ -1,0 +1,426 @@
+package opt
+
+import (
+	"lpbuf/internal/ir"
+)
+
+// Optimize runs the traditional scalar optimization pipeline on every
+// function until a fixpoint (bounded), returning the number of
+// rewriting rounds performed.
+func Optimize(p *ir.Program) int {
+	rounds := 0
+	for _, name := range p.Order {
+		f := p.Funcs[name]
+		for i := 0; i < 8; i++ {
+			changed := false
+			changed = LocalConstProp(f) || changed
+			changed = StrengthReduce(f) || changed
+			changed = LocalCopyProp(f) || changed
+			changed = LocalCSE(f) || changed
+			changed = SimplifyBranches(f) || changed
+			changed = DeadCode(f) || changed
+			changed = CleanCFG(f) || changed
+			rounds++
+			if !changed {
+				break
+			}
+		}
+	}
+	return rounds
+}
+
+// LocalConstProp performs per-block constant propagation and folding.
+// Guarded definitions invalidate constness rather than establishing it.
+func LocalConstProp(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		consts := map[ir.Reg]int64{}
+		kill := func(op *ir.Op) {
+			for _, d := range op.Dest {
+				delete(consts, d)
+			}
+		}
+		for _, op := range b.Ops {
+			// Substitute known-constant sources into the immediate
+			// position when the opcode allows one (binary ALU ops,
+			// compares, branches with a register second operand).
+			if !op.HasImm && len(op.Src) >= 1 {
+				last := len(op.Src) - 1
+				if allowImmLast(op) {
+					if v, ok := consts[op.Src[last]]; ok {
+						op.Src = op.Src[:last]
+						op.Imm = v
+						op.HasImm = true
+						changed = true
+					}
+				}
+			}
+			// Fold fully-constant pure ops to mov-immediate.
+			if op.Guard == 0 && len(op.Dest) == 1 && ir.IsALUEvaluable(op.Opcode) &&
+				op.Opcode != ir.OpMov {
+				var a, bb int64
+				ok := true
+				switch len(op.Src) {
+				case 0:
+					a, bb = 0, op.Imm
+					ok = op.HasImm
+				case 1:
+					if v, has := consts[op.Src[0]]; has {
+						a = v
+						bb = op.Imm
+						if !op.HasImm && op.Opcode != ir.OpAbs {
+							ok = false
+						}
+					} else {
+						ok = false
+					}
+				case 2:
+					v0, h0 := consts[op.Src[0]]
+					v1, h1 := consts[op.Src[1]]
+					a, bb = v0, v1
+					ok = h0 && h1
+				default:
+					ok = false
+				}
+				if ok {
+					v := ir.EvalALU(op.Opcode, op.Cmp, a, bb)
+					op.Opcode = ir.OpMov
+					op.Src = nil
+					op.Imm = v
+					op.HasImm = true
+					op.Cmp = 0
+					changed = true
+				}
+			}
+			// Update the constant environment.
+			if op.Opcode == ir.OpMov && op.Guard == 0 && op.HasImm && len(op.Src) == 0 {
+				consts[op.Dest[0]] = ir.W32(op.Imm)
+			} else {
+				kill(op)
+			}
+			if op.Opcode == ir.OpCall {
+				// Calls cannot touch caller registers in this IR, so
+				// only the call's own dests were killed above.
+				continue
+			}
+		}
+	}
+	return changed
+}
+
+// allowImmLast reports whether the op's final source position may be
+// replaced by an immediate.
+func allowImmLast(op *ir.Op) bool {
+	switch op.Opcode {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+		ir.OpXor, ir.OpShl, ir.OpShr, ir.OpShrU, ir.OpMin, ir.OpMax,
+		ir.OpCmpW, ir.OpCmpP, ir.OpBr:
+		return len(op.Src) == 2
+	}
+	return false
+}
+
+// StrengthReduce rewrites expensive operations with cheap equivalents:
+// multiplication by a power of two becomes a shift, multiplication by
+// 0/1/-1 becomes a move/negate, and additive identities disappear.
+// (Signed division is left alone: a right shift rounds differently for
+// negative operands.)
+func StrengthReduce(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			if !op.HasImm || len(op.Dest) != 1 || len(op.Src) != 1 {
+				continue
+			}
+			switch op.Opcode {
+			case ir.OpMul:
+				switch {
+				case op.Imm == 0 && op.Guard == 0:
+					op.Opcode = ir.OpMov
+					op.Src = nil
+					op.Imm = 0
+					changed = true
+				case op.Imm == 1:
+					op.Opcode = ir.OpMov
+					op.HasImm = false
+					op.Imm = 0
+					changed = true
+				case op.Imm > 1 && op.Imm&(op.Imm-1) == 0:
+					op.Opcode = ir.OpShl
+					op.Imm = int64(log2(uint64(op.Imm)))
+					changed = true
+				}
+			case ir.OpAdd, ir.OpSub, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr, ir.OpShrU:
+				if op.Imm == 0 {
+					op.Opcode = ir.OpMov
+					op.HasImm = false
+					op.Imm = 0
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// LocalCopyProp propagates unguarded register copies within blocks.
+func LocalCopyProp(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		copyOf := map[ir.Reg]ir.Reg{}
+		for _, op := range b.Ops {
+			for i, s := range op.Src {
+				if c, ok := copyOf[s]; ok {
+					op.Src[i] = c
+					changed = true
+				}
+			}
+			// Invalidate any copy whose source or dest is redefined.
+			for _, d := range op.Dest {
+				delete(copyOf, d)
+				for k, v := range copyOf {
+					if v == d {
+						delete(copyOf, k)
+					}
+				}
+			}
+			if op.Opcode == ir.OpMov && op.Guard == 0 && len(op.Src) == 1 &&
+				op.Dest[0] != op.Src[0] {
+				copyOf[op.Dest[0]] = op.Src[0]
+			}
+		}
+	}
+	return changed
+}
+
+// cseKey identifies a pure computation for local CSE.
+type cseKey struct {
+	opc    ir.Opcode
+	cmp    ir.CmpKind
+	s0, s1 ir.Reg
+	imm    int64
+	hasImm bool
+}
+
+// LocalCSE eliminates repeated pure computations within a block by
+// rewriting later occurrences as copies of the first result.
+func LocalCSE(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		avail := map[cseKey]ir.Reg{}
+		for _, op := range b.Ops {
+			if len(op.Dest) != 1 || op.Guard != 0 || !ir.IsALUEvaluable(op.Opcode) ||
+				op.Opcode == ir.OpMov {
+				// Any write invalidates expressions using the dest.
+				for _, d := range op.Dest {
+					for k, v := range avail {
+						if v == d || k.s0 == d || k.s1 == d {
+							delete(avail, k)
+						}
+					}
+				}
+				continue
+			}
+			k := cseKey{opc: op.Opcode, cmp: op.Cmp, imm: op.Imm, hasImm: op.HasImm}
+			if len(op.Src) > 0 {
+				k.s0 = op.Src[0]
+			}
+			if len(op.Src) > 1 {
+				k.s1 = op.Src[1]
+			}
+			if prev, ok := avail[k]; ok && prev != op.Dest[0] {
+				op.Opcode = ir.OpMov
+				op.Src = []ir.Reg{prev}
+				op.HasImm = false
+				op.Imm = 0
+				op.Cmp = 0
+				changed = true
+				// The mov redefines op.Dest; fall through to invalidate.
+			}
+			d := op.Dest[0]
+			for kk, v := range avail {
+				if v == d || kk.s0 == d || kk.s1 == d {
+					delete(avail, kk)
+				}
+			}
+			if op.Opcode != ir.OpMov {
+				avail[k] = d
+			}
+		}
+	}
+	return changed
+}
+
+// DeadCode removes pure operations whose results are never used, and
+// prunes dead predicate destinations from defines.
+func DeadCode(f *ir.Func) bool {
+	lv := Liveness(f)
+	changed := false
+	for _, b := range f.Blocks {
+		live := lv.Out[b.ID].Clone()
+		plive := lv.POut[b.ID].Clone()
+		var kept []*ir.Op
+		for i := len(b.Ops) - 1; i >= 0; i-- {
+			op := b.Ops[i]
+			remove := false
+			if !op.HasSideEffect() && op.Opcode != ir.OpNop {
+				if op.Opcode == ir.OpCmpP {
+					liveDest := false
+					for j := range op.PDest {
+						pd := op.PDest[j]
+						if pd.Type == ir.PTNone {
+							continue
+						}
+						if plive.Has(pd.Pred) {
+							liveDest = true
+						} else {
+							op.PDest[j] = ir.PredDest{}
+							changed = true
+						}
+					}
+					remove = !liveDest
+				} else if len(op.Dest) > 0 {
+					anyLive := false
+					for _, d := range op.Dest {
+						if live.Has(d) {
+							anyLive = true
+						}
+					}
+					remove = !anyLive
+				}
+			}
+			if remove {
+				changed = true
+				continue
+			}
+			stepLive(op, live, plive)
+			kept = append(kept, op)
+		}
+		// kept is reversed.
+		for l, r := 0, len(kept)-1; l < r; l, r = l+1, r-1 {
+			kept[l], kept[r] = kept[r], kept[l]
+		}
+		b.Ops = kept
+	}
+	return changed
+}
+
+// SimplifyBranches removes terminal branches whose target equals the
+// block's fallthrough.
+func SimplifyBranches(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		var kept []*ir.Op
+		for i, op := range b.Ops {
+			if op.Opcode == ir.OpBr && op.Guard == 0 && i == len(b.Ops)-1 &&
+				op.Target == b.Fall {
+				// Branch to fallthrough: drop it.
+				changed = true
+				continue
+			}
+			kept = append(kept, op)
+		}
+		b.Ops = kept
+	}
+	return changed
+}
+
+// CleanCFG threads trivial jumps, merges straight-line block chains and
+// removes unreachable blocks.
+func CleanCFG(f *ir.Func) bool {
+	changed := false
+
+	// Thread jumps through empty blocks that just jump elsewhere.
+	targetOf := func(id ir.BlockID) (ir.BlockID, bool) {
+		b := f.Block(id)
+		if b == nil {
+			return 0, false
+		}
+		if len(b.Ops) == 1 && b.Ops[0].IsUncondJump() {
+			return b.Ops[0].Target, true
+		}
+		if len(b.Ops) == 0 && b.Fall != 0 {
+			return b.Fall, true
+		}
+		return 0, false
+	}
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			if op.IsBranch() {
+				seen := map[ir.BlockID]bool{}
+				for {
+					t, ok := targetOf(op.Target)
+					if !ok || t == op.Target || seen[t] {
+						break
+					}
+					seen[t] = true
+					op.Target = t
+					changed = true
+				}
+			}
+		}
+		seen := map[ir.BlockID]bool{}
+		for b.Fall != 0 {
+			t, ok := targetOf(b.Fall)
+			if !ok || t == b.Fall || seen[t] {
+				break
+			}
+			seen[t] = true
+			b.Fall = t
+			changed = true
+		}
+	}
+
+	if f.RemoveUnreachable() > 0 {
+		changed = true
+	}
+
+	// Merge a block into its unique fallthrough successor when that
+	// successor has exactly one predecessor and is not the entry.
+	preds := f.Preds()
+	for _, b := range f.Blocks {
+		for {
+			if b.Fall == 0 || b.Fall == b.ID || b.Fall == f.Entry {
+				break
+			}
+			// Merge only across a pure fallthrough: merging past a
+			// terminal branch would create mid-block control flow and
+			// defeat loop-structure recognition downstream.
+			last := b.LastOp()
+			if last != nil && last.IsBranch() {
+				break
+			}
+			succ := f.Block(b.Fall)
+			if succ == nil || len(preds[succ.ID]) != 1 {
+				break
+			}
+			// Merge succ into b.
+			b.Ops = append(b.Ops, succ.Ops...)
+			b.Fall = succ.Fall
+			b.Weight = maxf(b.Weight, succ.Weight)
+			succ.Ops = nil
+			succ.Fall = 0
+			// Make succ unreachable; recompute preds afterwards.
+			changed = true
+			f.RemoveUnreachable()
+			preds = f.Preds()
+		}
+	}
+	return changed
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

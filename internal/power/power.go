@@ -1,0 +1,57 @@
+// Package power estimates instruction-fetch energy in the style of the
+// paper's Cacti 2.0 analysis (Section 7.2): fetching one operation from
+// a single-port 256-operation buffer costs 41.8x less than a fetch from
+// the 512 KB two-port unified memory, and SRAM fetch energy scales
+// roughly linearly with capacity.
+package power
+
+// Model holds the calibration constants.
+type Model struct {
+	// MemEnergyPerOp is the global-memory fetch energy per operation,
+	// in arbitrary units (the buffer energy at the calibration size is
+	// 1.0).
+	MemEnergyPerOp float64
+	// CalibBufferOps is the buffer size at which the ratio was
+	// measured (256 operations in the paper).
+	CalibBufferOps int
+	// MinBufferFrac floors the buffer energy for very small buffers
+	// (decode/word-line overheads do not scale to zero).
+	MinBufferFrac float64
+}
+
+// Default returns the paper's calibration: a 0.13um, single-port,
+// 256-op (1 KB) buffer fetch is 41.8x cheaper than a 512 KB, 2 r/w
+// port non-cache memory fetch.
+func Default() *Model {
+	return &Model{MemEnergyPerOp: 41.8, CalibBufferOps: 256, MinBufferFrac: 0.1}
+}
+
+// BufferEnergyPerOp returns the per-op fetch energy of a buffer with
+// the given capacity (operations).
+func (m *Model) BufferEnergyPerOp(bufferOps int) float64 {
+	f := float64(bufferOps) / float64(m.CalibBufferOps)
+	if f < m.MinBufferFrac {
+		f = m.MinBufferFrac
+	}
+	return f
+}
+
+// FetchEnergy returns total instruction-fetch energy for a run that
+// issued memOps from global memory and bufOps from a buffer of the
+// given capacity.
+func (m *Model) FetchEnergy(memOps, bufOps int64, bufferOps int) float64 {
+	return float64(memOps)*m.MemEnergyPerOp +
+		float64(bufOps)*m.BufferEnergyPerOp(bufferOps)
+}
+
+// Normalized returns the run's fetch energy relative to a baseline run
+// that fetched baselineMemOps operations entirely from global memory
+// (the paper's Figure 8b normalization: buffer-less issue of
+// traditionally optimized code).
+func (m *Model) Normalized(memOps, bufOps int64, bufferOps int, baselineMemOps int64) float64 {
+	if baselineMemOps == 0 {
+		return 0
+	}
+	base := float64(baselineMemOps) * m.MemEnergyPerOp
+	return m.FetchEnergy(memOps, bufOps, bufferOps) / base
+}

@@ -1,0 +1,72 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCalibrationRatio(t *testing.T) {
+	m := Default()
+	// The paper's Cacti datum: a 256-op buffer fetch is 41.8x cheaper
+	// than a global memory fetch.
+	ratio := m.MemEnergyPerOp / m.BufferEnergyPerOp(256)
+	if math.Abs(ratio-41.8) > 1e-9 {
+		t.Fatalf("calibration ratio = %v, want 41.8", ratio)
+	}
+}
+
+func TestLinearScaling(t *testing.T) {
+	m := Default()
+	if got := m.BufferEnergyPerOp(512); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("512-op energy = %v, want 2.0", got)
+	}
+	if got := m.BufferEnergyPerOp(128); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("128-op energy = %v, want 0.5", got)
+	}
+}
+
+func TestSmallBufferFloor(t *testing.T) {
+	m := Default()
+	if got := m.BufferEnergyPerOp(1); got != m.MinBufferFrac {
+		t.Fatalf("tiny buffer energy = %v, want floor %v", got, m.MinBufferFrac)
+	}
+}
+
+func TestNormalizedBaseline(t *testing.T) {
+	m := Default()
+	// Fetching everything from memory equals the baseline exactly.
+	if got := m.Normalized(1000, 0, 256, 1000); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("all-memory normalized = %v, want 1.0", got)
+	}
+	// Fetching everything from the calibrated buffer gives 1/41.8.
+	want := 1.0 / 41.8
+	if got := m.Normalized(0, 1000, 256, 1000); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("all-buffer normalized = %v, want %v", got, want)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	m := Default()
+	f := func(memOps, bufOps uint16) bool {
+		a := m.FetchEnergy(int64(memOps), int64(bufOps), 256)
+		// Moving one op from memory to the buffer never raises energy.
+		if memOps > 0 {
+			b := m.FetchEnergy(int64(memOps)-1, int64(bufOps)+1, 256)
+			if b > a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroBaseline(t *testing.T) {
+	m := Default()
+	if got := m.Normalized(10, 10, 256, 0); got != 0 {
+		t.Fatalf("zero baseline should give 0, got %v", got)
+	}
+}

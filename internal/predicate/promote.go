@@ -1,0 +1,198 @@
+// Package predicate implements predicate-aware analyses and
+// transformations: a lightweight predicate relation query system (the
+// compiler "must understand the relations among predicates", Section 3),
+// predicate promotion (Section 4.3), and the slot-based predication
+// binding of Section 4.2.
+package predicate
+
+import (
+	"lpbuf/internal/ir"
+	"lpbuf/internal/opt"
+)
+
+// Relations captures, for the predicates defined within one block, a
+// conservative implication relation: Implies(q, p) == true guarantees
+// that whenever q holds at its consumers, p held at q's definition.
+type Relations struct {
+	// parents[q] lists predicates g such that q => g directly (every
+	// define contributing to q was guarded by g).
+	parents map[ir.PredReg]map[ir.PredReg]bool
+	// tainted predicates have defines we cannot reason about (e.g.
+	// written in several blocks or and/conditional types).
+	tainted map[ir.PredReg]bool
+}
+
+// AnalyzeBlock builds relations from the defines in a single block
+// (hyperblock predicates are defined and consumed within one block).
+func AnalyzeBlock(b *ir.Block) *Relations {
+	r := &Relations{
+		parents: map[ir.PredReg]map[ir.PredReg]bool{},
+		tainted: map[ir.PredReg]bool{},
+	}
+	// Track in-block constants so initializer defines with statically
+	// false conditions (the `p = (0 != 0)` reset pattern) are excluded:
+	// they can never be the source of a predicate's truth.
+	consts := map[ir.Reg]int64{}
+	for _, op := range b.Ops {
+		if op.Opcode == ir.OpMov && op.Guard == 0 && op.HasImm && len(op.Src) == 0 {
+			consts[op.Dest[0]] = ir.W32(op.Imm)
+		} else {
+			for _, d := range op.Dest {
+				delete(consts, d)
+			}
+		}
+		if op.Opcode == ir.OpCmpP {
+			if a, ok := consts[op.Src[0]]; ok && op.HasImm && len(op.Src) == 1 {
+				if !op.Cmp.Eval(a, op.Imm) {
+					// Condition statically false: ut/ot defines write
+					// only false (or nothing); skip as a truth source.
+					allFalseOK := true
+					for _, pd := range op.PredDefines() {
+						if pd.Type != ir.PTUT && pd.Type != ir.PTOT {
+							allFalseOK = false
+						}
+					}
+					if allFalseOK {
+						continue
+					}
+				}
+			}
+		}
+		for _, pd := range op.PredDefines() {
+			switch pd.Type {
+			case ir.PTUT, ir.PTUF, ir.PTOT, ir.PTOF:
+				// q's truth requires the define's guard: for ut/uf the
+				// written value is guard&&cond(/!cond); for or-types a 1
+				// is written only under guard&&cond. (Or-types also
+				// keep prior truth, so ALL contributions must share the
+				// implication; we intersect below by accumulating.)
+				if r.parents[pd.Pred] == nil {
+					r.parents[pd.Pred] = map[ir.PredReg]bool{}
+					if op.Guard != 0 {
+						r.parents[pd.Pred][op.Guard] = true
+					}
+				} else {
+					// Intersect with this contribution's guard set.
+					keep := map[ir.PredReg]bool{}
+					if op.Guard != 0 && r.parents[pd.Pred][op.Guard] {
+						keep[op.Guard] = true
+					}
+					r.parents[pd.Pred] = keep
+				}
+			default:
+				r.tainted[pd.Pred] = true
+			}
+		}
+	}
+	return r
+}
+
+// Implies reports whether q => p is guaranteed (conservatively false).
+// Both p==0 ("always") and q==p return true.
+func (r *Relations) Implies(q, p ir.PredReg) bool {
+	if p == 0 || q == p {
+		return true
+	}
+	if q == 0 {
+		return false
+	}
+	// BFS up the guard chain.
+	seen := map[ir.PredReg]bool{q: true}
+	work := []ir.PredReg{q}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		if r.tainted[cur] {
+			return false
+		}
+		for g := range r.parents[cur] {
+			if g == p {
+				return true
+			}
+			if !seen[g] {
+				seen[g] = true
+				work = append(work, g)
+			}
+		}
+	}
+	return false
+}
+
+// Promote performs predicate promotion on every block of f: the guard
+// is removed from an operation when executing it speculatively cannot
+// change observable behaviour. The conservative conditions for an op O
+// with guard p writing register r are:
+//
+//   - O is a pure ALU op or a load (loads become speculative, so a
+//     faulting address under a false predicate is squashed);
+//   - O is the only definition of r in its block;
+//   - r is not live into any successor other than the block itself (a
+//     self back edge is fine because the next iteration redefines r
+//     before any read, per the next condition);
+//   - every in-block reader of r appears after O and is guarded by a
+//     predicate that implies p (it could only have observed r when O
+//     actually executed).
+//
+// Returns the number of operations promoted.
+func Promote(f *ir.Func) int {
+	promoted := 0
+	lv := opt.Liveness(f)
+	for _, b := range f.Blocks {
+		rel := AnalyzeBlock(b)
+		// Live into any non-self successor?
+		liveExit := opt.NewRegSet(f.NumRegs())
+		for _, s := range b.Succs() {
+			if s != b.ID {
+				liveExit.Union(lv.In[s])
+			}
+		}
+
+		defs := map[ir.Reg]int{}
+		for _, op := range b.Ops {
+			for _, d := range op.Dest {
+				defs[d]++
+			}
+		}
+		for oi, op := range b.Ops {
+			if op.Guard == 0 || len(op.Dest) != 1 {
+				continue
+			}
+			if !(ir.IsALUEvaluable(op.Opcode) || op.IsLoad() || op.Opcode == ir.OpSel) {
+				continue
+			}
+			r := op.Dest[0]
+			if defs[r] != 1 || liveExit.Has(r) {
+				continue
+			}
+			ok := true
+			for ri, reader := range b.Ops {
+				reads := false
+				for _, s := range reader.Src {
+					if s == r {
+						reads = true
+					}
+				}
+				if !reads {
+					continue
+				}
+				// ri == oi is the op reading its own destination (a
+				// self-update like `(p) add r = r, 4`): that read sees
+				// the previous iteration's value, so the register is
+				// live across the back edge and must stay guarded.
+				if ri <= oi || !rel.Implies(reader.Guard, op.Guard) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			if op.IsLoad() {
+				op.Speculative = true
+			}
+			op.Guard = 0
+			promoted++
+		}
+	}
+	return promoted
+}

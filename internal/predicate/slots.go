@@ -1,0 +1,195 @@
+package predicate
+
+import (
+	"fmt"
+	"sort"
+
+	"lpbuf/internal/ir"
+)
+
+// SchedOp is one scheduled operation: the op plus its placement in the
+// (kernel) schedule. Cycle is the issue cycle; Slot the issue slot.
+type SchedOp struct {
+	Op    *ir.Op
+	Cycle int
+	Slot  int
+}
+
+// BindResult reports the outcome of binding a scheduled block's virtual
+// predicates onto per-slot standing predicates (Section 4.2).
+type BindResult struct {
+	// SlotsOf maps each virtual predicate to the issue slots that must
+	// hold it as their standing predicate (its consumers' slots).
+	SlotsOf map[ir.PredReg][]int
+	// ExtraDefines counts replica predicate defines that would have to
+	// be inserted: defines whose consumer-slot set exceeds the two slot
+	// destinations one define can write, plus standing-predicate
+	// timeline conflicts that require regenerating a value.
+	ExtraDefines int
+	// MaxLive is the maximum number of simultaneously live predicates.
+	MaxLive int
+	// Sensitive counts operations with the predicate-sensitivity bit
+	// set (guarded consumers).
+	Sensitive int
+	// Defines counts predicate-define operations.
+	Defines int
+	// OK reports whether the block's predication fits the slot model
+	// without spilling (MaxLive within the machine's slot count).
+	OK bool
+	// Reason explains failure when !OK.
+	Reason string
+}
+
+// BindSlots analyzes one scheduled block under the slot-based
+// predication model of Section 4.2: every slot holds one standing
+// predicate; defines route values to at most two slots; operations
+// carry a single sensitivity bit. The analysis reports whether the
+// schedule's predicate usage fits numSlots standing predicates and how
+// many replica defines are required.
+func BindSlots(ops []SchedOp, numSlots int) BindResult {
+	res := BindResult{SlotsOf: map[ir.PredReg][]int{}, OK: true}
+
+	type rng struct {
+		def     int // define cycle (earliest)
+		lastUse int
+	}
+	ranges := map[ir.PredReg]*rng{}
+	defCycles := map[ir.PredReg][]int{}
+	consumerSlots := map[ir.PredReg]map[int]bool{}
+	slotUses := map[int][]SchedOp{} // guarded consumers per slot
+
+	for _, so := range ops {
+		if so.Op.Guard != 0 {
+			res.Sensitive++
+			p := so.Op.Guard
+			if consumerSlots[p] == nil {
+				consumerSlots[p] = map[int]bool{}
+			}
+			consumerSlots[p][so.Slot] = true
+			slotUses[so.Slot] = append(slotUses[so.Slot], so)
+			r := ranges[p]
+			if r == nil {
+				r = &rng{def: -1, lastUse: so.Cycle}
+				ranges[p] = r
+			}
+			if so.Cycle > r.lastUse {
+				r.lastUse = so.Cycle
+			}
+		}
+		if so.Op.IsPredDefine() {
+			res.Defines++
+			for _, pd := range so.Op.PredDefines() {
+				defCycles[pd.Pred] = append(defCycles[pd.Pred], so.Cycle)
+				r := ranges[pd.Pred]
+				if r == nil {
+					r = &rng{def: so.Cycle, lastUse: so.Cycle}
+					ranges[pd.Pred] = r
+				} else if r.def < 0 || so.Cycle < r.def {
+					r.def = so.Cycle
+				}
+			}
+		}
+	}
+
+	// Consumer-slot fanout: one define reaches two slots.
+	for p, slots := range consumerSlots {
+		var list []int
+		for s := range slots {
+			list = append(list, s)
+		}
+		sort.Ints(list)
+		res.SlotsOf[p] = list
+		if len(list) > 2 {
+			// Each additional pair of slots needs one replica define
+			// per original define of p.
+			res.ExtraDefines += ((len(list)+1)/2 - 1) * len(defCycles[p])
+		}
+	}
+
+	// Standing-predicate timeline per slot: consecutive guarded uses of
+	// different predicates require the later predicate's define to fall
+	// between them; otherwise a replica define must be inserted.
+	for _, uses := range slotUses {
+		sort.Slice(uses, func(i, j int) bool { return uses[i].Cycle < uses[j].Cycle })
+		for i := 1; i < len(uses); i++ {
+			p, q := uses[i-1].Op.Guard, uses[i].Op.Guard
+			if p == q {
+				continue
+			}
+			ok := false
+			for _, dc := range defCycles[q] {
+				if dc > uses[i-1].Cycle && dc < uses[i].Cycle {
+					ok = true
+				}
+			}
+			if !ok {
+				res.ExtraDefines++
+			}
+		}
+	}
+
+	// Maximum simultaneously-live predicates.
+	type event struct{ cycle, delta int }
+	var events []event
+	for _, r := range ranges {
+		start := r.def
+		if start < 0 {
+			start = 0
+		}
+		events = append(events, event{start, +1}, event{r.lastUse + 1, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].cycle != events[j].cycle {
+			return events[i].cycle < events[j].cycle
+		}
+		return events[i].delta < events[j].delta
+	})
+	cur := 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > res.MaxLive {
+			res.MaxLive = cur
+		}
+	}
+	if res.MaxLive > numSlots {
+		res.OK = false
+		res.Reason = fmt.Sprintf("%d simultaneously live predicates exceed %d slots",
+			res.MaxLive, numSlots)
+	}
+	return res
+}
+
+// ConsumersPerDefine computes, for every predicate define in block b,
+// how many operations consume the values it defines before they are
+// redefined (the Figure 3a metric). Returns one count per define op.
+func ConsumersPerDefine(b *ir.Block) []int {
+	// activeDef[p] indexes the counts slice for p's most recent define.
+	activeDef := map[ir.PredReg]int{}
+	var counts []int
+	for _, op := range b.Ops {
+		if op.Guard != 0 {
+			if idx, ok := activeDef[op.Guard]; ok {
+				counts[idx]++
+			}
+		}
+		for _, pd := range op.PredDefines() {
+			switch pd.Type {
+			case ir.PTUT, ir.PTUF, ir.PTCT, ir.PTCF:
+				// Replacing define: start a fresh count.
+				activeDef[pd.Pred] = len(counts)
+			case ir.PTOT, ir.PTOF, ir.PTAT, ir.PTAF:
+				// Contributing define: attribute consumers to the
+				// initializing define if one exists, else start one.
+				if _, ok := activeDef[pd.Pred]; !ok {
+					activeDef[pd.Pred] = len(counts)
+				} else {
+					continue
+				}
+			default:
+				continue
+			}
+			counts = append(counts, 0)
+		}
+	}
+	return counts
+}

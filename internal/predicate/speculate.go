@@ -1,0 +1,52 @@
+package predicate
+
+import (
+	"lpbuf/internal/ir"
+	"lpbuf/internal/opt"
+)
+
+// SpeculateLoads marks loads for control speculation ("general control
+// speculation is supported by providing all potentially excepting
+// instructions except for stores with a speculative form", Section 7).
+// An unguarded load positioned after a guarded side-exit jump in a
+// hyperblock may issue before the exit resolves — its faulting form is
+// squashed — provided its destination is dead on every exit path.
+// Marking it speculative releases the scheduler's control-dependence
+// edge on the preceding branch. Returns the number of loads marked.
+func SpeculateLoads(f *ir.Func) int {
+	marked := 0
+	lv := opt.Liveness(f)
+	for _, b := range f.Blocks {
+		// Only blocks with guarded side exits benefit.
+		firstExit := -1
+		for i, op := range b.Ops {
+			if op.Opcode == ir.OpJump && op.Guard != 0 {
+				firstExit = i
+				break
+			}
+		}
+		if firstExit < 0 {
+			continue
+		}
+		// Union of live-ins at non-self successors (the exit targets and
+		// the fallthrough).
+		liveExit := opt.NewRegSet(f.NumRegs())
+		for _, s := range b.Succs() {
+			if s != b.ID {
+				liveExit.Union(lv.In[s])
+			}
+		}
+		for i := firstExit + 1; i < len(b.Ops); i++ {
+			op := b.Ops[i]
+			if !op.IsLoad() || op.Guard != 0 || op.Speculative {
+				continue
+			}
+			if liveExit.Has(op.Dest[0]) {
+				continue
+			}
+			op.Speculative = true
+			marked++
+		}
+	}
+	return marked
+}

@@ -1,0 +1,89 @@
+// Package profile holds execution profiles gathered by the IR
+// interpreter and consumed by the profile-guided compiler passes
+// (inlining, hyperblock selection, loop transformation, buffer
+// assignment).
+package profile
+
+import "lpbuf/internal/ir"
+
+// Edge is a directed CFG edge.
+type Edge struct {
+	From, To ir.BlockID
+}
+
+// FuncProfile records execution counts for one function.
+type FuncProfile struct {
+	// Block counts how many times each block was entered.
+	Block map[ir.BlockID]int64
+	// Edge counts traversals of each CFG edge.
+	Edge map[Edge]int64
+	// BranchExec / BranchTaken count, per branch op ID, how many times
+	// the branch executed (guard true) and how many times it was taken.
+	BranchExec  map[int]int64
+	BranchTaken map[int]int64
+	// Calls counts invocations of the function.
+	Calls int64
+	// CallSite counts executions of each call op (by op ID).
+	CallSite map[int]int64
+	// Ops counts dynamic (non-nullified) operations executed in the
+	// function, including nullified guarded ops as fetched-but-squashed
+	// is tracked separately by the cycle simulator.
+	Ops int64
+}
+
+// NewFuncProfile returns an empty per-function profile.
+func NewFuncProfile() *FuncProfile {
+	return &FuncProfile{
+		Block:       map[ir.BlockID]int64{},
+		Edge:        map[Edge]int64{},
+		BranchExec:  map[int]int64{},
+		BranchTaken: map[int]int64{},
+		CallSite:    map[int]int64{},
+	}
+}
+
+// TakenRatio returns the fraction of executions in which branch op id
+// was taken, and whether the branch was ever executed.
+func (fp *FuncProfile) TakenRatio(id int) (float64, bool) {
+	e := fp.BranchExec[id]
+	if e == 0 {
+		return 0, false
+	}
+	return float64(fp.BranchTaken[id]) / float64(e), true
+}
+
+// Profile is a whole-program profile.
+type Profile struct {
+	Funcs map[string]*FuncProfile
+	// TotalOps is the dynamic operation count over the whole run.
+	TotalOps int64
+}
+
+// New returns an empty profile.
+func New() *Profile {
+	return &Profile{Funcs: map[string]*FuncProfile{}}
+}
+
+// ForFunc returns (creating if needed) the profile of a function.
+func (p *Profile) ForFunc(name string) *FuncProfile {
+	fp, ok := p.Funcs[name]
+	if !ok {
+		fp = NewFuncProfile()
+		p.Funcs[name] = fp
+	}
+	return fp
+}
+
+// ApplyWeights copies block counts into the Weight fields of the
+// program's blocks so later passes can read them directly.
+func (p *Profile) ApplyWeights(prog *ir.Program) {
+	for name, f := range prog.Funcs {
+		fp := p.Funcs[name]
+		if fp == nil {
+			continue
+		}
+		for _, b := range f.Blocks {
+			b.Weight = float64(fp.Block[b.ID])
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package profile
+
+import (
+	"testing"
+
+	"lpbuf/internal/ir"
+)
+
+func TestTakenRatio(t *testing.T) {
+	fp := NewFuncProfile()
+	fp.BranchExec[7] = 10
+	fp.BranchTaken[7] = 3
+	r, ok := fp.TakenRatio(7)
+	if !ok || r != 0.3 {
+		t.Fatalf("ratio = %v,%v", r, ok)
+	}
+	if _, ok := fp.TakenRatio(99); ok {
+		t.Fatal("unknown branch should report !ok")
+	}
+}
+
+func TestForFuncCreates(t *testing.T) {
+	p := New()
+	fp := p.ForFunc("x")
+	if fp == nil || p.ForFunc("x") != fp {
+		t.Fatal("ForFunc must create once and return the same profile")
+	}
+}
+
+func TestApplyWeights(t *testing.T) {
+	prog := ir.NewProgram(1 << 14)
+	f := ir.NewFunc("main")
+	b := f.NewBlock()
+	f.Entry = b.ID
+	b.Ops = append(b.Ops, &ir.Op{ID: f.NewOpID(), Opcode: ir.OpRet})
+	prog.AddFunc(f)
+	prog.Entry = "main"
+	p := New()
+	p.ForFunc("main").Block[b.ID] = 42
+	p.ApplyWeights(prog)
+	if b.Weight != 42 {
+		t.Fatalf("weight = %v", b.Weight)
+	}
+}

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"fmt"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/machine"
+)
+
+// SOp is one scheduled operation instance within a bundle.
+type SOp struct {
+	Op   *ir.Op
+	Slot int
+	// TargetBundle is the resolved bundle index for branch ops.
+	TargetBundle int
+	// resolved marks TargetBundle as final (set during emission for
+	// kernel back edges and non-branches).
+	resolved bool
+}
+
+// Bundle is the set of operations issued in one cycle.
+type Bundle struct {
+	Ops []*SOp
+}
+
+// OpCount returns non-nop ops in the bundle.
+func (b *Bundle) OpCount() int { return len(b.Ops) }
+
+// BlockCode is the schedule of one IR block (or one section of an
+// expanded software-pipelined loop).
+type BlockCode struct {
+	Block ir.BlockID
+	// Kind distinguishes straight blocks from pipelined sections.
+	Kind BlockKind
+	// Start is the global bundle index of the section's first bundle.
+	Start int
+	// Bundles in this section.
+	Bundles []*Bundle
+	// II and Stages are set for Kind == KindKernel.
+	II, Stages int
+}
+
+// BlockKind tags BlockCode sections.
+type BlockKind uint8
+
+const (
+	KindStraight BlockKind = iota
+	KindPrologue
+	KindKernel
+	KindEpilogue
+)
+
+// FuncCode is a fully scheduled function.
+type FuncCode struct {
+	F *ir.Func
+	// Sections in layout order.
+	Sections []*BlockCode
+	// Bundles is the flattened schedule.
+	Bundles []*Bundle
+	// Start maps a block ID to its first bundle (for prologue-expanded
+	// loops this is the prologue start; back edges are resolved to the
+	// kernel internally).
+	Start map[ir.BlockID]int
+	// FallBundle maps the last bundle index of each section to the
+	// bundle index control falls into (-1 = none, function end).
+	fallTo map[int]int
+}
+
+// OpCount returns total scheduled non-nop ops.
+func (fc *FuncCode) OpCount() int {
+	n := 0
+	for _, b := range fc.Bundles {
+		n += len(b.Ops)
+	}
+	return n
+}
+
+// FallTarget returns the bundle control reaches after falling out of
+// bundle i (i.e., i+1 unless i ends a section with an explicit
+// fallthrough elsewhere). Returns -1 at function end.
+func (fc *FuncCode) FallTarget(i int) int {
+	if t, ok := fc.fallTo[i]; ok {
+		return t
+	}
+	if i+1 < len(fc.Bundles) {
+		return i + 1
+	}
+	return -1
+}
+
+// Code is a scheduled program.
+type Code struct {
+	Prog  *ir.Program
+	Funcs map[string]*FuncCode
+	Mach  *machine.Desc
+}
+
+// Validate checks structural invariants of the schedule: slot classes
+// match ops, no slot is double-booked, branch targets resolve.
+func (c *Code) Validate() error {
+	for name, fc := range c.Funcs {
+		for bi, b := range fc.Bundles {
+			seen := map[int]bool{}
+			for _, so := range b.Ops {
+				if so.Slot < 0 || so.Slot >= c.Mach.Width() {
+					return fmt.Errorf("%s bundle %d: bad slot %d", name, bi, so.Slot)
+				}
+				if seen[so.Slot] {
+					return fmt.Errorf("%s bundle %d: slot %d double-booked", name, bi, so.Slot)
+				}
+				seen[so.Slot] = true
+				cls := ir.UnitFor(so.Op)
+				if !c.Mach.Slots[so.Slot].Has(cls) {
+					return fmt.Errorf("%s bundle %d: op %s needs %s, slot %d lacks it",
+						name, bi, so.Op, cls, so.Slot)
+				}
+				if so.Op.IsBranch() || so.Op.Opcode == ir.OpExecCLoop || so.Op.Opcode == ir.OpExecWLoop {
+					if so.TargetBundle < 0 || so.TargetBundle >= len(fc.Bundles) {
+						return fmt.Errorf("%s bundle %d: unresolved branch target %d",
+							name, bi, so.TargetBundle)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

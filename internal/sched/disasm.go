@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders a scheduled function's bundles: one line per cycle,
+// slots in order, with section markers (prologue / kernel II=n / ...).
+func (fc *FuncCode) Disasm() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s: %d bundles\n", fc.F.Name, len(fc.Bundles))
+	secAt := map[int]*BlockCode{}
+	for _, sec := range fc.Sections {
+		secAt[sec.Start] = sec
+	}
+	for i, b := range fc.Bundles {
+		if sec, ok := secAt[i]; ok {
+			name := ""
+			if blk := fc.F.Block(sec.Block); blk != nil && blk.Name != "" {
+				name = " " + blk.Name
+			}
+			switch sec.Kind {
+			case KindPrologue:
+				fmt.Fprintf(&sb, "-- prologue%s --\n", name)
+			case KindKernel:
+				fmt.Fprintf(&sb, "-- kernel%s II=%d stages=%d --\n", name, sec.II, sec.Stages)
+			case KindEpilogue:
+				fmt.Fprintf(&sb, "-- epilogue%s --\n", name)
+			default:
+				fmt.Fprintf(&sb, "-- block%s (B%d) --\n", name, sec.Block)
+			}
+		}
+		fmt.Fprintf(&sb, "%4d:", i)
+		if len(b.Ops) == 0 {
+			sb.WriteString("  (nop)")
+		}
+		for _, so := range b.Ops {
+			fmt.Fprintf(&sb, "  [s%d] %s", so.Slot, so.Op)
+			if so.Op.IsBranch() {
+				fmt.Fprintf(&sb, " ->%d", so.TargetBundle)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

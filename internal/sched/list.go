@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"sort"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/machine"
+)
+
+// placement records where each op index landed.
+type placement struct {
+	cycle, slot int
+}
+
+// resTable tracks slot occupancy per cycle.
+type resTable struct {
+	m     *machine.Desc
+	cells map[int][]int // cycle -> opIdx per slot (-1 free)
+}
+
+func newResTable(m *machine.Desc) *resTable {
+	return &resTable{m: m, cells: map[int][]int{}}
+}
+
+func (rt *resTable) row(cycle int) []int {
+	r, ok := rt.cells[cycle]
+	if !ok {
+		r = make([]int, rt.m.Width())
+		for i := range r {
+			r[i] = -1
+		}
+		rt.cells[cycle] = r
+	}
+	return r
+}
+
+// place finds a free slot with the required class at cycle, preferring
+// the most constrained (fewest-classes) slots so flexible slots stay
+// available. Returns the slot or -1.
+func (rt *resTable) place(cycle int, cls machine.UnitClass, opIdx int) int {
+	r := rt.row(cycle)
+	best := -1
+	bestClasses := 1 << 30
+	for _, s := range rt.m.SlotsFor(cls) {
+		if r[s] != -1 {
+			continue
+		}
+		if n := len(rt.m.Slots[s].Classes); n < bestClasses {
+			best, bestClasses = s, n
+		}
+	}
+	if best >= 0 {
+		r[best] = opIdx
+	}
+	return best
+}
+
+// ListSchedule performs height-priority list scheduling of a block's
+// DAG. Returns per-op placements and the schedule length in cycles.
+func ListSchedule(d *DAG, m *machine.Desc) ([]placement, int) {
+	n := len(d.Ops)
+	placed := make([]placement, n)
+	done := make([]bool, n)
+	remainingPreds := make([]int, n)
+	for i := 0; i < n; i++ {
+		for _, e := range d.Preds[i] {
+			if e.Dist == 0 {
+				remainingPreds[i]++
+			}
+		}
+	}
+	rt := newResTable(m)
+	scheduled := 0
+	length := 0
+
+	// Ready ops, refreshed each cycle.
+	estart := make([]int, n)
+	for cycle := 0; scheduled < n; cycle++ {
+		var ready []int
+		for i := 0; i < n; i++ {
+			if done[i] || remainingPreds[i] > 0 {
+				continue
+			}
+			if estart[i] <= cycle {
+				ready = append(ready, i)
+			}
+		}
+		sort.Slice(ready, func(a, b int) bool {
+			if d.Height[ready[a]] != d.Height[ready[b]] {
+				return d.Height[ready[a]] > d.Height[ready[b]]
+			}
+			return ready[a] < ready[b]
+		})
+		for _, i := range ready {
+			cls := ir.UnitFor(d.Ops[i])
+			slot := rt.place(cycle, cls, i)
+			if slot < 0 {
+				continue // structural hazard; retry next cycle
+			}
+			placed[i] = placement{cycle: cycle, slot: slot}
+			done[i] = true
+			scheduled++
+			// Section drain: the section is long enough for every
+			// write to land before control falls past its end (EQ
+			// model, no interlocks). Taken branches are covered by the
+			// redirect penalty plus branch-shadow edges.
+			drain := cycle + 1
+			if len(d.Ops[i].Dest) > 0 || d.Ops[i].IsPredDefine() {
+				if v := cycle + ir.LatencyOf(d.Ops[i], m.Latency); v > drain {
+					drain = v
+				}
+			}
+			if drain > length {
+				length = drain
+			}
+			for _, e := range d.Succs[i] {
+				if e.Dist != 0 {
+					continue
+				}
+				if t := cycle + e.Lat; t > estart[e.To] {
+					estart[e.To] = t
+				}
+				remainingPreds[e.To]--
+			}
+		}
+		if cycle > 4*n+1024 {
+			panic("sched: list scheduling failed to converge")
+		}
+	}
+	if length == 0 {
+		length = 1
+	}
+	return placed, length
+}

@@ -1,0 +1,327 @@
+package sched
+
+import (
+	"sort"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/machine"
+)
+
+// KernelSchedule is the result of iterative modulo scheduling: an
+// initiation interval, per-op flat schedule times sigma (stage =
+// sigma/II, cycle-in-kernel = sigma mod II) and slots.
+type KernelSchedule struct {
+	II     int
+	Stages int
+	Sigma  []int
+	Slot   []int
+	// BranchSlot is the slot reserved at cycle II-1 for the loop-back
+	// br.cloop (which is excluded from the DAG).
+	BranchSlot int
+}
+
+// ModuloSchedule attempts iterative modulo scheduling (Rau, MICRO-27)
+// of a counted-loop body DAG. ops must exclude the loop-back branch.
+// Returns nil when no schedule is found within the II/budget limits.
+func ModuloSchedule(d *DAG, m *machine.Desc, maxII int) *KernelSchedule {
+	n := len(d.Ops)
+	if n == 0 {
+		return nil
+	}
+	mii := resMII(d, m)
+	if r := recMIIEstimate(d); r > mii {
+		mii = r
+	}
+	if maxII <= 0 {
+		maxII = 8*n + 64
+	}
+	for ii := mii; ii <= maxII; ii++ {
+		if ks := tryII(d, m, ii); ks != nil {
+			return ks
+		}
+	}
+	return nil
+}
+
+// resMII lower-bounds II from resource usage.
+func resMII(d *DAG, m *machine.Desc) int {
+	counts := map[machine.UnitClass]int{}
+	for _, op := range d.Ops {
+		counts[ir.UnitFor(op)]++
+	}
+	mii := (len(d.Ops) + m.Width() - 1) / m.Width()
+	for cls, cnt := range counts {
+		cap := m.CountFor(cls)
+		if cls == machine.UnitBranch {
+			// One branch-slot cycle per II is reserved for the
+			// loop-back branch itself.
+			cnt++
+		}
+		if cap == 0 {
+			return 1 << 30
+		}
+		v := (cnt + cap - 1) / cap
+		if v > mii {
+			mii = v
+		}
+	}
+	if mii < 1 {
+		mii = 1
+	}
+	return mii
+}
+
+// recMIIEstimate lower-bounds II from simple recurrence cycles
+// (length-1 and length-2 cycles; longer recurrences are discovered by
+// schedule failure and the II escalation loop).
+func recMIIEstimate(d *DAG) int {
+	mii := 1
+	for i := range d.Ops {
+		for _, e := range d.Succs[i] {
+			if e.To == i && e.Dist > 0 {
+				if v := (e.Lat + e.Dist - 1) / e.Dist; v > mii {
+					mii = v
+				}
+			}
+			if e.Dist == 0 {
+				continue
+			}
+		}
+	}
+	// Length-2 cycles.
+	for i := range d.Ops {
+		for _, e1 := range d.Succs[i] {
+			for _, e2 := range d.Succs[e1.To] {
+				if e2.To != i {
+					continue
+				}
+				dist := e1.Dist + e2.Dist
+				if dist == 0 {
+					continue
+				}
+				lat := e1.Lat + e2.Lat
+				if v := (lat + dist - 1) / dist; v > mii {
+					mii = v
+				}
+			}
+		}
+	}
+	return mii
+}
+
+// tryII attempts to find a schedule at the given II using the classic
+// IMS main loop with eviction.
+func tryII(d *DAG, m *machine.Desc, ii int) *KernelSchedule {
+	n := len(d.Ops)
+	sigma := make([]int, n)
+	slot := make([]int, n)
+	placedFlag := make([]bool, n)
+	lastTried := make([]int, n)
+	for i := range sigma {
+		sigma[i] = -1
+		slot[i] = -1
+		lastTried[i] = -1
+	}
+
+	// Modulo reservation table: mrt[cycle mod ii][slot] = op or -1.
+	mrt := make([][]int, ii)
+	for c := range mrt {
+		mrt[c] = make([]int, m.Width())
+		for s := range mrt[c] {
+			mrt[c][s] = -1
+		}
+	}
+	// Reserve a branch slot at cycle ii-1 for the loop-back branch.
+	brSlots := m.SlotsFor(machine.UnitBranch)
+	branchSlot := brSlots[len(brSlots)-1]
+	mrt[ii-1][branchSlot] = 1 << 30
+
+	unsched := make([]int, n)
+	for i := range unsched {
+		unsched[i] = i
+	}
+	budget := 24*n + 256
+
+	pickNext := func() int {
+		best, bestH := -1, -1
+		for _, i := range unsched {
+			if d.Height[i] > bestH {
+				best, bestH = i, d.Height[i]
+			}
+		}
+		return best
+	}
+	removeUnsched := func(i int) {
+		for k, v := range unsched {
+			if v == i {
+				unsched = append(unsched[:k], unsched[k+1:]...)
+				return
+			}
+		}
+	}
+	unplace := func(i int) {
+		if !placedFlag[i] {
+			return
+		}
+		mrt[((sigma[i]%ii)+ii)%ii][slot[i]] = -1
+		placedFlag[i] = false
+		unsched = append(unsched, i)
+	}
+
+	for len(unsched) > 0 {
+		if budget--; budget < 0 {
+			return nil
+		}
+		o := pickNext()
+		removeUnsched(o)
+
+		// Earliest start from scheduled predecessors.
+		estart := 0
+		for _, e := range d.Preds[o] {
+			p := e.To
+			if !placedFlag[p] {
+				continue
+			}
+			if t := sigma[p] + e.Lat - ii*e.Dist; t > estart {
+				estart = t
+			}
+		}
+		// Try cycles [estart, estart+ii-1].
+		cls := ir.UnitFor(d.Ops[o])
+		placedAt := -1
+		for t := estart; t < estart+ii; t++ {
+			c := ((t % ii) + ii) % ii
+			s := freeSlotMRT(mrt[c], m, cls)
+			if s >= 0 {
+				sigma[o], slot[o] = t, s
+				mrt[c][s] = o
+				placedFlag[o] = true
+				placedAt = t
+				break
+			}
+		}
+		if placedAt < 0 {
+			// Forced placement with eviction.
+			t := estart
+			if lastTried[o] >= 0 && t <= lastTried[o] {
+				t = lastTried[o] + 1
+			}
+			c := ((t % ii) + ii) % ii
+			s := evictSlotMRT(mrt, c, m, cls, d)
+			if s < 0 {
+				return nil // no slot of this class exists
+			}
+			if v := mrt[c][s]; v >= 0 && v < n {
+				unplace(v)
+			}
+			sigma[o], slot[o] = t, s
+			mrt[c][s] = o
+			placedFlag[o] = true
+			placedAt = t
+		}
+		lastTried[o] = placedAt
+
+		// Evict scheduled successors whose constraints are now violated.
+		for _, e := range d.Succs[o] {
+			q := e.To
+			if !placedFlag[q] || q == o {
+				continue
+			}
+			if sigma[q]+ii*e.Dist < sigma[o]+e.Lat {
+				unplace(q)
+			}
+		}
+		// And scheduled predecessors (eviction may have moved o early).
+		for _, e := range d.Preds[o] {
+			p := e.To
+			if !placedFlag[p] || p == o {
+				continue
+			}
+			if sigma[o]+ii*e.Dist < sigma[p]+e.Lat {
+				unplace(p)
+			}
+		}
+	}
+
+	// Normalize sigma to start at 0.
+	min := sigma[0]
+	for _, s := range sigma {
+		if s < min {
+			min = s
+		}
+	}
+	maxS := 0
+	for i := range sigma {
+		sigma[i] -= min
+		if sigma[i] > maxS {
+			maxS = sigma[i]
+		}
+	}
+	// Re-derive slots' cycle residues after normalization: residues are
+	// preserved only if min % ii == 0; rebuild the MRT check instead.
+	if min%ii != 0 {
+		// Shift changes residues; verify no slot conflicts remain.
+		check := make([][]bool, ii)
+		for c := range check {
+			check[c] = make([]bool, m.Width())
+		}
+		check[ii-1][branchSlot] = true
+		for i := range sigma {
+			c := sigma[i] % ii
+			if check[c][slot[i]] {
+				return nil // should not happen; bail to next II
+			}
+			check[c][slot[i]] = true
+		}
+	}
+	// Final sanity: all dependence constraints hold.
+	for i := range d.Ops {
+		for _, e := range d.Succs[i] {
+			if sigma[e.To]+ii*e.Dist < sigma[i]+e.Lat {
+				return nil
+			}
+		}
+	}
+	return &KernelSchedule{
+		II:         ii,
+		Stages:     maxS/ii + 1,
+		Sigma:      sigma,
+		Slot:       slot,
+		BranchSlot: branchSlot,
+	}
+}
+
+func freeSlotMRT(row []int, m *machine.Desc, cls machine.UnitClass) int {
+	best, bestClasses := -1, 1<<30
+	for _, s := range m.SlotsFor(cls) {
+		if row[s] != -1 {
+			continue
+		}
+		if n := len(m.Slots[s].Classes); n < bestClasses {
+			best, bestClasses = s, n
+		}
+	}
+	return best
+}
+
+// evictSlotMRT chooses a slot of the class at cycle c whose current
+// occupant has the lowest priority (height); reserved cells (1<<30)
+// are never evicted.
+func evictSlotMRT(mrt [][]int, c int, m *machine.Desc, cls machine.UnitClass, d *DAG) int {
+	cands := m.SlotsFor(cls)
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	best, bestH := -1, 1<<30
+	for _, s := range cands {
+		v := mrt[c][s]
+		if v == 1<<30 {
+			continue
+		}
+		if v == -1 {
+			return s
+		}
+		if d.Height[v] < bestH {
+			best, bestH = s, d.Height[v]
+		}
+	}
+	return best
+}

@@ -1,0 +1,180 @@
+package vliw
+
+import (
+	"fmt"
+
+	"lpbuf/internal/sched"
+)
+
+// PlannedLoop is one loop the compiler scheduled into the loop buffer.
+type PlannedLoop struct {
+	Func string
+	// StartBundle / EndBundle delimit the loop's bundles (the kernel
+	// section for pipelined loops). Entry is at StartBundle.
+	StartBundle, EndBundle int
+	// Offset is the compiler-chosen buffer offset (in operations).
+	Offset int
+	// Ops is the loop's buffer footprint in operations.
+	Ops int
+	// Counted marks br.cloop loops (exit predicted); wloops pay a
+	// misprediction penalty on exit.
+	Counted bool
+	// Label names the loop for reports (e.g. "PostFilter:B7").
+	Label string
+}
+
+// Key identifies the loop in statistics maps.
+func (pl *PlannedLoop) Key() string {
+	return fmt.Sprintf("%s@%d", pl.Func, pl.StartBundle)
+}
+
+// BufferPlan is the compile-time assignment of loops to buffer space.
+type BufferPlan struct {
+	// Capacity is the buffer size in operations.
+	Capacity int
+	// Loops lists planned loops.
+	Loops []*PlannedLoop
+}
+
+// bufferState is the runtime state of the loop buffer.
+type bufferState struct {
+	plan *BufferPlan
+	// byFunc[func][bundle] = planned loop covering that bundle.
+	byFunc map[string][]*PlannedLoop
+	maxPC  map[string]int
+	// intact[i] reports whether plan.Loops[i]'s image is valid.
+	intact []bool
+	// cur is the loop currently streaming (recording or replaying).
+	cur *PlannedLoop
+	// replaying is true when cur issues from the buffer.
+	replaying bool
+}
+
+func newBufferState(plan *BufferPlan) *bufferState {
+	bs := &bufferState{plan: plan, byFunc: map[string][]*PlannedLoop{},
+		maxPC: map[string]int{}}
+	if plan == nil {
+		return bs
+	}
+	bs.intact = make([]bool, len(plan.Loops))
+	for _, pl := range plan.Loops {
+		m := bs.byFunc[pl.Func]
+		for len(m) < pl.EndBundle {
+			m = append(m, nil)
+		}
+		for i := pl.StartBundle; i < pl.EndBundle; i++ {
+			m[i] = pl
+		}
+		bs.byFunc[pl.Func] = m
+	}
+	return bs
+}
+
+func (bs *bufferState) loopAt(fn string, pc int) *PlannedLoop {
+	m := bs.byFunc[fn]
+	if pc < len(m) {
+		return m[pc]
+	}
+	return nil
+}
+
+func (bs *bufferState) indexOf(pl *PlannedLoop) int {
+	for i, p := range bs.plan.Loops {
+		if p == pl {
+			return i
+		}
+	}
+	return -1
+}
+
+// fetch is called once per bundle fetch. It updates the buffer state
+// machine and reports whether this bundle issues from the buffer, plus
+// the loop's stats record.
+func (bs *bufferState) fetch(fc *sched.FuncCode, pc int, s *sim) (bool, *LoopStats) {
+	pl := bs.loopAt(fc.F.Name, pc)
+	if pl == nil {
+		bs.cur = nil
+		return false, nil
+	}
+	ls := s.stats.Loops[pl.Key()]
+	if ls == nil {
+		ls = &LoopStats{}
+		s.stats.Loops[pl.Key()] = ls
+	}
+	if pc == pl.StartBundle {
+		if bs.cur != pl {
+			// Entering the loop: the rec_[cw]loop op is fetched from
+			// global memory. It issues in the branch slot alongside the
+			// preceding bundle, so it costs a fetch but no extra cycle
+			// (which would shift the software-pipelined timing).
+			ls.Entries++
+			s.stats.RecFetches++
+			s.stats.OpsIssued++
+			bs.cur = pl
+			i := bs.indexOf(pl)
+			if bs.intact[i] {
+				// Hardware table: image already resident; replay at
+				// once, no re-recording.
+				bs.replaying = true
+			} else {
+				bs.replaying = false
+				ls.Recordings++
+				// Recording overwrites overlapping images.
+				for j, other := range bs.plan.Loops {
+					if j == i {
+						continue
+					}
+					if overlap(pl, other) {
+						bs.intact[j] = false
+					}
+				}
+				bs.intact[i] = true // image valid once this pass completes
+			}
+		} else {
+			// Loop-back to the top: after the recording pass the image
+			// is in the buffer; replay from now on.
+			bs.replaying = true
+		}
+		ls.Iterations++
+		if bs.replaying {
+			ls.BufferedIterations++
+		}
+	}
+	return bs.replaying, ls
+}
+
+// takenPenalty returns the redirect penalty for a taken branch.
+func (bs *bufferState) takenPenalty(fc *sched.FuncCode, pc int, so *sched.SOp, s *sim) int64 {
+	if bs.cur != nil && so.Op.LoopBack && so.TargetBundle == bs.cur.StartBundle {
+		// Buffered loop-back: perfectly predicted.
+		return 0
+	}
+	if bs.cur != nil {
+		// Any other taken branch leaves the buffer.
+		bs.cur = nil
+	}
+	return int64(s.code.Mach.BranchPenalty)
+}
+
+// exitPenalty is charged when a loop-back branch falls through (loop
+// exit): counted loops predict the exit; wloops mispredict once.
+func (bs *bufferState) exitPenalty(fc *sched.FuncCode, pc int, so *sched.SOp, s *sim) int64 {
+	if bs.cur == nil || !so.Op.LoopBack {
+		return 0
+	}
+	wasReplaying := bs.replaying
+	counted := bs.cur.Counted
+	bs.cur = nil
+	bs.replaying = false
+	if counted {
+		return 0
+	}
+	if wasReplaying {
+		return int64(s.code.Mach.BranchPenalty)
+	}
+	return 0
+}
+
+func overlap(a, b *PlannedLoop) bool {
+	return a.Offset < b.Offset+b.Ops && b.Offset < a.Offset+a.Ops
+}

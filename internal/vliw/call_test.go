@@ -1,0 +1,72 @@
+package vliw
+
+import (
+	"testing"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+	"lpbuf/internal/machine"
+	"lpbuf/internal/sched"
+)
+
+// callProgram: callee writes to a global and returns a value; main
+// loops calling it.
+func callProgram() *ir.Program {
+	pb := irbuild.NewProgram(16 << 10)
+	gOff := pb.Global("g", 64, nil)
+	cal := pb.Func("callee", 2, true)
+	cal.Block("e")
+	s := cal.Reg()
+	cal.Add(s, cal.Param(0), cal.Param(1))
+	gB := cal.Const(gOff)
+	cal.StW(gB, 0, s)
+	d := cal.Reg()
+	cal.MulI(d, s, 3)
+	cal.Ret(d)
+
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	i := f.Reg()
+	acc := f.Reg()
+	f.MovI(i, 0)
+	f.MovI(acc, 0)
+	f.Block("loop")
+	r := f.Reg()
+	f.Call(r, "callee", acc, i)
+	f.Add(acc, acc, r)
+	f.AddI(i, i, 1)
+	f.BrI(ir.CmpLT, i, 5, "loop")
+	f.Block("done")
+	gB2 := f.Const(gOff)
+	last := f.Reg()
+	f.LdW(last, gB2, 0)
+	f.Add(acc, acc, last)
+	f.Ret(acc)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+func TestSimCallPath(t *testing.T) {
+	prog := callProgram()
+	code, err := sched.Schedule(prog.Clone(), machine.Default(), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(code, &BufferPlan{Capacity: 256}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: interpretively computed value.
+	// acc sequence: call(acc,i) returns (acc+i)*3
+	acc := int64(0)
+	var g int64
+	for i := int64(0); i < 5; i++ {
+		s := acc + i
+		g = s
+		acc += s * 3
+	}
+	want := acc + g
+	if res.Ret != want {
+		t.Fatalf("ret = %d, want %d", res.Ret, want)
+	}
+}

@@ -1,0 +1,148 @@
+package vliw_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lpbuf/internal/interp"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+	"lpbuf/internal/machine"
+	"lpbuf/internal/sched"
+	"lpbuf/internal/vliw"
+)
+
+// TestScheduleSimDifferential isolates the scheduler+simulator contract
+// from the compiler passes: random unoptimized programs (loops, calls,
+// predication, memory traffic) are scheduled directly and must
+// reproduce the interpreter bit-exactly on all three machine widths.
+func TestScheduleSimDifferential(t *testing.T) {
+	machines := []*machine.Desc{machine.Default(), machine.Four(), machine.Two()}
+	trials := 40
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(77 + trial)))
+		prog := randomSchedProgram(rng)
+		ref, err := interp.Run(prog.Clone(), interp.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: interp: %v", trial, err)
+		}
+		for _, m := range machines {
+			for _, modulo := range []bool{false, true} {
+				code, err := sched.Schedule(prog.Clone(), m, sched.Options{EnableModulo: modulo})
+				if err != nil {
+					t.Fatalf("trial %d %s: %v", trial, m.Name, err)
+				}
+				res, err := vliw.Run(code, &vliw.BufferPlan{Capacity: 256}, vliw.Options{})
+				if err != nil {
+					t.Fatalf("trial %d %s modulo=%v: %v", trial, m.Name, modulo, err)
+				}
+				if res.Ret != ref.Ret || !bytes.Equal(res.Mem, ref.Mem) {
+					t.Fatalf("trial %d %s modulo=%v: output mismatch (ret %d vs %d)",
+						trial, m.Name, modulo, res.Ret, ref.Ret)
+				}
+			}
+		}
+	}
+}
+
+// randomSchedProgram builds a random program with hand-written
+// predication, a helper call, and counted loops.
+func randomSchedProgram(rng *rand.Rand) *ir.Program {
+	pb := irbuild.NewProgram(32 << 10)
+	n := 32 + rng.Intn(32)
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = int32(rng.Intn(1<<12) - 1<<11)
+	}
+	inOff := pb.GlobalW("in", n, vals)
+	outOff := pb.GlobalW("out", n, nil)
+
+	// Helper: clamp(x, lo) with a guarded move.
+	h := pb.Func("clamp", 1, true)
+	h.Block("e")
+	v := h.Reg()
+	h.Mov(v, h.Param(0))
+	pt := h.F.NewPred()
+	h.CmpPI(pt, ir.PTUT, 0, ir.PTNone, ir.CmpGT, v, 1000)
+	h.MovI(v, 1000).Guard = pt
+	h.Ret(v)
+
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	pin := f.Const(inOff)
+	pout := f.Const(outOff)
+	acc := f.Reg()
+	cnt := f.Reg()
+	f.MovI(acc, 0)
+	f.MovI(cnt, int64(n))
+	f.Block("loop")
+	x := f.Reg()
+	f.LdW(x, pin, 0)
+	// A small random dependent computation.
+	regs := []ir.Reg{x, acc}
+	for k := 0; k < 2+rng.Intn(6); k++ {
+		opc := []ir.Opcode{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpXor, ir.OpMin,
+			ir.OpMax, ir.OpAnd, ir.OpOr}[rng.Intn(8)]
+		d := f.Reg()
+		f.Bin(opc, d, regs[rng.Intn(len(regs))], regs[rng.Intn(len(regs))])
+		regs = append(regs, d)
+	}
+	// Hand predication: acc += d only when d is even.
+	d := regs[len(regs)-1]
+	even := f.Reg()
+	f.AndI(even, d, 1)
+	p := f.F.NewPred()
+	f.CmpPI(p, ir.PTUT, 0, ir.PTNone, ir.CmpEQ, even, 0)
+	f.Add(acc, acc, d).Guard = p
+	f.StW(pout, 0, acc)
+	f.AddI(pin, pin, 4)
+	f.AddI(pout, pout, 4)
+	f.CLoop(cnt, "loop")
+	f.Block("post")
+	r := f.Reg()
+	f.Call(r, "clamp", acc)
+	f.Ret(r)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+func TestEpiloguePadsDrainWrites(t *testing.T) {
+	// A loop whose last op is a long-latency mul feeding a post-loop
+	// read: the epilogue must be padded so the write lands.
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	cnt := f.Reg()
+	acc := f.Reg()
+	f.MovI(cnt, 20)
+	f.MovI(acc, 1)
+	f.Block("loop")
+	f.MulI(acc, acc, 3)
+	f.AndI(acc, acc, 0xffff)
+	f.CLoop(cnt, "loop")
+	f.Block("done")
+	d := f.Reg()
+	f.AddI(d, acc, 1) // reads acc immediately after the loop
+	f.Ret(d)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	refRes, err := interp.Run(p.Clone(), interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := sched.Schedule(p.Clone(), machine.Default(), sched.Options{EnableModulo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vliw.Run(code, &vliw.BufferPlan{Capacity: 256}, vliw.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != refRes.Ret {
+		t.Fatalf("drain violation: sim %d vs interp %d", res.Ret, refRes.Ret)
+	}
+}

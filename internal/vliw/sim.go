@@ -1,0 +1,517 @@
+// Package vliw is the cycle-level simulator for the modeled 8-wide
+// VLIW: in-order bundle issue with a register scoreboard (RAW
+// interlocks), exposed operation latencies, taken-branch redirect
+// penalties, and a compiler-managed loop buffer with the Table 3
+// record/execute semantics. It executes scheduled code (sched.Code)
+// and reports the fetch statistics the paper's evaluation is built on.
+package vliw
+
+import (
+	"fmt"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/sched"
+)
+
+// Stats aggregates a run.
+type Stats struct {
+	// Cycles is total execution time.
+	Cycles int64
+	// StallCycles counts scoreboard interlock stalls (included in
+	// Cycles).
+	StallCycles int64
+	// BranchPenaltyCycles counts redirect penalties (included in
+	// Cycles).
+	BranchPenaltyCycles int64
+	// OpsIssued counts non-nop operations issued (= fetched, since
+	// NOPs are compressed away).
+	OpsIssued int64
+	// OpsFromBuffer counts operations issued out of the loop buffer.
+	OpsFromBuffer int64
+	// OpsNullified counts issued operations squashed by a false guard.
+	OpsNullified int64
+	// RecFetches counts implicit rec_[cw]loop operations fetched.
+	RecFetches int64
+	// Loops holds per-buffered-loop statistics keyed by "func:bundle".
+	Loops map[string]*LoopStats
+}
+
+// BufferIssueRatio returns the fraction of issued ops served by the
+// loop buffer.
+func (s *Stats) BufferIssueRatio() float64 {
+	if s.OpsIssued == 0 {
+		return 0
+	}
+	return float64(s.OpsFromBuffer) / float64(s.OpsIssued)
+}
+
+// LoopStats tracks one buffered loop at runtime.
+type LoopStats struct {
+	// Entries counts entries into the loop from outside.
+	Entries int64
+	// Iterations counts total loop iterations executed.
+	Iterations int64
+	// BufferedIterations counts iterations issued from the buffer.
+	BufferedIterations int64
+	// OpsBuffered / OpsMemory split the loop's issued operations.
+	OpsBuffered int64
+	OpsMemory   int64
+	// Recordings counts times the loop was (re)recorded.
+	Recordings int64
+}
+
+// Result of a simulation.
+type Result struct {
+	Mem   []byte
+	Ret   int64
+	Stats Stats
+}
+
+// Options configure a run.
+type Options struct {
+	EntryArgs []int64
+	// MaxCycles bounds the run (0 = 4e9).
+	MaxCycles int64
+	// MaxDepth bounds call depth (0 = 256).
+	MaxDepth int
+}
+
+// pending models one in-flight register write (EQ model: the value
+// lands at readyAt; until then reads see the old contents). A register
+// may have several writes in flight; they land in readyAt order, so a
+// later-landing earlier write overwrites a sooner-landing later one,
+// exactly as exposed writeback ports behave.
+type pending struct {
+	val     int64
+	readyAt int64
+}
+
+type pendingP struct {
+	val     bool
+	readyAt int64
+}
+
+type frame struct {
+	fc       *sched.FuncCode
+	regs     []int64
+	regPend  [][]pending
+	preds    []bool
+	predPend [][]pendingP
+}
+
+type sim struct {
+	code *sched.Code
+	mem  []byte
+	// now is the semantic issue clock: exactly one bundle per tick, so
+	// the EQ-model writeback schedule is position-independent. Redirect
+	// penalties are fetch bubbles accounted separately in penalty (they
+	// add to the reported cycle count but do not shift writebacks,
+	// which continue through bubbles in a real pipeline).
+	now     int64
+	penalty int64
+	stats   Stats
+	buf     *bufferState
+	opts    Options
+}
+
+// Run executes scheduled code from the program entry.
+func Run(code *sched.Code, buffers *BufferPlan, opts Options) (*Result, error) {
+	s := &sim{
+		code: code,
+		mem:  make([]byte, code.Prog.MemSize),
+		opts: opts,
+		buf:  newBufferState(buffers),
+	}
+	s.stats.Loops = map[string]*LoopStats{}
+	if s.opts.MaxCycles == 0 {
+		s.opts.MaxCycles = 4e9
+	}
+	if s.opts.MaxDepth == 0 {
+		s.opts.MaxDepth = 256
+	}
+	for _, g := range code.Prog.Globals {
+		copy(s.mem[g.Offset:g.Offset+g.Size], g.Init)
+	}
+	entry := code.Funcs[code.Prog.Entry]
+	if entry == nil {
+		return nil, fmt.Errorf("vliw: no entry function %q", code.Prog.Entry)
+	}
+	ret, err := s.run(entry)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.Cycles = s.now + s.penalty
+	return &Result{Mem: s.mem, Ret: ret, Stats: s.stats}, nil
+}
+
+func newFrame(fc *sched.FuncCode) *frame {
+	f := &frame{
+		fc:       fc,
+		regs:     make([]int64, fc.F.NumRegs()+1),
+		regPend:  make([][]pending, fc.F.NumRegs()+1),
+		preds:    make([]bool, fc.F.NumPreds()+1),
+		predPend: make([][]pendingP, fc.F.NumPreds()+1),
+	}
+	f.preds[0] = true
+	return f
+}
+
+// settleReg lands every in-flight write to r whose writeback time has
+// arrived, in landing order (ties resolved by issue order, which the
+// queue preserves).
+func (s *sim) settleReg(f *frame, r ir.Reg) {
+	q := f.regPend[r]
+	if len(q) == 0 {
+		return
+	}
+	kept := q[:0]
+	// Land in readyAt order; the queue is issue-ordered, so find
+	// successive minima. Queues are tiny (latency <= 8), so an
+	// insertion-style pass is fine.
+	for {
+		best := -1
+		for i := range q {
+			if q[i].readyAt > s.now {
+				continue
+			}
+			if best < 0 || q[i].readyAt < q[best].readyAt {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		f.regs[r] = q[best].val
+		q = append(q[:best], q[best+1:]...)
+	}
+	kept = q
+	f.regPend[r] = kept
+}
+
+func (s *sim) readReg(f *frame, r ir.Reg) int64 {
+	s.settleReg(f, r)
+	return f.regs[r]
+}
+
+func (s *sim) writeReg(f *frame, r ir.Reg, v int64, lat int64) {
+	if r == 0 {
+		return
+	}
+	s.settleReg(f, r)
+	f.regPend[r] = append(f.regPend[r], pending{val: ir.W32(v), readyAt: s.now + lat})
+}
+
+func (s *sim) readPred(f *frame, p ir.PredReg) bool {
+	q := f.predPend[p]
+	if len(q) > 0 {
+		for {
+			best := -1
+			for i := range q {
+				if q[i].readyAt > s.now {
+					continue
+				}
+				if best < 0 || q[i].readyAt < q[best].readyAt {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			f.preds[p] = q[best].val
+			q = append(q[:best], q[best+1:]...)
+		}
+		f.predPend[p] = q
+	}
+	return f.preds[p]
+}
+
+func (s *sim) writePred(f *frame, p ir.PredReg, v bool, lat int64) {
+	if p == 0 {
+		return
+	}
+	s.readPred(f, p)
+	f.predPend[p] = append(f.predPend[p], pendingP{val: v, readyAt: s.now + lat})
+}
+
+// run executes one function invocation (recursively via Go for calls).
+func (s *sim) run(fc *sched.FuncCode) (int64, error) {
+	f := newFrame(fc)
+	for i, p := range fc.F.Params {
+		if i < len(s.opts.EntryArgs) {
+			f.regs[p] = ir.W32(s.opts.EntryArgs[i])
+		}
+	}
+	return s.exec(f, 0)
+}
+
+type callCtx struct {
+	depth int
+}
+
+// exec runs from bundle pc until return.
+func (s *sim) exec(f *frame, pc int) (int64, error) {
+	depth := 0
+	return s.execDepth(f, pc, &callCtx{depth: depth})
+}
+
+func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
+	if cc.depth > s.opts.MaxDepth {
+		return 0, fmt.Errorf("vliw: call depth exceeded in %s", f.fc.F.Name)
+	}
+	fc := f.fc
+	for {
+		if s.now > s.opts.MaxCycles {
+			return 0, fmt.Errorf("vliw: cycle limit exceeded in %s (pc %d)", fc.F.Name, pc)
+		}
+		if pc < 0 || pc >= len(fc.Bundles) {
+			return 0, fmt.Errorf("vliw: pc %d out of range in %s", pc, fc.F.Name)
+		}
+		bundle := fc.Bundles[pc]
+
+		// Loop-buffer bookkeeping for this fetch.
+		fromBuffer, ls := s.buf.fetch(fc, pc, s)
+
+		// EQ model: no interlocks. Reads sample the register file at
+		// issue time; the compiler is responsible for timing (the
+		// scheduler pads section ends and shadows branches).
+
+		tracef("t=%d pc=%d buf=%v\n", s.now, pc, fromBuffer)
+		// Issue: reads sample now; branch decisions collected.
+		type branchAction struct {
+			so    *sched.SOp
+			taken bool
+		}
+		var branches []branchAction
+		var stores []func()
+		retired := false
+		var retVal int64
+		callNext := -1
+
+		for _, so := range bundle.Ops {
+			op := so.Op
+			s.stats.OpsIssued++
+			tracef("  issue %s\n", op)
+			if fromBuffer {
+				s.stats.OpsFromBuffer++
+				if ls != nil {
+					ls.OpsBuffered++
+				}
+			} else if ls != nil {
+				ls.OpsMemory++
+			}
+			guard := true
+			if op.Guard != 0 {
+				guard = s.readPred(f, op.Guard)
+			}
+			if !guard && op.Opcode != ir.OpCmpP {
+				s.stats.OpsNullified++
+				continue
+			}
+			src := func(i int) int64 {
+				if op.HasImm && i == len(op.Src) {
+					return op.Imm
+				}
+				return s.readReg(f, op.Src[i])
+			}
+			lat := int64(ir.LatencyOf(op, s.code.Mach.Latency))
+			switch {
+			case op.Opcode == ir.OpNop:
+
+			case op.Opcode == ir.OpCmpP:
+				cond := op.Cmp.Eval(src(0), src(1))
+				for _, pd := range op.PredDefines() {
+					v, w := pd.Type.Update(guard, cond)
+					if w {
+						s.writePred(f, pd.Pred, v, lat)
+					}
+				}
+
+			case op.Opcode == ir.OpSel:
+				if s.readReg(f, op.Src[0]) != 0 {
+					s.writeReg(f, op.Dest[0], s.readReg(f, op.Src[1]), lat)
+				} else {
+					s.writeReg(f, op.Dest[0], s.readReg(f, op.Src[2]), lat)
+				}
+
+			case ir.IsALUEvaluable(op.Opcode):
+				var a, bb int64
+				if op.Opcode == ir.OpMov || op.Opcode == ir.OpAbs {
+					a = src(0)
+				} else {
+					a, bb = src(0), src(1)
+				}
+				s.writeReg(f, op.Dest[0], ir.EvalALU(op.Opcode, op.Cmp, a, bb), lat)
+
+			case op.IsLoad():
+				addr := s.readReg(f, op.Src[0]) + op.Imm
+				v, err := s.load(op.Opcode, addr)
+				if err != nil {
+					if op.Speculative {
+						v = 0
+					} else {
+						return 0, fmt.Errorf("%s in %s pc=%d: %v", op, fc.F.Name, pc, err)
+					}
+				}
+				s.writeReg(f, op.Dest[0], v, lat)
+
+			case op.IsStore():
+				addr := s.readReg(f, op.Src[0]) + op.Imm
+				val := s.readReg(f, op.Src[1])
+				opc := op.Opcode
+				stores = append(stores, func() { _ = s.store(opc, addr, val) })
+				if e := s.checkStore(op.Opcode, addr); e != nil {
+					return 0, fmt.Errorf("%s in %s pc=%d: %v", op, fc.F.Name, pc, e)
+				}
+
+			case op.Opcode == ir.OpBr:
+				if op.Cmp.Eval(src(0), src(1)) {
+					branches = append(branches, branchAction{so: so, taken: true})
+				} else if op.LoopBack {
+					branches = append(branches, branchAction{so: so, taken: false})
+				}
+
+			case op.Opcode == ir.OpJump:
+				branches = append(branches, branchAction{so: so, taken: true})
+
+			case op.Opcode == ir.OpBrCLoop:
+				c := ir.W32(s.readReg(f, op.Src[0]) - 1)
+				s.writeReg(f, op.Dest[0], c, lat)
+				branches = append(branches, branchAction{so: so, taken: c > 0})
+				_ = c
+
+			case op.Opcode == ir.OpCall:
+				callee := s.code.Funcs[op.Callee]
+				if callee == nil {
+					return 0, fmt.Errorf("vliw: call to unknown %q", op.Callee)
+				}
+				nf := newFrame(callee)
+				for i, parm := range callee.F.Params {
+					nf.regs[parm] = s.readReg(f, op.Src[i])
+				}
+				s.now++
+				s.penalty += int64(s.code.Mach.BranchPenalty)
+				s.stats.BranchPenaltyCycles += int64(s.code.Mach.BranchPenalty)
+				cc.depth++
+				rv, err := s.execDepth(nf, 0, cc)
+				cc.depth--
+				if err != nil {
+					return 0, err
+				}
+				s.penalty += int64(s.code.Mach.BranchPenalty)
+				s.stats.BranchPenaltyCycles += int64(s.code.Mach.BranchPenalty)
+				if len(op.Dest) > 0 {
+					s.writeReg(f, op.Dest[0], rv, 1)
+				}
+				// Resume after the call bundle.
+				callNext = fc.FallTarget(pc)
+				if callNext < 0 {
+					return 0, fmt.Errorf("vliw: call at function end without fallthrough")
+				}
+
+			case op.Opcode == ir.OpRet:
+				if len(op.Src) > 0 {
+					retVal = s.readReg(f, op.Src[0])
+				}
+				retired = true
+
+			default:
+				return 0, fmt.Errorf("vliw: unhandled op %s", op)
+			}
+		}
+
+		// Commit stores at end of cycle.
+		for _, st := range stores {
+			st()
+		}
+		if retired {
+			return retVal, nil
+		}
+		if callNext >= 0 {
+			pc = callNext
+			s.now++
+			continue
+		}
+
+		// Control transfer: first taken branch in slot order wins (the
+		// schedule guarantees at most one is truly taken).
+		next := -2
+		for _, ba := range branches {
+			if !ba.taken {
+				// Untaken loop-back: loop exit.
+				p := s.buf.exitPenalty(fc, pc, ba.so, s)
+				s.penalty += p
+				s.stats.BranchPenaltyCycles += p
+				continue
+			}
+			next = ba.so.TargetBundle
+			p := s.buf.takenPenalty(fc, pc, ba.so, s)
+			s.penalty += p
+			s.stats.BranchPenaltyCycles += p
+			break
+		}
+		s.now++
+		if next != -2 {
+			pc = next
+		} else {
+			pc = fc.FallTarget(pc)
+			if pc < 0 {
+				return 0, fmt.Errorf("vliw: fell off end of %s", fc.F.Name)
+			}
+		}
+	}
+}
+
+func (s *sim) load(opc ir.Opcode, addr int64) (int64, error) {
+	sz := memSize(opc)
+	if addr < 0 || addr+sz > int64(len(s.mem)) {
+		return 0, fmt.Errorf("load out of range addr=%d", addr)
+	}
+	switch opc {
+	case ir.OpLdB:
+		return int64(int8(s.mem[addr])), nil
+	case ir.OpLdBU:
+		return int64(s.mem[addr]), nil
+	case ir.OpLdH:
+		return int64(int16(uint16(s.mem[addr]) | uint16(s.mem[addr+1])<<8)), nil
+	case ir.OpLdHU:
+		return int64(uint16(s.mem[addr]) | uint16(s.mem[addr+1])<<8), nil
+	default:
+		v := uint32(s.mem[addr]) | uint32(s.mem[addr+1])<<8 |
+			uint32(s.mem[addr+2])<<16 | uint32(s.mem[addr+3])<<24
+		return int64(int32(v)), nil
+	}
+}
+
+func (s *sim) checkStore(opc ir.Opcode, addr int64) error {
+	if addr < 0 || addr+memSize(opc) > int64(len(s.mem)) {
+		return fmt.Errorf("store out of range addr=%d", addr)
+	}
+	return nil
+}
+
+func (s *sim) store(opc ir.Opcode, addr, v int64) error {
+	switch opc {
+	case ir.OpStB:
+		s.mem[addr] = byte(v)
+	case ir.OpStH:
+		s.mem[addr] = byte(v)
+		s.mem[addr+1] = byte(uint64(v) >> 8)
+	default:
+		s.mem[addr] = byte(v)
+		s.mem[addr+1] = byte(uint64(v) >> 8)
+		s.mem[addr+2] = byte(uint64(v) >> 16)
+		s.mem[addr+3] = byte(uint64(v) >> 24)
+	}
+	return nil
+}
+
+func memSize(opc ir.Opcode) int64 {
+	switch opc {
+	case ir.OpLdB, ir.OpLdBU, ir.OpStB:
+		return 1
+	case ir.OpLdH, ir.OpLdHU, ir.OpStH:
+		return 2
+	default:
+		return 4
+	}
+}

@@ -1,0 +1,14 @@
+package vliw
+
+import (
+	"fmt"
+	"os"
+)
+
+var traceOn = os.Getenv("VLIW_TRACE") != ""
+
+func tracef(format string, args ...interface{}) {
+	if traceOn {
+		fmt.Printf(format, args...)
+	}
+}
