@@ -2,6 +2,11 @@
 // figures (run with `go test -bench=. -benchmem`). Each bench reports
 // the relevant headline metric via b.ReportMetric and prints the full
 // table once, so a single -bench run reproduces the evaluation.
+//
+// All benches execute through the internal/runner job scheduler behind
+// experiments.Suite: compiles and simulations are singleflighted and
+// cached across the shared suite, and BenchmarkSuiteConcurrent
+// additionally stresses the concurrent path end to end.
 package lpbuf
 
 import (
@@ -150,6 +155,42 @@ func BenchmarkHeadline(b *testing.B) {
 	fmt.Println(experiments.RenderHeadline(h))
 	b.ReportMetric(h.AvgSpeedup, "avg-speedup")
 	b.ReportMetric(100*h.BufferIssueAggressive, "%buffer-transformed")
+}
+
+// BenchmarkSuiteConcurrent regenerates Figures 7/8a/8b and the
+// headline concurrently on a fresh suite, reporting the runner's
+// compile count (must stay at 22 — one per (bench, config) pair) and
+// peak in-flight jobs. This is the benchmark-shaped version of the
+// subsystem's -race stress test.
+func BenchmarkSuiteConcurrent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewWithOptions(experiments.Options{Workers: 8})
+		var wg sync.WaitGroup
+		errs := make(chan error, 8)
+		launch := func(fn func() error) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := fn(); err != nil {
+					errs <- err
+				}
+			}()
+		}
+		launch(func() error { _, err := s.Figure7("traditional", experiments.BufferSizes); return err })
+		launch(func() error { _, err := s.Figure7("aggressive", experiments.BufferSizes); return err })
+		launch(func() error { _, err := s.Figure8a(); return err })
+		launch(func() error { _, err := s.Figure8b(); return err })
+		launch(func() error { _, err := s.ComputeHeadline(); return err })
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+		snap := s.Metrics()
+		b.ReportMetric(float64(snap.CacheMisses), "compiles")
+		b.ReportMetric(float64(snap.PeakInFlight), "peak-in-flight")
+		b.ReportMetric(float64(snap.RunMisses), "simulations")
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed on the

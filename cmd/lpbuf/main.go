@@ -5,22 +5,38 @@
 // (Figure 5), and the headline aggregates. It can also run a single
 // benchmark and print its statistics.
 //
+// Experiments execute through the internal/runner job scheduler:
+// compiles and simulations fan out across a bounded worker pool
+// (default GOMAXPROCS, -par N to override) with singleflight caching,
+// so no (benchmark, config) pair ever compiles twice. The rendered
+// tables are byte-identical at any parallelism.
+//
 // Usage:
 //
-//	lpbuf -fig 7          # both Figure 7 curves
-//	lpbuf -fig 8a|8b|3|5  # one figure
-//	lpbuf -headline       # abstract-level aggregates
-//	lpbuf -bench g724dec  # one benchmark at -buffer ops
-//	lpbuf -all            # everything (EXPERIMENTS.md content)
+//	lpbuf -list               # enumerate benchmarks and experiments
+//	lpbuf -fig 7              # both Figure 7 curves
+//	lpbuf -fig 8a|8b|3|5      # one figure
+//	lpbuf -headline           # abstract-level aggregates
+//	lpbuf -bench g724dec      # one benchmark at -buffer ops
+//	lpbuf -all                # everything (EXPERIMENTS.md content)
+//	lpbuf -all -par 8         # same, 8 workers
+//	lpbuf -all -json out.json # also write the versioned JSON artifact
+//	lpbuf -all -progress      # per-job progress log on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"lpbuf/internal/bench/suite"
 	"lpbuf/internal/experiments"
+	"lpbuf/internal/runner"
 )
+
+// knownFigures are the accepted -fig values.
+var knownFigures = []string{"3", "5", "7", "8a", "8b"}
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 3, 5, 7, 8a, 8b")
@@ -32,13 +48,33 @@ func main() {
 	widths := flag.String("widths", "", "issue-width sensitivity sweep for one benchmark")
 	encoding := flag.Bool("encoding", false, "predication encoding cost table")
 	all := flag.Bool("all", false, "regenerate everything")
+	list := flag.Bool("list", false, "list benchmarks and experiments")
+	par := flag.Int("par", 0, "experiment worker parallelism (default GOMAXPROCS)")
+	jsonOut := flag.String("json", "", "write a JSON artifact of the computed results to this file")
+	progress := flag.Bool("progress", false, "log per-job runner progress to stderr")
 	flag.Parse()
 
-	s := experiments.New()
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "lpbuf:", err)
 		os.Exit(1)
 	}
+
+	if *list {
+		printList()
+		return
+	}
+	switch *fig {
+	case "", "3", "5", "7", "8a", "8b":
+	default:
+		fail(fmt.Errorf("unknown figure %q (known: %s)", *fig, strings.Join(knownFigures, ", ")))
+	}
+
+	opts := experiments.Options{Workers: *par}
+	if *progress {
+		opts.OnEvent = runner.LogObserver(os.Stderr)
+	}
+	s := experiments.NewWithOptions(opts)
+	art := experiments.NewArtifact()
 
 	did := false
 	if *benchName != "" {
@@ -58,11 +94,13 @@ func main() {
 	}
 	if *fig == "7" || *all {
 		did = true
+		art.Figure7 = map[string][]experiments.Fig7Row{}
 		for _, cfg := range []string{"traditional", "aggressive"} {
 			rows, err := s.Figure7(cfg, experiments.BufferSizes)
 			if err != nil {
 				fail(err)
 			}
+			art.Figure7[cfg] = rows
 			title := "Figure 7(a): % instruction issue from loop buffer, traditional optimization"
 			if cfg == "aggressive" {
 				title = "Figure 7(b): % instruction issue from loop buffer, hyperblock transformations"
@@ -76,6 +114,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		art.Figure8a = rows
 		fmt.Println(experiments.RenderFig8a(rows))
 	}
 	if *fig == "8b" || *all {
@@ -84,6 +123,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		art.Figure8b = rows
 		fmt.Println(experiments.RenderFig8b(rows))
 	}
 	if *fig == "3" || *all {
@@ -92,6 +132,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		art.Figure3 = f3
 		fmt.Println(experiments.RenderFig3(f3))
 	}
 	if *fig == "5" || *all {
@@ -101,6 +142,7 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
+			art.Figure5 = append(art.Figure5, f5)
 			fmt.Println(experiments.RenderFig5(f5))
 		}
 	}
@@ -134,6 +176,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		art.Encoding = rows
 		fmt.Println(experiments.RenderEncoding(rows))
 	}
 	if *headline || *all {
@@ -142,10 +185,44 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		art.Headline = h
 		fmt.Println(experiments.RenderHeadline(h))
 	}
 	if !did {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		snap := s.Metrics()
+		art.Runner = &snap
+		if err := art.WriteFile(*jsonOut); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "lpbuf: wrote %s (%s)\n", *jsonOut, experiments.ArtifactSchema)
+	}
+}
+
+// printList enumerates the benchmark suite and every experiment the
+// CLI can regenerate.
+func printList() {
+	fmt.Println("benchmarks (Table 1 order):")
+	for _, b := range suite.All() {
+		fmt.Printf("  %s\n", b.Name)
+	}
+	fmt.Println()
+	fmt.Println("experiments:")
+	fmt.Println("  -fig 3          predication characterization (consumers, durations, overlap)")
+	fmt.Println("  -fig 5          g724dec post-filter buffer traces (16/32/64-op buffers)")
+	fmt.Println("  -fig 7          buffer issue vs buffer size, both configs")
+	fmt.Println("  -fig 8a         speedup / code size / fetch ratios at 256 ops")
+	fmt.Println("  -fig 8b         normalized instruction-fetch power at 256 ops")
+	fmt.Println("  -encoding       predication encoding cost (full guard fields vs slot model)")
+	fmt.Println("  -headline       abstract-level aggregates")
+	fmt.Println("  -bench NAME     one benchmark at -buffer ops, both configs")
+	fmt.Println("  -ablate NAME    aggressive pipeline with one pass disabled at a time")
+	fmt.Println("  -widths NAME    2/4/8-wide issue-width sensitivity sweep")
+	fmt.Println("  -dump NAME      scheduled-code disassembly (aggressive config)")
+	fmt.Println("  -all            every figure and table (EXPERIMENTS.md content)")
+	fmt.Println()
+	fmt.Println("execution: -par N workers, -json FILE artifact, -progress job log")
 }

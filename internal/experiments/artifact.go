@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+
+	"lpbuf/internal/runner"
+)
+
+// ArtifactSchema versions the JSON result format written by
+// `lpbuf -json`. Bump it on any breaking change to the Artifact
+// structure (the golden test pins the current shape).
+const ArtifactSchema = "lpbuf.artifact/v1"
+
+// Artifact is the machine-readable counterpart of `lpbuf -all`: every
+// figure, the headline aggregates, and the runner's execution counters
+// (per-job wall times, compile/simulate split, cache hits/misses, peak
+// in-flight). Sections are optional — only the experiments that
+// actually ran are present — so per-PR bench trajectories can be
+// produced and diffed with any subset of figures.
+type Artifact struct {
+	Schema      string   `json:"schema"`
+	Benchmarks  []string `json:"benchmarks"`
+	BufferSizes []int    `json:"buffer_sizes"`
+
+	// Figure7 maps config ("traditional"/"aggressive") to curves.
+	Figure7  map[string][]Fig7Row `json:"figure7,omitempty"`
+	Figure8a []Fig8aRow           `json:"figure8a,omitempty"`
+	Figure8b []Fig8bRow           `json:"figure8b,omitempty"`
+	Figure3  *Fig3                `json:"figure3,omitempty"`
+	Figure5  []*Fig5              `json:"figure5,omitempty"`
+	Encoding []EncodingRow        `json:"encoding,omitempty"`
+	Headline *Headline            `json:"headline,omitempty"`
+
+	Runner *runner.Snapshot `json:"runner,omitempty"`
+}
+
+// NewArtifact creates an empty artifact for the registered benchmark
+// suite and the Figure 7 sweep sizes.
+func NewArtifact() *Artifact {
+	return &Artifact{
+		Schema:      ArtifactSchema,
+		Benchmarks:  Benchmarks(),
+		BufferSizes: append([]int(nil), BufferSizes...),
+	}
+}
+
+// Encode renders the artifact as indented JSON with a trailing
+// newline.
+func (a *Artifact) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the encoded artifact to path.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

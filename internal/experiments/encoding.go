@@ -13,16 +13,16 @@ import (
 // inflating operations to 41 bits), while the slot-based scheme spends
 // a single sensitivity bit plus occasional replica defines.
 type EncodingRow struct {
-	Bench string
+	Bench string `json:"bench"`
 	// StaticOps is the scheduled operation count (aggressive config).
-	StaticOps int
+	StaticOps int `json:"static_ops"`
 	// Guarded is how many static ops actually carry a guard.
-	Guarded int
+	Guarded int `json:"guarded"`
 	// ReplicaDefines is the slot model's extra define cost.
-	ReplicaDefines int
+	ReplicaDefines int `json:"replica_defines"`
 	// FullBits / SlotBits are total code bits under each encoding.
-	FullBits int64
-	SlotBits int64
+	FullBits int64 `json:"full_bits"`
+	SlotBits int64 `json:"slot_bits"`
 }
 
 // guardFieldBits is the per-op cost of a full predication guard field

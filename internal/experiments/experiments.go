@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"lpbuf/internal/ir"
 	"lpbuf/internal/power"
 	"lpbuf/internal/predicate"
+	"lpbuf/internal/runner"
 	"lpbuf/internal/sched"
 	"lpbuf/internal/vliw"
 )
@@ -26,16 +28,59 @@ import (
 // BufferSizes is the sweep of Figure 7 (operations).
 var BufferSizes = []int{16, 32, 64, 128, 256, 512, 1024, 2048}
 
-// Suite caches compiled benchmarks across experiments.
+// Suite caches compiled benchmarks and verified simulation results
+// across experiments. It is safe for concurrent use: a singleflight
+// group guarantees each (benchmark, config) pair compiles at most once
+// per process and each (benchmark, config, buffer) triple simulates at
+// most once, no matter how many figures request it concurrently.
 type Suite struct {
+	run     *runner.Runner
+	metrics *runner.Metrics
+	flight  runner.Flight
+
 	mu    sync.Mutex
 	cache map[string]*core.Compiled
+	runs  map[string]*Run
 }
 
-// New creates an empty experiment suite.
-func New() *Suite {
-	return &Suite{cache: map[string]*core.Compiled{}}
+// Options configures a Suite's execution subsystem.
+type Options struct {
+	// Workers bounds in-flight jobs; <=0 uses runtime.GOMAXPROCS(0).
+	Workers int
+	// OnEvent observes the runner's job event stream (progress log).
+	OnEvent func(runner.Event)
 }
+
+// New creates an empty experiment suite with default options.
+func New() *Suite {
+	return NewWithOptions(Options{})
+}
+
+// NewWithOptions creates an empty experiment suite with an explicit
+// worker bound and/or event observer.
+func NewWithOptions(o Options) *Suite {
+	m := runner.NewMetrics()
+	opts := []runner.Option{runner.WithMetrics(m)}
+	if o.Workers > 0 {
+		opts = append(opts, runner.WithWorkers(o.Workers))
+	}
+	if o.OnEvent != nil {
+		opts = append(opts, runner.WithObserver(o.OnEvent))
+	}
+	return &Suite{
+		run:     runner.New(opts...),
+		metrics: m,
+		cache:   map[string]*core.Compiled{},
+		runs:    map[string]*Run{},
+	}
+}
+
+// Metrics snapshots the suite's execution counters (jobs, wall-time
+// split, cache hits/misses, peak in-flight).
+func (s *Suite) Metrics() runner.Snapshot { return s.metrics.Snapshot() }
+
+// Workers reports the suite's concurrency bound.
+func (s *Suite) Workers() int { return s.run.Workers() }
 
 // Benchmarks returns the Table 1 benchmark names in order.
 func Benchmarks() []string {
@@ -47,17 +92,13 @@ func Benchmarks() []string {
 }
 
 // compiled returns the cached compile of one benchmark/config.
+// Concurrent misses on the same key share one compile through the
+// singleflight group (the old check-then-compile let two goroutines
+// both miss and compile the same pair twice).
 func (s *Suite) compiled(name, cfg string) (*core.Compiled, bench.Benchmark, error) {
 	b, ok := suite.ByName(name)
 	if !ok {
-		return nil, b, fmt.Errorf("unknown benchmark %q", name)
-	}
-	key := name + "/" + cfg
-	s.mu.Lock()
-	c := s.cache[key]
-	s.mu.Unlock()
-	if c != nil {
-		return c, b, nil
+		return nil, b, fmt.Errorf("unknown benchmark %q (known: %s)", name, strings.Join(Benchmarks(), ", "))
 	}
 	var config core.Config
 	switch cfg {
@@ -68,15 +109,41 @@ func (s *Suite) compiled(name, cfg string) (*core.Compiled, bench.Benchmark, err
 	default:
 		return nil, b, fmt.Errorf("unknown config %q", cfg)
 	}
-	prog := b.Build()
-	c, err := core.Compile(prog, config)
-	if err != nil {
-		return nil, b, fmt.Errorf("%s/%s: %w", name, cfg, err)
-	}
+	key := name + "/" + cfg
 	s.mu.Lock()
-	s.cache[key] = c
+	c := s.cache[key]
 	s.mu.Unlock()
-	return c, b, nil
+	if c != nil {
+		s.metrics.CacheHit()
+		return c, b, nil
+	}
+	v, shared, err := s.flight.Do("compile/"+key, func() (any, error) {
+		// Re-check under the flight: a previous call may have filled the
+		// cache between our fast-path miss and this execution.
+		s.mu.Lock()
+		c := s.cache[key]
+		s.mu.Unlock()
+		if c != nil {
+			s.metrics.CacheHit()
+			return c, nil
+		}
+		s.metrics.CacheMiss()
+		c, err := core.Compile(b.Build(), config)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", name, cfg, err)
+		}
+		s.mu.Lock()
+		s.cache[key] = c
+		s.mu.Unlock()
+		return c, nil
+	})
+	if err != nil {
+		return nil, b, err
+	}
+	if shared {
+		s.metrics.CacheHit()
+	}
+	return v.(*core.Compiled), b, nil
 }
 
 // Run is one verified simulation outcome.
@@ -93,8 +160,48 @@ type Run struct {
 
 // RunAt compiles (cached), re-plans the buffer at the given capacity,
 // runs, verifies the output against both the interpreter reference and
-// the pure-Go reference, and reports the statistics.
+// the pure-Go reference, and reports the statistics. Results are
+// memoized: the simulator is deterministic, so each (benchmark,
+// config, buffer) triple is simulated and verified once per process,
+// with concurrent requests singleflighted.
 func (s *Suite) RunAt(name, cfg string, bufferOps int) (*Run, error) {
+	key := fmt.Sprintf("%s/%s@%d", name, cfg, bufferOps)
+	s.mu.Lock()
+	r := s.runs[key]
+	s.mu.Unlock()
+	if r != nil {
+		s.metrics.RunHit()
+		return r, nil
+	}
+	v, shared, err := s.flight.Do("run/"+key, func() (any, error) {
+		s.mu.Lock()
+		r := s.runs[key]
+		s.mu.Unlock()
+		if r != nil {
+			s.metrics.RunHit()
+			return r, nil
+		}
+		s.metrics.RunMiss()
+		r, err := s.runUncached(name, cfg, bufferOps)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.runs[key] = r
+		s.mu.Unlock()
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		s.metrics.RunHit()
+	}
+	return v.(*Run), nil
+}
+
+// runUncached is the verified simulation behind RunAt.
+func (s *Suite) runUncached(name, cfg string, bufferOps int) (*Run, error) {
 	c, b, err := s.compiled(name, cfg)
 	if err != nil {
 		return nil, err
@@ -133,26 +240,16 @@ func (s *Suite) Disasm(name string) (string, error) {
 
 // Fig7Row is one benchmark's curve.
 type Fig7Row struct {
-	Bench  string
-	Ratios map[int]float64 // buffer size -> fraction
+	Bench  string          `json:"bench"`
+	Ratios map[int]float64 `json:"ratios"` // buffer size -> fraction
 }
 
 // Figure7 computes the Figure 7(a) (traditional) or 7(b) (aggressive)
-// curves for all benchmarks.
+// curves for all benchmarks. The sweep is scheduled as a compile →
+// fan-out simulate → reduce job graph (see graphs.go); rows come back
+// in benchmark-table order regardless of completion order.
 func (s *Suite) Figure7(cfg string, sizes []int) ([]Fig7Row, error) {
-	var rows []Fig7Row
-	for _, name := range Benchmarks() {
-		row := Fig7Row{Bench: name, Ratios: map[int]float64{}}
-		for _, sz := range sizes {
-			r, err := s.RunAt(name, cfg, sz)
-			if err != nil {
-				return nil, err
-			}
-			row.Ratios[sz] = r.Stats.BufferIssueRatio()
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return s.Figure7Ctx(context.Background(), cfg, sizes)
 }
 
 // RenderFig7 formats the curves as a table.
@@ -177,40 +274,34 @@ func RenderFig7(title string, rows []Fig7Row, sizes []int) string {
 
 // Fig8aRow compares aggressive vs traditional for one benchmark.
 type Fig8aRow struct {
-	Bench string
+	Bench string `json:"bench"`
 	// Speedup is traditional cycles / aggressive cycles.
-	Speedup float64
+	Speedup float64 `json:"speedup"`
 	// CodeSize is aggressive static ops / traditional static ops.
-	CodeSize float64
+	CodeSize float64 `json:"code_size"`
 	// TotalFetch is aggressive fetched ops / traditional fetched ops.
-	TotalFetch float64
+	TotalFetch float64 `json:"total_fetch"`
 	// MemFetch is the ratio of ops fetched from global memory.
-	MemFetch float64
+	MemFetch float64 `json:"mem_fetch"`
 }
 
-// Figure8a computes the Figure 8(a) ratios at the paper's 256-op buffer.
+// Figure8a computes the Figure 8(a) ratios at the paper's 256-op
+// buffer, scheduled as a job graph.
 func (s *Suite) Figure8a() ([]Fig8aRow, error) {
-	var rows []Fig8aRow
-	for _, name := range Benchmarks() {
-		tr, err := s.RunAt(name, "traditional", 256)
-		if err != nil {
-			return nil, err
-		}
-		ag, err := s.RunAt(name, "aggressive", 256)
-		if err != nil {
-			return nil, err
-		}
-		trMem := tr.Stats.OpsIssued - tr.Stats.OpsFromBuffer
-		agMem := ag.Stats.OpsIssued - ag.Stats.OpsFromBuffer
-		rows = append(rows, Fig8aRow{
-			Bench:      name,
-			Speedup:    float64(tr.Stats.Cycles) / float64(ag.Stats.Cycles),
-			CodeSize:   float64(ag.StaticOps) / float64(tr.StaticOps),
-			TotalFetch: float64(ag.Stats.OpsIssued) / float64(tr.Stats.OpsIssued),
-			MemFetch:   float64(agMem) / float64(trMem),
-		})
+	return s.Figure8aCtx(context.Background())
+}
+
+// fig8aRow reduces one benchmark's pair of verified runs.
+func fig8aRow(name string, tr, ag *Run) Fig8aRow {
+	trMem := tr.Stats.OpsIssued - tr.Stats.OpsFromBuffer
+	agMem := ag.Stats.OpsIssued - ag.Stats.OpsFromBuffer
+	return Fig8aRow{
+		Bench:      name,
+		Speedup:    float64(tr.Stats.Cycles) / float64(ag.Stats.Cycles),
+		CodeSize:   float64(ag.StaticOps) / float64(tr.StaticOps),
+		TotalFetch: float64(ag.Stats.OpsIssued) / float64(tr.Stats.OpsIssued),
+		MemFetch:   float64(agMem) / float64(trMem),
 	}
-	return rows, nil
 }
 
 // RenderFig8a formats the comparison.
@@ -232,37 +323,30 @@ func RenderFig8a(rows []Fig8aRow) string {
 
 // Fig8bRow gives normalized fetch energy for one benchmark.
 type Fig8bRow struct {
-	Bench string
+	Bench string `json:"bench"`
 	// BaselineBuffered: traditional code with the 256-op buffer.
-	BaselineBuffered float64
+	BaselineBuffered float64 `json:"baseline_buffered"`
 	// TransformedBuffered: aggressive code with the 256-op buffer.
-	TransformedBuffered float64
+	TransformedBuffered float64 `json:"transformed_buffered"`
 }
 
 // Figure8b computes Figure 8(b), normalized to buffer-less issue of
-// traditionally optimized code.
+// traditionally optimized code, scheduled as a job graph.
 func (s *Suite) Figure8b() ([]Fig8bRow, error) {
-	model := power.Default()
-	var rows []Fig8bRow
-	for _, name := range Benchmarks() {
-		tr, err := s.RunAt(name, "traditional", 256)
-		if err != nil {
-			return nil, err
-		}
-		ag, err := s.RunAt(name, "aggressive", 256)
-		if err != nil {
-			return nil, err
-		}
-		base := tr.Stats.OpsIssued // all-memory baseline fetches
-		trMem := tr.Stats.OpsIssued - tr.Stats.OpsFromBuffer
-		agMem := ag.Stats.OpsIssued - ag.Stats.OpsFromBuffer
-		rows = append(rows, Fig8bRow{
-			Bench:               name,
-			BaselineBuffered:    model.Normalized(trMem, tr.Stats.OpsFromBuffer, 256, base),
-			TransformedBuffered: model.Normalized(agMem, ag.Stats.OpsFromBuffer, 256, base),
-		})
+	return s.Figure8bCtx(context.Background())
+}
+
+// fig8bRow reduces one benchmark's pair of verified runs under the
+// fetch-power model.
+func fig8bRow(model *power.Model, name string, tr, ag *Run) Fig8bRow {
+	base := tr.Stats.OpsIssued // all-memory baseline fetches
+	trMem := tr.Stats.OpsIssued - tr.Stats.OpsFromBuffer
+	agMem := ag.Stats.OpsIssued - ag.Stats.OpsFromBuffer
+	return Fig8bRow{
+		Bench:               name,
+		BaselineBuffered:    model.Normalized(trMem, tr.Stats.OpsFromBuffer, 256, base),
+		TransformedBuffered: model.Normalized(agMem, ag.Stats.OpsFromBuffer, 256, base),
 	}
-	return rows, nil
 }
 
 // RenderFig8b formats the power results.
@@ -289,100 +373,135 @@ func RenderFig8b(rows []Fig8bRow) string {
 type Fig3 struct {
 	// ConsumersStatic[n] counts defines with exactly n consumers;
 	// ConsumersDynamic weights by profiled block execution.
-	ConsumersStatic  map[int]int64
-	ConsumersDynamic map[int]int64
+	ConsumersStatic  map[int]int64 `json:"consumers_static"`
+	ConsumersDynamic map[int]int64 `json:"consumers_dynamic"`
 	// Durations[d] counts defines whose value lives d cycles in the
 	// final schedule (dynamic weighting).
-	Durations map[int]int64
+	Durations map[int]int64 `json:"durations"`
 	// Overlap[m] counts loops whose schedule keeps at most m predicates
 	// simultaneously live (weighted by loop iterations).
-	Overlap map[int]int64
+	Overlap map[int]int64 `json:"overlap"`
 	// PredicatedLoops / TotalLoops count loop sections.
-	PredicatedLoops, TotalLoops int
+	PredicatedLoops int `json:"predicated_loops"`
+	TotalLoops      int `json:"total_loops"`
 	// SensitiveDynamic / IssuedDynamic give the fraction of dynamic
 	// operations in predicated loops carrying the sensitivity bit.
-	SensitiveDynamic, IssuedDynamic int64
+	SensitiveDynamic int64 `json:"sensitive_dynamic"`
+	IssuedDynamic    int64 `json:"issued_dynamic"`
 	// MaxLiveMax is the largest observed simultaneous liveness.
-	MaxLiveMax int
+	MaxLiveMax int `json:"max_live_max"`
 	// SlotModelOK reports whether every loop fit the 8-slot model.
-	SlotModelOK bool
+	SlotModelOK bool `json:"slot_model_ok"`
 	// OverflowLoops counts loops needing live-range splitting (more
 	// than 8 simultaneously live predicates; the paper notes such
 	// loops need extra defines to regenerate values in split ranges).
-	OverflowLoops int
+	OverflowLoops int `json:"overflow_loops"`
 	// ExtraDefines totals replica defines the slot model would insert.
-	ExtraDefines int
+	ExtraDefines int `json:"extra_defines"`
 }
 
-// Figure3 computes the predication statistics.
+// Figure3 computes the predication statistics. Per-benchmark analysis
+// jobs run concurrently behind the aggressive compiles; the reduce
+// merges partials in benchmark-table order (the merge is commutative,
+// so the result is completion-order independent).
 func (s *Suite) Figure3() (*Fig3, error) {
-	out := &Fig3{
+	return s.Figure3Ctx(context.Background())
+}
+
+// newFig3 creates an empty accumulator.
+func newFig3() *Fig3 {
+	return &Fig3{
 		ConsumersStatic:  map[int]int64{},
 		ConsumersDynamic: map[int]int64{},
 		Durations:        map[int]int64{},
 		Overlap:          map[int]int64{},
 		SlotModelOK:      true,
 	}
-	for _, name := range Benchmarks() {
-		c, _, err := s.compiled(name, "aggressive")
-		if err != nil {
-			return nil, err
-		}
-		for _, fname := range c.Code.Prog.Order {
-			fc := c.Code.Funcs[fname]
-			irf := c.TransformedIR.Funcs[fname]
-			for _, sec := range fc.Sections {
-				if !isLoopSection(fc, sec) {
-					continue
-				}
-				out.TotalLoops++
-				blk := irf.Block(sec.Block)
-				weight := int64(1)
-				if blk != nil && blk.Weight > 0 {
-					weight = int64(blk.Weight)
-				}
-				// Scheduled ops of the section.
-				var sops []predicate.SchedOp
-				pred := false
-				for ci, bun := range sec.Bundles {
-					for _, so := range bun.Ops {
-						sops = append(sops, predicate.SchedOp{Op: so.Op, Cycle: ci, Slot: so.Slot})
-						if so.Op.Guard != 0 || so.Op.IsPredDefine() {
-							pred = true
-						}
+}
+
+// mergeFig3 folds one benchmark's partial distributions into dst.
+func mergeFig3(dst, src *Fig3) {
+	for k, v := range src.ConsumersStatic {
+		dst.ConsumersStatic[k] += v
+	}
+	for k, v := range src.ConsumersDynamic {
+		dst.ConsumersDynamic[k] += v
+	}
+	for k, v := range src.Durations {
+		dst.Durations[k] += v
+	}
+	for k, v := range src.Overlap {
+		dst.Overlap[k] += v
+	}
+	dst.PredicatedLoops += src.PredicatedLoops
+	dst.TotalLoops += src.TotalLoops
+	dst.SensitiveDynamic += src.SensitiveDynamic
+	dst.IssuedDynamic += src.IssuedDynamic
+	if src.MaxLiveMax > dst.MaxLiveMax {
+		dst.MaxLiveMax = src.MaxLiveMax
+	}
+	dst.SlotModelOK = dst.SlotModelOK && src.SlotModelOK
+	dst.OverflowLoops += src.OverflowLoops
+	dst.ExtraDefines += src.ExtraDefines
+}
+
+// fig3ForCompiled analyzes one aggressive compile.
+func fig3ForCompiled(c *core.Compiled) *Fig3 {
+	out := newFig3()
+	for _, fname := range c.Code.Prog.Order {
+		fc := c.Code.Funcs[fname]
+		irf := c.TransformedIR.Funcs[fname]
+		for _, sec := range fc.Sections {
+			if !isLoopSection(fc, sec) {
+				continue
+			}
+			out.TotalLoops++
+			blk := irf.Block(sec.Block)
+			weight := int64(1)
+			if blk != nil && blk.Weight > 0 {
+				weight = int64(blk.Weight)
+			}
+			// Scheduled ops of the section.
+			var sops []predicate.SchedOp
+			pred := false
+			for ci, bun := range sec.Bundles {
+				for _, so := range bun.Ops {
+					sops = append(sops, predicate.SchedOp{Op: so.Op, Cycle: ci, Slot: so.Slot})
+					if so.Op.Guard != 0 || so.Op.IsPredDefine() {
+						pred = true
 					}
 				}
-				if !pred {
-					continue
+			}
+			if !pred {
+				continue
+			}
+			out.PredicatedLoops++
+			bind := predicate.BindSlots(dedupe(sops, sec), 8)
+			out.Overlap[bind.MaxLive] += weight
+			if bind.MaxLive > out.MaxLiveMax {
+				out.MaxLiveMax = bind.MaxLive
+			}
+			if !bind.OK {
+				out.SlotModelOK = false
+				out.OverflowLoops++
+			}
+			out.ExtraDefines += bind.ExtraDefines
+			out.SensitiveDynamic += int64(bind.Sensitive) * weight
+			out.IssuedDynamic += int64(len(dedupe(sops, sec))) * weight
+			// Consumers per define (on the IR block, one iteration).
+			if blk != nil {
+				for _, n := range predicate.ConsumersPerDefine(blk) {
+					out.ConsumersStatic[n]++
+					out.ConsumersDynamic[n] += weight
 				}
-				out.PredicatedLoops++
-				bind := predicate.BindSlots(dedupe(sops, sec), 8)
-				out.Overlap[bind.MaxLive] += weight
-				if bind.MaxLive > out.MaxLiveMax {
-					out.MaxLiveMax = bind.MaxLive
-				}
-				if !bind.OK {
-					out.SlotModelOK = false
-					out.OverflowLoops++
-				}
-				out.ExtraDefines += bind.ExtraDefines
-				out.SensitiveDynamic += int64(bind.Sensitive) * weight
-				out.IssuedDynamic += int64(len(dedupe(sops, sec))) * weight
-				// Consumers per define (on the IR block, one iteration).
-				if blk != nil {
-					for _, n := range predicate.ConsumersPerDefine(blk) {
-						out.ConsumersStatic[n]++
-						out.ConsumersDynamic[n] += weight
-					}
-				}
-				// Live-range durations in the kernel schedule.
-				for _, d := range durations(dedupe(sops, sec)) {
-					out.Durations[d] += weight
-				}
+			}
+			// Live-range durations in the kernel schedule.
+			for _, d := range durations(dedupe(sops, sec)) {
+				out.Durations[d] += weight
 			}
 		}
 	}
-	return out, nil
+	return out
 }
 
 // dedupe keeps one scheduled instance per op (pipelined sections emit
@@ -502,49 +621,46 @@ func renderCDF(title string, hist map[int]int64, unit string) string {
 type Headline struct {
 	// BufferIssueTraditional/Aggressive: averages at 256 ops excluding
 	// jpegenc and mpeg2enc (the paper's footnote 1).
-	BufferIssueTraditional float64
-	BufferIssueAggressive  float64
-	AvgSpeedup             float64
+	BufferIssueTraditional float64 `json:"buffer_issue_traditional"`
+	BufferIssueAggressive  float64 `json:"buffer_issue_aggressive"`
+	AvgSpeedup             float64 `json:"avg_speedup"`
 	// FetchPowerReduction at 256 ops vs unbuffered traditional.
-	FetchPowerBaseline    float64
-	FetchPowerTransformed float64
+	FetchPowerBaseline    float64 `json:"fetch_power_baseline"`
+	FetchPowerTransformed float64 `json:"fetch_power_transformed"`
 }
 
-// ComputeHeadline runs everything needed for the abstract's numbers.
+// ComputeHeadline runs everything needed for the abstract's numbers,
+// scheduled as one job graph over the 256-op runs of every benchmark.
 func (s *Suite) ComputeHeadline() (*Headline, error) {
+	return s.ComputeHeadlineCtx(context.Background())
+}
+
+// reduceHeadline folds the 256-op runs (in benchmark-table order) into
+// the headline aggregates; the power terms reuse fig8bRow so they are
+// bit-identical to Figure 8(b)'s.
+func reduceHeadline(names []string, tr, ag map[string]*Run) *Headline {
 	h := &Headline{}
 	excluded := map[string]bool{"jpegenc": true, "mpeg2enc": true}
+	model := power.Default()
 	n := 0
-	for _, name := range Benchmarks() {
-		tr, err := s.RunAt(name, "traditional", 256)
-		if err != nil {
-			return nil, err
-		}
-		ag, err := s.RunAt(name, "aggressive", 256)
-		if err != nil {
-			return nil, err
-		}
-		h.AvgSpeedup += float64(tr.Stats.Cycles) / float64(ag.Stats.Cycles)
+	for _, name := range names {
+		t, a := tr[name], ag[name]
+		h.AvgSpeedup += float64(t.Stats.Cycles) / float64(a.Stats.Cycles)
 		if !excluded[name] {
-			h.BufferIssueTraditional += tr.Stats.BufferIssueRatio()
-			h.BufferIssueAggressive += ag.Stats.BufferIssueRatio()
+			h.BufferIssueTraditional += t.Stats.BufferIssueRatio()
+			h.BufferIssueAggressive += a.Stats.BufferIssueRatio()
 			n++
 		}
+		row := fig8bRow(model, name, t, a)
+		h.FetchPowerBaseline += row.BaselineBuffered
+		h.FetchPowerTransformed += row.TransformedBuffered
 	}
 	h.BufferIssueTraditional /= float64(n)
 	h.BufferIssueAggressive /= float64(n)
-	h.AvgSpeedup /= float64(len(Benchmarks()))
-	p, err := s.Figure8b()
-	if err != nil {
-		return nil, err
-	}
-	for _, r := range p {
-		h.FetchPowerBaseline += r.BaselineBuffered
-		h.FetchPowerTransformed += r.TransformedBuffered
-	}
-	h.FetchPowerBaseline /= float64(len(p))
-	h.FetchPowerTransformed /= float64(len(p))
-	return h, nil
+	h.AvgSpeedup /= float64(len(names))
+	h.FetchPowerBaseline /= float64(len(names))
+	h.FetchPowerTransformed /= float64(len(names))
+	return h
 }
 
 // RenderHeadline formats the headline comparison.

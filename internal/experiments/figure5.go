@@ -17,26 +17,26 @@ func planFor(c *core.Compiled, capacity int) *vliw.BufferPlan {
 
 // Fig5Loop is one loop's runtime buffer behaviour at one buffer size.
 type Fig5Loop struct {
-	Label              string
-	Ops                int
-	Offset             int
-	Entries            int64
-	Iterations         int64
-	BufferedIterations int64
-	OpsBuffered        int64
-	OpsMemory          int64
+	Label              string `json:"label"`
+	Ops                int    `json:"ops"`
+	Offset             int    `json:"offset"`
+	Entries            int64  `json:"entries"`
+	Iterations         int64  `json:"iterations"`
+	BufferedIterations int64  `json:"buffered_iterations"`
+	OpsBuffered        int64  `json:"ops_buffered"`
+	OpsMemory          int64  `json:"ops_memory"`
 }
 
 // Fig5 reports the PostFilter-loop buffer traces for one buffer size
 // (the paper's Figure 5 shows 16, 32 and 64 operations).
 type Fig5 struct {
-	BufferOps int
-	Loops     []Fig5Loop
+	BufferOps int        `json:"buffer_ops"`
+	Loops     []Fig5Loop `json:"loops"`
 	// PFIssueFromBuffer is the fraction of the traced loops' issued
 	// operations served by the buffer.
-	PFIssueFromBuffer float64
+	PFIssueFromBuffer float64 `json:"pf_issue_from_buffer"`
 	// TotalIssueFromBuffer is the whole-benchmark fraction.
-	TotalIssueFromBuffer float64
+	TotalIssueFromBuffer float64 `json:"total_issue_from_buffer"`
 }
 
 // Figure5 runs g724dec at the given buffer size and extracts the

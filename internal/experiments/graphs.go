@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"lpbuf/internal/core"
+	"lpbuf/internal/power"
+	"lpbuf/internal/runner"
+)
+
+// This file schedules the figure computations as runner job graphs:
+// compile(bench, cfg) → fan-out simulate(bench, cfg, bufferOps) →
+// reduce per figure. The compile/simulate jobs land in the Suite's
+// singleflight caches, so concurrent figure requests — and repeated
+// requests within one process — never compile a (bench, cfg) pair or
+// simulate a (bench, cfg, buffer) triple twice. Reduce jobs assemble
+// rows in benchmark-table order, which keeps every renderer's output
+// byte-identical to a serial run regardless of completion order.
+
+func compileKey(name, cfg string) string { return "compile/" + name + "/" + cfg }
+
+func simulateKey(name, cfg string, bufferOps int) string {
+	return fmt.Sprintf("simulate/%s/%s@%d", name, cfg, bufferOps)
+}
+
+// compileSpec compiles one (benchmark, config) pair through the cache.
+func (s *Suite) compileSpec(name, cfg string) runner.Spec {
+	return runner.Spec{
+		Key:  compileKey(name, cfg),
+		Kind: runner.KindCompile,
+		Run: func(context.Context, map[string]any) (any, error) {
+			c, _, err := s.compiled(name, cfg)
+			return c, err
+		},
+	}
+}
+
+// simulateSpec runs one verified simulation behind its compile.
+func (s *Suite) simulateSpec(name, cfg string, bufferOps int) runner.Spec {
+	return runner.Spec{
+		Key:   simulateKey(name, cfg, bufferOps),
+		Kind:  runner.KindSimulate,
+		Needs: []string{compileKey(name, cfg)},
+		Run: func(context.Context, map[string]any) (any, error) {
+			return s.RunAt(name, cfg, bufferOps)
+		},
+	}
+}
+
+// Figure7Ctx is Figure7 with caller-controlled cancellation.
+func (s *Suite) Figure7Ctx(ctx context.Context, cfg string, sizes []int) ([]Fig7Row, error) {
+	g := runner.NewGraph()
+	var simKeys []string
+	for _, name := range Benchmarks() {
+		g.MustAdd(s.compileSpec(name, cfg))
+		for _, sz := range sizes {
+			sp := s.simulateSpec(name, cfg, sz)
+			simKeys = append(simKeys, sp.Key)
+			g.MustAdd(sp)
+		}
+	}
+	reduceKey := "reduce/figure7/" + cfg
+	g.MustAdd(runner.Spec{
+		Key:   reduceKey,
+		Kind:  runner.KindReduce,
+		Needs: simKeys,
+		Run: func(_ context.Context, deps map[string]any) (any, error) {
+			var rows []Fig7Row
+			for _, name := range Benchmarks() {
+				row := Fig7Row{Bench: name, Ratios: map[int]float64{}}
+				for _, sz := range sizes {
+					r := deps[simulateKey(name, cfg, sz)].(*Run)
+					row.Ratios[sz] = r.Stats.BufferIssueRatio()
+				}
+				rows = append(rows, row)
+			}
+			return rows, nil
+		},
+	})
+	res, err := s.run.Execute(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	return res[reduceKey].([]Fig7Row), nil
+}
+
+// pairGraph adds compile+simulate jobs for both configs of every
+// benchmark at the 256-op buffer and returns the simulate keys.
+func (s *Suite) pairGraph(g *runner.Graph) []string {
+	var simKeys []string
+	for _, name := range Benchmarks() {
+		for _, cfg := range []string{"traditional", "aggressive"} {
+			g.MustAdd(s.compileSpec(name, cfg))
+			sp := s.simulateSpec(name, cfg, 256)
+			simKeys = append(simKeys, sp.Key)
+			g.MustAdd(sp)
+		}
+	}
+	return simKeys
+}
+
+// pairRuns splits a pair graph's reduce deps into per-config maps.
+func pairRuns(deps map[string]any) (tr, ag map[string]*Run) {
+	tr = map[string]*Run{}
+	ag = map[string]*Run{}
+	for _, name := range Benchmarks() {
+		tr[name] = deps[simulateKey(name, "traditional", 256)].(*Run)
+		ag[name] = deps[simulateKey(name, "aggressive", 256)].(*Run)
+	}
+	return tr, ag
+}
+
+// Figure8aCtx is Figure8a with caller-controlled cancellation.
+func (s *Suite) Figure8aCtx(ctx context.Context) ([]Fig8aRow, error) {
+	g := runner.NewGraph()
+	simKeys := s.pairGraph(g)
+	g.MustAdd(runner.Spec{
+		Key:   "reduce/figure8a",
+		Kind:  runner.KindReduce,
+		Needs: simKeys,
+		Run: func(_ context.Context, deps map[string]any) (any, error) {
+			tr, ag := pairRuns(deps)
+			var rows []Fig8aRow
+			for _, name := range Benchmarks() {
+				rows = append(rows, fig8aRow(name, tr[name], ag[name]))
+			}
+			return rows, nil
+		},
+	})
+	res, err := s.run.Execute(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	return res["reduce/figure8a"].([]Fig8aRow), nil
+}
+
+// Figure8bCtx is Figure8b with caller-controlled cancellation.
+func (s *Suite) Figure8bCtx(ctx context.Context) ([]Fig8bRow, error) {
+	g := runner.NewGraph()
+	simKeys := s.pairGraph(g)
+	g.MustAdd(runner.Spec{
+		Key:   "reduce/figure8b",
+		Kind:  runner.KindReduce,
+		Needs: simKeys,
+		Run: func(_ context.Context, deps map[string]any) (any, error) {
+			model := power.Default()
+			tr, ag := pairRuns(deps)
+			var rows []Fig8bRow
+			for _, name := range Benchmarks() {
+				rows = append(rows, fig8bRow(model, name, tr[name], ag[name]))
+			}
+			return rows, nil
+		},
+	})
+	res, err := s.run.Execute(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	return res["reduce/figure8b"].([]Fig8bRow), nil
+}
+
+// ComputeHeadlineCtx is ComputeHeadline with caller-controlled
+// cancellation.
+func (s *Suite) ComputeHeadlineCtx(ctx context.Context) (*Headline, error) {
+	g := runner.NewGraph()
+	simKeys := s.pairGraph(g)
+	g.MustAdd(runner.Spec{
+		Key:   "reduce/headline",
+		Kind:  runner.KindReduce,
+		Needs: simKeys,
+		Run: func(_ context.Context, deps map[string]any) (any, error) {
+			tr, ag := pairRuns(deps)
+			return reduceHeadline(Benchmarks(), tr, ag), nil
+		},
+	})
+	res, err := s.run.Execute(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	return res["reduce/headline"].(*Headline), nil
+}
+
+// Figure3Ctx is Figure3 with caller-controlled cancellation. Each
+// benchmark's predication analysis runs as its own job behind the
+// aggressive compile.
+func (s *Suite) Figure3Ctx(ctx context.Context) (*Fig3, error) {
+	g := runner.NewGraph()
+	var partKeys []string
+	for _, name := range Benchmarks() {
+		g.MustAdd(s.compileSpec(name, "aggressive"))
+		key := "analyze/figure3/" + name
+		partKeys = append(partKeys, key)
+		g.MustAdd(runner.Spec{
+			Key:   key,
+			Kind:  runner.KindAnalyze,
+			Needs: []string{compileKey(name, "aggressive")},
+			Run: func(_ context.Context, deps map[string]any) (any, error) {
+				return fig3ForCompiled(deps[compileKey(name, "aggressive")].(*core.Compiled)), nil
+			},
+		})
+	}
+	g.MustAdd(runner.Spec{
+		Key:   "reduce/figure3",
+		Kind:  runner.KindReduce,
+		Needs: partKeys,
+		Run: func(_ context.Context, deps map[string]any) (any, error) {
+			out := newFig3()
+			for _, name := range Benchmarks() {
+				mergeFig3(out, deps["analyze/figure3/"+name].(*Fig3))
+			}
+			return out, nil
+		},
+	})
+	res, err := s.run.Execute(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	return res["reduce/figure3"].(*Fig3), nil
+}

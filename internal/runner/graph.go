@@ -1,0 +1,114 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+)
+
+// Kind classifies a job for the compile/simulate wall-time split in
+// the metrics and the progress log.
+type Kind string
+
+// The experiment job kinds.
+const (
+	KindCompile  Kind = "compile"
+	KindSimulate Kind = "simulate"
+	KindAnalyze  Kind = "analyze"
+	KindReduce   Kind = "reduce"
+)
+
+// Spec declares one job of a graph before scheduling.
+type Spec struct {
+	// Key uniquely identifies the job within its graph and keys its
+	// result in Execute's return map.
+	Key string
+	// Kind buckets the job in the metrics.
+	Kind Kind
+	// Needs lists keys of jobs that must complete first; their results
+	// are passed to Run in the deps map.
+	Needs []string
+	// Retries is how many times a Transient error is retried.
+	Retries int
+	// Run does the work. It must respect ctx cancellation for long
+	// operations and return the job's result value.
+	Run func(ctx context.Context, deps map[string]any) (any, error)
+}
+
+// Graph is an ordered set of job specs forming a DAG.
+type Graph struct {
+	order []string
+	specs map[string]*Spec
+}
+
+// NewGraph creates an empty graph.
+func NewGraph() *Graph {
+	return &Graph{specs: map[string]*Spec{}}
+}
+
+// Add inserts a job. Keys must be unique.
+func (g *Graph) Add(s Spec) error {
+	if s.Key == "" {
+		return fmt.Errorf("runner: job with empty key")
+	}
+	if s.Run == nil {
+		return fmt.Errorf("runner: job %q has no Run function", s.Key)
+	}
+	if _, dup := g.specs[s.Key]; dup {
+		return fmt.Errorf("runner: duplicate job key %q", s.Key)
+	}
+	g.specs[s.Key] = &s
+	g.order = append(g.order, s.Key)
+	return nil
+}
+
+// MustAdd is Add for statically-shaped graphs, where a failure is a
+// programming error.
+func (g *Graph) MustAdd(s Spec) {
+	if err := g.Add(s); err != nil {
+		panic(err)
+	}
+}
+
+// Len reports the number of jobs.
+func (g *Graph) Len() int { return len(g.order) }
+
+// validate checks that every dependency exists and that the graph is
+// acyclic.
+func (g *Graph) validate() error {
+	for _, key := range g.order {
+		for _, d := range g.specs[key].Needs {
+			if _, ok := g.specs[d]; !ok {
+				return fmt.Errorf("runner: job %q needs unknown job %q", key, d)
+			}
+		}
+	}
+	const (
+		white = iota // unvisited
+		gray         // on the current DFS path
+		black        // fully explored
+	)
+	color := make(map[string]int, len(g.order))
+	var visit func(k string) error
+	visit = func(k string) error {
+		switch color[k] {
+		case gray:
+			return fmt.Errorf("runner: dependency cycle through %q", k)
+		case black:
+			return nil
+		}
+		color[k] = gray
+		for _, d := range g.specs[k].Needs {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		color[k] = black
+		return nil
+	}
+	for _, k := range g.order {
+		if err := visit(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package runner
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics aggregates the runner's structured event stream into
+// counters: jobs run/failed/retried, wall time split by job kind,
+// compile- and run-cache hit/miss counts, peak in-flight jobs, and a
+// per-job timing record for the JSON artifact. All methods are safe
+// for concurrent use.
+type Metrics struct {
+	mu           sync.Mutex
+	jobsRun      int64
+	jobsFailed   int64
+	retries      int64
+	cacheHits    int64 // compile cache
+	cacheMisses  int64 // actual compiles
+	runHits      int64 // simulation-result cache
+	runMisses    int64 // actual simulations
+	inFlight     int
+	peakInFlight int
+	kinds        map[Kind]*kindCounter
+	jobs         []JobRecord
+}
+
+type kindCounter struct {
+	jobs int64
+	wall time.Duration
+}
+
+// NewMetrics creates an empty counter set.
+func NewMetrics() *Metrics {
+	return &Metrics{kinds: map[Kind]*kindCounter{}}
+}
+
+func (m *Metrics) jobStart() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inFlight++
+	if m.inFlight > m.peakInFlight {
+		m.peakInFlight = m.inFlight
+	}
+	return m.inFlight
+}
+
+func (m *Metrics) retry() {
+	m.mu.Lock()
+	m.retries++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) jobDone(s *Spec, elapsed time.Duration, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inFlight--
+	m.jobsRun++
+	if err != nil {
+		m.jobsFailed++
+	}
+	kc := m.kinds[s.Kind]
+	if kc == nil {
+		kc = &kindCounter{}
+		m.kinds[s.Kind] = kc
+	}
+	kc.jobs++
+	kc.wall += elapsed
+	m.jobs = append(m.jobs, JobRecord{
+		Key:    s.Key,
+		Kind:   string(s.Kind),
+		WallMS: float64(elapsed) / float64(time.Millisecond),
+		OK:     err == nil,
+	})
+}
+
+// CacheHit counts a compile served from cache (or shared in flight).
+func (m *Metrics) CacheHit() {
+	m.mu.Lock()
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+// CacheMiss counts an actual compile execution.
+func (m *Metrics) CacheMiss() {
+	m.mu.Lock()
+	m.cacheMisses++
+	m.mu.Unlock()
+}
+
+// RunHit counts a simulation result served from cache.
+func (m *Metrics) RunHit() {
+	m.mu.Lock()
+	m.runHits++
+	m.mu.Unlock()
+}
+
+// RunMiss counts an actual simulation execution.
+func (m *Metrics) RunMiss() {
+	m.mu.Lock()
+	m.runMisses++
+	m.mu.Unlock()
+}
+
+// CacheMisses reports how many compiles actually executed.
+func (m *Metrics) CacheMisses() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheMisses
+}
+
+// JobRecord is the per-job timing entry of the JSON artifact.
+type JobRecord struct {
+	Key    string  `json:"key"`
+	Kind   string  `json:"kind"`
+	WallMS float64 `json:"wall_ms"`
+	OK     bool    `json:"ok"`
+}
+
+// KindSnapshot aggregates one job kind.
+type KindSnapshot struct {
+	Jobs   int64   `json:"jobs"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// Snapshot is the JSON-marshalable view of the counters.
+type Snapshot struct {
+	JobsRun      int64                   `json:"jobs_run"`
+	JobsFailed   int64                   `json:"jobs_failed"`
+	Retries      int64                   `json:"retries"`
+	CacheHits    int64                   `json:"compile_cache_hits"`
+	CacheMisses  int64                   `json:"compile_cache_misses"`
+	RunHits      int64                   `json:"run_cache_hits"`
+	RunMisses    int64                   `json:"run_cache_misses"`
+	PeakInFlight int                     `json:"peak_in_flight"`
+	Kinds        map[string]KindSnapshot `json:"kinds"`
+	Jobs         []JobRecord             `json:"jobs,omitempty"`
+}
+
+// Snapshot copies the counters. Job records are sorted by key so the
+// artifact diffs cleanly across runs regardless of completion order.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		JobsRun:      m.jobsRun,
+		JobsFailed:   m.jobsFailed,
+		Retries:      m.retries,
+		CacheHits:    m.cacheHits,
+		CacheMisses:  m.cacheMisses,
+		RunHits:      m.runHits,
+		RunMisses:    m.runMisses,
+		PeakInFlight: m.peakInFlight,
+		Kinds:        make(map[string]KindSnapshot, len(m.kinds)),
+		Jobs:         append([]JobRecord(nil), m.jobs...),
+	}
+	for k, kc := range m.kinds {
+		s.Kinds[string(k)] = KindSnapshot{
+			Jobs:   kc.jobs,
+			WallMS: float64(kc.wall) / float64(time.Millisecond),
+		}
+	}
+	sort.Slice(s.Jobs, func(i, j int) bool {
+		if s.Jobs[i].Key != s.Jobs[j].Key {
+			return s.Jobs[i].Key < s.Jobs[j].Key
+		}
+		return s.Jobs[i].Kind < s.Jobs[j].Kind
+	})
+	return s
+}

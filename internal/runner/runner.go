@@ -1,0 +1,253 @@
+// Package runner is the experiment-execution subsystem: it turns
+// figure/table regeneration into a scheduled, observable, cacheable
+// job graph. Jobs are declared as Specs with explicit dependencies
+// (compile → fan-out simulate → reduce), validated into a DAG, and
+// executed by a bounded worker pool with per-job retry on transient
+// errors and context cancellation on the first hard failure. A
+// singleflight group (Flight) deduplicates concurrent identical work,
+// and Metrics collects the structured event stream (job start/finish,
+// wall time split by kind, cache hit/miss counters, peak in-flight)
+// both for a human progress log and for the JSON artifact.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runner executes job graphs on a bounded worker pool. The bound is
+// global: concurrent Execute calls on the same Runner share one
+// semaphore, so total in-flight jobs never exceed Workers().
+//
+// A job's Run function must not call Execute on the same Runner; jobs
+// only ever wait on the scheduler, never on other jobs directly, which
+// is what makes the semaphore deadlock-free.
+type Runner struct {
+	workers int
+	sem     chan struct{}
+	metrics *Metrics
+	onEvent func(Event)
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// WithWorkers bounds in-flight jobs. Values below 1 keep the default
+// (runtime.GOMAXPROCS(0)).
+func WithWorkers(n int) Option {
+	return func(r *Runner) {
+		if n > 0 {
+			r.workers = n
+		}
+	}
+}
+
+// WithMetrics shares an external Metrics instance, so callers can fold
+// their own cache counters into the same snapshot.
+func WithMetrics(m *Metrics) Option {
+	return func(r *Runner) {
+		if m != nil {
+			r.metrics = m
+		}
+	}
+}
+
+// WithObserver installs an event callback (see LogObserver). The
+// callback may be invoked from multiple worker goroutines.
+func WithObserver(fn func(Event)) Option {
+	return func(r *Runner) { r.onEvent = fn }
+}
+
+// New creates a Runner. The default worker bound is GOMAXPROCS.
+func New(opts ...Option) *Runner {
+	r := &Runner{workers: runtime.GOMAXPROCS(0), metrics: NewMetrics()}
+	for _, o := range opts {
+		o(r)
+	}
+	r.sem = make(chan struct{}, r.workers)
+	return r
+}
+
+// Workers reports the concurrency bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// Metrics returns the runner's counters.
+func (r *Runner) Metrics() *Metrics { return r.metrics }
+
+// Execute runs every job of the graph, honouring dependencies, and
+// returns the job results keyed by Spec.Key. On the first hard (non,
+// or no longer, transient) job failure the remaining jobs are
+// cancelled and the failure is returned.
+func (r *Runner) Execute(ctx context.Context, g *Graph) (map[string]any, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	total := len(g.order)
+	if total == 0 {
+		return map[string]any{}, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu         sync.Mutex
+		res        = make(map[string]any, total)
+		pending    = make(map[string]int, total)
+		dependents = make(map[string][]string, total)
+		done       int
+		errOnce    sync.Once
+		execErr    error
+	)
+	// Buffered to the graph size so completions never block on it.
+	ready := make(chan *Spec, total)
+	for _, key := range g.order {
+		s := g.specs[key]
+		if len(s.Needs) == 0 {
+			ready <- s
+			continue
+		}
+		pending[key] = len(s.Needs)
+		for _, d := range s.Needs {
+			dependents[d] = append(dependents[d], key)
+		}
+	}
+	fail := func(err error) {
+		errOnce.Do(func() { execErr = err; cancel() })
+	}
+	complete := func(s *Spec, v any) {
+		mu.Lock()
+		defer mu.Unlock()
+		res[s.Key] = v
+		done++
+		for _, dk := range dependents[s.Key] {
+			pending[dk]--
+			if pending[dk] == 0 {
+				delete(pending, dk)
+				ready <- g.specs[dk]
+			}
+		}
+		if done == total {
+			close(ready)
+		}
+	}
+	depsOf := func(s *Spec) map[string]any {
+		if len(s.Needs) == 0 {
+			return nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		deps := make(map[string]any, len(s.Needs))
+		for _, d := range s.Needs {
+			deps[d] = res[d]
+		}
+		return deps
+	}
+
+	workers := r.workers
+	if workers > total {
+		workers = total
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case s, ok := <-ready:
+					if !ok {
+						return
+					}
+					select {
+					case <-ctx.Done():
+						return
+					case r.sem <- struct{}{}:
+					}
+					if ctx.Err() != nil {
+						<-r.sem
+						return
+					}
+					v, err := r.runJob(ctx, s, depsOf(s))
+					<-r.sem
+					if err != nil {
+						fail(fmt.Errorf("%s %s: %w", s.Kind, s.Key, err))
+						return
+					}
+					complete(s, v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if execErr != nil {
+		return nil, execErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runJob runs one job with retry-on-transient, recording metrics and
+// emitting events.
+func (r *Runner) runJob(ctx context.Context, s *Spec, deps map[string]any) (any, error) {
+	inFlight := r.metrics.jobStart()
+	r.emit(Event{Type: EventStart, Key: s.Key, Kind: s.Kind, InFlight: inFlight})
+	start := time.Now()
+	var v any
+	var err error
+	for attempt := 0; ; attempt++ {
+		v, err = s.Run(ctx, deps)
+		if err == nil || ctx.Err() != nil || !IsTransient(err) || attempt >= s.Retries {
+			break
+		}
+		r.metrics.retry()
+		r.emit(Event{Type: EventRetry, Key: s.Key, Kind: s.Kind,
+			Attempt: attempt + 1, Err: err.Error()})
+	}
+	elapsed := time.Since(start)
+	r.metrics.jobDone(s, elapsed, err)
+	if err != nil {
+		r.emit(Event{Type: EventFail, Key: s.Key, Kind: s.Kind, Elapsed: elapsed, Err: err.Error()})
+		return nil, err
+	}
+	r.emit(Event{Type: EventDone, Key: s.Key, Kind: s.Kind, Elapsed: elapsed})
+	return v, nil
+}
+
+func (r *Runner) emit(e Event) {
+	if r.onEvent == nil {
+		return
+	}
+	e.Time = time.Now()
+	r.onEvent(e)
+}
+
+// transientError marks an error as safe to retry.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// Transient wraps err so the runner retries the job (up to
+// Spec.Retries times). Deterministic failures — a miscompiled
+// benchmark, a failed output check — must not be wrapped.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// with Transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
