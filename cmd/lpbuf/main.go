@@ -22,6 +22,7 @@
 //	lpbuf -all -par 8         # same, 8 workers
 //	lpbuf -all -json out.json # also write the versioned JSON artifact
 //	lpbuf -all -progress      # per-job progress log on stderr
+//	lpbuf -verify -fig all    # everything, with phase checkpoints enabled
 package main
 
 import (
@@ -33,6 +34,7 @@ import (
 	"lpbuf/internal/bench/suite"
 	"lpbuf/internal/experiments"
 	"lpbuf/internal/runner"
+	"lpbuf/internal/verify"
 )
 
 // knownFigures are the accepted -fig values.
@@ -48,6 +50,7 @@ func main() {
 	widths := flag.String("widths", "", "issue-width sensitivity sweep for one benchmark")
 	encoding := flag.Bool("encoding", false, "predication encoding cost table")
 	all := flag.Bool("all", false, "regenerate everything")
+	doVerify := flag.Bool("verify", false, "run internal/verify phase checkpoints on every compile")
 	list := flag.Bool("list", false, "list benchmarks and experiments")
 	par := flag.Int("par", 0, "experiment worker parallelism (default GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write a JSON artifact of the computed results to this file")
@@ -65,11 +68,14 @@ func main() {
 	}
 	switch *fig {
 	case "", "3", "5", "7", "8a", "8b":
+	case "all":
+		// `-fig all` is an alias for -all.
+		*fig, *all = "", true
 	default:
-		fail(fmt.Errorf("unknown figure %q (known: %s)", *fig, strings.Join(knownFigures, ", ")))
+		fail(fmt.Errorf("unknown figure %q (known: %s, all)", *fig, strings.Join(knownFigures, ", ")))
 	}
 
-	opts := experiments.Options{Workers: *par}
+	opts := experiments.Options{Workers: *par, Verify: *doVerify}
 	if *progress {
 		opts.OnEvent = runner.LogObserver(os.Stderr)
 	}
@@ -192,6 +198,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *doVerify || verify.Forced() {
+		st := verify.Snapshot()
+		fmt.Fprintf(os.Stderr, "lpbuf: verify: %d checkpoints, %d invariant violations\n",
+			st.Checkpoints, st.Violations)
+	}
 	if *jsonOut != "" {
 		snap := s.Metrics()
 		art.Runner = &snap
@@ -224,5 +235,6 @@ func printList() {
 	fmt.Println("  -dump NAME      scheduled-code disassembly (aggressive config)")
 	fmt.Println("  -all            every figure and table (EXPERIMENTS.md content)")
 	fmt.Println()
-	fmt.Println("execution: -par N workers, -json FILE artifact, -progress job log")
+	fmt.Println("execution: -par N workers, -json FILE artifact, -progress job log,")
+	fmt.Println("           -verify phase checkpoints (also: build -tags verify)")
 }

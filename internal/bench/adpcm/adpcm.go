@@ -166,8 +166,8 @@ func buildEnc(in []int16) (*ir.Program, int64) {
 	pb := irbuild.NewProgram(96 << 10)
 	idxOff := pb.GlobalW("indexTable", 16, indexTable[:])
 	stepOff := pb.GlobalW("stepTable", 89, stepTable[:])
-	inOff := pb.P.AddGlobal("in", int64(2*len(in)), bench.H2B(in))
-	outOff := pb.P.AddGlobal("out", int64(len(in)), nil)
+	inOff := pb.Global("in", int64(2*len(in)), bench.H2B(in))
+	outOff := pb.Global("out", int64(len(in)), nil)
 
 	f := pb.Func("main", 0, false)
 	f.Block("pre")
@@ -267,8 +267,8 @@ func buildDec(in []byte) (*ir.Program, int64) {
 	pb := irbuild.NewProgram(96 << 10)
 	idxOff := pb.GlobalW("indexTable", 16, indexTable[:])
 	stepOff := pb.GlobalW("stepTable", 89, stepTable[:])
-	inOff := pb.P.AddGlobal("in", int64(len(in)), in)
-	outOff := pb.P.AddGlobal("out", int64(2*len(in)), nil)
+	inOff := pb.Global("in", int64(len(in)), in)
+	outOff := pb.Global("out", int64(2*len(in)), nil)
 
 	f := pb.Func("main", 0, false)
 	f.Block("pre")

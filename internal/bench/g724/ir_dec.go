@@ -39,7 +39,7 @@ func buildDec(params []Params) (*ir.Program, int64) {
 	sworkOff := pb.GlobalW("swork", SubSize+LPCOrder, nil) // synthesis work
 	synHistOff := pb.GlobalW("synHist", LPCOrder, nil)
 	pfOff := pb.GlobalW("pf", SubSize, nil)
-	outOff := pb.P.AddGlobal("out", int64(2*nFrames*FrameSize), nil)
+	outOff := pb.Global("out", int64(2*nFrames*FrameSize), nil)
 	// Post-filter globals.
 	numOff := pb.GlobalW("num", LPCOrder+1, nil)
 	denOff := pb.GlobalW("den", LPCOrder+1, nil)

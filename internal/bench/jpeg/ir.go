@@ -90,7 +90,7 @@ func buildEnc(img []byte) (*ir.Program, int64) {
 	tmpOff := pb.GlobalW("tmp", 64, nil)
 	dctOff := pb.GlobalW("dct", 64, nil)
 	outCap := Blocks * (64*2 + 2)
-	outOff := pb.P.AddGlobal("out", int64(outCap), nil)
+	outOff := pb.Global("out", int64(outCap), nil)
 
 	f := pb.Func("main", 0, false)
 	f.Block("pre")
@@ -258,7 +258,7 @@ func buildDec(stream []byte) (*ir.Program, int64) {
 	dctOff := pb.GlobalW("dct", 64, nil)
 	tmpOff := pb.GlobalW("tmp", 64, nil)
 	pixOff := pb.GlobalW("pix", 64, nil)
-	outOff := pb.P.AddGlobal("img", Width*Height, nil)
+	outOff := pb.Global("img", Width*Height, nil)
 
 	f := pb.Func("main", 0, false)
 	f.Block("pre")

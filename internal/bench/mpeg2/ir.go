@@ -91,7 +91,7 @@ func buildEnc(video [][]int32) (*ir.Program, int64) {
 	tmpOff := pb.GlobalW("tmp", 64, nil)
 	dctOff := pb.GlobalW("dct", 64, nil)
 	outCap := Frames * NumBlk * (2 + 64*2 + 2)
-	outOff := pb.P.AddGlobal("out", int64(outCap), nil)
+	outOff := pb.Global("out", int64(outCap), nil)
 
 	f := pb.Func("main", 0, false)
 	f.Block("pre")

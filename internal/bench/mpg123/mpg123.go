@@ -161,7 +161,7 @@ func build(in []int32) (*ir.Program, int64) {
 	vOff := pb.GlobalW("v", NumBands, nil)
 	fifoOff := pb.GlobalW("fifo", FifoLen, nil)
 	pcmOff := pb.GlobalW("pcm", NumBands, nil)
-	outOff := pb.P.AddGlobal("out", int64(2*Granules*NumBands), nil)
+	outOff := pb.Global("out", int64(2*Granules*NumBands), nil)
 
 	f := pb.Func("main", 0, false)
 	f.Block("pre")

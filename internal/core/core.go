@@ -22,6 +22,7 @@ import (
 	"lpbuf/internal/predicate"
 	"lpbuf/internal/profile"
 	"lpbuf/internal/sched"
+	"lpbuf/internal/verify"
 	"lpbuf/internal/vliw"
 )
 
@@ -46,6 +47,10 @@ type Config struct {
 	DisableUnroll   bool
 	DisableCombine  bool
 	DisablePromote  bool
+	// Verify runs the internal/verify phase checkpoints after every
+	// pipeline phase and fails the compile on any invariant violation.
+	// Building with -tags verify forces it on for all compiles.
+	Verify bool
 	// BufferCapacity is the loop buffer size in operations.
 	BufferCapacity int
 	// Machine overrides the default machine description.
@@ -120,8 +125,27 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 	if cfg.BufferCapacity == 0 {
 		cfg.BufferCapacity = 256
 	}
+	if verify.Forced() {
+		cfg.Verify = true
+	}
 	c := &Compiled{Config: cfg}
 	c.Stats.OrigOps = prog.OpCount()
+
+	// Phase checkpoint: re-derive the invariants the preceding phase
+	// must have preserved (see internal/verify); any violation aborts
+	// the compile instead of surfacing as a wrong figure.
+	ck := func(phase string, p *ir.Program) error {
+		if !cfg.Verify {
+			return nil
+		}
+		if err := verify.AsError(verify.Program(phase, p)); err != nil {
+			return fmt.Errorf("%s: %s: %w", cfg.Name, phase, err)
+		}
+		return nil
+	}
+	if err := ck("input", prog); err != nil {
+		return nil, err
+	}
 
 	// Reference execution + initial profile on the original program.
 	prof0 := profile.New()
@@ -140,8 +164,14 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 
 	if cfg.Inline {
 		c.Stats.Inlined = inline.Apply(p, prof0, inline.Options{})
+		if err := ck("post-inline", p); err != nil {
+			return nil, err
+		}
 	}
 	opt.Optimize(p)
+	if err := ck("post-opt", p); err != nil {
+		return nil, err
+	}
 
 	// Control transformations interleave: if-converting an inner loop
 	// with internal control flow turns it into a single block, which
@@ -192,6 +222,9 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 			}
 		}
 		opt.Optimize(p)
+		if err := ck("post-transform", p); err != nil {
+			return nil, err
+		}
 	}
 	for _, name := range p.Order {
 		f := p.Funcs[name]
@@ -201,6 +234,9 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 
 	if err := p.Verify(); err != nil {
 		return nil, fmt.Errorf("%s: transformed program invalid: %w", cfg.Name, err)
+	}
+	if err := ck("post-cloop", p); err != nil {
+		return nil, err
 	}
 
 	// Re-profile the transformed program and check it still computes
@@ -230,6 +266,11 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 	}
 	c.Code = code
+	if cfg.Verify {
+		if err := verify.AsError(verify.Code("post-sched", code)); err != nil {
+			return nil, fmt.Errorf("%s: post-sched: %w", cfg.Name, err)
+		}
+	}
 	for _, fc := range code.Funcs {
 		for _, sec := range fc.Sections {
 			if sec.Kind == sched.KindKernel {
@@ -239,6 +280,11 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 	}
 
 	c.Plan = loopbuffer.Plan(code, prof1, cfg.BufferCapacity)
+	if cfg.Verify {
+		if err := verify.AsError(verify.Plan("post-bufplan", code, c.Plan)); err != nil {
+			return nil, fmt.Errorf("%s: post-bufplan: %w", cfg.Name, err)
+		}
+	}
 	return c, nil
 }
 
@@ -253,6 +299,13 @@ func (c *Compiled) RunWithBuffer(capacity int) (*vliw.Result, error) {
 }
 
 func (c *Compiled) runPlan(plan *vliw.BufferPlan) (*vliw.Result, error) {
+	if c.Config.Verify && plan != c.Plan {
+		// Re-planned buffers (RunWithBuffer sweeps) are checkpointed
+		// too; the compile-time plan was already verified.
+		if err := verify.AsError(verify.Plan("bufplan", c.Code, plan)); err != nil {
+			return nil, fmt.Errorf("%s: %w", c.Config.Name, err)
+		}
+	}
 	res, err := vliw.Run(c.Code, plan, vliw.Options{EntryArgs: c.Config.EntryArgs})
 	if err != nil {
 		return nil, fmt.Errorf("%s: simulation: %w", c.Config.Name, err)

@@ -34,6 +34,7 @@ func (s *Suite) Ablation(benchName string) ([]AblationRow, error) {
 	for _, v := range AblationVariants {
 		cfg := core.Aggressive(256)
 		cfg.Name = v
+		cfg.Verify = s.verify
 		switch v {
 		case "no-modulo":
 			cfg.Modulo = false

@@ -37,6 +37,7 @@ type Suite struct {
 	run     *runner.Runner
 	metrics *runner.Metrics
 	flight  runner.Flight
+	verify  bool
 
 	mu    sync.Mutex
 	cache map[string]*core.Compiled
@@ -49,6 +50,9 @@ type Options struct {
 	Workers int
 	// OnEvent observes the runner's job event stream (progress log).
 	OnEvent func(runner.Event)
+	// Verify enables the internal/verify phase checkpoints on every
+	// compile the suite performs (lpbuf -verify).
+	Verify bool
 }
 
 // New creates an empty experiment suite with default options.
@@ -70,6 +74,7 @@ func NewWithOptions(o Options) *Suite {
 	return &Suite{
 		run:     runner.New(opts...),
 		metrics: m,
+		verify:  o.Verify,
 		cache:   map[string]*core.Compiled{},
 		runs:    map[string]*Run{},
 	}
@@ -109,6 +114,7 @@ func (s *Suite) compiled(name, cfg string) (*core.Compiled, bench.Benchmark, err
 	default:
 		return nil, b, fmt.Errorf("unknown config %q", cfg)
 	}
+	config.Verify = s.verify
 	key := name + "/" + cfg
 	s.mu.Lock()
 	c := s.cache[key]

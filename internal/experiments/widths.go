@@ -33,6 +33,7 @@ func (s *Suite) WidthSweep(benchName string) ([]WidthRow, error) {
 		cfg := core.Aggressive(256)
 		cfg.Name = m.Name
 		cfg.Machine = m
+		cfg.Verify = s.verify
 		c, err := core.Compile(prog, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", benchName, m.Name, err)

@@ -338,8 +338,9 @@ func (p *Program) AddFunc(f *Func) {
 // AddGlobal reserves sz bytes, 8-byte aligned, and returns the offset.
 // The first 4 KiB of data memory are reserved (a null page): small
 // integer constants then never coincide with global addresses, which
-// keeps the scheduler's pointer-region analysis precise.
-func (p *Program) AddGlobal(name string, sz int64, init []byte) int64 {
+// keeps the scheduler's pointer-region analysis precise. Reserving
+// past MemSize is an error.
+func (p *Program) AddGlobal(name string, sz int64, init []byte) (int64, error) {
 	off := int64(4096)
 	for _, g := range p.Globals {
 		end := g.Offset + g.Size
@@ -349,11 +350,11 @@ func (p *Program) AddGlobal(name string, sz int64, init []byte) int64 {
 	}
 	off = (off + 7) &^ 7
 	if off+sz > p.MemSize {
-		panic(fmt.Sprintf("program memory overflow: global %s needs %d bytes at %d (mem %d)",
-			name, sz, off, p.MemSize))
+		return 0, fmt.Errorf("program memory overflow: global %s needs %d bytes at %d (mem %d)",
+			name, sz, off, p.MemSize)
 	}
 	p.Globals = append(p.Globals, Global{Name: name, Offset: off, Size: sz, Init: init})
-	return off
+	return off, nil
 }
 
 // GlobalOffset returns the offset of a named global.

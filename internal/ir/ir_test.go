@@ -199,8 +199,11 @@ func TestRemoveUnreachable(t *testing.T) {
 
 func TestProgramGlobalsLayout(t *testing.T) {
 	p := NewProgram(16 << 10)
-	o1 := p.AddGlobal("a", 5, nil)
-	o2 := p.AddGlobal("b", 3, nil)
+	o1, err1 := p.AddGlobal("a", 5, nil)
+	o2, err2 := p.AddGlobal("b", 3, nil)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("AddGlobal errors: %v, %v", err1, err2)
+	}
 	if o1 != 4096 {
 		t.Fatalf("first global at %d, want 4096 (null page reserved)", o1)
 	}
@@ -209,6 +212,16 @@ func TestProgramGlobalsLayout(t *testing.T) {
 	}
 	if off, ok := p.GlobalOffset("b"); !ok || off != 4104 {
 		t.Fatalf("GlobalOffset(b) = %d,%v", off, ok)
+	}
+}
+
+func TestAddGlobalOverflowIsError(t *testing.T) {
+	p := NewProgram(4100)
+	if _, err := p.AddGlobal("big", 64, nil); err == nil {
+		t.Fatal("expected overflow error, got nil")
+	}
+	if len(p.Globals) != 0 {
+		t.Fatal("failed reservation must not be recorded")
 	}
 }
 

@@ -12,6 +12,10 @@ import (
 // Program wraps an ir.Program under construction.
 type Program struct {
 	P *ir.Program
+
+	// err holds the first construction error (e.g. a global that
+	// overflows program memory); Build reports it.
+	err error
 }
 
 // NewProgram creates a program with the given data-memory size.
@@ -19,9 +23,19 @@ func NewProgram(memSize int64) *Program {
 	return &Program{P: ir.NewProgram(memSize)}
 }
 
+// addGlobal records the first failing reservation; later offsets are
+// returned as 0, which Build turns into an error before anything runs.
+func (p *Program) addGlobal(name string, sz int64, init []byte) int64 {
+	off, err := p.P.AddGlobal(name, sz, init)
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	return off
+}
+
 // Global reserves a named memory region and returns its offset.
 func (p *Program) Global(name string, size int64, init []byte) int64 {
-	return p.P.AddGlobal(name, size, init)
+	return p.addGlobal(name, size, init)
 }
 
 // GlobalW reserves a region of n 32-bit words initialized from vals.
@@ -30,7 +44,7 @@ func (p *Program) GlobalW(name string, n int, vals []int32) int64 {
 	for i, v := range vals {
 		le32(buf[4*i:], uint32(v))
 	}
-	return p.P.AddGlobal(name, int64(4*n), buf)
+	return p.addGlobal(name, int64(4*n), buf)
 }
 
 // GlobalH reserves a region of n 16-bit halfwords initialized from vals.
@@ -40,12 +54,12 @@ func (p *Program) GlobalH(name string, n int, vals []int16) int64 {
 		buf[2*i] = byte(v)
 		buf[2*i+1] = byte(uint16(v) >> 8)
 	}
-	return p.P.AddGlobal(name, int64(2*n), buf)
+	return p.addGlobal(name, int64(2*n), buf)
 }
 
 // GlobalB reserves a byte region initialized from vals.
 func (p *Program) GlobalB(name string, n int, vals []byte) int64 {
-	return p.P.AddGlobal(name, int64(n), vals)
+	return p.addGlobal(name, int64(n), vals)
 }
 
 func le32(b []byte, v uint32) {
@@ -72,6 +86,9 @@ func (p *Program) SetEntry(name string) { p.P.Entry = name }
 
 // Build verifies and returns the program.
 func (p *Program) Build() (*ir.Program, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
 	if err := p.P.Verify(); err != nil {
 		return nil, err
 	}

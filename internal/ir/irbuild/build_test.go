@@ -113,3 +113,18 @@ func TestLabelIdentity(t *testing.T) {
 		}
 	}
 }
+
+func TestBuildReportsGlobalOverflow(t *testing.T) {
+	pb := NewProgram(4100) // null page leaves 4 bytes of room
+	off := pb.Global("big", 64, nil)
+	if off != 0 {
+		t.Fatalf("failed reservation returned offset %d, want 0", off)
+	}
+	f := pb.Func("main", 0, true)
+	f.Block("e")
+	f.Ret(f.Const(0))
+	pb.SetEntry("main")
+	if _, err := pb.Build(); err == nil {
+		t.Fatal("Build must surface the global-overflow error")
+	}
+}

@@ -142,7 +142,7 @@ func Liveness(f *ir.Func) *Live {
 					changed = true
 				}
 			}
-			in, pin := BlockLiveIn(b, out, pout)
+			in, pin := lv.BlockLiveIn(b, out, pout)
 			if lv.In[b.ID].Union(in) {
 				changed = true
 			}
@@ -156,14 +156,34 @@ func Liveness(f *ir.Func) *Live {
 
 // BlockLiveIn computes a block's live-in sets from its live-out sets by
 // a backward scan.
-func BlockLiveIn(b *ir.Block, out RegSet, pout PredSet) (RegSet, PredSet) {
+func (lv *Live) BlockLiveIn(b *ir.Block, out RegSet, pout PredSet) (RegSet, PredSet) {
 	in := out.Clone()
 	pin := pout.Clone()
 	for i := len(b.Ops) - 1; i >= 0; i-- {
 		op := b.Ops[i]
+		lv.FlowBranch(op, in, pin)
 		stepLive(op, in, pin)
 	}
 	return in, pin
+}
+
+// FlowBranch folds a branch target's live-in into the sets before
+// stepping backward over the branch. A mid-block branch is an exit
+// point: registers live on the taken path must not be killed by
+// definitions that only happen on the fallthrough continuation below
+// the branch. (The target's live-in is the state after the branch's
+// own writes, e.g. the br.cloop counter decrement, so it is unioned
+// before stepLive applies the kill.)
+func (lv *Live) FlowBranch(op *ir.Op, live RegSet, plive PredSet) {
+	if !op.IsBranch() {
+		return
+	}
+	if in, ok := lv.In[op.Target]; ok {
+		live.Union(in)
+	}
+	if pin, ok := lv.PIn[op.Target]; ok {
+		plive.Union(pin)
+	}
 }
 
 // stepLive updates live sets backward across one op.
@@ -206,6 +226,7 @@ func MaxLive(f *ir.Func) int {
 			max = n
 		}
 		for i := len(b.Ops) - 1; i >= 0; i-- {
+			lv.FlowBranch(b.Ops[i], cur, pcur)
 			stepLive(b.Ops[i], cur, pcur)
 			if n := cur.Count(); n > max {
 				max = n

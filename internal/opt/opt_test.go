@@ -463,3 +463,59 @@ func TestPredSetQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDeadCodeKeepsDefLiveAtMidBlockBranch: a def read only on the
+// taken path of a mid-block branch must survive DCE even when the
+// fallthrough continuation redefines the register below the branch
+// (regression: the backward scan killed it; found by the differential
+// oracle in internal/verify/oracle).
+func TestDeadCodeKeepsDefLiveAtMidBlockBranch(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("e")
+	a := f.Const(7)
+	x := f.Reg()
+	f.AddI(x, a, 1)               // x = 8: live only on the taken path
+	f.BrI(ir.CmpGT, a, 5, "then") // taken
+	f.MovI(x, 100)                // fallthrough redefines x
+	f.Jump("join")
+	f.Block("then")
+	f.AddI(x, x, 1) // reads the first def
+	f.Block("join")
+	f.Ret(x)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	checkPreserves(t, p)
+
+	opt := p.Clone()
+	DeadCode(opt.Funcs["main"])
+	if ret, _ := run(t, opt); ret != 9 {
+		t.Fatalf("ret after DeadCode = %d, want 9", ret)
+	}
+}
+
+// TestCSESelfInvalidatingExpression: r1 = r1 << 1 must not make
+// "r1 << 1" available — the sources now name the new value
+// (regression: a following r2 = r1 << 1 was rewritten to a copy of
+// the stale result; found by the differential oracle).
+func TestCSESelfInvalidatingExpression(t *testing.T) {
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("e")
+	x := f.Const(3)
+	f.ShlI(x, x, 1) // x = 6
+	y := f.Reg()
+	f.ShlI(y, x, 1) // y = 12, NOT a repeat of the first shl
+	r := f.Reg()
+	f.Add(r, x, y) // 18
+	f.Ret(r)
+	pb.SetEntry("main")
+	p := pb.MustBuild()
+	checkPreserves(t, p)
+
+	opt := p.Clone()
+	LocalCSE(opt.Funcs["main"])
+	if ret, _ := run(t, opt); ret != 18 {
+		t.Fatalf("ret after LocalCSE = %d, want 18", ret)
+	}
+}

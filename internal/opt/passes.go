@@ -252,7 +252,10 @@ func LocalCSE(f *ir.Func) bool {
 					delete(avail, kk)
 				}
 			}
-			if op.Opcode != ir.OpMov {
+			// An op whose dest is also a source (r1 = r1 << 1)
+			// invalidates its own expression: the recorded sources now
+			// name the new value, not the one that was computed.
+			if op.Opcode != ir.OpMov && k.s0 != d && k.s1 != d {
 				avail[k] = d
 			}
 		}
@@ -302,6 +305,7 @@ func DeadCode(f *ir.Func) bool {
 				changed = true
 				continue
 			}
+			lv.FlowBranch(op, live, plive)
 			stepLive(op, live, plive)
 			kept = append(kept, op)
 		}

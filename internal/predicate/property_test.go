@@ -1,0 +1,126 @@
+package predicate_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lpbuf/internal/hyperblock"
+	"lpbuf/internal/interp"
+	"lpbuf/internal/ir"
+	"lpbuf/internal/predicate"
+	"lpbuf/internal/verify"
+	"lpbuf/internal/verify/gen"
+)
+
+// property tests for promotion and speculation, in an external test
+// package so they can drive the internal/verify invariant checker
+// (verify imports predicate, so these cannot live in-package).
+
+// convertedRandom builds a generated program and if-converts its loops
+// so the passes under test have guarded code to chew on.
+func convertedRandom(seed int64) *ir.Program {
+	p := gen.Program(seed)
+	for _, name := range p.Order {
+		hyperblock.ConvertLoops(p.Funcs[name], hyperblock.Options{})
+	}
+	return p
+}
+
+func interpRef(t *testing.T, p *ir.Program) *interp.Result {
+	t.Helper()
+	r, err := interp.Run(p.Clone(), interp.Options{MaxOps: 1 << 22})
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return r
+}
+
+// TestPromoteProperties: over a corpus of random predicated programs,
+// promotion (a) only ever removes guards — it never introduces a use
+// of a predicate that was not already guarding that op, (b) keeps
+// every IR invariant intact (in particular no undefined-predicate
+// uses), and (c) preserves observable behaviour.
+func TestPromoteProperties(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p := convertedRandom(seed)
+		ref := interpRef(t, p)
+
+		guardedBefore := map[string]map[int]ir.PredReg{}
+		for name, f := range p.Funcs {
+			m := map[int]ir.PredReg{}
+			for _, b := range f.Blocks {
+				for _, op := range b.Ops {
+					if op.Guard != 0 {
+						m[op.ID] = op.Guard
+					}
+				}
+			}
+			guardedBefore[name] = m
+		}
+
+		for _, name := range p.Order {
+			predicate.Promote(p.Funcs[name])
+		}
+
+		for name, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				for _, op := range b.Ops {
+					if op.Guard == 0 {
+						continue
+					}
+					if was, ok := guardedBefore[name][op.ID]; !ok || was != op.Guard {
+						t.Fatalf("seed %d: %s op %d: promotion introduced guard p%d",
+							seed, name, op.ID, op.Guard)
+					}
+				}
+			}
+		}
+		if vs := verify.Program("post-promote", p); len(vs) > 0 {
+			t.Fatalf("seed %d: %v", seed, verify.AsError(vs))
+		}
+		got := interpRef(t, p)
+		if got.Ret != ref.Ret || !bytes.Equal(got.Mem, ref.Mem) {
+			t.Fatalf("seed %d: promotion changed behaviour (ret %d vs %d)",
+				seed, got.Ret, ref.Ret)
+		}
+	}
+}
+
+// TestSpeculateProperties: over the same corpus, load speculation
+// (a) marks only loads — never stores or any other potentially
+// faulting op, (b) keeps the IR invariants, and (c) preserves
+// behaviour. (The "never hoisted above its guard" half of the
+// contract is the scheduler's; the dest-dead-on-exit precondition it
+// relies on is checked directly in TestSpeculateLoadsRespectsLiveness.)
+func TestSpeculateProperties(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p := convertedRandom(seed)
+		ref := interpRef(t, p)
+		for _, name := range p.Order {
+			f := p.Funcs[name]
+			predicate.Promote(f)
+			predicate.SpeculateLoads(f)
+		}
+		for name, f := range p.Funcs {
+			for _, b := range f.Blocks {
+				for _, op := range b.Ops {
+					if op.Speculative && !op.IsLoad() {
+						t.Fatalf("seed %d: %s op %d: non-load %v marked speculative",
+							seed, name, op.ID, op.Opcode)
+					}
+					if op.IsStore() && op.Speculative {
+						t.Fatalf("seed %d: %s op %d: speculative store", seed, name, op.ID)
+					}
+				}
+			}
+		}
+		if vs := verify.Program("post-speculate", p); len(vs) > 0 {
+			t.Fatalf("seed %d: %v", seed, verify.AsError(vs))
+		}
+		got := interpRef(t, p)
+		if got.Ret != ref.Ret || !bytes.Equal(got.Mem, ref.Mem) {
+			t.Fatalf("seed %d: speculation changed behaviour (ret %d vs %d)",
+				seed, got.Ret, ref.Ret)
+		}
+	}
+}

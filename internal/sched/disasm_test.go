@@ -1,0 +1,109 @@
+package sched_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+	"lpbuf/internal/machine"
+	"lpbuf/internal/sched"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// disasmProgram builds a fixed program whose schedule exercises every
+// disassembly shape: straight-line code, a modulo-scheduled kernel
+// with prologue and epilogue, predicated ops, and a call.
+func disasmProgram(t *testing.T) *ir.Program {
+	t.Helper()
+	pb := irbuild.NewProgram(16 << 10)
+	vals := make([]int32, 12)
+	for i := range vals {
+		vals[i] = int32(i*7 + 1)
+	}
+	inOff := pb.GlobalW("in", 12, vals)
+	outOff := pb.GlobalW("out", 12, nil)
+
+	h := pb.Func("scale", 1, true)
+	h.Block("e")
+	r := h.Reg()
+	h.MulI(r, h.Param(0), 3)
+	h.Ret(r)
+
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	cnt := f.Reg()
+	pin := f.Const(inOff)
+	pout := f.Const(outOff)
+	f.MovI(cnt, 12)
+	// Load -> mul -> add -> store: a long dependence chain with only
+	// the pointer increments loop-carried, so the kernel needs several
+	// stages (prologue and epilogue sections in the disassembly).
+	f.Block("loop")
+	x := f.Reg()
+	y := f.Reg()
+	f.LdW(x, pin, 0)
+	f.MulI(y, x, 5)
+	f.AddI(y, y, 7)
+	f.StW(pout, 0, y)
+	f.AddI(pin, pin, 4)
+	f.AddI(pout, pout, 4)
+	f.CLoop(cnt, "loop")
+	f.Block("post")
+	acc := f.Reg()
+	f.LdW(acc, pout, -4)
+	p := f.F.NewPred()
+	f.CmpPI(p, ir.PTUT, 0, ir.PTNone, ir.CmpGT, acc, 100)
+	f.SubI(acc, acc, 100).Guard = p
+	d := f.Reg()
+	f.Call(d, "scale", acc)
+	f.Ret(d)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+// TestDisasmGolden pins the disassembly format. Regenerate with:
+//
+//	go test ./internal/sched -run TestDisasmGolden -update
+func TestDisasmGolden(t *testing.T) {
+	code, err := sched.Schedule(disasmProgram(t), machine.Default(),
+		sched.Options{EnableModulo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, name := range []string{"main", "scale"} {
+		sb.WriteString(code.Funcs[name].Disasm())
+		sb.WriteString("\n")
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "disasm.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("disassembly drifted from %s (re-run with -update if intended)\n--- got ---\n%s",
+			golden, got)
+	}
+	// The fixed program must actually exercise the section markers the
+	// golden file is meant to pin.
+	for _, marker := range []string{"prologue", "kernel", "epilogue"} {
+		if !strings.Contains(got, marker) {
+			t.Errorf("disassembly lacks a %s section; golden no longer covers modulo output", marker)
+		}
+	}
+}

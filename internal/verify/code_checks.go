@@ -1,0 +1,360 @@
+package verify
+
+import (
+	"sort"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/machine"
+	"lpbuf/internal/predicate"
+	"lpbuf/internal/sched"
+)
+
+// Code checks machine-resource legality and EQ-model timing of a
+// scheduled program: slot ranges and unit assignment, branch-target
+// resolution, per-section op multiplicity (including the software
+// pipeline's prologue/kernel/epilogue accounting), dependence timing of
+// straight sections against a freshly rebuilt DAG, and slot-predication
+// sensitivity-bit consistency.
+func Code(phase string, code *sched.Code) []Violation {
+	c := &checker{phase: phase}
+	names := make([]string, 0, len(code.Funcs))
+	for n := range code.Funcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		checkFuncCode(c, code, code.Funcs[n])
+	}
+	return note(c.vs)
+}
+
+func checkFuncCode(c *checker, code *sched.Code, fc *sched.FuncCode) {
+	name := fc.F.Name
+	mach := code.Mach
+
+	// Machine-resource legality, bundle by bundle: every op in a slot
+	// that exists, provides its unit class, and is not double-booked;
+	// issue width bounded by construction; at most one branch-unit op
+	// per cycle (the machine descriptions have a single branch slot).
+	for bi, b := range fc.Bundles {
+		seen := map[int]bool{}
+		branchUnits := 0
+		for _, so := range b.Ops {
+			if so.Op == nil {
+				c.add(name, 0, 0, "resource", "bundle %d: scheduled slot with no op", bi)
+				continue
+			}
+			if so.Slot < 0 || so.Slot >= mach.Width() {
+				c.add(name, 0, so.Op.ID, "resource",
+					"bundle %d: slot %d outside issue width %d", bi, so.Slot, mach.Width())
+				continue
+			}
+			if seen[so.Slot] {
+				c.add(name, 0, so.Op.ID, "resource",
+					"bundle %d: slot %d double-booked", bi, so.Slot)
+			}
+			seen[so.Slot] = true
+			cls := ir.UnitFor(so.Op)
+			if !mach.Slots[so.Slot].Has(cls) {
+				c.add(name, 0, so.Op.ID, "resource",
+					"bundle %d: %s needs unit %s, slot %d lacks it", bi, so.Op.Opcode, cls, so.Slot)
+			}
+			if cls == machine.UnitBranch {
+				branchUnits++
+			}
+			if so.Op.IsBranch() && (so.TargetBundle < 0 || so.TargetBundle >= len(fc.Bundles)) {
+				c.add(name, 0, so.Op.ID, "branch-target",
+					"bundle %d: branch target bundle %d outside [0,%d)", bi, so.TargetBundle, len(fc.Bundles))
+			}
+		}
+		if max := mach.CountFor(machine.UnitBranch); branchUnits > max {
+			c.add(name, 0, 0, "resource",
+				"bundle %d: %d branch-unit ops exceed %d branch slot(s)", bi, branchUnits, max)
+		}
+	}
+
+	alias := sched.AnalyzeAlias(code.Prog, fc.F)
+	for si, sec := range fc.Sections {
+		switch sec.Kind {
+		case sched.KindStraight:
+			checkStraightSection(c, code, fc, sec, alias)
+		case sched.KindKernel:
+			var pro, epi *sched.BlockCode
+			if si > 0 && fc.Sections[si-1].Kind == sched.KindPrologue &&
+				fc.Sections[si-1].Block == sec.Block {
+				pro = fc.Sections[si-1]
+			}
+			if si+1 < len(fc.Sections) && fc.Sections[si+1].Kind == sched.KindEpilogue &&
+				fc.Sections[si+1].Block == sec.Block {
+				epi = fc.Sections[si+1]
+			}
+			checkModuloGroup(c, fc, pro, sec, epi)
+		case sched.KindPrologue:
+			if si+1 >= len(fc.Sections) || fc.Sections[si+1].Kind != sched.KindKernel ||
+				fc.Sections[si+1].Block != sec.Block {
+				c.add(name, sec.Block, 0, "pipeline", "prologue not followed by its kernel")
+			}
+		case sched.KindEpilogue:
+			if si == 0 || fc.Sections[si-1].Kind != sched.KindKernel ||
+				fc.Sections[si-1].Block != sec.Block {
+				c.add(name, sec.Block, 0, "pipeline", "epilogue not preceded by its kernel")
+			}
+		}
+		checkSlotPredication(c, mach, fc, sec)
+	}
+}
+
+// checkStraightSection verifies a list-scheduled block: the section
+// holds exactly the block's ops, branch targets resolve to their
+// blocks' start bundles, every same-iteration dependence edge of a
+// freshly rebuilt DAG is honored by the bundle placement, and the
+// section is long enough for every write to land before control falls
+// past it (the EQ model has no interlocks, so the schedule itself must
+// drain).
+func checkStraightSection(c *checker, code *sched.Code, fc *sched.FuncCode,
+	sec *sched.BlockCode, alias *sched.AliasInfo) {
+
+	name := fc.F.Name
+	blk := fc.F.Block(sec.Block)
+	if blk == nil {
+		c.add(name, sec.Block, 0, "section", "section for missing block")
+		return
+	}
+	cyc := map[*ir.Op]int{}
+	count := map[*ir.Op]int{}
+	scheduled := 0
+	for i, b := range sec.Bundles {
+		for _, so := range b.Ops {
+			count[so.Op]++
+			cyc[so.Op] = i
+			scheduled++
+			if so.Op.IsBranch() {
+				if want, ok := fc.Start[so.Op.Target]; !ok || so.TargetBundle != want {
+					c.add(name, sec.Block, so.Op.ID, "branch-target",
+						"branch to B%d resolved to bundle %d, block starts at %d",
+						so.Op.Target, so.TargetBundle, want)
+				}
+			}
+		}
+	}
+	clean := true
+	for _, op := range blk.Ops {
+		if count[op] != 1 {
+			c.add(name, sec.Block, op.ID, "op-multiplicity",
+				"block op scheduled %d times in its section", count[op])
+			clean = false
+		}
+	}
+	if scheduled != len(blk.Ops) {
+		c.add(name, sec.Block, 0, "op-multiplicity",
+			"section holds %d ops, block has %d", scheduled, len(blk.Ops))
+		clean = false
+	}
+	if !clean {
+		return // timing is meaningless without the op set
+	}
+
+	selfLoop := false
+	if last := blk.LastOp(); last != nil && last.IsBranch() && last.Target == blk.ID {
+		selfLoop = true
+	}
+	d := sched.BuildDAG(blk.Ops, code.Mach, alias, selfLoop)
+	for i, edges := range d.Succs {
+		for _, e := range edges {
+			if e.Dist != 0 {
+				continue
+			}
+			if cyc[d.Ops[e.To]] < cyc[d.Ops[i]]+e.Lat {
+				c.add(name, sec.Block, d.Ops[e.To].ID, "timing",
+					"op at cycle %d violates dependence on op %d at cycle %d (lat %d)",
+					cyc[d.Ops[e.To]], d.Ops[i].ID, cyc[d.Ops[i]], e.Lat)
+			}
+		}
+	}
+	for _, op := range blk.Ops {
+		need := cyc[op] + 1
+		if len(op.Dest) > 0 || op.IsPredDefine() {
+			if v := cyc[op] + ir.LatencyOf(op, code.Mach.Latency); v > need {
+				need = v
+			}
+		}
+		if len(sec.Bundles) < need {
+			c.add(name, sec.Block, op.ID, "drain",
+				"write lands at cycle %d, section is %d bundles", need, len(sec.Bundles))
+		}
+	}
+}
+
+// checkModuloGroup verifies the software pipeline's section accounting
+// for one pipelined loop: the kernel holds every body op exactly once
+// plus its loop-back branch in the last bundle targeting the kernel
+// start, and across prologue+epilogue each body op appears exactly
+// Stages-1 times (stage s fills passes s..S-2 of the prologue and the
+// first s passes of the epilogue). Prologue and epilogue contain no
+// branches. Timing inside the kernel is covered by the differential
+// oracle — the modulo schedule's stage assignment is not recoverable
+// from bundles alone (see VERIFY.md).
+func checkModuloGroup(c *checker, fc *sched.FuncCode, pro, ker, epi *sched.BlockCode) {
+	name := fc.F.Name
+	blk := fc.F.Block(ker.Block)
+	if blk == nil {
+		c.add(name, ker.Block, 0, "pipeline", "kernel for missing block")
+		return
+	}
+	last := blk.LastOp()
+	if last == nil || last.Opcode != ir.OpBrCLoop {
+		c.add(name, ker.Block, 0, "pipeline", "pipelined block does not end in br.cloop")
+		return
+	}
+	S, II := ker.Stages, ker.II
+	if S <= 0 || II <= 0 || len(ker.Bundles) != II {
+		c.add(name, ker.Block, 0, "pipeline",
+			"kernel has %d bundles for II=%d stages=%d", len(ker.Bundles), II, S)
+		return
+	}
+	body := blk.Ops[:len(blk.Ops)-1]
+
+	sectionCounts := func(sec *sched.BlockCode) (map[*ir.Op]int, int) {
+		n := 0
+		m := map[*ir.Op]int{}
+		if sec == nil {
+			return m, 0
+		}
+		for _, b := range sec.Bundles {
+			for _, so := range b.Ops {
+				m[so.Op]++
+				n++
+			}
+		}
+		return m, n
+	}
+	kc, kn := sectionCounts(ker)
+	pc, pn := sectionCounts(pro)
+	ec, en := sectionCounts(epi)
+
+	for _, op := range body {
+		if kc[op] != 1 {
+			c.add(name, ker.Block, op.ID, "op-multiplicity",
+				"body op appears %d times in kernel", kc[op])
+		}
+		if got := pc[op] + ec[op]; got != S-1 {
+			c.add(name, ker.Block, op.ID, "op-multiplicity",
+				"body op appears %d times across prologue+epilogue, want stages-1 = %d",
+				got, S-1)
+		}
+	}
+	if kn != len(body)+1 {
+		c.add(name, ker.Block, 0, "op-multiplicity",
+			"kernel holds %d ops, want %d body ops + loop-back", kn, len(body))
+	}
+	if pn+en != (S-1)*len(body) {
+		c.add(name, ker.Block, 0, "op-multiplicity",
+			"prologue+epilogue hold %d ops, want (stages-1)*body = %d", pn+en, (S-1)*len(body))
+	}
+
+	// Loop-back branch: exactly once, in the kernel's last bundle,
+	// targeting the kernel start.
+	found := false
+	for bi, b := range ker.Bundles {
+		for _, so := range b.Ops {
+			if so.Op != last {
+				continue
+			}
+			found = true
+			if bi != II-1 {
+				c.add(name, ker.Block, last.ID, "pipeline",
+					"loop-back in kernel bundle %d, want %d", bi, II-1)
+			}
+			if so.TargetBundle != ker.Start {
+				c.add(name, ker.Block, last.ID, "branch-target",
+					"kernel loop-back targets bundle %d, kernel starts at %d",
+					so.TargetBundle, ker.Start)
+			}
+		}
+	}
+	if !found {
+		c.add(name, ker.Block, last.ID, "pipeline", "kernel missing its loop-back branch")
+	}
+
+	if S > 1 {
+		if pro == nil {
+			c.add(name, ker.Block, 0, "pipeline", "stages=%d kernel has no prologue", S)
+		} else if len(pro.Bundles) != (S-1)*II {
+			c.add(name, ker.Block, 0, "pipeline",
+				"prologue has %d bundles, want (stages-1)*II = %d", len(pro.Bundles), (S-1)*II)
+		}
+		if epi == nil {
+			c.add(name, ker.Block, 0, "pipeline", "stages=%d kernel has no epilogue", S)
+		} else if len(epi.Bundles) < (S-1)*II {
+			c.add(name, ker.Block, 0, "pipeline",
+				"epilogue has %d bundles, want at least (stages-1)*II = %d",
+				len(epi.Bundles), (S-1)*II)
+		}
+	}
+	for _, sec := range []*sched.BlockCode{pro, epi} {
+		if sec == nil {
+			continue
+		}
+		for _, b := range sec.Bundles {
+			for _, so := range b.Ops {
+				if so.Op.IsBranch() {
+					c.add(name, ker.Block, so.Op.ID, "pipeline",
+						"branch scheduled in a %v section", sec.Kind)
+				}
+			}
+		}
+	}
+}
+
+// checkSlotPredication validates a section's predication against the
+// Section 4.2 slot-based binding model: BindSlots must see exactly the
+// section's guarded ops as sensitivity-bit carriers and its predicate
+// defines as defines, and every guarded op's issue slot must be among
+// the slots its guard predicate is bound to. (Whether the binding fits
+// the machine's standing-predicate slots without replica defines is a
+// cost question, reported by the encoding experiments, not a legality
+// question — so res.OK is deliberately not checked.)
+func checkSlotPredication(c *checker, mach *machine.Desc, fc *sched.FuncCode, sec *sched.BlockCode) {
+	var sops []predicate.SchedOp
+	guarded, defines := 0, 0
+	for i, b := range sec.Bundles {
+		for _, so := range b.Ops {
+			sops = append(sops, predicate.SchedOp{Op: so.Op, Cycle: i, Slot: so.Slot})
+			if so.Op.Guard != 0 {
+				guarded++
+			}
+			if so.Op.IsPredDefine() {
+				defines++
+			}
+		}
+	}
+	if len(sops) == 0 {
+		return
+	}
+	res := predicate.BindSlots(sops, mach.PredSlots)
+	name := fc.F.Name
+	if res.Sensitive != guarded {
+		c.add(name, sec.Block, 0, "slot-pred",
+			"binding sees %d sensitivity bits, section has %d guarded ops", res.Sensitive, guarded)
+	}
+	if res.Defines != defines {
+		c.add(name, sec.Block, 0, "slot-pred",
+			"binding sees %d defines, section has %d", res.Defines, defines)
+	}
+	for _, so := range sops {
+		if so.Op.Guard == 0 {
+			continue
+		}
+		ok := false
+		for _, s := range res.SlotsOf[so.Op.Guard] {
+			if s == so.Slot {
+				ok = true
+			}
+		}
+		if !ok {
+			c.add(name, sec.Block, so.Op.ID, "slot-pred",
+				"guarded op in slot %d not covered by %s's bound slots %v",
+				so.Slot, so.Op.Guard, res.SlotsOf[so.Op.Guard])
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package verify
+
+import (
+	"lpbuf/internal/ir"
+)
+
+// bitset is a fixed-size bit vector used by the must-defined analysis.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (s bitset) set(i int)      { s[i/64] |= 1 << (i % 64) }
+func (s bitset) has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+
+// and intersects t into s and reports whether s changed.
+func (s bitset) and(t bitset) bool {
+	changed := false
+	for i := range s {
+		if n := s[i] & t[i]; n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s bitset) clone() bitset {
+	c := make(bitset, len(s))
+	copy(c, s)
+	return c
+}
+
+// defState is the must-defined fact at one program point: registers and
+// predicates guaranteed written on every path from the entry. A guarded
+// definition counts as a definition — HPL-PD predicated code routinely
+// initializes a value under p and reads it under a predicate implying
+// p, which a stricter analysis would reject — so the property proven is
+// "defined on every path by *some* op", which still catches reads of
+// registers no path ever writes.
+type defState struct {
+	regs, preds bitset
+}
+
+// checkMustDefined runs a forward edge-sensitive must-defined dataflow
+// over f's CFG and reports three invariant classes: register reads
+// before any definition, guard predicates used before any define, and
+// or/and-type (wired-or / wired-and) predicate contributions with no
+// dominating ut/uf/ct/cf initializer. Side-exit branches flow the state
+// at the branch point (not the block end) to their targets.
+func checkMustDefined(c *checker, f *ir.Func) {
+	nr := int(f.NumRegs())
+	np := int(f.NumPreds())
+
+	in := map[ir.BlockID]*defState{}
+	entry := &defState{regs: newBitset(nr), preds: newBitset(np)}
+	for _, p := range f.Params {
+		if p > 0 && int(p) < nr {
+			entry.regs.set(int(p))
+		}
+	}
+	in[f.Entry] = entry
+
+	// meet intersects an edge state into in[t]; unreached blocks adopt
+	// the first incoming state (top = all-defined for absent preds).
+	meet := func(t ir.BlockID, st *defState) bool {
+		cur := in[t]
+		if cur == nil {
+			in[t] = &defState{regs: st.regs.clone(), preds: st.preds.clone()}
+			return true
+		}
+		ch := cur.regs.and(st.regs)
+		if cur.preds.and(st.preds) {
+			ch = true
+		}
+		return ch
+	}
+
+	// transfer walks a block from state st. When report is set it emits
+	// violations; otherwise it propagates edge states and reports
+	// whether any successor's in-state changed.
+	transfer := func(b *ir.Block, st *defState, report bool) bool {
+		cur := &defState{regs: st.regs.clone(), preds: st.preds.clone()}
+		changed := false
+		for _, op := range b.Ops {
+			if report {
+				for _, s := range op.Src {
+					if s > 0 && int(s) < nr && !cur.regs.has(int(s)) {
+						c.add(f.Name, b.ID, op.ID, "def-before-use",
+							"%s read but not defined on every path", s)
+					}
+				}
+				if g := op.Guard; g > 0 && int(g) < np && !cur.preds.has(int(g)) {
+					c.add(f.Name, b.ID, op.ID, "guard-defined",
+						"guard %s used but not defined on every path", g)
+				}
+			}
+			for _, pd := range op.PredDefines() {
+				if pd.Pred <= 0 || int(pd.Pred) >= np {
+					continue
+				}
+				switch pd.Type {
+				case ir.PTOT, ir.PTOF, ir.PTAT, ir.PTAF:
+					// Wired-or/and defines assume an initialized
+					// destination; without a ut/uf/ct/cf initializer on
+					// every path the parallel-compare network reads an
+					// undefined value.
+					if report && !cur.preds.has(int(pd.Pred)) {
+						c.add(f.Name, b.ID, op.ID, "pred-init",
+							"%s-type contribution to %s with no initializing define on every path",
+							pd.Type, pd.Pred)
+					}
+				}
+				cur.preds.set(int(pd.Pred))
+			}
+			for _, d := range op.Dest {
+				if d > 0 && int(d) < nr {
+					cur.regs.set(int(d))
+				}
+			}
+			// A side-exit or loop-back branch transfers the state as of
+			// this point (including this op's own writes).
+			if !report && op.IsBranch() && op.Target != 0 {
+				if meet(op.Target, cur) {
+					changed = true
+				}
+			}
+		}
+		if !report && b.Fall != 0 {
+			if meet(b.Fall, cur) {
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	for iter := 0; iter <= 4*len(f.Blocks)+64; iter++ {
+		changed := false
+		for _, b := range f.Blocks {
+			if st := in[b.ID]; st != nil {
+				if transfer(b, st, false) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, b := range f.Blocks {
+		if st := in[b.ID]; st != nil {
+			transfer(b, st, true)
+		}
+	}
+}

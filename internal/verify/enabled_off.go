@@ -1,0 +1,8 @@
+//go:build !verify
+
+package verify
+
+// Forced reports whether the binary was built with -tags verify, which
+// turns phase checkpoints on for every compile regardless of
+// core.Config.Verify. This build has them opt-in only.
+func Forced() bool { return false }

@@ -1,0 +1,8 @@
+//go:build verify
+
+package verify
+
+// Forced reports whether the binary was built with -tags verify. This
+// build has phase checkpoints on for every compile, so the whole test
+// suite exercises them (the CI verify job builds this way).
+func Forced() bool { return true }

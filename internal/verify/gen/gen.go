@@ -1,0 +1,266 @@
+// Package gen builds small random — but always well-formed — IR
+// programs for the differential oracle in internal/verify/oracle and
+// for fuzzing the compile pipeline.
+//
+// Programs are correct by construction, never by filtering:
+//
+//   - every register and predicate is defined on every path before it
+//     is read (the accumulator threads through all fragments);
+//   - every loop has a bounded, decrementing trip counter;
+//   - every memory access is masked into a scratch array, so the
+//     program can never fault or clobber unrelated state;
+//   - every divisor is forced odd (hence nonzero) before a div/rem.
+//
+// Each program is a straight-line sequence of fragments drawn from the
+// shapes the paper's transformations care about: counted loops
+// (br.cloop candidates and modulo-scheduling fodder), if/else diamonds
+// (if-conversion), while loops with side exits (branch combining),
+// hand-written ut/uf and wired-or predication (Table 2 semantics),
+// sub-word and saturating arithmetic, div/rem latency holes, and a
+// helper call (inlining). The same seed always yields the same
+// program.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+)
+
+// dataWords is the size of the scratch array every memory fragment
+// indexes into (masked, so always in bounds).
+const dataWords = 64
+
+// Program generates a deterministic random program for seed.
+func Program(seed int64) *ir.Program {
+	g := &generator{r: rand.New(rand.NewSource(seed))}
+	return g.build()
+}
+
+type generator struct {
+	r    *rand.Rand
+	f    *irbuild.Func
+	acc  ir.Reg // always-defined accumulator threaded through fragments
+	data int64  // scratch array base address
+	next int    // label counter
+}
+
+func (g *generator) label(kind string) string {
+	g.next++
+	return fmt.Sprintf("%s%d", kind, g.next)
+}
+
+// small returns a random immediate in [1, 12].
+func (g *generator) small() int64 { return int64(1 + g.r.Intn(12)) }
+
+// trips returns a random loop trip count in [2, 9].
+func (g *generator) trips() int64 { return int64(2 + g.r.Intn(8)) }
+
+func (g *generator) build() *ir.Program {
+	pb := irbuild.NewProgram(16 << 10)
+	init := make([]int32, dataWords)
+	for i := range init {
+		init[i] = int32(g.r.Intn(2048) - 1024)
+	}
+	g.data = pb.GlobalW("data", dataWords, init)
+	out := pb.GlobalW("out", 1, nil)
+
+	helper := pb.Func("helper", 2, true)
+	helper.Block("e")
+	hr := helper.Reg()
+	helper.MulI(hr, helper.Param(0), 3)
+	helper.Add(hr, hr, helper.Param(1))
+	ht := helper.Reg()
+	helper.ShrI(ht, helper.Param(0), 2)
+	helper.Xor(hr, hr, ht)
+	helper.Ret(hr)
+
+	g.f = pb.Func("main", 0, true)
+	g.f.Block("entry")
+	g.acc = g.f.Reg()
+	g.f.MovI(g.acc, int64(g.r.Intn(200)))
+
+	fragments := []func(){
+		g.countedLoop, g.diamond, g.whileLoop, g.predicated,
+		g.sideExitLoop, g.memory, g.saturating, g.divRem, g.call,
+	}
+	n := 3 + g.r.Intn(5)
+	for i := 0; i < n; i++ {
+		fragments[g.r.Intn(len(fragments))]()
+	}
+
+	// Make the result architecturally visible in memory as well as in
+	// the return value, so the oracle compares both channels.
+	base := g.f.Const(out)
+	g.f.StW(base, 0, g.acc)
+	g.f.Ret(g.acc)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+// mutate applies one random always-defined update to acc.
+func (g *generator) mutate() {
+	switch g.r.Intn(6) {
+	case 0:
+		g.f.AddI(g.acc, g.acc, g.small())
+	case 1:
+		g.f.SubI(g.acc, g.acc, g.small())
+	case 2:
+		g.f.MulI(g.acc, g.acc, 1+g.r.Int63n(3))
+	case 3:
+		g.f.XorI(g.acc, g.acc, g.small())
+	case 4:
+		t := g.f.Reg()
+		g.f.ShlI(t, g.acc, 1+g.r.Int63n(3))
+		g.f.Add(g.acc, g.acc, t)
+	case 5:
+		g.f.AndI(g.acc, g.acc, 0xFFFF)
+	}
+}
+
+// countedLoop emits a br.cloop-style loop: fixed trip count, loop-back
+// as the only branch. Prime modulo-scheduling material.
+func (g *generator) countedLoop() {
+	body, done := g.label("cl"), g.label("cd")
+	cnt := g.f.Reg()
+	g.f.MovI(cnt, g.trips())
+	g.f.Block(body)
+	g.mutate()
+	g.mutate()
+	g.f.CLoop(cnt, body)
+	g.f.Block(done)
+}
+
+// diamond emits an if/else both arms of which update acc — the basic
+// if-conversion shape.
+func (g *generator) diamond() {
+	then, join := g.label("dt"), g.label("dj")
+	g.f.BrI(ir.CmpGT, g.acc, int64(g.r.Intn(64)), then)
+	g.mutate()
+	g.f.Jump(join)
+	g.f.Block(then)
+	g.mutate()
+	g.mutate()
+	g.f.Block(join)
+}
+
+// whileLoop emits a decrement-and-test loop (CLoopify candidate).
+func (g *generator) whileLoop() {
+	head, done := g.label("wh"), g.label("wd")
+	i := g.f.Reg()
+	g.f.MovI(i, g.trips())
+	g.f.Block(head)
+	g.mutate()
+	g.f.SubI(i, i, 1)
+	g.f.BrI(ir.CmpGT, i, 0, head)
+	g.f.Block(done)
+}
+
+// predicated emits hand-written predication: a ut/uf pair off one
+// compare, and optionally a wired-or chain with an explicit false
+// initializer (the Table 2 shapes the verifier audits).
+func (g *generator) predicated() {
+	p := g.f.F.NewPred()
+	q := g.f.F.NewPred()
+	g.f.CmpPI(p, ir.PTUT, q, ir.PTUF, ir.CmpGT, g.acc, int64(g.r.Intn(100)))
+	g.f.AddI(g.acc, g.acc, g.small()).Guard = p
+	g.f.SubI(g.acc, g.acc, g.small()).Guard = q
+	if g.r.Intn(2) == 0 {
+		// or-chain: init false, then two wired-or contributions.
+		o := g.f.F.NewPred()
+		zero := g.f.Const(0)
+		g.f.CmpPI(o, ir.PTUT, 0, ir.PTNone, ir.CmpNE, zero, 0)
+		g.f.CmpPI(o, ir.PTOT, 0, ir.PTNone, ir.CmpLT, g.acc, g.small())
+		g.f.CmpPI(o, ir.PTOT, 0, ir.PTNone, ir.CmpGT, g.acc, 64+g.small())
+		g.f.XorI(g.acc, g.acc, 1).Guard = o
+	}
+}
+
+// sideExitLoop emits a bounded loop with an early exit — the shape
+// branch combining (Section 3) targets.
+func (g *generator) sideExitLoop() {
+	head, exit := g.label("sh"), g.label("sx")
+	i := g.f.Reg()
+	g.f.MovI(i, g.trips())
+	g.f.Block(head)
+	t := g.f.Reg()
+	g.f.AndI(t, g.acc, 7)
+	g.f.BrI(ir.CmpEQ, t, int64(g.r.Intn(8)), exit)
+	g.mutate()
+	g.f.SubI(i, i, 1)
+	g.f.BrI(ir.CmpGT, i, 0, head)
+	g.f.Block(exit)
+}
+
+// memory emits a masked load/compute/store round trip, sometimes at
+// sub-word width.
+func (g *generator) memory() {
+	off := g.f.Reg()
+	base := g.f.Reg()
+	v := g.f.Reg()
+	switch g.r.Intn(3) {
+	case 0: // word
+		g.f.AndI(off, g.acc, int64(dataWords-1)*4&^3)
+		g.f.AddI(base, off, g.data)
+		g.f.LdW(v, base, 0)
+		g.f.Add(g.acc, g.acc, v)
+		g.f.StW(base, 0, g.acc)
+	case 1: // halfword
+		g.f.AndI(off, g.acc, int64(dataWords*4-2)&^1)
+		g.f.AddI(base, off, g.data)
+		if g.r.Intn(2) == 0 {
+			g.f.LdH(v, base, 0)
+		} else {
+			g.f.LdHU(v, base, 0)
+		}
+		g.f.Xor(g.acc, g.acc, v)
+		g.f.StH(base, 0, g.acc)
+	default: // byte
+		g.f.AndI(off, g.acc, int64(dataWords*4-1))
+		g.f.AddI(base, off, g.data)
+		if g.r.Intn(2) == 0 {
+			g.f.LdB(v, base, 0)
+		} else {
+			g.f.LdBU(v, base, 0)
+		}
+		g.f.Add(g.acc, g.acc, v)
+		g.f.StB(base, 0, g.acc)
+	}
+}
+
+// saturating emits the media-style clipped arithmetic ops.
+func (g *generator) saturating() {
+	k := g.f.Const(int64(g.r.Intn(1 << 14)))
+	switch g.r.Intn(4) {
+	case 0:
+		g.f.SAdd16(g.acc, g.acc, k)
+	case 1:
+		g.f.SSub16(g.acc, g.acc, k)
+	case 2:
+		g.f.SAdd32(g.acc, g.acc, k)
+	default:
+		g.f.SSub32(g.acc, g.acc, k)
+	}
+}
+
+// divRem emits a long-latency div or rem with a divisor forced odd
+// (nonzero by construction).
+func (g *generator) divRem() {
+	dv := g.f.Reg()
+	g.f.OrI(dv, g.acc, 1)
+	if g.r.Intn(2) == 0 {
+		g.f.Div(g.acc, g.acc, dv)
+	} else {
+		g.f.Rem(g.acc, g.acc, dv)
+	}
+}
+
+// call routes acc through the helper (inlining fodder).
+func (g *generator) call() {
+	arg := g.f.Const(g.small())
+	d := g.f.Reg()
+	g.f.Call(d, "helper", g.acc, arg)
+	g.f.Mov(g.acc, d)
+}

@@ -1,0 +1,37 @@
+package gen_test
+
+import (
+	"testing"
+
+	"lpbuf/internal/interp"
+	"lpbuf/internal/verify"
+	"lpbuf/internal/verify/gen"
+)
+
+// TestDeterministic: the same seed must yield the same program (the
+// oracle's reproducibility contract).
+func TestDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a, b := gen.Program(seed), gen.Program(seed)
+		if a.OpCount() != b.OpCount() {
+			t.Fatalf("seed %d: op counts differ: %d vs %d", seed, a.OpCount(), b.OpCount())
+		}
+	}
+}
+
+// TestGeneratedProgramsValid: every generated program passes the full
+// IR invariant set and terminates under the interpreter.
+func TestGeneratedProgramsValid(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		p := gen.Program(seed)
+		if err := p.Verify(); err != nil {
+			t.Fatalf("seed %d: structurally invalid: %v", seed, err)
+		}
+		if vs := verify.Program("gen", p); len(vs) > 0 {
+			t.Fatalf("seed %d: invariant violations: %v", seed, verify.AsError(vs))
+		}
+		if _, err := interp.Run(p, interp.Options{MaxOps: 1 << 20}); err != nil {
+			t.Fatalf("seed %d: does not run: %v", seed, err)
+		}
+	}
+}

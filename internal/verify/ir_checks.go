@@ -1,0 +1,226 @@
+package verify
+
+import (
+	"sort"
+
+	"lpbuf/internal/ir"
+)
+
+// Program checks IR-level invariants on every function of p plus the
+// cross-function invariants of ir.Program.Verify.
+func Program(phase string, p *ir.Program) []Violation {
+	c := &checker{phase: phase}
+	if err := p.Verify(); err != nil {
+		c.add("", 0, 0, "structure", "%v", err)
+		return note(c.vs)
+	}
+	for _, name := range orderedFuncs(p) {
+		checkFunc(c, p, p.Funcs[name])
+	}
+	return note(c.vs)
+}
+
+// Func checks IR-level invariants on a single function.
+func Func(phase string, p *ir.Program, f *ir.Func) []Violation {
+	c := &checker{phase: phase}
+	if err := f.Verify(); err != nil {
+		c.add(f.Name, 0, 0, "structure", "%v", err)
+		return note(c.vs)
+	}
+	checkFunc(c, p, f)
+	return note(c.vs)
+}
+
+func orderedFuncs(p *ir.Program) []string {
+	names := append([]string(nil), p.Order...)
+	for n := range p.Funcs {
+		found := false
+		for _, o := range names {
+			if o == n {
+				found = true
+			}
+		}
+		if !found {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func checkFunc(c *checker, p *ir.Program, f *ir.Func) {
+	for _, b := range f.Blocks {
+		for _, op := range b.Ops {
+			checkShape(c, p, f, b, op)
+		}
+	}
+	checkMustDefined(c, f)
+}
+
+// operands is the number of value operands: sources plus the trailing
+// immediate when HasImm holds. Memory ops are excluded (their Imm is an
+// address offset, not an operand position).
+func operands(op *ir.Op) int {
+	n := len(op.Src)
+	if op.HasImm {
+		n++
+	}
+	return n
+}
+
+// checkShape validates per-opcode operand shape, register-class id
+// ranges, predicate-destination legality (Table 2) and speculation
+// marking.
+func checkShape(c *checker, p *ir.Program, f *ir.Func, b *ir.Block, op *ir.Op) {
+	fail := func(rule, format string, args ...any) {
+		c.add(f.Name, b.ID, op.ID, rule, format, args...)
+	}
+
+	// Register/predicate id ranges. Reg 0 and PredReg < 0 are never
+	// legal operands; ids at or above the allocator bound indicate a
+	// pass forged a register without NewReg/NewPred.
+	for _, r := range op.Dest {
+		if r <= 0 || r >= f.NumRegs() {
+			fail("reg-range", "dest %s out of range [1,%d)", r, f.NumRegs())
+		}
+	}
+	for _, r := range op.Src {
+		if r <= 0 || r >= f.NumRegs() {
+			fail("reg-range", "src %s out of range [1,%d)", r, f.NumRegs())
+		}
+	}
+	if op.Guard < 0 || op.Guard >= f.NumPreds() {
+		fail("pred-range", "guard %s out of range [0,%d)", op.Guard, f.NumPreds())
+	}
+
+	// Only predicate defines carry predicate destinations.
+	if !op.IsPredDefine() {
+		for _, pd := range op.PDest {
+			if pd.Type != ir.PTNone || pd.Pred != 0 {
+				fail("pdest", "%s op carries predicate destinations", op.Opcode)
+				break
+			}
+		}
+	}
+	if op.Speculative && !op.IsLoad() {
+		fail("speculative", "%s op marked speculative; only loads have a speculative form", op.Opcode)
+	}
+
+	switch op.Opcode {
+	case ir.OpNop:
+		if len(op.Dest) != 0 || operands(op) != 0 {
+			fail("shape", "nop with operands")
+		}
+	case ir.OpMov:
+		if len(op.Dest) != 1 || operands(op) != 1 {
+			fail("shape", "mov wants 1 dest, 1 operand; has %d dest, %d operands",
+				len(op.Dest), operands(op))
+		}
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpAnd, ir.OpOr,
+		ir.OpXor, ir.OpShl, ir.OpShr, ir.OpShrU, ir.OpMin, ir.OpMax,
+		ir.OpSAdd16, ir.OpSSub16, ir.OpSAdd32, ir.OpSSub32:
+		if len(op.Dest) != 1 || operands(op) != 2 {
+			fail("shape", "%s wants 1 dest, 2 operands; has %d dest, %d operands",
+				op.Opcode, len(op.Dest), operands(op))
+		}
+	case ir.OpAbs:
+		if len(op.Dest) != 1 || operands(op) != 1 {
+			fail("shape", "abs wants 1 dest, 1 operand")
+		}
+	case ir.OpCmpW:
+		if len(op.Dest) != 1 || operands(op) != 2 {
+			fail("shape", "cmpw wants 1 dest, 2 operands")
+		}
+	case ir.OpSel:
+		if len(op.Dest) != 1 || operands(op) != 3 {
+			fail("shape", "sel wants 1 dest, 3 operands")
+		}
+	case ir.OpLdB, ir.OpLdBU, ir.OpLdH, ir.OpLdHU, ir.OpLdW:
+		if len(op.Dest) != 1 || len(op.Src) != 1 {
+			fail("shape", "load wants 1 dest, 1 base register")
+		}
+	case ir.OpStB, ir.OpStH, ir.OpStW:
+		if len(op.Dest) != 0 || len(op.Src) != 2 {
+			fail("shape", "store wants no dest, base+value registers")
+		}
+	case ir.OpCmpP:
+		if len(op.Dest) != 0 || operands(op) != 2 {
+			fail("shape", "cmpp wants no dest, 2 operands")
+		}
+		checkPredDests(c, f, b, op)
+	case ir.OpBr:
+		if len(op.Dest) != 0 || operands(op) != 2 {
+			fail("shape", "br wants no dest, 2 operands")
+		}
+		if op.Target == 0 {
+			fail("shape", "br without target")
+		}
+	case ir.OpJump:
+		if len(op.Dest) != 0 || operands(op) != 0 {
+			fail("shape", "jump with operands")
+		}
+		if op.Target == 0 {
+			fail("shape", "jump without target")
+		}
+	case ir.OpBrCLoop:
+		if len(op.Dest) != 1 || len(op.Src) != 1 || op.Dest[0] != op.Src[0] {
+			fail("shape", "br.cloop must read and write the same counter register")
+		}
+		if op.Target == 0 {
+			fail("shape", "br.cloop without target")
+		}
+	case ir.OpCall:
+		if len(op.Dest) > 1 {
+			fail("shape", "call with %d dests", len(op.Dest))
+		}
+		if op.Callee == "" {
+			fail("shape", "call without callee")
+		} else if p != nil {
+			if callee, ok := p.Funcs[op.Callee]; ok {
+				if len(op.Src) != len(callee.Params) {
+					fail("shape", "call %s passes %d args, callee wants %d",
+						op.Callee, len(op.Src), len(callee.Params))
+				}
+			}
+		}
+	case ir.OpRet:
+		if len(op.Dest) != 0 || len(op.Src) > 1 {
+			fail("shape", "ret wants no dest and at most 1 src")
+		}
+	case ir.OpRecCLoop, ir.OpRecWLoop, ir.OpExecCLoop, ir.OpExecWLoop:
+		if len(op.Dest) != 0 || len(op.Src) != 0 {
+			fail("shape", "buffer op with register operands")
+		}
+		if op.BufAddr < 0 || op.BufLen <= 0 {
+			fail("shape", "buffer op with addr=%d len=%d", op.BufAddr, op.BufLen)
+		}
+	default:
+		fail("shape", "unknown opcode %d", uint8(op.Opcode))
+	}
+}
+
+// checkPredDests validates a predicate define's destinations against
+// Table 2: a legal type, a real predicate register in range, and no
+// double-write of one predicate by a single define.
+func checkPredDests(c *checker, f *ir.Func, b *ir.Block, op *ir.Op) {
+	active := op.PredDefines()
+	if len(active) == 0 {
+		c.add(f.Name, b.ID, op.ID, "pdest", "cmpp with no destinations")
+		return
+	}
+	seen := map[ir.PredReg]bool{}
+	for _, pd := range active {
+		if pd.Type < ir.PTUT || pd.Type > ir.PTCF {
+			c.add(f.Name, b.ID, op.ID, "pdest", "illegal destination type %d", uint8(pd.Type))
+		}
+		if pd.Pred <= 0 || pd.Pred >= f.NumPreds() {
+			c.add(f.Name, b.ID, op.ID, "pred-range",
+				"pdest %s out of range [1,%d)", pd.Pred, f.NumPreds())
+		}
+		if seen[pd.Pred] {
+			c.add(f.Name, b.ID, op.ID, "pdest",
+				"predicate %s written twice by one define", pd.Pred)
+		}
+		seen[pd.Pred] = true
+	}
+}

@@ -1,0 +1,49 @@
+package oracle_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lpbuf/internal/verify/gen"
+	"lpbuf/internal/verify/oracle"
+)
+
+// corpusSize is the deterministic seed corpus checked on every `go
+// test` run (ISSUE acceptance: 200 programs, every optimization
+// level). -short trims it for quick local iteration.
+const corpusSize = 200
+
+// TestDifferentialCorpus runs the fixed corpus through the oracle:
+// each seed's program is compiled at O0..O3 with verify checkpoints on
+// and simulated at three buffer sizes, all against the interpreter.
+func TestDifferentialCorpus(t *testing.T) {
+	n := corpusSize
+	if testing.Short() {
+		n = 25
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			if err := oracle.Check(gen.Program(seed)); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		})
+	}
+}
+
+// FuzzDifferential explores seeds beyond the fixed corpus. Every seed
+// generates a valid terminating program by construction, so the fuzz
+// body is just the oracle. Run with:
+//
+//	go test -run Fuzz -fuzz=FuzzDifferential -fuzztime=30s ./internal/verify/oracle
+func FuzzDifferential(f *testing.F) {
+	for _, s := range []int64{0, 1, 42, 1 << 32, -7} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := oracle.Check(gen.Program(seed)); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package verify
+
+import (
+	"lpbuf/internal/ir"
+	"lpbuf/internal/sched"
+	"lpbuf/internal/vliw"
+)
+
+// Plan checks loop-buffer plan legality against the schedule it was
+// built for: every planned loop must fit the buffer at its offset,
+// cover exactly one schedule section (the replayed image is a single
+// straight-line region), carry an accurate operation footprint, and
+// pair its record/replay mode with the loop's branch form — kernel and
+// br.cloop loops are counted (exit predicted), wloops are not.
+// Overlapping placements are legal: the simulator models eviction.
+func Plan(phase string, code *sched.Code, plan *vliw.BufferPlan) []Violation {
+	c := &checker{phase: phase}
+	if plan == nil {
+		return note(c.vs)
+	}
+	if plan.Capacity < 0 {
+		c.add("", 0, 0, "plan", "negative buffer capacity %d", plan.Capacity)
+	}
+	seen := map[string]bool{}
+	for _, pl := range plan.Loops {
+		fc := code.Funcs[pl.Func]
+		if fc == nil {
+			c.add(pl.Func, 0, 0, "plan", "planned loop %q in unknown function", pl.Label)
+			continue
+		}
+		if seen[pl.Key()] {
+			c.add(pl.Func, 0, 0, "plan", "duplicate planned loop %s", pl.Key())
+		}
+		seen[pl.Key()] = true
+		if pl.StartBundle < 0 || pl.EndBundle > len(fc.Bundles) || pl.StartBundle >= pl.EndBundle {
+			c.add(pl.Func, 0, 0, "plan", "loop %q bundles [%d,%d) outside schedule of %d bundles",
+				pl.Label, pl.StartBundle, pl.EndBundle, len(fc.Bundles))
+			continue
+		}
+		if pl.Ops <= 0 || pl.Offset < 0 || pl.Offset+pl.Ops > plan.Capacity {
+			c.add(pl.Func, 0, 0, "capacity",
+				"loop %q: %d ops at offset %d exceed buffer capacity %d",
+				pl.Label, pl.Ops, pl.Offset, plan.Capacity)
+		}
+
+		var sec *sched.BlockCode
+		for _, s := range fc.Sections {
+			if s.Start == pl.StartBundle && s.Start+len(s.Bundles) == pl.EndBundle {
+				sec = s
+				break
+			}
+		}
+		if sec == nil {
+			c.add(pl.Func, 0, 0, "plan",
+				"loop %q bundles [%d,%d) do not align with any schedule section",
+				pl.Label, pl.StartBundle, pl.EndBundle)
+			continue
+		}
+		n := 0
+		for i := pl.StartBundle; i < pl.EndBundle; i++ {
+			n += len(fc.Bundles[i].Ops)
+		}
+		if n != pl.Ops {
+			c.add(pl.Func, sec.Block, 0, "footprint",
+				"loop %q declares %d ops, section holds %d", pl.Label, pl.Ops, n)
+		}
+		switch sec.Kind {
+		case sched.KindKernel:
+			if !pl.Counted {
+				c.add(pl.Func, sec.Block, 0, "counted",
+					"loop %q: modulo kernel must record as a counted loop", pl.Label)
+			}
+		case sched.KindStraight:
+			found, counted := false, false
+			for _, b := range sec.Bundles {
+				for _, so := range b.Ops {
+					if so.Op.LoopBack && so.Op.IsBranch() && so.TargetBundle == sec.Start {
+						found = true
+						counted = so.Op.Opcode == ir.OpBrCLoop
+					}
+				}
+			}
+			if !found {
+				c.add(pl.Func, sec.Block, 0, "plan",
+					"loop %q: buffered section has no loop-back branch to its start", pl.Label)
+			} else if counted != pl.Counted {
+				c.add(pl.Func, sec.Block, 0, "counted",
+					"loop %q: counted=%v but loop-back branch says %v", pl.Label, pl.Counted, counted)
+			}
+		default:
+			c.add(pl.Func, sec.Block, 0, "plan",
+				"loop %q: buffered section has kind %d; only kernels and straight self-loops replay",
+				pl.Label, sec.Kind)
+		}
+	}
+	return note(c.vs)
+}

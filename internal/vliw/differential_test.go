@@ -2,9 +2,11 @@ package vliw_test
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"lpbuf/internal/bench/suite"
 	"lpbuf/internal/interp"
 	"lpbuf/internal/ir"
 	"lpbuf/internal/ir/irbuild"
@@ -144,5 +146,47 @@ func TestEpiloguePadsDrainWrites(t *testing.T) {
 	}
 	if res.Ret != refRes.Ret {
 		t.Fatalf("drain violation: sim %d vs interp %d", res.Ret, refRes.Ret)
+	}
+}
+
+// TestBenchmarksAllMachines runs the entire Table 1 suite through
+// schedule+simulate on every machine width, with and without modulo
+// scheduling, and checks both the interpreter reference and each
+// benchmark's own output validator. -short trims to the 8-wide
+// machine.
+func TestBenchmarksAllMachines(t *testing.T) {
+	machines := []*machine.Desc{machine.Default(), machine.Four(), machine.Two()}
+	if testing.Short() {
+		machines = machines[:1]
+	}
+	for _, b := range suite.All() {
+		for _, m := range machines {
+			for _, modulo := range []bool{false, true} {
+				b, m, modulo := b, m, modulo
+				name := fmt.Sprintf("%s/%s/modulo=%v", b.Name, m.Name, modulo)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					prog := b.Build()
+					ref, err := interp.Run(prog.Clone(), interp.Options{})
+					if err != nil {
+						t.Fatalf("interp: %v", err)
+					}
+					code, err := sched.Schedule(prog.Clone(), m, sched.Options{EnableModulo: modulo})
+					if err != nil {
+						t.Fatalf("schedule: %v", err)
+					}
+					res, err := vliw.Run(code, &vliw.BufferPlan{Capacity: 256}, vliw.Options{})
+					if err != nil {
+						t.Fatalf("simulate: %v", err)
+					}
+					if res.Ret != ref.Ret || !bytes.Equal(res.Mem, ref.Mem) {
+						t.Fatalf("output mismatch: sim ret %d vs interp %d", res.Ret, ref.Ret)
+					}
+					if err := b.Check(res.Mem); err != nil {
+						t.Fatalf("benchmark self-check: %v", err)
+					}
+				})
+			}
+		}
 	}
 }
