@@ -23,16 +23,23 @@
 //	lpbuf -all -json out.json # also write the versioned JSON artifact
 //	lpbuf -all -progress      # per-job progress log on stderr
 //	lpbuf -verify -fig all    # everything, with phase checkpoints enabled
+//	lpbuf -fig 5 -trace-out trace.json   # Chrome/Perfetto trace of the run
+//	lpbuf -all -metrics-out metrics.json # counters + per-loop energy split
+//	lpbuf -all -pprof :6060   # expvar + net/http/pprof while running
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
 	"lpbuf/internal/bench/suite"
 	"lpbuf/internal/experiments"
+	"lpbuf/internal/obs"
 	"lpbuf/internal/runner"
 	"lpbuf/internal/verify"
 )
@@ -55,6 +62,9 @@ func main() {
 	par := flag.Int("par", 0, "experiment worker parallelism (default GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write a JSON artifact of the computed results to this file")
 	progress := flag.Bool("progress", false, "log per-job runner progress to stderr")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot (registry + per-loop energy) to this file")
+	pprofAddr := flag.String("pprof", "", "serve expvar and net/http/pprof on this address while running")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -78,6 +88,25 @@ func main() {
 	opts := experiments.Options{Workers: *par, Verify: *doVerify}
 	if *progress {
 		opts.OnEvent = runner.LogObserver(os.Stderr)
+	}
+	var o *obs.Obs
+	if *traceOut != "" || *metricsOut != "" || *pprofAddr != "" {
+		o = obs.New(obs.Config{
+			Metrics:   true,
+			Spans:     *traceOut != "",
+			SimEvents: *traceOut != "",
+		})
+		opts.Obs = o
+	}
+	if *pprofAddr != "" {
+		// Publish the live registry snapshot through expvar alongside
+		// the default pprof handlers.
+		expvar.Publish("lpbuf", expvar.Func(func() any { return o.Registry().Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "lpbuf: pprof:", err)
+			}
+		}()
 	}
 	s := experiments.NewWithOptions(opts)
 	art := experiments.NewArtifact()
@@ -206,10 +235,26 @@ func main() {
 	if *jsonOut != "" {
 		snap := s.Metrics()
 		art.Runner = &snap
+		if o != nil {
+			reg := o.Registry().Snapshot()
+			art.Metrics = &reg
+		}
 		if err := art.WriteFile(*jsonOut); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "lpbuf: wrote %s (%s)\n", *jsonOut, experiments.ArtifactSchema)
+	}
+	if *metricsOut != "" {
+		if err := s.MetricsDump().WriteFile(*metricsOut); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "lpbuf: wrote %s (%s)\n", *metricsOut, experiments.MetricsSchema)
+	}
+	if *traceOut != "" {
+		if err := obs.WriteChromeTraceFile(*traceOut, o.Trace, o.Sim); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "lpbuf: wrote %s (chrome trace-event JSON)\n", *traceOut)
 	}
 }
 
@@ -237,4 +282,6 @@ func printList() {
 	fmt.Println()
 	fmt.Println("execution: -par N workers, -json FILE artifact, -progress job log,")
 	fmt.Println("           -verify phase checkpoints (also: build -tags verify)")
+	fmt.Println("observability: -trace-out FILE Chrome/Perfetto trace, -metrics-out FILE")
+	fmt.Println("           counters + per-loop energy snapshot, -pprof ADDR expvar/pprof")
 }

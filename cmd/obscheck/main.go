@@ -1,0 +1,165 @@
+// Command obscheck validates the observability artifacts `lpbuf`
+// writes: a Chrome trace-event JSON (-trace) and a metrics snapshot
+// (-metrics). It is the CI gate that keeps both formats loadable —
+// the trace in Perfetto / chrome://tracing, the metrics by downstream
+// tooling pinned to the lpbuf.metrics/v1 schema.
+//
+// Usage:
+//
+//	obscheck -trace trace.json -metrics metrics.json
+//
+// Exit status is non-zero with a diagnostic on the first violation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON to validate")
+	metricsPath := flag.String("metrics", "", "lpbuf.metrics/v1 snapshot to validate")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *tracePath == "" && *metricsPath == "" {
+		fail("nothing to check; pass -trace and/or -metrics")
+	}
+	if *tracePath != "" {
+		if err := checkTrace(*tracePath); err != nil {
+			fail("%s: %v", *tracePath, err)
+		}
+		fmt.Printf("obscheck: %s ok\n", *tracePath)
+	}
+	if *metricsPath != "" {
+		if err := checkMetrics(*metricsPath); err != nil {
+			fail("%s: %v", *metricsPath, err)
+		}
+		fmt.Printf("obscheck: %s ok\n", *metricsPath)
+	}
+}
+
+// traceEvent mirrors the fields every Chrome trace event must carry.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var file struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		return fmt.Errorf("not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		return fmt.Errorf("no traceEvents")
+	}
+	var compile, sim bool
+	for i, e := range file.TraceEvents {
+		if e.Name == "" {
+			return fmt.Errorf("event %d has no name", i)
+		}
+		switch e.Ph {
+		case "X", "i", "B", "E", "M":
+		default:
+			return fmt.Errorf("event %d (%q) has unknown phase %q", i, e.Name, e.Ph)
+		}
+		if e.Ts < 0 {
+			return fmt.Errorf("event %d (%q) has negative ts", i, e.Name)
+		}
+		if e.Ph == "X" && e.Dur <= 0 {
+			return fmt.Errorf("complete event %d (%q) has non-positive dur", i, e.Name)
+		}
+		if e.Pid == 0 || e.Tid == 0 {
+			return fmt.Errorf("event %d (%q) missing pid/tid", i, e.Name)
+		}
+		if e.Name == "compile" {
+			compile = true
+		}
+		if e.Pid == 2 {
+			sim = true
+		}
+	}
+	if !compile {
+		return fmt.Errorf("no compile-phase span (name %q)", "compile")
+	}
+	if !sim {
+		return fmt.Errorf("no simulator events (pid 2)")
+	}
+	return nil
+}
+
+func checkMetrics(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var dump struct {
+		Schema   string `json:"schema"`
+		Registry *struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"registry"`
+		Runner *struct {
+			JobsRun int64 `json:"jobs_run"`
+		} `json:"runner"`
+		Loops []struct {
+			Run        string `json:"run"`
+			Loop       string `json:"loop"`
+			BufferHits *int64 `json:"buffer_hits"`
+			Energy     *struct {
+				Total float64 `json:"total_energy"`
+			} `json:"energy"`
+		} `json:"loops"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return fmt.Errorf("not valid JSON: %v", err)
+	}
+	if dump.Schema != "lpbuf.metrics/v1" {
+		return fmt.Errorf("schema %q, want lpbuf.metrics/v1", dump.Schema)
+	}
+	if dump.Registry == nil {
+		return fmt.Errorf("missing registry section")
+	}
+	for _, key := range []string{"sim.runs", "sim.cycles", "sim.loop.buffer_hits", "sim.loop.buffer_misses"} {
+		if _, ok := dump.Registry.Counters[key]; !ok {
+			return fmt.Errorf("registry missing counter %q", key)
+		}
+	}
+	if dump.Registry.Counters["sim.runs"] <= 0 {
+		return fmt.Errorf("sim.runs = %d, want > 0", dump.Registry.Counters["sim.runs"])
+	}
+	// The runner section is always present; jobs_run may be 0 when the
+	// invocation used the suite's direct path rather than the job DAG.
+	if dump.Runner == nil {
+		return fmt.Errorf("missing runner section")
+	}
+	if len(dump.Loops) == 0 {
+		return fmt.Errorf("no per-loop attribution rows")
+	}
+	for i, l := range dump.Loops {
+		if l.Run == "" || l.Loop == "" {
+			return fmt.Errorf("loop row %d missing run/loop", i)
+		}
+		if l.BufferHits == nil {
+			return fmt.Errorf("loop row %d missing buffer_hits", i)
+		}
+		if l.Energy == nil {
+			return fmt.Errorf("loop row %d missing energy attribution", i)
+		}
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"lpbuf/internal/loopbuffer"
 	"lpbuf/internal/looptrans"
 	"lpbuf/internal/machine"
+	"lpbuf/internal/obs"
 	"lpbuf/internal/opt"
 	"lpbuf/internal/predicate"
 	"lpbuf/internal/profile"
@@ -53,6 +54,14 @@ type Config struct {
 	Verify bool
 	// BufferCapacity is the loop buffer size in operations.
 	BufferCapacity int
+	// Obs, when non-nil, receives compile-phase spans (with IR-size
+	// deltas), per-pass opt/sched spans, and simulator events/counters
+	// from every run of the compiled program. Nil disables all
+	// instrumentation at nil-check cost.
+	Obs *obs.Obs
+	// TraceLabel prefixes simulator event run labels (typically the
+	// benchmark name); the full label is "TraceLabel/Name@capacity".
+	TraceLabel string
 	// Machine overrides the default machine description.
 	Machine *machine.Desc
 	// EntryArgs are passed to the program entry on every run.
@@ -131,6 +140,14 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 	c := &Compiled{Config: cfg}
 	c.Stats.OrigOps = prog.OpCount()
 
+	// Root span for the whole compile; phase children carry IR-size
+	// deltas. All span calls are nil no-ops when cfg.Obs is nil.
+	root := cfg.Obs.StartSpan("compile")
+	root.SetAttr("config", cfg.Name)
+	root.SetInt("orig_ops", c.Stats.OrigOps)
+	defer root.End()
+	cfg.Obs.Counter("compile.total").Inc()
+
 	// Phase checkpoint: re-derive the invariants the preceding phase
 	// must have preserved (see internal/verify); any violation aborts
 	// the compile instead of surfacing as a wrong figure.
@@ -148,9 +165,11 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 	}
 
 	// Reference execution + initial profile on the original program.
+	sp := root.Child("reference-run")
 	prof0 := profile.New()
 	ref, err := interp.Run(prog, interp.Options{Profile: prof0,
 		EntryArgs: cfg.EntryArgs, MaxOps: cfg.MaxOps})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s: reference run: %w", cfg.Name, err)
 	}
@@ -163,12 +182,20 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 	prof0.ApplyWeights(p)
 
 	if cfg.Inline {
+		sp = root.Child("inline")
 		c.Stats.Inlined = inline.Apply(p, prof0, inline.Options{})
+		sp.SetInt("inlined", c.Stats.Inlined)
+		sp.SetInt("ops_after", p.OpCount())
+		sp.End()
 		if err := ck("post-inline", p); err != nil {
 			return nil, err
 		}
 	}
-	opt.Optimize(p)
+	sp = root.Child("opt")
+	sp.SetInt("ops_before", p.OpCount())
+	opt.OptimizeSpans(p, sp)
+	sp.SetInt("ops_after", p.OpCount())
+	sp.End()
 	if err := ck("post-opt", p); err != nil {
 		return nil, err
 	}
@@ -178,6 +205,8 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 	// can unlock collapsing of its parent, which can expose further
 	// conversion. Iterate to a fixpoint (bounded).
 	if cfg.LoopTransforms || cfg.Predication {
+		sp = root.Child("transform")
+		sp.SetInt("ops_before", p.OpCount())
 		for round := 0; round < 4; round++ {
 			changed := 0
 			for _, name := range p.Order {
@@ -221,16 +250,25 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 				}
 			}
 		}
-		opt.Optimize(p)
+		opt.OptimizeSpans(p, sp)
+		sp.SetInt("ops_after", p.OpCount())
+		sp.SetInt("peeled", c.Stats.Peeled)
+		sp.SetInt("collapsed", c.Stats.Collapsed)
+		sp.SetInt("converted", c.Stats.Converted)
+		sp.SetInt("promoted", c.Stats.Promoted)
+		sp.End()
 		if err := ck("post-transform", p); err != nil {
 			return nil, err
 		}
 	}
+	sp = root.Child("cloopify")
 	for _, name := range p.Order {
 		f := p.Funcs[name]
 		c.Stats.CLoops += looptrans.CLoopifyAll(f)
 		looptrans.MarkLoopBacks(f)
 	}
+	sp.SetInt("cloops", c.Stats.CLoops)
+	sp.End()
 
 	if err := p.Verify(); err != nil {
 		return nil, fmt.Errorf("%s: transformed program invalid: %w", cfg.Name, err)
@@ -241,9 +279,11 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 
 	// Re-profile the transformed program and check it still computes
 	// the reference behaviour (execution-verified transformations).
+	sp = root.Child("re-profile")
 	prof1 := profile.New()
 	tres, err := interp.Run(p, interp.Options{Profile: prof1,
 		EntryArgs: cfg.EntryArgs, MaxOps: cfg.MaxOps})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s: transformed program run: %w", cfg.Name, err)
 	}
@@ -261,7 +301,10 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 	}
 
 	// Schedule (may rewrite pipelined loop counters inside p).
-	code, err := sched.Schedule(p, cfg.Machine, sched.Options{EnableModulo: cfg.Modulo})
+	sp = root.Child("schedule")
+	code, err := sched.Schedule(p, cfg.Machine,
+		sched.Options{EnableModulo: cfg.Modulo, Span: sp})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 	}
@@ -279,7 +322,12 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 		}
 	}
 
+	sp = root.Child("bufplan")
 	c.Plan = loopbuffer.Plan(code, prof1, cfg.BufferCapacity)
+	sp.SetInt("capacity", cfg.BufferCapacity)
+	sp.SetInt("planned_loops", len(c.Plan.Loops))
+	sp.End()
+	root.SetInt("final_ops", c.Stats.FinalOps)
 	if cfg.Verify {
 		if err := verify.AsError(verify.Plan("post-bufplan", code, c.Plan)); err != nil {
 			return nil, fmt.Errorf("%s: post-bufplan: %w", cfg.Name, err)
@@ -306,7 +354,12 @@ func (c *Compiled) runPlan(plan *vliw.BufferPlan) (*vliw.Result, error) {
 			return nil, fmt.Errorf("%s: %w", c.Config.Name, err)
 		}
 	}
-	res, err := vliw.Run(c.Code, plan, vliw.Options{EntryArgs: c.Config.EntryArgs})
+	var label string
+	if c.Config.Obs != nil {
+		label = fmt.Sprintf("%s/%s@%d", c.Config.TraceLabel, c.Config.Name, plan.Capacity)
+	}
+	res, err := vliw.Run(c.Code, plan, vliw.Options{EntryArgs: c.Config.EntryArgs,
+		Obs: c.Config.Obs, TraceLabel: label})
 	if err != nil {
 		return nil, fmt.Errorf("%s: simulation: %w", c.Config.Name, err)
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 
+	"lpbuf/internal/obs"
 	"lpbuf/internal/runner"
 )
 
@@ -33,6 +34,10 @@ type Artifact struct {
 	Headline *Headline            `json:"headline,omitempty"`
 
 	Runner *runner.Snapshot `json:"runner,omitempty"`
+	// Metrics embeds the observability registry snapshot (simulator,
+	// runner and compile counters) so experiment sweeps carry their
+	// own telemetry.
+	Metrics *obs.RegistrySnapshot `json:"metrics,omitempty"`
 }
 
 // NewArtifact creates an empty artifact for the registered benchmark

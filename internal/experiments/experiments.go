@@ -18,6 +18,7 @@ import (
 	"lpbuf/internal/bench/suite"
 	"lpbuf/internal/core"
 	"lpbuf/internal/ir"
+	"lpbuf/internal/obs"
 	"lpbuf/internal/power"
 	"lpbuf/internal/predicate"
 	"lpbuf/internal/runner"
@@ -38,6 +39,7 @@ type Suite struct {
 	metrics *runner.Metrics
 	flight  runner.Flight
 	verify  bool
+	obs     *obs.Obs
 
 	mu    sync.Mutex
 	cache map[string]*core.Compiled
@@ -53,6 +55,12 @@ type Options struct {
 	// Verify enables the internal/verify phase checkpoints on every
 	// compile the suite performs (lpbuf -verify).
 	Verify bool
+	// Obs threads observability through every compile and simulation
+	// the suite performs: compile-phase and runner-job spans into
+	// Obs.Trace, simulator events into Obs.Sim, and counters into
+	// Obs.Reg (which also backs the runner metrics, so one registry
+	// snapshot covers both layers). Nil disables instrumentation.
+	Obs *obs.Obs
 }
 
 // New creates an empty experiment suite with default options.
@@ -63,7 +71,7 @@ func New() *Suite {
 // NewWithOptions creates an empty experiment suite with an explicit
 // worker bound and/or event observer.
 func NewWithOptions(o Options) *Suite {
-	m := runner.NewMetrics()
+	m := runner.NewMetricsIn(o.Obs.Registry())
 	opts := []runner.Option{runner.WithMetrics(m)}
 	if o.Workers > 0 {
 		opts = append(opts, runner.WithWorkers(o.Workers))
@@ -71,10 +79,14 @@ func NewWithOptions(o Options) *Suite {
 	if o.OnEvent != nil {
 		opts = append(opts, runner.WithObserver(o.OnEvent))
 	}
+	if o.Obs != nil && o.Obs.Trace != nil {
+		opts = append(opts, runner.WithTrace(o.Obs.Trace))
+	}
 	return &Suite{
 		run:     runner.New(opts...),
 		metrics: m,
 		verify:  o.Verify,
+		obs:     o.Obs,
 		cache:   map[string]*core.Compiled{},
 		runs:    map[string]*Run{},
 	}
@@ -115,6 +127,8 @@ func (s *Suite) compiled(name, cfg string) (*core.Compiled, bench.Benchmark, err
 		return nil, b, fmt.Errorf("unknown config %q", cfg)
 	}
 	config.Verify = s.verify
+	config.Obs = s.obs
+	config.TraceLabel = name
 	key := name + "/" + cfg
 	s.mu.Lock()
 	c := s.cache[key]

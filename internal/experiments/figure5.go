@@ -39,28 +39,26 @@ type Fig5 struct {
 	TotalIssueFromBuffer float64 `json:"total_issue_from_buffer"`
 }
 
-// Figure5 runs g724dec at the given buffer size and extracts the
-// post-filter loop traces.
+// Figure5 runs g724dec at the given buffer size (through the suite's
+// verified, memoized run cache) and extracts the post-filter loop
+// traces.
 func (s *Suite) Figure5(bufferOps int) (*Fig5, error) {
-	c, b, err := s.compiled("g724dec", "aggressive")
+	r, err := s.RunAt("g724dec", "aggressive", bufferOps)
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.RunWithBuffer(bufferOps)
+	c, _, err := s.compiled("g724dec", "aggressive")
 	if err != nil {
-		return nil, err
-	}
-	if err := b.Check(res.Mem); err != nil {
 		return nil, err
 	}
 	out := &Fig5{BufferOps: bufferOps,
-		TotalIssueFromBuffer: res.Stats.BufferIssueRatio()}
+		TotalIssueFromBuffer: r.Stats.BufferIssueRatio()}
 
 	// Planned loops give footprint/offset; runtime stats give traces.
 	// The post filter may have been inlined into main, so match loops
 	// by their source block labels rather than by function.
 	loops := map[string]Fig5Loop{}
-	for key, ls := range res.Stats.Loops {
+	for key, ls := range r.Stats.Loops {
 		loops[key] = Fig5Loop{Label: key,
 			Entries: ls.Entries, Iterations: ls.Iterations,
 			BufferedIterations: ls.BufferedIterations,

@@ -1,0 +1,58 @@
+package experiments
+
+import "testing"
+
+// TestGoldenLoopStats pins the exact loop-buffer counters for one
+// known configuration: adpcmdec, aggressive pipeline, 64-operation
+// buffer. The decoder's single hot loop enters once, records on its
+// first iteration, and replays the remaining 4094 — so any change to
+// the buffer state machine (record/replay transitions, residency
+// accounting, per-fetch hit/miss attribution) shows up here as an
+// exact-value diff rather than a drifting ratio.
+func TestGoldenLoopStats(t *testing.T) {
+	s := New()
+	r, err := s.RunAt("adpcmdec", "aggressive", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats.Cycles; got != 40972 {
+		t.Errorf("cycles = %d, want 40972", got)
+	}
+	if got := r.Stats.OpsIssued; got != 163850 {
+		t.Errorf("ops issued = %d, want 163850", got)
+	}
+	if got := r.Stats.OpsFromBuffer; got != 163760 {
+		t.Errorf("ops from buffer = %d, want 163760", got)
+	}
+	if got := r.Stats.RecFetches; got != 1 {
+		t.Errorf("rec fetches = %d, want 1", got)
+	}
+	if n := len(r.Stats.Loops); n != 1 {
+		t.Fatalf("buffered loops = %d, want 1 (keys: %v)", n, loopKeys(r))
+	}
+	ls := r.Stats.Loops["main@12"]
+	if ls == nil {
+		t.Fatalf("loop main@12 missing; have %v", loopKeys(r))
+	}
+	want := struct {
+		entries, iterations, buffered, opsBuf, opsMem, recordings int64
+	}{1, 4095, 4094, 163760, 40, 1}
+	if ls.Entries != want.entries || ls.Iterations != want.iterations ||
+		ls.BufferedIterations != want.buffered || ls.OpsBuffered != want.opsBuf ||
+		ls.OpsMemory != want.opsMem || ls.Recordings != want.recordings {
+		t.Errorf("loop stats = %+v, want %+v", *ls, want)
+	}
+	// The registry fold and the metrics dump must agree with the raw
+	// counters: ops_buffered + ops_memory is the loop's entire issue.
+	if ls.OpsBuffered+ls.OpsMemory != 163800 {
+		t.Errorf("loop issue split %d+%d != 163800", ls.OpsBuffered, ls.OpsMemory)
+	}
+}
+
+func loopKeys(r *Run) []string {
+	var keys []string
+	for k := range r.Stats.Loops {
+		keys = append(keys, k)
+	}
+	return keys
+}

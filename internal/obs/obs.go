@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"math"
+	"os"
+)
+
+// Obs bundles the three observability sinks threaded through the
+// pipeline: the metrics registry, the span trace, and the simulator
+// event ring. Any field may be nil to disable that sink, and a nil
+// *Obs disables everything; all accessors and hooks are nil-safe, so
+// instrumented code needs no enabled/disabled branches beyond the nil
+// checks the methods already contain.
+type Obs struct {
+	Reg   *Registry
+	Trace *Trace
+	Sim   *SimTrace
+}
+
+// Config selects which sinks New enables.
+type Config struct {
+	// Metrics enables the counter/gauge/histogram registry.
+	Metrics bool
+	// Spans enables the wall-clock span trace. MaxSpanEvents <= 0 uses
+	// DefaultTraceEvents.
+	Spans         bool
+	MaxSpanEvents int
+	// SimEvents enables the simulator ring. SimRingSize <= 0 uses
+	// DefaultSimEvents.
+	SimEvents   bool
+	SimRingSize int
+}
+
+// New creates an Obs with the configured sinks.
+func New(cfg Config) *Obs {
+	o := &Obs{}
+	if cfg.Metrics {
+		o.Reg = NewRegistry()
+	}
+	if cfg.Spans {
+		o.Trace = NewTrace(cfg.MaxSpanEvents)
+	}
+	if cfg.SimEvents {
+		o.Sim = NewSimTrace(cfg.SimRingSize)
+	}
+	return o
+}
+
+// StartSpan opens a root span (nil when spans are disabled).
+func (o *Obs) StartSpan(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Trace.StartSpan(name)
+}
+
+// Counter returns the named counter (nil no-op when metrics are
+// disabled).
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Reg.Counter(name)
+}
+
+// Registry returns the metrics registry (possibly nil).
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}
+
+// SimRing returns the simulator event ring (possibly nil).
+func (o *Obs) SimRing() *SimTrace {
+	if o == nil {
+		return nil
+	}
+	return o.Sim
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+func createFile(path string) (*os.File, error) { return os.Create(path) }

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if r.Counter("jobs") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("inflight")
+	g.SetInt(7)
+	g.Max(3) // lower: no change
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+	g.Max(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge after Max = %v, want 9", got)
+	}
+	h := r.Histogram("wall")
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000, -5} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms["wall"]
+	if hs.Count != 7 {
+		t.Fatalf("hist count = %d, want 7", hs.Count)
+	}
+	if hs.Sum != 1010 {
+		t.Fatalf("hist sum = %d, want 1010", hs.Sum)
+	}
+	var total int64
+	for _, b := range hs.Buckets {
+		total += b.Count
+	}
+	if total != 7 {
+		t.Fatalf("bucket total = %d, want 7", total)
+	}
+	if snap.Counters["jobs"] != 4 || snap.Gauges["inflight"] != 9 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestSnapshotStableJSON(t *testing.T) {
+	build := func(order []string) []byte {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name).Add(int64(len(name)))
+		}
+		b, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := build([]string{"alpha", "beta", "gamma", "delta"})
+	b := build([]string{"delta", "gamma", "beta", "alpha"})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshot JSON depends on registration order:\n%s\n%s", a, b)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter(fmt.Sprintf("c%d", i%17)).Inc()
+				r.Histogram("h").Observe(int64(i))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var total int64
+	for _, v := range snap.Counters {
+		total += v
+	}
+	if total != 8*1000 {
+		t.Fatalf("counter total = %d, want 8000", total)
+	}
+	if snap.Histograms["h"].Count != 8*1000 {
+		t.Fatalf("hist count = %d, want 8000", snap.Histograms["h"].Count)
+	}
+}
+
+func TestSpansNestAndExport(t *testing.T) {
+	tr := NewTrace(0)
+	root := tr.StartSpan("compile")
+	root.SetAttr("config", "aggressive")
+	child := root.Child("opt")
+	child.SetInt("ops_before", 100)
+	child.SetInt("ops_after", 80)
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(file.TraceEvents))
+	}
+	byName := map[string]map[string]any{}
+	for _, ev := range file.TraceEvents {
+		byName[ev["name"].(string)] = ev
+		for _, k := range []string{"ph", "ts", "pid", "tid"} {
+			if _, ok := ev[k]; !ok {
+				t.Fatalf("event %v missing %q", ev, k)
+			}
+		}
+	}
+	opt := byName["opt"]
+	if opt == nil {
+		t.Fatalf("no opt span in %v", byName)
+	}
+	args := opt["args"].(map[string]any)
+	if args["ops_before"].(float64) != 100 || args["ops_after"].(float64) != 80 {
+		t.Fatalf("opt args = %v", args)
+	}
+	if byName["compile"]["tid"] != opt["tid"] {
+		t.Fatal("child span not on parent's track")
+	}
+}
+
+func TestTraceEventCap(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.StartSpan("s").End()
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr, nil); err != nil {
+		t.Fatal(err)
+	}
+	// 4 kept spans + 1 dropped-spans marker.
+	var file chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.TraceEvents) != 5 {
+		t.Fatalf("got %d events, want 5", len(file.TraceEvents))
+	}
+}
+
+func TestSimTraceRing(t *testing.T) {
+	s := NewSimTrace(4)
+	for i := 0; i < 6; i++ {
+		s.Emit(SimEvent{Cycle: int64(i), Kind: SimIssue})
+	}
+	if s.Total() != 6 {
+		t.Fatalf("total = %d, want 6", s.Total())
+	}
+	evs := s.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained = %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Cycle != int64(i+2) {
+			t.Fatalf("event %d cycle = %d, want %d (oldest-first order)", i, ev.Cycle, i+2)
+		}
+	}
+	// Partial fill keeps emission order too.
+	s2 := NewSimTrace(8)
+	s2.Emit(SimEvent{Cycle: 1})
+	s2.Emit(SimEvent{Cycle: 2})
+	evs = s2.Events()
+	if len(evs) != 2 || evs[0].Cycle != 1 || evs[1].Cycle != 2 {
+		t.Fatalf("partial ring events = %+v", evs)
+	}
+}
+
+func TestSimTraceChromeExport(t *testing.T) {
+	s := NewSimTrace(16)
+	s.Emit(SimEvent{Cycle: 5, Kind: SimLoopRecord, Run: "r", Func: "main", PC: 3, Loop: "main@3"})
+	s.Emit(SimEvent{Cycle: 6, Kind: SimLoopReplay, Run: "r", Func: "main", PC: 3, Loop: "main@3"})
+	s.Emit(SimEvent{Cycle: 40, Kind: SimLoopExit, Run: "r", Func: "main", PC: 9, Loop: "main@3", Arg: 5, Aux: 1})
+	s.Emit(SimEvent{Cycle: 41, Kind: SimRedirect, Run: "r", Func: "main", PC: 9, Arg: 3})
+	s.Emit(SimEvent{Cycle: 50, Kind: SimIssue, Run: "r", Func: "main", PC: 10})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, s); err != nil {
+		t.Fatal(err)
+	}
+	var file chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	// Issue instants are skipped in the viewer export: 4 events remain.
+	if len(file.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4: %+v", len(file.TraceEvents), file.TraceEvents)
+	}
+	var exit *chromeEvent
+	for i := range file.TraceEvents {
+		if file.TraceEvents[i].Ph == "X" {
+			exit = &file.TraceEvents[i]
+		}
+	}
+	if exit == nil {
+		t.Fatal("no residency (X) event for loop exit")
+	}
+	if exit.Ts != 5 || exit.Dur != 35 {
+		t.Fatalf("residency ts/dur = %d/%d, want 5/35", exit.Ts, exit.Dur)
+	}
+}
+
+// TestNilHooksAllocateNothing is the disabled-path guarantee: every
+// hook on nil sinks must be a no-op with zero allocations, so
+// instrumented hot loops pay only a nil check when observability is
+// off.
+func TestNilHooksAllocateNothing(t *testing.T) {
+	var (
+		o  *Obs
+		r  *Registry
+		c  *Counter
+		g  *Gauge
+		h  *Histogram
+		tr *Trace
+		st *SimTrace
+	)
+	ev := SimEvent{Cycle: 1, Kind: SimIssue, Func: "f", PC: 2}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		c.Inc()
+		g.Set(1)
+		g.Max(2)
+		h.Observe(3)
+		st.Emit(ev)
+		sp := o.StartSpan("x")
+		sp.SetAttr("k", "v")
+		sp.Child("y").End()
+		sp.End()
+		tr.StartSpan("z").End()
+		o.Counter("c").Add(1)
+		r.Counter("c").Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled hooks allocate %v times per op, want 0", allocs)
+	}
+}
+
+func BenchmarkDisabledCounter(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkDisabledSimEmit(b *testing.B) {
+	var s *SimTrace
+	ev := SimEvent{Cycle: 1, Kind: SimIssue}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Emit(ev)
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkEnabledSimEmit(b *testing.B) {
+	s := NewSimTrace(1 << 12)
+	ev := SimEvent{Cycle: 1, Kind: SimIssue, Func: "main"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.Cycle = int64(i)
+		s.Emit(ev)
+	}
+}

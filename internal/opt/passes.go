@@ -2,29 +2,71 @@ package opt
 
 import (
 	"lpbuf/internal/ir"
+	"lpbuf/internal/obs"
 )
+
+// passTable names the scalar pipeline's passes in execution order, so
+// the instrumented driver can emit one span per pass invocation.
+var passTable = []struct {
+	name string
+	fn   func(*ir.Func) bool
+}{
+	{"constprop", LocalConstProp},
+	{"strength", StrengthReduce},
+	{"copyprop", LocalCopyProp},
+	{"cse", LocalCSE},
+	{"branches", SimplifyBranches},
+	{"deadcode", DeadCode},
+	{"cleancfg", CleanCFG},
+}
 
 // Optimize runs the traditional scalar optimization pipeline on every
 // function until a fixpoint (bounded), returning the number of
 // rewriting rounds performed.
-func Optimize(p *ir.Program) int {
+func Optimize(p *ir.Program) int { return OptimizeSpans(p, nil) }
+
+// OptimizeSpans is Optimize with observability: each pass invocation
+// that changes the function gets a span under parent carrying the
+// function name, round, and IR op count before/after (the per-pass
+// delta). A nil parent disables instrumentation entirely — the span
+// calls are nil no-ops and no op counting happens.
+func OptimizeSpans(p *ir.Program, parent *obs.Span) int {
 	rounds := 0
 	for _, name := range p.Order {
 		f := p.Funcs[name]
+		fs := parent.Child("opt." + name)
+		before := 0
+		if parent != nil {
+			before = f.OpCount()
+		}
 		for i := 0; i < 8; i++ {
 			changed := false
-			changed = LocalConstProp(f) || changed
-			changed = StrengthReduce(f) || changed
-			changed = LocalCopyProp(f) || changed
-			changed = LocalCSE(f) || changed
-			changed = SimplifyBranches(f) || changed
-			changed = DeadCode(f) || changed
-			changed = CleanCFG(f) || changed
+			for _, pass := range passTable {
+				ps := fs.Child("opt." + name + "." + pass.name)
+				var opsBefore int
+				if fs != nil {
+					opsBefore = f.OpCount()
+				}
+				c := pass.fn(f)
+				changed = c || changed
+				if fs != nil {
+					ps.SetInt("round", i)
+					ps.SetInt("ops_before", opsBefore)
+					ps.SetInt("ops_after", f.OpCount())
+					ps.SetAttr("changed", c)
+				}
+				ps.End()
+			}
 			rounds++
 			if !changed {
 				break
 			}
 		}
+		if parent != nil {
+			fs.SetInt("ops_before", before)
+			fs.SetInt("ops_after", f.OpCount())
+		}
+		fs.End()
 	}
 	return rounds
 }

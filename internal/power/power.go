@@ -44,6 +44,27 @@ func (m *Model) FetchEnergy(memOps, bufOps int64, bufferOps int) float64 {
 		float64(bufOps)*m.BufferEnergyPerOp(bufferOps)
 }
 
+// LoopEnergy splits one loop's (or one run's) instruction-fetch energy
+// between buffer and global-memory fetches, in the model's units.
+type LoopEnergy struct {
+	BufferEnergy float64 `json:"buffer_energy"`
+	MemoryEnergy float64 `json:"memory_energy"`
+	TotalEnergy  float64 `json:"total_energy"`
+}
+
+// Attribute computes the buffer/memory fetch-energy split for a body
+// of code that issued bufOps from a buffer of the given capacity and
+// memOps from global memory (the per-loop attribution behind the
+// metrics snapshot's "loops" section).
+func (m *Model) Attribute(memOps, bufOps int64, bufferOps int) LoopEnergy {
+	e := LoopEnergy{
+		BufferEnergy: float64(bufOps) * m.BufferEnergyPerOp(bufferOps),
+		MemoryEnergy: float64(memOps) * m.MemEnergyPerOp,
+	}
+	e.TotalEnergy = e.BufferEnergy + e.MemoryEnergy
+	return e
+}
+
 // Normalized returns the run's fetch energy relative to a baseline run
 // that fetched baselineMemOps operations entirely from global memory
 // (the paper's Figure 8b normalization: buffer-less issue of

@@ -70,3 +70,64 @@ func TestZeroBaseline(t *testing.T) {
 		t.Fatalf("zero baseline should give 0, got %v", got)
 	}
 }
+
+func TestMinBufferFracFloor(t *testing.T) {
+	m := Default()
+	// Every capacity at or below the floor's break-even point pays the
+	// same floored energy; the floor engages exactly where linear
+	// scaling would dip below it (256 * 0.1 = 25.6 ops).
+	floorE := m.MinBufferFrac
+	for _, ops := range []int{1, 2, 8, 16, 25} {
+		if got := m.BufferEnergyPerOp(ops); math.Abs(got-floorE) > 1e-12 {
+			t.Fatalf("BufferEnergyPerOp(%d) = %v, want floor %v", ops, got, floorE)
+		}
+	}
+	// Just above break-even, linear scaling resumes.
+	if got := m.BufferEnergyPerOp(26); got <= floorE {
+		t.Fatalf("BufferEnergyPerOp(26) = %v, want > floor %v", got, floorE)
+	}
+	// The floor keeps tiny buffers from reporting near-zero energy in
+	// FetchEnergy too.
+	if got := m.FetchEnergy(0, 1000, 1); math.Abs(got-1000*floorE) > 1e-9 {
+		t.Fatalf("floored FetchEnergy = %v, want %v", got, 1000*floorE)
+	}
+	// A zero floor degenerates to pure linear scaling.
+	m2 := &Model{MemEnergyPerOp: 41.8, CalibBufferOps: 256, MinBufferFrac: 0}
+	if got := m2.BufferEnergyPerOp(1); math.Abs(got-1.0/256) > 1e-12 {
+		t.Fatalf("unfloored BufferEnergyPerOp(1) = %v, want %v", got, 1.0/256)
+	}
+}
+
+func TestZeroOpRuns(t *testing.T) {
+	m := Default()
+	// A run that issued nothing costs nothing and attributes nothing.
+	if got := m.FetchEnergy(0, 0, 256); got != 0 {
+		t.Fatalf("zero-op FetchEnergy = %v, want 0", got)
+	}
+	e := m.Attribute(0, 0, 256)
+	if e.BufferEnergy != 0 || e.MemoryEnergy != 0 || e.TotalEnergy != 0 {
+		t.Fatalf("zero-op attribution = %+v, want zeros", e)
+	}
+	// Zero ops against a real baseline normalizes to 0, not NaN.
+	if got := m.Normalized(0, 0, 256, 1000); got != 0 || math.IsNaN(got) {
+		t.Fatalf("zero-op normalized = %v, want 0", got)
+	}
+}
+
+func TestAttributeSplits(t *testing.T) {
+	m := Default()
+	e := m.Attribute(10, 1000, 256)
+	if math.Abs(e.MemoryEnergy-418.0) > 1e-9 {
+		t.Fatalf("memory energy = %v, want 418", e.MemoryEnergy)
+	}
+	if math.Abs(e.BufferEnergy-1000.0) > 1e-9 {
+		t.Fatalf("buffer energy = %v, want 1000 (calibration size)", e.BufferEnergy)
+	}
+	if math.Abs(e.TotalEnergy-(e.BufferEnergy+e.MemoryEnergy)) > 1e-9 {
+		t.Fatalf("total %v != buffer %v + memory %v", e.TotalEnergy, e.BufferEnergy, e.MemoryEnergy)
+	}
+	// Attribution sums to FetchEnergy exactly.
+	if got := m.FetchEnergy(10, 1000, 256); math.Abs(got-e.TotalEnergy) > 1e-9 {
+		t.Fatalf("FetchEnergy %v != attribution total %v", got, e.TotalEnergy)
+	}
+}

@@ -4,26 +4,35 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"lpbuf/internal/obs"
 )
 
-// Metrics aggregates the runner's structured event stream into
-// counters: jobs run/failed/retried, wall time split by job kind,
-// compile- and run-cache hit/miss counts, peak in-flight jobs, and a
-// per-job timing record for the JSON artifact. All methods are safe
-// for concurrent use.
+// Metrics aggregates the runner's structured event stream: jobs
+// run/failed/retried, wall time split by job kind, compile- and
+// run-cache hit/miss counts, peak in-flight jobs, and a per-job timing
+// record for the JSON artifact. The scalar counters live in an
+// obs.Registry (under "runner.*" names), so they appear in metrics
+// snapshots alongside the simulator's and can be scraped via expvar;
+// Snapshot reads them back through the registry's atomic instruments.
+// All methods are safe for concurrent use.
 type Metrics struct {
-	mu           sync.Mutex
-	jobsRun      int64
-	jobsFailed   int64
-	retries      int64
-	cacheHits    int64 // compile cache
-	cacheMisses  int64 // actual compiles
-	runHits      int64 // simulation-result cache
-	runMisses    int64 // actual simulations
-	inFlight     int
-	peakInFlight int
-	kinds        map[Kind]*kindCounter
-	jobs         []JobRecord
+	reg *obs.Registry
+
+	jobsRun     *obs.Counter
+	jobsFailed  *obs.Counter
+	retries     *obs.Counter
+	cacheHits   *obs.Counter // compile cache
+	cacheMisses *obs.Counter // actual compiles
+	runHits     *obs.Counter // simulation-result cache
+	runMisses   *obs.Counter // actual simulations
+	peak        *obs.Gauge
+	wall        *obs.Histogram // per-job wall time, ms
+
+	mu       sync.Mutex
+	inFlight int
+	kinds    map[Kind]*kindCounter
+	jobs     []JobRecord
 }
 
 type kindCounter struct {
@@ -31,35 +40,55 @@ type kindCounter struct {
 	wall time.Duration
 }
 
-// NewMetrics creates an empty counter set.
-func NewMetrics() *Metrics {
-	return &Metrics{kinds: map[Kind]*kindCounter{}}
+// NewMetrics creates a counter set backed by a private registry.
+func NewMetrics() *Metrics { return NewMetricsIn(obs.NewRegistry()) }
+
+// NewMetricsIn creates a counter set whose scalar counters live in the
+// given registry, so runner metrics share a snapshot with everything
+// else registered there.
+func NewMetricsIn(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Metrics{
+		reg:         reg,
+		jobsRun:     reg.Counter("runner.jobs_run"),
+		jobsFailed:  reg.Counter("runner.jobs_failed"),
+		retries:     reg.Counter("runner.retries"),
+		cacheHits:   reg.Counter("runner.compile_cache_hits"),
+		cacheMisses: reg.Counter("runner.compile_cache_misses"),
+		runHits:     reg.Counter("runner.run_cache_hits"),
+		runMisses:   reg.Counter("runner.run_cache_misses"),
+		peak:        reg.Gauge("runner.peak_in_flight"),
+		wall:        reg.Histogram("runner.job_wall_ms"),
+		kinds:       map[Kind]*kindCounter{},
+	}
 }
+
+// Registry exposes the backing registry (for snapshots/expvar).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 func (m *Metrics) jobStart() int {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.inFlight++
-	if m.inFlight > m.peakInFlight {
-		m.peakInFlight = m.inFlight
-	}
-	return m.inFlight
+	n := m.inFlight
+	m.mu.Unlock()
+	m.peak.Max(float64(n))
+	return n
 }
 
-func (m *Metrics) retry() {
-	m.mu.Lock()
-	m.retries++
-	m.mu.Unlock()
-}
+func (m *Metrics) retry() { m.retries.Inc() }
 
 func (m *Metrics) jobDone(s *Spec, elapsed time.Duration, err error) {
+	m.jobsRun.Inc()
+	if err != nil {
+		m.jobsFailed.Inc()
+	}
+	m.wall.Observe(elapsed.Milliseconds())
+	m.reg.Counter("runner.kind." + string(s.Kind) + ".jobs").Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.inFlight--
-	m.jobsRun++
-	if err != nil {
-		m.jobsFailed++
-	}
 	kc := m.kinds[s.Kind]
 	if kc == nil {
 		kc = &kindCounter{}
@@ -76,39 +105,19 @@ func (m *Metrics) jobDone(s *Spec, elapsed time.Duration, err error) {
 }
 
 // CacheHit counts a compile served from cache (or shared in flight).
-func (m *Metrics) CacheHit() {
-	m.mu.Lock()
-	m.cacheHits++
-	m.mu.Unlock()
-}
+func (m *Metrics) CacheHit() { m.cacheHits.Inc() }
 
 // CacheMiss counts an actual compile execution.
-func (m *Metrics) CacheMiss() {
-	m.mu.Lock()
-	m.cacheMisses++
-	m.mu.Unlock()
-}
+func (m *Metrics) CacheMiss() { m.cacheMisses.Inc() }
 
 // RunHit counts a simulation result served from cache.
-func (m *Metrics) RunHit() {
-	m.mu.Lock()
-	m.runHits++
-	m.mu.Unlock()
-}
+func (m *Metrics) RunHit() { m.runHits.Inc() }
 
 // RunMiss counts an actual simulation execution.
-func (m *Metrics) RunMiss() {
-	m.mu.Lock()
-	m.runMisses++
-	m.mu.Unlock()
-}
+func (m *Metrics) RunMiss() { m.runMisses.Inc() }
 
 // CacheMisses reports how many compiles actually executed.
-func (m *Metrics) CacheMisses() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.cacheMisses
-}
+func (m *Metrics) CacheMisses() int64 { return m.cacheMisses.Value() }
 
 // JobRecord is the per-job timing entry of the JSON artifact.
 type JobRecord struct {
@@ -140,27 +149,29 @@ type Snapshot struct {
 
 // Snapshot copies the counters. Job records are sorted by key so the
 // artifact diffs cleanly across runs regardless of completion order.
+// Safe to call while jobs are running: the scalar counters are atomic
+// registry reads and the job/kind tables are copied under the mutex.
 func (m *Metrics) Snapshot() Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := Snapshot{
-		JobsRun:      m.jobsRun,
-		JobsFailed:   m.jobsFailed,
-		Retries:      m.retries,
-		CacheHits:    m.cacheHits,
-		CacheMisses:  m.cacheMisses,
-		RunHits:      m.runHits,
-		RunMisses:    m.runMisses,
-		PeakInFlight: m.peakInFlight,
-		Kinds:        make(map[string]KindSnapshot, len(m.kinds)),
-		Jobs:         append([]JobRecord(nil), m.jobs...),
+		JobsRun:      m.jobsRun.Value(),
+		JobsFailed:   m.jobsFailed.Value(),
+		Retries:      m.retries.Value(),
+		CacheHits:    m.cacheHits.Value(),
+		CacheMisses:  m.cacheMisses.Value(),
+		RunHits:      m.runHits.Value(),
+		RunMisses:    m.runMisses.Value(),
+		PeakInFlight: int(m.peak.Value()),
 	}
+	m.mu.Lock()
+	s.Kinds = make(map[string]KindSnapshot, len(m.kinds))
 	for k, kc := range m.kinds {
 		s.Kinds[string(k)] = KindSnapshot{
 			Jobs:   kc.jobs,
 			WallMS: float64(kc.wall) / float64(time.Millisecond),
 		}
 	}
+	s.Jobs = append([]JobRecord(nil), m.jobs...)
+	m.mu.Unlock()
 	sort.Slice(s.Jobs, func(i, j int) bool {
 		if s.Jobs[i].Key != s.Jobs[j].Key {
 			return s.Jobs[i].Key < s.Jobs[j].Key

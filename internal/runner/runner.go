@@ -17,6 +17,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"lpbuf/internal/obs"
 )
 
 // Runner executes job graphs on a bounded worker pool. The bound is
@@ -31,6 +33,7 @@ type Runner struct {
 	sem     chan struct{}
 	metrics *Metrics
 	onEvent func(Event)
+	trace   *obs.Trace
 }
 
 // Option configures a Runner.
@@ -60,6 +63,12 @@ func WithMetrics(m *Metrics) Option {
 // callback may be invoked from multiple worker goroutines.
 func WithObserver(fn func(Event)) Option {
 	return func(r *Runner) { r.onEvent = fn }
+}
+
+// WithTrace records one span per job (kind, key, attempts, outcome)
+// into the given trace. Nil disables job spans.
+func WithTrace(t *obs.Trace) Option {
+	return func(r *Runner) { r.trace = t }
 }
 
 // New creates a Runner. The default worker bound is GOMAXPROCS.
@@ -199,12 +208,16 @@ func (r *Runner) Execute(ctx context.Context, g *Graph) (map[string]any, error) 
 func (r *Runner) runJob(ctx context.Context, s *Spec, deps map[string]any) (any, error) {
 	inFlight := r.metrics.jobStart()
 	r.emit(Event{Type: EventStart, Key: s.Key, Kind: s.Kind, InFlight: inFlight})
+	span := r.trace.StartSpan("job." + string(s.Kind))
+	span.SetAttr("key", s.Key)
 	start := time.Now()
 	var v any
 	var err error
+	attempts := 1
 	for attempt := 0; ; attempt++ {
 		v, err = s.Run(ctx, deps)
 		if err == nil || ctx.Err() != nil || !IsTransient(err) || attempt >= s.Retries {
+			attempts = attempt + 1
 			break
 		}
 		r.metrics.retry()
@@ -213,6 +226,9 @@ func (r *Runner) runJob(ctx context.Context, s *Spec, deps map[string]any) (any,
 	}
 	elapsed := time.Since(start)
 	r.metrics.jobDone(s, elapsed, err)
+	span.SetInt("attempts", attempts)
+	span.SetAttr("ok", err == nil)
+	span.End()
 	if err != nil {
 		r.emit(Event{Type: EventFail, Key: s.Key, Kind: s.Kind, Elapsed: elapsed, Err: err.Error()})
 		return nil, err

@@ -5,6 +5,7 @@ import (
 
 	"lpbuf/internal/ir"
 	"lpbuf/internal/machine"
+	"lpbuf/internal/obs"
 )
 
 // Options control scheduling.
@@ -13,6 +14,9 @@ type Options struct {
 	EnableModulo bool
 	// MaxII bounds the initiation-interval search (0 = auto).
 	MaxII int
+	// Span, when non-nil, parents one observability span per scheduled
+	// function (IR ops in, bundles/ops/kernels out, wall time).
+	Span *obs.Span
 }
 
 // Schedule compiles a program into VLIW bundles. NOTE: when modulo
@@ -22,11 +26,28 @@ type Options struct {
 func Schedule(prog *ir.Program, m *machine.Desc, opts Options) (*Code, error) {
 	code := &Code{Prog: prog, Funcs: map[string]*FuncCode{}, Mach: m}
 	for _, name := range prog.Order {
+		sp := opts.Span.Child("sched." + name)
+		if opts.Span != nil {
+			sp.SetInt("ir_ops", prog.Funcs[name].OpCount())
+		}
 		fc, err := scheduleFunc(prog, prog.Funcs[name], m, opts)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("scheduling %s: %w", name, err)
 		}
 		code.Funcs[name] = fc
+		if opts.Span != nil {
+			sp.SetInt("bundles", len(fc.Bundles))
+			sp.SetInt("sched_ops", fc.OpCount())
+			kernels := 0
+			for _, sec := range fc.Sections {
+				if sec.Kind == KindKernel {
+					kernels++
+				}
+			}
+			sp.SetInt("kernels", kernels)
+		}
+		sp.End()
 	}
 	if err := code.Validate(); err != nil {
 		return nil, err

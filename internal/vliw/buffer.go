@@ -3,6 +3,7 @@ package vliw
 import (
 	"fmt"
 
+	"lpbuf/internal/obs"
 	"lpbuf/internal/sched"
 )
 
@@ -42,22 +43,30 @@ type bufferState struct {
 	// byFunc[func][bundle] = planned loop covering that bundle.
 	byFunc map[string][]*PlannedLoop
 	maxPC  map[string]int
+	// index and stats cache per-loop lookups so the per-fetch hot path
+	// never re-derives the loop's string key (Key() formats).
+	index map[*PlannedLoop]int
+	stats map[*PlannedLoop]*LoopStats
 	// intact[i] reports whether plan.Loops[i]'s image is valid.
 	intact []bool
 	// cur is the loop currently streaming (recording or replaying).
 	cur *PlannedLoop
 	// replaying is true when cur issues from the buffer.
 	replaying bool
+	// enteredAt is the cycle cur was entered (for residency events).
+	enteredAt int64
 }
 
 func newBufferState(plan *BufferPlan) *bufferState {
 	bs := &bufferState{plan: plan, byFunc: map[string][]*PlannedLoop{},
-		maxPC: map[string]int{}}
+		maxPC: map[string]int{},
+		index: map[*PlannedLoop]int{}, stats: map[*PlannedLoop]*LoopStats{}}
 	if plan == nil {
 		return bs
 	}
 	bs.intact = make([]bool, len(plan.Loops))
-	for _, pl := range plan.Loops {
+	for i, pl := range plan.Loops {
+		bs.index[pl] = i
 		m := bs.byFunc[pl.Func]
 		for len(m) < pl.EndBundle {
 			m = append(m, nil)
@@ -79,12 +88,7 @@ func (bs *bufferState) loopAt(fn string, pc int) *PlannedLoop {
 }
 
 func (bs *bufferState) indexOf(pl *PlannedLoop) int {
-	for i, p := range bs.plan.Loops {
-		if p == pl {
-			return i
-		}
-	}
-	return -1
+	return bs.index[pl]
 }
 
 // fetch is called once per bundle fetch. It updates the buffer state
@@ -93,16 +97,23 @@ func (bs *bufferState) indexOf(pl *PlannedLoop) int {
 func (bs *bufferState) fetch(fc *sched.FuncCode, pc int, s *sim) (bool, *LoopStats) {
 	pl := bs.loopAt(fc.F.Name, pc)
 	if pl == nil {
-		bs.cur = nil
+		if bs.cur != nil {
+			bs.leave(s, fc.F.Name, pc)
+		}
 		return false, nil
 	}
-	ls := s.stats.Loops[pl.Key()]
+	ls := bs.stats[pl]
 	if ls == nil {
 		ls = &LoopStats{}
+		bs.stats[pl] = ls
 		s.stats.Loops[pl.Key()] = ls
 	}
 	if pc == pl.StartBundle {
 		if bs.cur != pl {
+			if bs.cur != nil {
+				// Falling directly from one buffered loop into another.
+				bs.leave(s, fc.F.Name, pc)
+			}
 			// Entering the loop: the rec_[cw]loop op is fetched from
 			// global memory. It issues in the branch slot alongside the
 			// preceding bundle, so it costs a fetch but no extra cycle
@@ -111,14 +122,23 @@ func (bs *bufferState) fetch(fc *sched.FuncCode, pc int, s *sim) (bool, *LoopSta
 			s.stats.RecFetches++
 			s.stats.OpsIssued++
 			bs.cur = pl
+			bs.enteredAt = s.now
 			i := bs.indexOf(pl)
 			if bs.intact[i] {
 				// Hardware table: image already resident; replay at
 				// once, no re-recording.
 				bs.replaying = true
+				if s.ring != nil {
+					s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimLoopReplay,
+						Run: s.label, Func: fc.F.Name, PC: int32(pc), Loop: pl.Key()})
+				}
 			} else {
 				bs.replaying = false
 				ls.Recordings++
+				if s.ring != nil {
+					s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimLoopRecord,
+						Run: s.label, Func: fc.F.Name, PC: int32(pc), Loop: pl.Key()})
+				}
 				// Recording overwrites overlapping images.
 				for j, other := range bs.plan.Loops {
 					if j == i {
@@ -133,6 +153,10 @@ func (bs *bufferState) fetch(fc *sched.FuncCode, pc int, s *sim) (bool, *LoopSta
 		} else {
 			// Loop-back to the top: after the recording pass the image
 			// is in the buffer; replay from now on.
+			if !bs.replaying && s.ring != nil {
+				s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimLoopReplay,
+					Run: s.label, Func: fc.F.Name, PC: int32(pc), Loop: pl.Key()})
+			}
 			bs.replaying = true
 		}
 		ls.Iterations++
@@ -151,7 +175,7 @@ func (bs *bufferState) takenPenalty(fc *sched.FuncCode, pc int, so *sched.SOp, s
 	}
 	if bs.cur != nil {
 		// Any other taken branch leaves the buffer.
-		bs.cur = nil
+		bs.leave(s, fc.F.Name, pc)
 	}
 	return int64(s.code.Mach.BranchPenalty)
 }
@@ -164,8 +188,7 @@ func (bs *bufferState) exitPenalty(fc *sched.FuncCode, pc int, so *sched.SOp, s 
 	}
 	wasReplaying := bs.replaying
 	counted := bs.cur.Counted
-	bs.cur = nil
-	bs.replaying = false
+	bs.leave(s, fc.F.Name, pc)
 	if counted {
 		return 0
 	}
@@ -173,6 +196,30 @@ func (bs *bufferState) exitPenalty(fc *sched.FuncCode, pc int, so *sched.SOp, s 
 		return int64(s.code.Mach.BranchPenalty)
 	}
 	return 0
+}
+
+// leave closes the current loop residency: emits the SimLoopExit
+// event (whose Arg carries the entry cycle, so exporters can render
+// residency as a time range) and clears the streaming state.
+func (bs *bufferState) leave(s *sim, fn string, pc int) {
+	if bs.cur != nil && s.ring != nil {
+		aux := int64(0)
+		if bs.replaying {
+			aux = 1
+		}
+		s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimLoopExit,
+			Run: s.label, Func: fn, PC: int32(pc), Loop: bs.cur.Key(),
+			Arg: bs.enteredAt, Aux: aux})
+	}
+	bs.cur = nil
+	bs.replaying = false
+}
+
+// flushResidency closes a loop residency left open at end of run.
+func (bs *bufferState) flushResidency(s *sim) {
+	if bs.cur != nil {
+		bs.leave(s, bs.cur.Func, bs.cur.EndBundle)
+	}
 }
 
 func overlap(a, b *PlannedLoop) bool {

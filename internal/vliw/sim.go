@@ -8,8 +8,10 @@ package vliw
 
 import (
 	"fmt"
+	"io"
 
 	"lpbuf/internal/ir"
+	"lpbuf/internal/obs"
 	"lpbuf/internal/sched"
 )
 
@@ -74,6 +76,18 @@ type Options struct {
 	MaxCycles int64
 	// MaxDepth bounds call depth (0 = 256).
 	MaxDepth int
+	// Obs enables observability: cycle-level events into Obs.Sim's
+	// bounded ring and post-run counter folding into Obs.Reg. Nil (or
+	// nil fields) disables each sink; the hot loop then pays only nil
+	// checks (see BenchmarkSimObsDisabled).
+	Obs *obs.Obs
+	// TraceLabel names this run in emitted events (e.g.
+	// "g724dec/aggressive@64").
+	TraceLabel string
+	// DebugWriter receives the per-bundle debug trace (the old
+	// VLIW_TRACE printf stream). Nil falls back to stderr when the
+	// VLIW_TRACE environment variable is set, else off.
+	DebugWriter io.Writer
 }
 
 // pending models one in-flight register write (EQ model: the value
@@ -112,15 +126,23 @@ type sim struct {
 	stats   Stats
 	buf     *bufferState
 	opts    Options
+	// ring is the cycle-level event sink (nil when disabled); label
+	// names the run in emitted events.
+	ring  *obs.SimTrace
+	label string
+	dbg   *debugLog
 }
 
 // Run executes scheduled code from the program entry.
 func Run(code *sched.Code, buffers *BufferPlan, opts Options) (*Result, error) {
 	s := &sim{
-		code: code,
-		mem:  make([]byte, code.Prog.MemSize),
-		opts: opts,
-		buf:  newBufferState(buffers),
+		code:  code,
+		mem:   make([]byte, code.Prog.MemSize),
+		opts:  opts,
+		buf:   newBufferState(buffers),
+		ring:  opts.Obs.SimRing(),
+		label: opts.TraceLabel,
+		dbg:   newDebugLog(opts),
 	}
 	s.stats.Loops = map[string]*LoopStats{}
 	if s.opts.MaxCycles == 0 {
@@ -140,8 +162,36 @@ func Run(code *sched.Code, buffers *BufferPlan, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.buf.flushResidency(s)
 	s.stats.Cycles = s.now + s.penalty
+	if reg := opts.Obs.Registry(); reg != nil {
+		foldStats(reg, &s.stats)
+	}
 	return &Result{Mem: s.mem, Ret: ret, Stats: s.stats}, nil
+}
+
+// foldStats accumulates one run's totals into the metrics registry.
+// It runs once per simulation, after the hot loop, so enabling metrics
+// costs nothing per cycle.
+func foldStats(reg *obs.Registry, st *Stats) {
+	reg.Counter("sim.runs").Inc()
+	reg.Counter("sim.cycles").Add(st.Cycles)
+	reg.Counter("sim.stall_cycles").Add(st.StallCycles)
+	reg.Counter("sim.branch_penalty_cycles").Add(st.BranchPenaltyCycles)
+	reg.Counter("sim.ops_issued").Add(st.OpsIssued)
+	reg.Counter("sim.ops_from_buffer").Add(st.OpsFromBuffer)
+	reg.Counter("sim.ops_from_memory").Add(st.OpsIssued - st.OpsFromBuffer)
+	reg.Counter("sim.ops_nullified").Add(st.OpsNullified)
+	reg.Counter("sim.rec_fetches").Add(st.RecFetches)
+	for _, ls := range st.Loops {
+		reg.Counter("sim.loop.entries").Add(ls.Entries)
+		reg.Counter("sim.loop.iterations").Add(ls.Iterations)
+		reg.Counter("sim.loop.buffered_iterations").Add(ls.BufferedIterations)
+		reg.Counter("sim.loop.buffer_hits").Add(ls.OpsBuffered)
+		reg.Counter("sim.loop.buffer_misses").Add(ls.OpsMemory)
+		reg.Counter("sim.loop.recordings").Add(ls.Recordings)
+	}
+	reg.Histogram("sim.cycles_per_run").Observe(st.Cycles)
 }
 
 func newFrame(fc *sched.FuncCode) *frame {
@@ -248,6 +298,20 @@ type callCtx struct {
 	depth int
 }
 
+// branchAction and storeAction defer control-flow and memory effects
+// to end-of-cycle commit. Plain values (no closures) so the exec
+// scratch buffers stay allocation-free in steady state.
+type branchAction struct {
+	so    *sched.SOp
+	taken bool
+}
+
+type storeAction struct {
+	opc  ir.Opcode
+	addr int64
+	val  int64
+}
+
 // exec runs from bundle pc until return.
 func (s *sim) exec(f *frame, pc int) (int64, error) {
 	depth := 0
@@ -259,6 +323,10 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 		return 0, fmt.Errorf("vliw: call depth exceeded in %s", f.fc.F.Name)
 	}
 	fc := f.fc
+	// Scratch buffers reused across cycles (reset each bundle); nested
+	// calls recurse into execDepth and get their own.
+	var branches []branchAction
+	var stores []storeAction
 	for {
 		if s.now > s.opts.MaxCycles {
 			return 0, fmt.Errorf("vliw: cycle limit exceeded in %s (pc %d)", fc.F.Name, pc)
@@ -275,14 +343,21 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 		// issue time; the compiler is responsible for timing (the
 		// scheduler pads section ends and shadows branches).
 
-		tracef("t=%d pc=%d buf=%v\n", s.now, pc, fromBuffer)
-		// Issue: reads sample now; branch decisions collected.
-		type branchAction struct {
-			so    *sched.SOp
-			taken bool
+		if s.dbg != nil {
+			s.dbg.printf("t=%d pc=%d buf=%v\n", s.now, pc, fromBuffer)
 		}
-		var branches []branchAction
-		var stores []func()
+		if s.ring != nil {
+			aux := int64(0)
+			if fromBuffer {
+				aux = 1
+			}
+			s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimIssue,
+				Run: s.label, Func: fc.F.Name, PC: int32(pc),
+				Arg: int64(len(bundle.Ops)), Aux: aux})
+		}
+		// Issue: reads sample now; branch decisions collected.
+		branches = branches[:0]
+		stores = stores[:0]
 		retired := false
 		var retVal int64
 		callNext := -1
@@ -290,7 +365,9 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 		for _, so := range bundle.Ops {
 			op := so.Op
 			s.stats.OpsIssued++
-			tracef("  issue %s\n", op)
+			if s.dbg != nil {
+				s.dbg.printf("  issue %s\n", op)
+			}
 			if fromBuffer {
 				s.stats.OpsFromBuffer++
 				if ls != nil {
@@ -357,8 +434,7 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 			case op.IsStore():
 				addr := s.readReg(f, op.Src[0]) + op.Imm
 				val := s.readReg(f, op.Src[1])
-				opc := op.Opcode
-				stores = append(stores, func() { _ = s.store(opc, addr, val) })
+				stores = append(stores, storeAction{opc: op.Opcode, addr: addr, val: val})
 				if e := s.checkStore(op.Opcode, addr); e != nil {
 					return 0, fmt.Errorf("%s in %s pc=%d: %v", op, fc.F.Name, pc, e)
 				}
@@ -391,6 +467,10 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 				s.now++
 				s.penalty += int64(s.code.Mach.BranchPenalty)
 				s.stats.BranchPenaltyCycles += int64(s.code.Mach.BranchPenalty)
+				if s.ring != nil {
+					s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimCall,
+						Run: s.label, Func: op.Callee, PC: int32(pc)})
+				}
 				cc.depth++
 				rv, err := s.execDepth(nf, 0, cc)
 				cc.depth--
@@ -399,6 +479,10 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 				}
 				s.penalty += int64(s.code.Mach.BranchPenalty)
 				s.stats.BranchPenaltyCycles += int64(s.code.Mach.BranchPenalty)
+				if s.ring != nil {
+					s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRet,
+						Run: s.label, Func: op.Callee, PC: int32(pc)})
+				}
 				if len(op.Dest) > 0 {
 					s.writeReg(f, op.Dest[0], rv, 1)
 				}
@@ -421,7 +505,7 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 
 		// Commit stores at end of cycle.
 		for _, st := range stores {
-			st()
+			_ = s.store(st.opc, st.addr, st.val)
 		}
 		if retired {
 			return retVal, nil
@@ -441,12 +525,20 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 				p := s.buf.exitPenalty(fc, pc, ba.so, s)
 				s.penalty += p
 				s.stats.BranchPenaltyCycles += p
+				if p > 0 && s.ring != nil {
+					s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRedirect,
+						Run: s.label, Func: fc.F.Name, PC: int32(pc), Arg: p})
+				}
 				continue
 			}
 			next = ba.so.TargetBundle
 			p := s.buf.takenPenalty(fc, pc, ba.so, s)
 			s.penalty += p
 			s.stats.BranchPenaltyCycles += p
+			if p > 0 && s.ring != nil {
+				s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRedirect,
+					Run: s.label, Func: fc.F.Name, PC: int32(pc), Arg: p})
+			}
 			break
 		}
 		s.now++

@@ -2,13 +2,34 @@ package vliw
 
 import (
 	"fmt"
+	"io"
 	"os"
 )
 
-var traceOn = os.Getenv("VLIW_TRACE") != ""
+// debugLog is the per-bundle debug tracer (the old VLIW_TRACE
+// printf). It writes to a configurable io.Writer — stderr by default —
+// so enabling it can no longer corrupt stdout consumers such as
+// `lpbuf -json`. Call sites must guard with `if s.dbg != nil` so the
+// disabled path performs no interface boxing (the zero-allocation
+// benchmark pins this).
+type debugLog struct{ w io.Writer }
 
-func tracef(format string, args ...interface{}) {
-	if traceOn {
-		fmt.Printf(format, args...)
+// newDebugLog resolves the debug sink: an explicit Options writer
+// wins; otherwise the VLIW_TRACE environment variable enables
+// stderr output; otherwise tracing is off (nil).
+func newDebugLog(opts Options) *debugLog {
+	if opts.DebugWriter != nil {
+		return &debugLog{w: opts.DebugWriter}
 	}
+	if os.Getenv("VLIW_TRACE") != "" {
+		return &debugLog{w: os.Stderr}
+	}
+	return nil
+}
+
+func (d *debugLog) printf(format string, args ...interface{}) {
+	if d == nil {
+		return
+	}
+	fmt.Fprintf(d.w, format, args...)
 }

@@ -48,7 +48,7 @@ func loopProgram(trips int64) *ir.Program {
 }
 
 // compile schedules and plans a program with the given buffer size.
-func compile(t *testing.T, prog *ir.Program, bufOps int, modulo bool) (*sched.Code, *vliw.BufferPlan) {
+func compile(t testing.TB, prog *ir.Program, bufOps int, modulo bool) (*sched.Code, *vliw.BufferPlan) {
 	t.Helper()
 	prof := profile.New()
 	if _, err := interp.Run(prog, interp.Options{Profile: prof}); err != nil {
