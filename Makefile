@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test race bench bench-headline fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates BENCH_simulator.json: the paper-figure benchmarks
+# plus the raw simulator throughput bench, each in a fresh process so
+# in-process caches cannot flatter the numbers. CI runs this target and
+# uploads the file as an artifact.
+bench:
+	$(GO) run ./cmd/benchjson -benchtime 1x -out BENCH_simulator.json
+
+# bench-headline additionally covers every paper figure (slower).
+bench-headline:
+	$(GO) run ./cmd/benchjson -benchtime 1x -out BENCH_simulator.json \
+		-bench 'BenchmarkFigure7Traditional|BenchmarkFigure7Aggressive,BenchmarkFigure8a|BenchmarkFigure8b|BenchmarkFigure3|BenchmarkFigure5|BenchmarkHeadline,BenchmarkSimulatorThroughput'
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...

@@ -1,0 +1,163 @@
+// Command benchjson runs the repository's top-level benchmarks and
+// writes a machine-readable artifact (BENCH_simulator.json by default)
+// recording every reported metric — ns/op, allocs/op, and the custom
+// paper metrics each bench emits via b.ReportMetric. CI runs it on
+// every push and uploads the file, so the simulator's performance
+// trajectory is recorded across PRs instead of living in commit
+// messages.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-bench groups] [-benchtime 1x] [-count 1] [-out BENCH_simulator.json]
+//
+// -bench is a comma-separated list of process groups; each group is a
+// benchmark-name alternation run in one fresh `go test` process. Fresh
+// processes keep in-process caches (compile memoization, decoded
+// images) from flattering repeat numbers, while grouping the two
+// Figure 7 benches together preserves the shared-suite amortization
+// (one benchmark-registry build, per-config compiles) that a real
+// `go test -bench BenchmarkFigure7` run gets — the same methodology
+// the recorded baselines used.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's parsed report.
+type Result struct {
+	Name string `json:"name"`
+	// Iterations is the b.N the reported averages were taken over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value, e.g. "ns/op", "allocs/op",
+	// "%buffer@256".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Artifact is the file schema.
+type Artifact struct {
+	Schema    string    `json:"schema"`
+	Generated time.Time `json:"generated"`
+	Go        string    `json:"go"`
+	OS        string    `json:"os"`
+	Arch      string    `json:"arch"`
+	Benchtime string    `json:"benchtime"`
+	Bench     string    `json:"bench"`
+	Results   []Result  `json:"results"`
+}
+
+// benchLine matches `BenchmarkName-8  	  10  	123 ns/op  	5 B/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	bench := flag.String("bench", "BenchmarkFigure7Traditional|BenchmarkFigure7Aggressive,BenchmarkSimulatorThroughput", "comma-separated process groups; each group is a benchmark-name alternation run in one fresh process")
+	benchtime := flag.String("benchtime", "1x", "passed to go test -benchtime")
+	count := flag.Int("count", 1, "passed to go test -count")
+	out := flag.String("out", "BENCH_simulator.json", "output file")
+	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	flag.Parse()
+
+	art := Artifact{
+		Schema:    "lpbuf/bench/v1",
+		Generated: time.Now().UTC(),
+		Go:        runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		Benchtime: *benchtime,
+		Bench:     *bench,
+	}
+
+	// One process per group: each group measures its first, cold
+	// execution, not a cache-warmed rerun.
+	for _, pat := range strings.Split(*bench, ",") {
+		results, err := runOne(*pkg, "^("+pat+")$", *benchtime, *count)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pat, err)
+			os.Exit(1)
+		}
+		art.Results = append(art.Results, results...)
+	}
+
+	data, err := json.MarshalIndent(&art, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(art.Results))
+}
+
+// runOne executes one `go test -bench` process and parses its reports.
+func runOne(pkg, pattern, benchtime string, count int) ([]Result, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern,
+		"-benchtime", benchtime,
+		"-count", strconv.Itoa(count),
+		"-benchmem", "-timeout", "1800s", pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test: %w\n%s", err, buf.String())
+	}
+	var results []Result
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{
+			Name:       strings.TrimPrefix(trimProcSuffix(m[1]), "Benchmark"),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		// The tail is value/unit pairs: `123 ns/op  5 B/op  2 allocs/op`.
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark output matched %q", pattern)
+	}
+	return results, nil
+}
+
+// trimProcSuffix strips the -GOMAXPROCS suffix Go appends to names.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

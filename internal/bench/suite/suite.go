@@ -4,6 +4,8 @@
 package suite
 
 import (
+	"sync"
+
 	"lpbuf/internal/bench"
 	"lpbuf/internal/bench/adpcm"
 	"lpbuf/internal/bench/g724"
@@ -13,16 +15,31 @@ import (
 	"lpbuf/internal/bench/pgp"
 )
 
-// All returns the benchmarks in the paper's Table 1 order.
+var (
+	once sync.Once
+	all  []bench.Benchmark
+)
+
+// All returns the benchmarks in the paper's Table 1 order. The set is
+// built once per process: construction synthesizes each workload's
+// input and runs the pure-Go reference to bake the expected output
+// into its checker, which is far too expensive to repeat on every
+// registry lookup (the experiment suite consults the registry per
+// simulation). Sharing one build is safe because everything downstream
+// treats the program as read-only — core.Compile clones it before the
+// transforming passes run.
 func All() []bench.Benchmark {
-	return []bench.Benchmark{
-		adpcm.Enc(), adpcm.Dec(),
-		g724.Enc(), g724.Dec(),
-		jpeg.Enc(), jpeg.Dec(),
-		mpeg2.Enc(), mpeg2.Dec(),
-		mpg123.Bench(),
-		pgp.Enc(), pgp.Dec(),
-	}
+	once.Do(func() {
+		all = []bench.Benchmark{
+			adpcm.Enc(), adpcm.Dec(),
+			g724.Enc(), g724.Dec(),
+			jpeg.Enc(), jpeg.Dec(),
+			mpeg2.Enc(), mpeg2.Dec(),
+			mpg123.Bench(),
+			pgp.Enc(), pgp.Dec(),
+		}
+	})
+	return all
 }
 
 // ByName returns a single registered benchmark.

@@ -43,6 +43,149 @@ type state struct {
 	maxOp int64
 	depth int
 	maxD  int
+	// scr[d] is the register-file scratch for call depth d: at any
+	// moment exactly one activation lives at each depth, so frames are
+	// reused across the run's calls instead of allocated per call. The
+	// profile-guided passes interpret every benchmark's full input to
+	// collect counts, which makes these per-call allocations the
+	// compile pipeline's hottest.
+	scr []frameScratch
+	// argbuf carries call arguments from call site to callee entry.
+	// The callee copies them into its registers before executing any
+	// op, so one buffer serves all nesting depths.
+	argbuf []int64
+	// counters holds the dense per-function profile scratch (nil when
+	// not profiling).
+	counters map[*ir.Func]*funcCounters
+}
+
+type frameScratch struct {
+	regs  []int64
+	preds []bool
+}
+
+// funcCounters is the dense profile scratch for one function. Block
+// and op IDs are small sequential integers, so counting events in
+// ID-indexed slices (and folding into the FuncProfile maps once at the
+// end of the run) replaces a map assignment per executed block, branch
+// and call — the hottest part of profile collection, which the
+// profile-guided passes pay on every benchmark's full input.
+type funcCounters struct {
+	fp     *profile.FuncProfile
+	calls  int64
+	ops    int64
+	block  []int64
+	bexec  []int64
+	btaken []int64
+	csite  []int64
+	edge   [][]edgeCount
+}
+
+// edgeCount is one outgoing-edge counter; each block has only a
+// handful of distinct successors, so a linear scan beats hashing.
+type edgeCount struct {
+	to ir.BlockID
+	n  int64
+}
+
+func (c *funcCounters) addEdge(from, to ir.BlockID) {
+	l := c.edge[from]
+	for i := range l {
+		if l[i].to == to {
+			l[i].n++
+			return
+		}
+	}
+	c.edge[from] = append(l, edgeCount{to: to, n: 1})
+}
+
+// countersFor returns (creating on first visit) f's dense counters.
+// Sizes come from scanning the function so manually numbered IDs are
+// covered too.
+func (st *state) countersFor(f *ir.Func) *funcCounters {
+	if c := st.counters[f]; c != nil {
+		return c
+	}
+	var maxB ir.BlockID
+	maxOp := 0
+	for _, b := range f.Blocks {
+		if b.ID > maxB {
+			maxB = b.ID
+		}
+		for _, op := range b.Ops {
+			if op.ID > maxOp {
+				maxOp = op.ID
+			}
+		}
+	}
+	c := &funcCounters{
+		fp:     st.prof.ForFunc(f.Name),
+		block:  make([]int64, maxB+1),
+		bexec:  make([]int64, maxOp+1),
+		btaken: make([]int64, maxOp+1),
+		csite:  make([]int64, maxOp+1),
+		edge:   make([][]edgeCount, maxB+1),
+	}
+	st.counters[f] = c
+	return c
+}
+
+// foldCounters folds the run's dense counts into the profile maps,
+// touching only IDs that actually executed — the resulting maps are
+// identical to incrementing them per event.
+func (st *state) foldCounters() {
+	for _, c := range st.counters {
+		fp := c.fp
+		fp.Calls += c.calls
+		fp.Ops += c.ops
+		for id, n := range c.block {
+			if n != 0 {
+				fp.Block[ir.BlockID(id)] += n
+			}
+		}
+		for id, n := range c.bexec {
+			if n != 0 {
+				fp.BranchExec[id] += n
+			}
+		}
+		for id, n := range c.btaken {
+			if n != 0 {
+				fp.BranchTaken[id] += n
+			}
+		}
+		for id, n := range c.csite {
+			if n != 0 {
+				fp.CallSite[id] += n
+			}
+		}
+		for from, l := range c.edge {
+			for _, ec := range l {
+				fp.Edge[profile.Edge{From: ir.BlockID(from), To: ec.to}] += ec.n
+			}
+		}
+	}
+}
+
+// frame returns zeroed register files for one activation at depth d,
+// reusing the depth's previous backing arrays when large enough.
+func (st *state) frame(d int, nRegs, nPreds int) ([]int64, []bool) {
+	for d >= len(st.scr) {
+		st.scr = append(st.scr, frameScratch{})
+	}
+	fs := &st.scr[d]
+	if cap(fs.regs) < nRegs {
+		fs.regs = make([]int64, nRegs)
+	} else {
+		fs.regs = fs.regs[:nRegs]
+		clear(fs.regs)
+	}
+	if cap(fs.preds) < nPreds {
+		fs.preds = make([]bool, nPreds)
+	} else {
+		fs.preds = fs.preds[:nPreds]
+		clear(fs.preds)
+	}
+	return fs.regs, fs.preds
 }
 
 // Run executes the program from its entry function.
@@ -64,6 +207,9 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 	if st.maxD == 0 {
 		st.maxD = 256
 	}
+	if st.prof != nil {
+		st.counters = map[*ir.Func]*funcCounters{}
+	}
 	for _, g := range prog.Globals {
 		copy(st.mem[g.Offset:g.Offset+g.Size], g.Init)
 	}
@@ -72,6 +218,7 @@ func Run(prog *ir.Program, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if st.prof != nil {
+		st.foldCounters()
 		st.prof.TotalOps = st.ops
 	}
 	return &Result{Mem: st.mem, Ret: ret, Ops: st.ops}, nil
@@ -87,17 +234,16 @@ func (st *state) call(f *ir.Func, args []int64) (int64, error) {
 	if len(args) != len(f.Params) {
 		return 0, fmt.Errorf("interp: %s expects %d args, got %d", f.Name, len(f.Params), len(args))
 	}
-	regs := make([]int64, f.NumRegs()+1)
-	preds := make([]bool, f.NumPreds()+1)
+	regs, preds := st.frame(st.depth, int(f.NumRegs())+1, int(f.NumPreds())+1)
 	preds[0] = true
 	for i, p := range f.Params {
 		regs[p] = ir.W32(args[i])
 	}
 
-	var fp *profile.FuncProfile
+	var fc *funcCounters
 	if st.prof != nil {
-		fp = st.prof.ForFunc(f.Name)
-		fp.Calls++
+		fc = st.countersFor(f)
+		fc.calls++
 	}
 
 	cur := f.Entry
@@ -106,10 +252,10 @@ func (st *state) call(f *ir.Func, args []int64) (int64, error) {
 		if b == nil {
 			return 0, fmt.Errorf("interp: %s: missing block B%d", f.Name, cur)
 		}
-		if fp != nil {
-			fp.Block[b.ID]++
+		if fc != nil {
+			fc.block[b.ID]++
 		}
-		next, ret, returned, err := st.execBlock(f, fp, b, regs, preds)
+		next, ret, returned, err := st.execBlock(f, fc, b, regs, preds)
 		if err != nil {
 			return 0, err
 		}
@@ -119,8 +265,8 @@ func (st *state) call(f *ir.Func, args []int64) (int64, error) {
 		if next == 0 {
 			return 0, fmt.Errorf("interp: %s: B%d fell off the end", f.Name, b.ID)
 		}
-		if fp != nil {
-			fp.Edge[profile.Edge{From: b.ID, To: next}]++
+		if fc != nil {
+			fc.addEdge(b.ID, next)
 		}
 		cur = next
 	}
@@ -128,7 +274,7 @@ func (st *state) call(f *ir.Func, args []int64) (int64, error) {
 
 // execBlock runs the ops of b. It returns the next block (0 if none),
 // or a return value when the function returned.
-func (st *state) execBlock(f *ir.Func, fp *profile.FuncProfile, b *ir.Block,
+func (st *state) execBlock(f *ir.Func, fc *funcCounters, b *ir.Block,
 	regs []int64, preds []bool) (next ir.BlockID, ret int64, returned bool, err error) {
 
 	src := func(op *ir.Op, i int) int64 {
@@ -141,8 +287,8 @@ func (st *state) execBlock(f *ir.Func, fp *profile.FuncProfile, b *ir.Block,
 
 	for _, op := range b.Ops {
 		st.ops++
-		if fp != nil {
-			fp.Ops++
+		if fc != nil {
+			fc.ops++
 		}
 		if st.ops > st.maxOp {
 			return 0, 0, false, fmt.Errorf("interp: op limit exceeded in %s", f.Name)
@@ -153,7 +299,13 @@ func (st *state) execBlock(f *ir.Func, fp *profile.FuncProfile, b *ir.Block,
 
 		case op.Opcode == ir.OpCmpP:
 			cond := op.Cmp.Eval(src(op, 0), src(op, 1))
-			for _, pd := range op.PredDefines() {
+			// Iterate PDest directly with PredDefines' filter: the
+			// accessor allocates a fresh slice per call, which this
+			// loop is far too hot for.
+			for _, pd := range op.PDest {
+				if pd.Type == ir.PTNone || pd.Pred == 0 {
+					continue
+				}
 				v, w := pd.Type.Update(guard, cond)
 				if w {
 					preds[pd.Pred] = v
@@ -208,10 +360,10 @@ func (st *state) execBlock(f *ir.Func, fp *profile.FuncProfile, b *ir.Block,
 			taken := false
 			if guard {
 				taken = op.Cmp.Eval(src(op, 0), src(op, 1))
-				if fp != nil {
-					fp.BranchExec[op.ID]++
+				if fc != nil {
+					fc.bexec[op.ID]++
 					if taken {
-						fp.BranchTaken[op.ID]++
+						fc.btaken[op.ID]++
 					}
 				}
 			}
@@ -221,9 +373,9 @@ func (st *state) execBlock(f *ir.Func, fp *profile.FuncProfile, b *ir.Block,
 
 		case op.Opcode == ir.OpJump:
 			if guard {
-				if fp != nil {
-					fp.BranchExec[op.ID]++
-					fp.BranchTaken[op.ID]++
+				if fc != nil {
+					fc.bexec[op.ID]++
+					fc.btaken[op.ID]++
 				}
 				return op.Target, 0, false, nil
 			}
@@ -232,12 +384,12 @@ func (st *state) execBlock(f *ir.Func, fp *profile.FuncProfile, b *ir.Block,
 			if guard {
 				c := ir.W32(regs[op.Src[0]] - 1)
 				regs[op.Dest[0]] = c
-				if fp != nil {
-					fp.BranchExec[op.ID]++
+				if fc != nil {
+					fc.bexec[op.ID]++
 				}
 				if c > 0 {
-					if fp != nil {
-						fp.BranchTaken[op.ID]++
+					if fc != nil {
+						fc.btaken[op.ID]++
 					}
 					return op.Target, 0, false, nil
 				}
@@ -249,12 +401,15 @@ func (st *state) execBlock(f *ir.Func, fp *profile.FuncProfile, b *ir.Block,
 				if callee == nil {
 					return 0, 0, false, fmt.Errorf("interp: call to undefined %q", op.Callee)
 				}
-				args := make([]int64, len(op.Src))
+				if cap(st.argbuf) < len(op.Src) {
+					st.argbuf = make([]int64, len(op.Src))
+				}
+				args := st.argbuf[:len(op.Src)]
 				for i, r := range op.Src {
 					args[i] = regs[r]
 				}
-				if fp != nil {
-					fp.CallSite[op.ID]++
+				if fc != nil {
+					fc.csite[op.ID]++
 				}
 				rv, cerr := st.call(callee, args)
 				if cerr != nil {

@@ -8,7 +8,10 @@
 // predicate-generating units, with a fixed assignment of units to slots.
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // UnitClass identifies a functional-unit capability required by an
 // operation. A slot may provide several classes.
@@ -81,6 +84,13 @@ type Desc struct {
 	// PredSlots is the number of slots addressable by slot-based
 	// predicate defines (all slots can consume predicates).
 	PredSlots int
+
+	// slotsFor memoizes the per-class slot lists served by SlotsFor.
+	// Built once on first use: descriptions are immutable after
+	// construction, and the schedulers query these lists in their
+	// innermost placement loops.
+	slotsOnce sync.Once
+	slotsFor  [NumUnitClasses][]int
 }
 
 // Latencies gives operation result latencies in cycles.
@@ -98,15 +108,25 @@ type Latencies struct {
 // Width returns the issue width (number of slots).
 func (d *Desc) Width() int { return len(d.Slots) }
 
-// SlotsFor returns the indices of slots providing unit class c.
+// SlotsFor returns the indices of slots providing unit class c, in
+// ascending slot order. The slice is shared across calls and must be
+// treated as read-only by callers.
 func (d *Desc) SlotsFor(c UnitClass) []int {
-	var out []int
-	for i := range d.Slots {
-		if d.Slots[i].Has(c) {
-			out = append(out, i)
+	d.slotsOnce.Do(d.buildSlotLists)
+	if int(c) < len(d.slotsFor) {
+		return d.slotsFor[c]
+	}
+	return nil
+}
+
+func (d *Desc) buildSlotLists() {
+	for c := UnitClass(0); c < NumUnitClasses; c++ {
+		for i := range d.Slots {
+			if d.Slots[i].Has(c) {
+				d.slotsFor[c] = append(d.slotsFor[c], i)
+			}
 		}
 	}
-	return out
 }
 
 // CountFor returns how many slots provide unit class c.

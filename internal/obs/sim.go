@@ -113,6 +113,27 @@ func (s *SimTrace) Emit(ev SimEvent) {
 	s.mu.Unlock()
 }
 
+// EmitBatch records evs in order under one lock acquisition, with the
+// same ring semantics as len(evs) Emit calls: identical retained
+// contents, order and total. Emitters with a burst of consecutive
+// events (the simulator's loop-replay fast path emits one iteration's
+// issue events at a time) use this to amortize the mutex.
+func (s *SimTrace) EmitBatch(evs []SimEvent) {
+	if s == nil || len(evs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	for _, ev := range evs {
+		s.ring[s.next] = ev
+		s.next++
+		if s.next == len(s.ring) {
+			s.next = 0
+		}
+	}
+	s.total += int64(len(evs))
+	s.mu.Unlock()
+}
+
 // Total reports how many events were ever emitted (including
 // overwritten ones).
 func (s *SimTrace) Total() int64 {

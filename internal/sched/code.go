@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"lpbuf/internal/ir"
 	"lpbuf/internal/machine"
@@ -64,7 +65,26 @@ type FuncCode struct {
 	// FallBundle maps the last bundle index of each section to the
 	// bundle index control falls into (-1 = none, function end).
 	fallTo map[int]int
+	// fall is the per-bundle fallthrough table densified from fallTo
+	// (built once after emission) so the simulator's fetch path indexes
+	// a slice instead of probing a map every cycle.
+	fall []int32
+	// decoded is an opaque cache slot for execution engines: the
+	// simulator stores its pre-decoded micro-op image of this function
+	// here (see internal/vliw's decode layer). The slot holds an
+	// immutable value built deterministically from the schedule, so
+	// concurrent racing decoders may both build and either result wins.
+	decoded atomic.Value
 }
+
+// DecodedImage returns the value cached by SetDecodedImage (nil before
+// the first store). The schedule itself never interprets the value.
+func (fc *FuncCode) DecodedImage() any { return fc.decoded.Load() }
+
+// SetDecodedImage caches an execution engine's pre-decoded form of
+// this function. The value must be immutable and derived only from the
+// schedule, so that every racing store is interchangeable.
+func (fc *FuncCode) SetDecodedImage(img any) { fc.decoded.Store(img) }
 
 // OpCount returns total scheduled non-nop ops.
 func (fc *FuncCode) OpCount() int {
@@ -79,6 +99,9 @@ func (fc *FuncCode) OpCount() int {
 // bundle i (i.e., i+1 unless i ends a section with an explicit
 // fallthrough elsewhere). Returns -1 at function end.
 func (fc *FuncCode) FallTarget(i int) int {
+	if fc.fall != nil {
+		return int(fc.fall[i])
+	}
 	if t, ok := fc.fallTo[i]; ok {
 		return t
 	}
@@ -86,6 +109,22 @@ func (fc *FuncCode) FallTarget(i int) int {
 		return i + 1
 	}
 	return -1
+}
+
+// finalizeFalls densifies fallTo into the per-bundle fall table. Called
+// once after emission resolves every fallthrough.
+func (fc *FuncCode) finalizeFalls() {
+	fc.fall = make([]int32, len(fc.Bundles))
+	for i := range fc.Bundles {
+		t := i + 1
+		if t >= len(fc.Bundles) {
+			t = -1
+		}
+		if ft, ok := fc.fallTo[i]; ok {
+			t = ft
+		}
+		fc.fall[i] = int32(t)
+	}
 }
 
 // Code is a scheduled program.

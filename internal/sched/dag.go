@@ -318,18 +318,11 @@ func BuildDAG(ops []*ir.Op, m *machine.Desc, alias *AliasInfo, selfLoop bool) *D
 			if e.Dist != 0 {
 				continue
 			}
-			if v := d.Height[e.To] + maxInt(e.Lat, 0); v > h {
+			if v := d.Height[e.To] + max(e.Lat, 0); v > h {
 				h = v
 			}
 		}
 		d.Height[i] = h
 	}
 	return d
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

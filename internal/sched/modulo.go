@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"sort"
-
 	"lpbuf/internal/ir"
 	"lpbuf/internal/machine"
 )
@@ -308,8 +306,9 @@ func freeSlotMRT(row []int, m *machine.Desc, cls machine.UnitClass) int {
 // occupant has the lowest priority (height); reserved cells (1<<30)
 // are never evicted.
 func evictSlotMRT(mrt [][]int, c int, m *machine.Desc, cls machine.UnitClass, d *DAG) int {
+	// SlotsFor returns slots in ascending order (and the slice is
+	// shared — it must not be sorted in place).
 	cands := m.SlotsFor(cls)
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
 	best, bestH := -1, 1<<30
 	for _, s := range cands {
 		v := mrt[c][s]

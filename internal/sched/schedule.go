@@ -130,6 +130,7 @@ func scheduleFunc(prog *ir.Program, f *ir.Func, m *machine.Desc, opts Options) (
 			}
 		}
 	}
+	fc.finalizeFalls()
 	return fc, nil
 }
 

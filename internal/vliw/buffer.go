@@ -40,17 +40,24 @@ type BufferPlan struct {
 // bufferState is the runtime state of the loop buffer.
 type bufferState struct {
 	plan *BufferPlan
-	// byFunc[func][bundle] = planned loop covering that bundle.
+	// byFunc[func][bundle] = planned loop covering that bundle. The
+	// string-keyed lookup is hoisted to once per function activation
+	// (loopsFor); the per-fetch path only indexes the slice.
 	byFunc map[string][]*PlannedLoop
-	maxPC  map[string]int
 	// index and stats cache per-loop lookups so the per-fetch hot path
 	// never re-derives the loop's string key (Key() formats).
 	index map[*PlannedLoop]int
 	stats map[*PlannedLoop]*LoopStats
+	// kernels caches the compiled replay fast-path image per planned
+	// loop for this run (see kernel.go).
+	kernels map[*PlannedLoop]*loopKernel
 	// intact[i] reports whether plan.Loops[i]'s image is valid.
 	intact []bool
 	// cur is the loop currently streaming (recording or replaying).
 	cur *PlannedLoop
+	// curLS is cur's stats record, cached so the steady-state fetch
+	// path never touches the stats map.
+	curLS *LoopStats
 	// replaying is true when cur issues from the buffer.
 	replaying bool
 	// enteredAt is the cycle cur was entered (for residency events).
@@ -59,8 +66,8 @@ type bufferState struct {
 
 func newBufferState(plan *BufferPlan) *bufferState {
 	bs := &bufferState{plan: plan, byFunc: map[string][]*PlannedLoop{},
-		maxPC: map[string]int{},
-		index: map[*PlannedLoop]int{}, stats: map[*PlannedLoop]*LoopStats{}}
+		index: map[*PlannedLoop]int{}, stats: map[*PlannedLoop]*LoopStats{},
+		kernels: map[*PlannedLoop]*loopKernel{}}
 	if plan == nil {
 		return bs
 	}
@@ -79,34 +86,44 @@ func newBufferState(plan *BufferPlan) *bufferState {
 	return bs
 }
 
-func (bs *bufferState) loopAt(fn string, pc int) *PlannedLoop {
-	m := bs.byFunc[fn]
-	if pc < len(m) {
-		return m[pc]
-	}
-	return nil
+// loopsFor returns the per-bundle planned-loop table of one function.
+// Called once per function activation; nil when the function has no
+// planned loops.
+func (bs *bufferState) loopsFor(fn string) []*PlannedLoop {
+	return bs.byFunc[fn]
 }
 
 func (bs *bufferState) indexOf(pl *PlannedLoop) int {
 	return bs.index[pl]
 }
 
-// fetch is called once per bundle fetch. It updates the buffer state
-// machine and reports whether this bundle issues from the buffer, plus
-// the loop's stats record.
-func (bs *bufferState) fetch(fc *sched.FuncCode, pc int, s *sim) (bool, *LoopStats) {
-	pl := bs.loopAt(fc.F.Name, pc)
+// lsOf returns (creating on first use) the loop's stats record.
+func (bs *bufferState) lsOf(pl *PlannedLoop, s *sim) *LoopStats {
+	ls := bs.stats[pl]
+	if ls == nil {
+		ls = &LoopStats{}
+		bs.stats[pl] = ls
+		s.stats.Loops[pl.Key()] = ls
+	}
+	return ls
+}
+
+// fetch is called once per bundle fetch with the bundle's planned loop
+// (already resolved by the caller from the loopsFor table). It updates
+// the buffer state machine and reports whether this bundle issues from
+// the buffer, plus the loop's stats record.
+func (bs *bufferState) fetch(pl *PlannedLoop, fc *sched.FuncCode, pc int, s *sim) (bool, *LoopStats) {
 	if pl == nil {
 		if bs.cur != nil {
 			bs.leave(s, fc.F.Name, pc)
 		}
 		return false, nil
 	}
-	ls := bs.stats[pl]
-	if ls == nil {
-		ls = &LoopStats{}
-		bs.stats[pl] = ls
-		s.stats.Loops[pl.Key()] = ls
+	var ls *LoopStats
+	if pl == bs.cur {
+		ls = bs.curLS
+	} else {
+		ls = bs.lsOf(pl, s)
 	}
 	if pc == pl.StartBundle {
 		if bs.cur != pl {
@@ -122,6 +139,7 @@ func (bs *bufferState) fetch(fc *sched.FuncCode, pc int, s *sim) (bool, *LoopSta
 			s.stats.RecFetches++
 			s.stats.OpsIssued++
 			bs.cur = pl
+			bs.curLS = ls
 			bs.enteredAt = s.now
 			i := bs.indexOf(pl)
 			if bs.intact[i] {
@@ -167,9 +185,10 @@ func (bs *bufferState) fetch(fc *sched.FuncCode, pc int, s *sim) (bool, *LoopSta
 	return bs.replaying, ls
 }
 
-// takenPenalty returns the redirect penalty for a taken branch.
-func (bs *bufferState) takenPenalty(fc *sched.FuncCode, pc int, so *sched.SOp, s *sim) int64 {
-	if bs.cur != nil && so.Op.LoopBack && so.TargetBundle == bs.cur.StartBundle {
+// takenPenalty returns the redirect penalty for a taken branch with
+// the given loop-back flag and resolved target bundle.
+func (bs *bufferState) takenPenalty(fc *sched.FuncCode, pc int, loopBack bool, target int, s *sim) int64 {
+	if bs.cur != nil && loopBack && target == bs.cur.StartBundle {
 		// Buffered loop-back: perfectly predicted.
 		return 0
 	}
@@ -182,8 +201,8 @@ func (bs *bufferState) takenPenalty(fc *sched.FuncCode, pc int, so *sched.SOp, s
 
 // exitPenalty is charged when a loop-back branch falls through (loop
 // exit): counted loops predict the exit; wloops mispredict once.
-func (bs *bufferState) exitPenalty(fc *sched.FuncCode, pc int, so *sched.SOp, s *sim) int64 {
-	if bs.cur == nil || !so.Op.LoopBack {
+func (bs *bufferState) exitPenalty(fc *sched.FuncCode, pc int, loopBack bool, s *sim) int64 {
+	if bs.cur == nil || !loopBack {
 		return 0
 	}
 	wasReplaying := bs.replaying
@@ -212,6 +231,7 @@ func (bs *bufferState) leave(s *sim, fn string, pc int) {
 			Arg: bs.enteredAt, Aux: aux})
 	}
 	bs.cur = nil
+	bs.curLS = nil
 	bs.replaying = false
 }
 

@@ -1,0 +1,92 @@
+package vliw_test
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lpbuf/internal/bench/suite"
+	"lpbuf/internal/core"
+	"lpbuf/internal/loopbuffer"
+	"lpbuf/internal/obs"
+	"lpbuf/internal/vliw"
+)
+
+// TestFastPathDifferential pins the loop-replay kernel's bit-exactness
+// contract: for every Table 1 benchmark, both paper configurations and
+// three buffer capacities, a run with the pre-decoded fast path must
+// be indistinguishable from the interpretive path — same return value,
+// same final memory, same Stats (including per-loop buffer hit/miss
+// splits) and the same cycle-level obs event stream, event for event.
+func TestFastPathDifferential(t *testing.T) {
+	benches := suite.All()
+	capacities := []int{16, 64, 256}
+	if testing.Short() {
+		benches = benches[:4]
+		capacities = []int{64}
+	}
+	for _, b := range benches {
+		for _, mk := range []func(int) core.Config{core.Traditional, core.Aggressive} {
+			cfg := mk(256)
+			b, cfg := b, cfg
+			t.Run(fmt.Sprintf("%s/%s", b.Name, cfg.Name), func(t *testing.T) {
+				t.Parallel()
+				c, err := core.Compile(b.Build(), cfg)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				for _, capacity := range capacities {
+					plan := loopbuffer.Plan(c.Code, c.Prof, capacity)
+					run := func(noFast bool) (*vliw.Result, *obs.Obs) {
+						o := obs.New(obs.Config{Metrics: true, SimEvents: true})
+						res, err := vliw.Run(c.Code, plan, vliw.Options{
+							Obs:        o,
+							TraceLabel: fmt.Sprintf("%s/%s@%d", b.Name, cfg.Name, capacity),
+							NoFastPath: noFast,
+						})
+						if err != nil {
+							t.Fatalf("capacity %d noFast=%v: %v", capacity, noFast, err)
+						}
+						return res, o
+					}
+					fast, fastObs := run(false)
+					slow, slowObs := run(true)
+
+					if fast.Ret != slow.Ret {
+						t.Errorf("capacity %d: ret %d (fast) != %d (interpretive)",
+							capacity, fast.Ret, slow.Ret)
+					}
+					if !bytes.Equal(fast.Mem, slow.Mem) {
+						t.Errorf("capacity %d: final memory differs", capacity)
+					}
+					if !reflect.DeepEqual(fast.Stats, slow.Stats) {
+						t.Errorf("capacity %d: stats differ:\nfast: %+v\nslow: %+v",
+							capacity, fast.Stats, slow.Stats)
+						for k, fl := range fast.Stats.Loops {
+							if sl := slow.Stats.Loops[k]; sl == nil || *fl != *sl {
+								t.Errorf("capacity %d: loop %s: fast %+v slow %+v",
+									capacity, k, fl, sl)
+							}
+						}
+					}
+					if ft, st := fastObs.Sim.Total(), slowObs.Sim.Total(); ft != st {
+						t.Errorf("capacity %d: event totals differ: %d (fast) != %d (interpretive)",
+							capacity, ft, st)
+					}
+					fe, se := fastObs.Sim.Events(), slowObs.Sim.Events()
+					if len(fe) != len(se) {
+						t.Fatalf("capacity %d: retained events: %d (fast) != %d (interpretive)",
+							capacity, len(fe), len(se))
+					}
+					for i := range fe {
+						if fe[i] != se[i] {
+							t.Fatalf("capacity %d: event %d differs:\nfast: %+v\nslow: %+v",
+								capacity, i, fe[i], se[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}

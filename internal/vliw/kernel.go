@@ -1,0 +1,388 @@
+package vliw
+
+import (
+	"fmt"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/obs"
+)
+
+// This file is the loop-replay fast path. Once a planned loop's image
+// is resident and streaming from the buffer, every iteration executes
+// the same bundle sequence with the same fetch accounting: only the
+// register/predicate/memory values vary. runKernel exploits that by
+// executing whole iterations over the pre-decoded bundles with the
+// invariant work hoisted out of the per-op path:
+//
+//   - per-op fetch statistics (OpsIssued / OpsFromBuffer / OpsBuffered)
+//     collapse to one pre-summed add per loop trip (opsUpTo prefix
+//     sums handle partial iterations on side exits);
+//   - per-bundle SimIssue events are pre-built once per kernel and
+//     emitted as one batch per trip (obs.SimTrace.EmitBatch), with
+//     only the cycle stamped in;
+//   - the loop-buffer state machine is not consulted per fetch: inside
+//     a replaying iteration it is a no-op by construction.
+//
+// Anything the fast path cannot reproduce bit-exactly — calls, side
+// exits, faults, the cycle limit — transfers back to the interpretive
+// loop (or shares its code: resolveControl charges exit penalties and
+// emits redirects identically). The differential fast-path test pins
+// that Results, Stats, memory and the obs ring match the interpretive
+// path exactly.
+
+// testKernelEnter, when non-nil, observes every fast-path entry. Test
+// hook only (set by non-parallel tests); the nil check sits on the
+// loop-head path, not the per-cycle path.
+var testKernelEnter func(*PlannedLoop)
+
+// loopKernel is the compiled replay image of one planned loop.
+type loopKernel struct {
+	pl *PlannedLoop
+	// start/end mirror pl.StartBundle/pl.EndBundle.
+	start, end int
+	// bundles aliases the decoded image's [start:end) window.
+	bundles []dbundle
+	// opsUpTo[j] is the op count of bundles[0:j]; opsUpTo[len(bundles)]
+	// is the full iteration's op count.
+	opsUpTo []int64
+	// events pre-builds one SimIssue event per bundle (Cycle stamped at
+	// flush time).
+	events []obs.SimEvent
+	// ok reports the loop qualified for kernel execution. A !ok kernel
+	// is cached too, so the interpretive loop pays the qualification
+	// check only once per loop per run.
+	ok bool
+}
+
+// kernelFor returns (building and caching on first use) the loop's
+// replay kernel for this run. Cached per bufferState — per run — since
+// the event templates carry the run label.
+func (bs *bufferState) kernelFor(df *decodedFunc, pl *PlannedLoop, s *sim) *loopKernel {
+	if k := bs.kernels[pl]; k != nil {
+		return k
+	}
+	k := buildKernel(df, pl, bs, s)
+	bs.kernels[pl] = k
+	return k
+}
+
+// buildKernel qualifies pl for kernel replay and compiles the image.
+// Disqualifiers (k.ok = false): calls or returns in the body (they
+// re-enter the Go-recursive interpreter), undecodable ops, more than
+// one branch per bundle, non-linear fallthrough inside the body, or
+// another planned loop overlapping the range. Side-exit branches are
+// fine — they transfer back to the interpretive loop at runtime.
+func buildKernel(df *decodedFunc, pl *PlannedLoop, bs *bufferState, s *sim) *loopKernel {
+	k := &loopKernel{pl: pl, start: pl.StartBundle, end: pl.EndBundle}
+	if k.start < 0 || k.end > len(df.bundles) || k.start >= k.end {
+		return k
+	}
+	loops := bs.loopsFor(pl.Func)
+	n := k.end - k.start
+	for j := 0; j < n; j++ {
+		pc := k.start + j
+		if pc >= len(loops) || loops[pc] != pl {
+			return k
+		}
+		db := &df.bundles[pc]
+		if j < n-1 && int(db.fall) != pc+1 {
+			return k
+		}
+		branches := 0
+		for i := range db.ops {
+			switch db.ops[i].kind {
+			case dCall, dRet, dInvalid:
+				return k
+			case dBr, dJump, dBrCLoop:
+				branches++
+			}
+		}
+		if branches > 1 {
+			return k
+		}
+	}
+	k.bundles = df.bundles[k.start:k.end]
+	k.opsUpTo = make([]int64, n+1)
+	k.events = make([]obs.SimEvent, n)
+	for j := 0; j < n; j++ {
+		k.opsUpTo[j+1] = k.opsUpTo[j] + int64(len(k.bundles[j].ops))
+		k.events[j] = obs.SimEvent{Kind: obs.SimIssue, Run: s.label,
+			Func: df.fc.F.Name, PC: int32(k.start + j),
+			Arg: int64(len(k.bundles[j].ops)), Aux: 1}
+	}
+	k.ok = true
+	return k
+}
+
+// addKernelStats folds one (possibly partial) iteration's pre-summed
+// fetch statistics into the run totals.
+func (s *sim) addKernelStats(ls *LoopStats, issued, nullified int64) {
+	s.stats.OpsIssued += issued
+	s.stats.OpsFromBuffer += issued
+	ls.OpsBuffered += issued
+	s.stats.OpsNullified += nullified
+}
+
+// flushKernelEvents emits the iteration's first count SimIssue events,
+// stamped with their actual cycles, as one batch. Must run before any
+// exit-path event (redirect, loop exit) so the ring order matches the
+// interpretive path exactly.
+func (s *sim) flushKernelEvents(k *loopKernel, iterBase int64, count int) {
+	if s.ring == nil || count == 0 {
+		return
+	}
+	evs := s.evScratch[:0]
+	for i := 0; i < count; i++ {
+		ev := k.events[i]
+		ev.Cycle = iterBase + int64(i)
+		evs = append(evs, ev)
+	}
+	s.evScratch = evs
+	s.ring.EmitBatch(evs)
+}
+
+// runKernel executes buffered-replay iterations of k until control
+// leaves the loop, returning the bundle to resume the interpretive
+// loop at. Entered right after the loop-head fetch of a streaming
+// iteration (cur == k.pl, replaying), so that fetch has already done
+// this iteration's entry/replay/iteration bookkeeping; the kernel
+// takes over the per-iteration accounting from the second trip on.
+func (s *sim) runKernel(f *frame, df *decodedFunc, k *loopKernel, sc *scratch) (int, error) {
+	fc := df.fc
+	ls := s.buf.curLS
+	n := len(k.bundles)
+	maxC := s.opts.MaxCycles
+	first := true
+	for {
+		// One replay iteration. Entry/recording transitions cannot
+		// occur here (the loop is already streaming).
+		iterBase := s.now
+		if !first {
+			ls.Iterations++
+			ls.BufferedIterations++
+		}
+		first = false
+		var nullified int64
+		for j := 0; j < n; j++ {
+			if s.now > maxC {
+				s.flushKernelEvents(k, iterBase, j)
+				return 0, fmt.Errorf("vliw: cycle limit exceeded in %s (pc %d)", fc.F.Name, k.start+j)
+			}
+			db := &k.bundles[j]
+			sc.branches = sc.branches[:0]
+			sc.stores = sc.stores[:0]
+			for i := range db.ops {
+				d := &db.ops[i]
+				guard := true
+				if d.guard != 0 {
+					guard = s.readPred(f, d.guard)
+				}
+				if !guard && d.kind != dCmpP {
+					nullified++
+					continue
+				}
+				switch d.kind {
+				case dNop:
+
+				case dALU:
+					var a, b int64
+					if d.aImm {
+						a = d.imm
+					} else {
+						a = s.readReg(f, d.a)
+					}
+					if !d.unary {
+						if d.bImm {
+							b = d.imm
+						} else {
+							b = s.readReg(f, d.b)
+						}
+					}
+					var v int64
+					switch d.alu {
+					case aAdd:
+						v = ir.W32(a + b)
+					case aSub:
+						v = ir.W32(a - b)
+					case aMov:
+						v = ir.W32(a)
+					case aAbs:
+						if a < 0 {
+							a = -a
+						}
+						v = ir.W32(a)
+					case aMul:
+						v = ir.W32(a * b)
+					case aAnd:
+						v = ir.W32(a & b)
+					case aOr:
+						v = ir.W32(a | b)
+					case aXor:
+						v = ir.W32(a ^ b)
+					case aShl:
+						v = ir.W32(a << (uint64(b) & 31))
+					default:
+						v = ir.EvalALU(d.opc, d.cmp, a, b)
+					}
+					if d.direct {
+						f.regs[d.dest] = v
+					} else if d.lat == 1 {
+						s.writeRegFast(f, d.dest, v)
+					} else {
+						s.writeReg(f, d.dest, v, d.lat)
+					}
+
+				case dCmpP:
+					var a, b int64
+					if d.aImm {
+						a = d.imm
+					} else {
+						a = s.readReg(f, d.a)
+					}
+					if d.bImm {
+						b = d.imm
+					} else {
+						b = s.readReg(f, d.b)
+					}
+					cond := d.cmp.Eval(a, b)
+					for pi := uint8(0); pi < d.nPD; pi++ {
+						pd := d.pd[pi]
+						v, w := pd.Type.Update(guard, cond)
+						if w {
+							if d.lat == 1 {
+								s.writePredFast(f, pd.Pred, v)
+							} else {
+								s.writePred(f, pd.Pred, v, d.lat)
+							}
+						}
+					}
+
+				case dSel:
+					v := s.readReg(f, d.b)
+					if s.readReg(f, d.a) == 0 {
+						v = s.readReg(f, d.c)
+					}
+					if d.direct {
+						f.regs[d.dest] = v
+					} else if d.lat == 1 {
+						s.writeRegFast(f, d.dest, v)
+					} else {
+						s.writeReg(f, d.dest, v, d.lat)
+					}
+
+				case dLoad:
+					addr := s.readReg(f, d.a) + d.imm
+					v, err := s.load(d.opc, addr)
+					if err != nil {
+						if d.spec {
+							v = 0
+						} else {
+							s.flushKernelEvents(k, iterBase, j+1)
+							return 0, fmt.Errorf("%s in %s pc=%d: %v", d.op, fc.F.Name, k.start+j, err)
+						}
+					}
+					if d.direct {
+						f.regs[d.dest] = v
+					} else if d.lat == 1 {
+						s.writeRegFast(f, d.dest, v)
+					} else {
+						s.writeReg(f, d.dest, v, d.lat)
+					}
+
+				case dStore:
+					addr := s.readReg(f, d.a) + d.imm
+					val := s.readReg(f, d.b)
+					sc.stores = append(sc.stores, storeAction{opc: d.opc, addr: addr, val: val})
+					if e := s.checkStore(d.opc, addr); e != nil {
+						s.flushKernelEvents(k, iterBase, j+1)
+						return 0, fmt.Errorf("%s in %s pc=%d: %v", d.op, fc.F.Name, k.start+j, e)
+					}
+
+				case dBr:
+					var a, b int64
+					if d.aImm {
+						a = d.imm
+					} else {
+						a = s.readReg(f, d.a)
+					}
+					if d.bImm {
+						b = d.imm
+					} else {
+						b = s.readReg(f, d.b)
+					}
+					if d.cmp.Eval(a, b) {
+						sc.branches = append(sc.branches, branchAction{d: d, taken: true})
+					} else if d.loopBack {
+						sc.branches = append(sc.branches, branchAction{d: d, taken: false})
+					}
+
+				case dJump:
+					sc.branches = append(sc.branches, branchAction{d: d, taken: true})
+
+				case dBrCLoop:
+					c := ir.W32(s.readReg(f, d.a) - 1)
+					if d.direct {
+						f.regs[d.dest] = c
+					} else if d.lat == 1 {
+						s.writeRegFast(f, d.dest, c)
+					} else {
+						s.writeReg(f, d.dest, c, d.lat)
+					}
+					sc.branches = append(sc.branches, branchAction{d: d, taken: c > 0})
+				}
+			}
+
+			// Commit stores at end of cycle.
+			for _, st := range sc.stores {
+				_ = s.store(st.opc, st.addr, st.val)
+			}
+
+			if len(sc.branches) == 0 {
+				if j < n-1 {
+					// Linear fallthrough inside the body (build checked
+					// fall == pc+1).
+					s.tick(f)
+					continue
+				}
+				// Fell past the loop end with no branch decision: the
+				// iteration is complete; resume interpretively at the
+				// fall target (the fetch there closes the residency).
+				s.addKernelStats(ls, k.opsUpTo[n], nullified)
+				s.flushKernelEvents(k, iterBase, n)
+				s.tick(f)
+				next := int(db.fall)
+				if next < 0 {
+					return 0, fmt.Errorf("vliw: fell off end of %s", fc.F.Name)
+				}
+				return next, nil
+			}
+
+			ba := sc.branches[0]
+			if ba.taken && ba.d.loopBack && int(ba.d.target) == k.start {
+				// Buffered loop-back: perfectly predicted, no penalty, no
+				// redirect. Next iteration.
+				s.addKernelStats(ls, k.opsUpTo[j+1], nullified)
+				s.flushKernelEvents(k, iterBase, j+1)
+				s.tick(f)
+				break
+			}
+
+			// Loop exit (untaken loop-back) or side exit (any other
+			// taken branch): account the partial iteration, then share
+			// the interpretive control-resolution code so penalties,
+			// redirect events and the buffer-leave transition are
+			// bit-identical.
+			s.addKernelStats(ls, k.opsUpTo[j+1], nullified)
+			s.flushKernelEvents(k, iterBase, j+1)
+			next := s.resolveControl(fc, k.start+j, sc)
+			s.tick(f)
+			if next == -2 {
+				next = int(db.fall)
+				if next < 0 {
+					return 0, fmt.Errorf("vliw: fell off end of %s", fc.F.Name)
+				}
+			}
+			return next, nil
+		}
+	}
+}

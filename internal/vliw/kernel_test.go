@@ -1,0 +1,193 @@
+package vliw
+
+import (
+	"testing"
+
+	"lpbuf/internal/ir"
+	"lpbuf/internal/ir/irbuild"
+	"lpbuf/internal/machine"
+	"lpbuf/internal/sched"
+)
+
+// kernelLoopProgram is a counted loop with memory traffic — the shape
+// the replay fast path exists for.
+func kernelLoopProgram(trips int64) *ir.Program {
+	pb := irbuild.NewProgram(16 << 10)
+	n := int(trips)
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = int32(3*i - 11)
+	}
+	inOff := pb.GlobalW("in", n, vals)
+	outOff := pb.GlobalW("out", n, nil)
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	pin := f.Const(inOff)
+	pout := f.Const(outOff)
+	cnt := f.Reg()
+	acc := f.Reg()
+	f.MovI(cnt, trips)
+	f.MovI(acc, 0)
+	f.Block("loop")
+	v := f.Reg()
+	f.LdW(v, pin, 0)
+	f.MulI(v, v, 5)
+	f.Add(acc, acc, v)
+	f.StW(pout, 0, v)
+	f.AddI(pin, pin, 4)
+	f.AddI(pout, pout, 4)
+	f.CLoop(cnt, "loop")
+	f.Block("done")
+	f.Ret(acc)
+	pb.SetEntry("main")
+	return pb.MustBuild()
+}
+
+// planSections builds a BufferPlan covering every loop section of the
+// schedule (mirrors internal/loopbuffer's recognition, which this
+// package cannot import without a cycle).
+func planSections(code *sched.Code, capacity int) *BufferPlan {
+	plan := &BufferPlan{Capacity: capacity}
+	off := 0
+	for _, name := range code.Prog.Order {
+		fc := code.Funcs[name]
+		for _, sec := range fc.Sections {
+			isLoop := sec.Kind == sched.KindKernel
+			counted := isLoop
+			if sec.Kind == sched.KindStraight {
+				for _, b := range sec.Bundles {
+					for _, so := range b.Ops {
+						if so.Op.LoopBack && so.Op.IsBranch() && so.TargetBundle == sec.Start {
+							isLoop = true
+							counted = so.Op.Opcode == ir.OpBrCLoop
+						}
+					}
+				}
+			}
+			if !isLoop {
+				continue
+			}
+			ops := 0
+			for _, b := range sec.Bundles {
+				ops += len(b.Ops)
+			}
+			plan.Loops = append(plan.Loops, &PlannedLoop{
+				Func: name, StartBundle: sec.Start,
+				EndBundle: sec.Start + len(sec.Bundles),
+				Offset:    off, Ops: ops, Counted: counted,
+				Label: name,
+			})
+			off += ops
+		}
+	}
+	return plan
+}
+
+// TestKernelQualifies pins that representative planned loops — a plain
+// counted self-loop and a modulo-scheduled kernel section — compile
+// into an ok replay kernel with consistent prefix sums and event
+// templates. If a schedule change ever disqualifies these shapes, the
+// simulator silently loses its fast path; this test makes that loud.
+func TestKernelQualifies(t *testing.T) {
+	for _, modulo := range []bool{false, true} {
+		prog := kernelLoopProgram(50)
+		code, err := sched.Schedule(prog, machine.Default(), sched.Options{EnableModulo: modulo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := planSections(code, 256)
+		if len(plan.Loops) == 0 {
+			t.Fatalf("modulo=%v: no loop sections recognized", modulo)
+		}
+		bs := newBufferState(plan)
+		s := &sim{code: code, buf: bs}
+		for _, pl := range plan.Loops {
+			fc := code.Funcs[pl.Func]
+			df := decodedOf(code, fc)
+			k := bs.kernelFor(df, pl, s)
+			if !k.ok {
+				t.Fatalf("modulo=%v: loop %s did not qualify for kernel replay", modulo, pl.Key())
+			}
+			n := pl.EndBundle - pl.StartBundle
+			if len(k.bundles) != n || len(k.events) != n || len(k.opsUpTo) != n+1 {
+				t.Fatalf("modulo=%v: kernel shape mismatch for %s", modulo, pl.Key())
+			}
+			var total int64
+			for _, db := range k.bundles {
+				total += int64(len(db.ops))
+			}
+			if k.opsUpTo[n] != total {
+				t.Fatalf("modulo=%v: opsUpTo[%d] = %d, want %d", modulo, n, k.opsUpTo[n], total)
+			}
+			if bs.kernelFor(df, pl, s) != k {
+				t.Fatalf("modulo=%v: kernel not cached", modulo)
+			}
+		}
+	}
+}
+
+// TestKernelRejectsCalls pins the fallback side of the qualification:
+// a loop body containing a call must not compile into a kernel (calls
+// re-enter the Go-recursive interpreter).
+func TestKernelRejectsCalls(t *testing.T) {
+	prog := callProgram()
+	// Mark the call loop's back edge so it is planned like a wloop.
+	for _, b := range prog.Funcs["main"].Blocks {
+		if last := b.LastOp(); last != nil && last.IsBranch() && last.Target == b.ID {
+			last.LoopBack = true
+		}
+	}
+	code, err := sched.Schedule(prog, machine.Default(), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := planSections(code, 256)
+	if len(plan.Loops) == 0 {
+		t.Fatal("no loop sections recognized")
+	}
+	bs := newBufferState(plan)
+	s := &sim{code: code, buf: bs}
+	for _, pl := range plan.Loops {
+		df := decodedOf(code, code.Funcs[pl.Func])
+		if k := bs.kernelFor(df, pl, s); k.ok {
+			t.Fatalf("loop %s with a call qualified for kernel replay", pl.Key())
+		}
+	}
+}
+
+// TestKernelEngages proves the fast path actually runs end-to-end: a
+// buffered counted loop must enter the kernel at least once during
+// replay, and the run must still produce the right answer.
+func TestKernelEngages(t *testing.T) {
+	prog := kernelLoopProgram(100)
+	code, err := sched.Schedule(prog, machine.Default(), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := planSections(code, 256)
+	entries := 0
+	testKernelEnter = func(*PlannedLoop) { entries++ }
+	defer func() { testKernelEnter = nil }()
+	res, err := Run(code, plan, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries == 0 {
+		t.Fatal("kernel fast path never engaged on a buffered counted loop")
+	}
+	want := int64(0)
+	for i := 0; i < 100; i++ {
+		want += int64(3*i-11) * 5
+	}
+	if res.Ret != want {
+		t.Fatalf("ret = %d, want %d", res.Ret, want)
+	}
+	// And NoFastPath must force it off.
+	entries = 0
+	if _, err := Run(code, plan, Options{NoFastPath: true}); err != nil {
+		t.Fatal(err)
+	}
+	if entries != 0 {
+		t.Fatalf("NoFastPath run entered the kernel %d times", entries)
+	}
+}

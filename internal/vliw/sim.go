@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"lpbuf/internal/ir"
+	"lpbuf/internal/machine"
 	"lpbuf/internal/obs"
 	"lpbuf/internal/sched"
 )
@@ -88,29 +89,70 @@ type Options struct {
 	// VLIW_TRACE printf stream). Nil falls back to stderr when the
 	// VLIW_TRACE environment variable is set, else off.
 	DebugWriter io.Writer
+	// NoFastPath forces the interpretive per-bundle path even for
+	// resident-loop replay, disabling the pre-decoded kernel fast path
+	// (see kernel.go). Results, statistics, memory and obs events are
+	// bit-identical either way — the differential fast-path test pins
+	// that — so this exists only for that test and for debugging.
+	NoFastPath bool
 }
 
-// pending models one in-flight register write (EQ model: the value
-// lands at readyAt; until then reads see the old contents). A register
-// may have several writes in flight; they land in readyAt order, so a
-// later-landing earlier write overwrites a sooner-landing later one,
-// exactly as exposed writeback ports behave.
-type pending struct {
+// wbEntry models one in-flight write (EQ model: the value lands at
+// readyAt; until then reads see the old contents). Entries live in the
+// frame's writeback wheel, indexed by readyAt modulo the wheel size:
+// because the wheel is strictly larger than the longest latency, two
+// in-flight writes share a slot only when they land on the same cycle,
+// and slot order is issue order — so a later-landing earlier write
+// overwrites a sooner-landing later one, exactly as exposed writeback
+// ports behave.
+type wbEntry struct {
 	val     int64
 	readyAt int64
+	reg     int32
+	pred    bool
 }
 
-type pendingP struct {
-	val     bool
-	readyAt int64
-}
+// wheelStride bounds the writes one wheel slot holds inline: two
+// entries (a cmpp's pair of predicate destinations) for each of the
+// machine's eight issue slots. Writes past the stride — several
+// bundles' long- and short-latency results piling onto one landing
+// cycle — overflow into the frame's spill slice, which stays empty in
+// practice.
+const wheelStride = 16
+
+// wheelSlots is the writeback wheel's fixed slot count. It must be a
+// power of two strictly greater than every modeled latency (Run
+// enforces this), so two in-flight writes share a slot only when they
+// land on the same cycle. A compile-time constant so the hot write
+// path masks with a constant and indexes fixed arrays with provable
+// bounds.
+const (
+	wheelSlots = 16
+	wheelMask  = wheelSlots - 1
+)
 
 type frame struct {
-	fc       *sched.FuncCode
-	regs     []int64
-	regPend  [][]pending
-	preds    []bool
-	predPend [][]pendingP
+	fc    *sched.FuncCode
+	regs  []int64
+	preds []bool
+	// fast holds the current bundle's latency-1 results — the bulk of
+	// all writes. They land unconditionally at the next tick, after the
+	// wheel cohort (whose entries issued in earlier cycles), so the
+	// write path is a plain append-to-array with no slot arithmetic.
+	fast  [wheelStride]wbEntry
+	nFast int32
+	// wheel is the writeback pipeline for multi-cycle results, a flat
+	// pointer-free fixed array of wheelSlots slots by wheelStride
+	// entries: slot t&wheelMask holds the writes landing at cycle t
+	// (wcount of them, in issue order). The clock tick drains the
+	// current slot, so reads are plain array loads with no
+	// pending-queue probe, and writes are constant-masked fixed-array
+	// stores — no slice headers, no GC write barriers, no bounds checks
+	// the prover can't discharge. While the frame is suspended across a
+	// call its slots go stale; drainDue catches the frame up on return.
+	wheel  [wheelSlots * wheelStride]wbEntry
+	wcount [wheelSlots]int32
+	spill  []wbEntry
 }
 
 type sim struct {
@@ -131,6 +173,14 @@ type sim struct {
 	ring  *obs.SimTrace
 	label string
 	dbg   *debugLog
+	// fastOK gates the loop-replay kernel fast path: off under the
+	// per-bundle debug trace (which wants every fetch printed) or when
+	// Options.NoFastPath forces the interpretive path.
+	fastOK bool
+	// evScratch backs the kernel's batched SimIssue emission.
+	evScratch []obs.SimEvent
+	// framePool recycles activation frames per callee.
+	framePool map[*sched.FuncCode][]*frame
 }
 
 // Run executes scheduled code from the program entry.
@@ -144,6 +194,11 @@ func Run(code *sched.Code, buffers *BufferPlan, opts Options) (*Result, error) {
 		label: opts.TraceLabel,
 		dbg:   newDebugLog(opts),
 	}
+	s.fastOK = s.dbg == nil && !opts.NoFastPath
+	if w := wheelSize(code.Mach.Latency); w > wheelSlots {
+		return nil, fmt.Errorf("vliw: latency table needs a %d-slot writeback wheel (max %d)", w, wheelSlots)
+	}
+	s.framePool = map[*sched.FuncCode][]*frame{}
 	s.stats.Loops = map[string]*LoopStats{}
 	if s.opts.MaxCycles == 0 {
 		s.opts.MaxCycles = 4e9
@@ -194,98 +249,270 @@ func foldStats(reg *obs.Registry, st *Stats) {
 	reg.Histogram("sim.cycles_per_run").Observe(st.Cycles)
 }
 
-func newFrame(fc *sched.FuncCode) *frame {
+// wheelSize returns the writeback-wheel size for a latency table: the
+// smallest power of two strictly greater than every latency, so that
+// an in-flight write never shares a slot with a write landing on a
+// different cycle.
+func wheelSize(lat machine.Latencies) int64 {
+	maxLat := 1
+	for _, l := range []int{lat.IALU, lat.IMul, lat.IDiv, lat.Load,
+		lat.Store, lat.FP, lat.Branch, lat.Pred} {
+		if l > maxLat {
+			maxLat = l
+		}
+	}
+	w := int64(2)
+	for w <= int64(maxLat) {
+		w *= 2
+	}
+	return w
+}
+
+func (s *sim) newFrame(fc *sched.FuncCode) *frame {
 	f := &frame{
-		fc:       fc,
-		regs:     make([]int64, fc.F.NumRegs()+1),
-		regPend:  make([][]pending, fc.F.NumRegs()+1),
-		preds:    make([]bool, fc.F.NumPreds()+1),
-		predPend: make([][]pendingP, fc.F.NumPreds()+1),
+		fc:    fc,
+		regs:  make([]int64, fc.F.NumRegs()+1),
+		preds: make([]bool, fc.F.NumPreds()+1),
 	}
 	f.preds[0] = true
 	return f
 }
 
-// settleReg lands every in-flight write to r whose writeback time has
-// arrived, in landing order (ties resolved by issue order, which the
-// queue preserves).
-func (s *sim) settleReg(f *frame, r ir.Reg) {
-	q := f.regPend[r]
-	if len(q) == 0 {
-		return
+// getFrame reuses a pooled activation frame for fc, or allocates one.
+// Call-heavy programs re-enter the same callees millions of times; the
+// pool turns those per-call frame allocations into a slice pop plus a
+// register-file clear.
+func (s *sim) getFrame(fc *sched.FuncCode) *frame {
+	l := s.framePool[fc]
+	if len(l) == 0 {
+		return s.newFrame(fc)
 	}
-	kept := q[:0]
-	// Land in readyAt order; the queue is issue-ordered, so find
-	// successive minima. Queues are tiny (latency <= 8), so an
-	// insertion-style pass is fine.
+	f := l[len(l)-1]
+	s.framePool[fc] = l[:len(l)-1]
+	clear(f.regs)
+	clear(f.preds)
+	f.preds[0] = true
+	f.nFast = 0
+	f.wcount = [wheelSlots]int32{}
+	f.spill = f.spill[:0]
+	return f
+}
+
+func (s *sim) putFrame(f *frame) {
+	s.framePool[f.fc] = append(s.framePool[f.fc], f)
+}
+
+// land applies one writeback.
+func (f *frame) land(e *wbEntry) {
+	if e.pred {
+		f.preds[e.reg] = e.val != 0
+	} else {
+		f.regs[e.reg] = e.val
+	}
+}
+
+// tick advances the clock one cycle and lands the frame's writes due
+// at the new time. While a frame executes, every entry in the current
+// slot is due exactly now (the wheel outspans the longest latency, and
+// drainDue caught the frame up after any suspension), and slot order
+// is issue order. Spill entries were issued after their landing slot
+// filled — after every inline entry for the same cycle — so landing
+// the slot first keeps issue order.
+func (s *sim) tick(f *frame) {
+	s.now++
+	// A spill entry only exists while its landing slot is full, so
+	// wcount and nFast together decide whether anything lands this
+	// cycle.
+	if f.wcount[s.now&wheelMask]|f.nFast != 0 {
+		s.tickLand(f)
+	}
+}
+
+// tickLand is tick's landing half, outlined so the nothing-due fast
+// path inlines at every cycle-advance site. Landing order within the
+// cycle is issue order: the wheel cohort (issued in earlier cycles)
+// first, then its spill overflow, then the previous bundle's
+// latency-1 results.
+func (s *sim) tickLand(f *frame) {
+	slot := s.now & wheelMask
+	c := int64(f.wcount[slot])
+	if c != 0 {
+		base := slot * wheelStride
+		for i := int64(0); i < c; i++ {
+			f.land(&f.wheel[base+i])
+		}
+		f.wcount[slot] = 0
+	}
+	if len(f.spill) != 0 {
+		kept := f.spill[:0]
+		for i := range f.spill {
+			if f.spill[i].readyAt == s.now {
+				f.land(&f.spill[i])
+			} else {
+				kept = append(kept, f.spill[i])
+			}
+		}
+		f.spill = kept
+	}
+	if n := int64(f.nFast); n != 0 {
+		for i := int64(0); i < n; i++ {
+			f.land(&f.fast[i])
+		}
+		f.nFast = 0
+	}
+}
+
+// drainDue lands every write due by now, in readyAt order, after the
+// frame sat suspended through a callee's cycles. All inline entries in
+// one slot share a landing cycle (writes still in flight were issued
+// within one wheel span of each other), so cohorts land whole, in
+// ascending readyAt order, with a slot's spill overflow after its
+// inline entries.
+func (s *sim) drainDue(f *frame) {
 	for {
-		best := -1
-		for i := range q {
-			if q[i].readyAt > s.now {
+		best := int64(-1)
+		for slot := int64(0); slot < wheelSlots; slot++ {
+			if f.wcount[slot] == 0 {
 				continue
 			}
-			if best < 0 || q[i].readyAt < q[best].readyAt {
-				best = i
+			if t := f.wheel[slot*wheelStride].readyAt; t <= s.now && (best < 0 || t < best) {
+				best = t
+			}
+		}
+		for i := range f.spill {
+			if t := f.spill[i].readyAt; t <= s.now && (best < 0 || t < best) {
+				best = t
+			}
+		}
+		if f.nFast != 0 {
+			if t := f.fast[0].readyAt; t <= s.now && (best < 0 || t < best) {
+				best = t
 			}
 		}
 		if best < 0 {
-			break
+			return
 		}
-		f.regs[r] = q[best].val
-		q = append(q[:best], q[best+1:]...)
+		slot := best & wheelMask
+		base := slot * wheelStride
+		if c := int64(f.wcount[slot]); c != 0 && f.wheel[base].readyAt == best {
+			for i := int64(0); i < c; i++ {
+				f.land(&f.wheel[base+i])
+			}
+			f.wcount[slot] = 0
+		}
+		if len(f.spill) != 0 {
+			kept := f.spill[:0]
+			for i := range f.spill {
+				if f.spill[i].readyAt == best {
+					f.land(&f.spill[i])
+				} else {
+					kept = append(kept, f.spill[i])
+				}
+			}
+			f.spill = kept
+		}
+		if n := int64(f.nFast); n != 0 && f.fast[0].readyAt == best {
+			for i := int64(0); i < n; i++ {
+				f.land(&f.fast[i])
+			}
+			f.nFast = 0
+		}
 	}
-	kept = q
-	f.regPend[r] = kept
 }
 
+// readReg samples the register file at issue time: in-flight writes
+// are invisible until their tick lands them, so this is a plain load.
 func (s *sim) readReg(f *frame, r ir.Reg) int64 {
-	s.settleReg(f, r)
 	return f.regs[r]
 }
 
+// writeRegFast queues a latency-1 register result — the overwhelmingly
+// common case — on the frame's append-only fast list: it lands at the
+// next tick, after any wheel or spill cohort due the same cycle (those
+// were issued on earlier cycles, so landing order still follows issue
+// order). The list holds at most one bundle's writes — width ≤ 8 ops
+// produce ≤ 16 entries even when every op defines two predicates, and
+// tick drains it every cycle — so the spill fallback only fires on a
+// hypothetically wider machine. Call sites dispatch on the decoded
+// latency so both this and writeReg stay inside the inlining budget.
+func (s *sim) writeRegFast(f *frame, r ir.Reg, v int64) {
+	if r == 0 {
+		return
+	}
+	n := f.nFast
+	e := wbEntry{val: ir.W32(v), readyAt: s.now + 1, reg: int32(r)}
+	if n < wheelStride {
+		f.fast[n] = e
+		f.nFast = n + 1
+		return
+	}
+	f.spill = append(f.spill, e)
+}
+
+// writeReg queues a multi-cycle result into its landing slot on the
+// writeback wheel, spilling past a full slot. Latency-1 results take
+// writeRegFast instead (the call sites dispatch on d.lat).
 func (s *sim) writeReg(f *frame, r ir.Reg, v int64, lat int64) {
 	if r == 0 {
 		return
 	}
-	s.settleReg(f, r)
-	f.regPend[r] = append(f.regPend[r], pending{val: ir.W32(v), readyAt: s.now + lat})
+	e := wbEntry{val: ir.W32(v), readyAt: s.now + lat, reg: int32(r)}
+	slot := e.readyAt & wheelMask
+	c := f.wcount[slot]
+	if c < wheelStride {
+		f.wheel[slot*wheelStride+int64(c)] = e
+		f.wcount[slot] = c + 1
+		return
+	}
+	f.spill = append(f.spill, e)
 }
 
 func (s *sim) readPred(f *frame, p ir.PredReg) bool {
-	q := f.predPend[p]
-	if len(q) > 0 {
-		for {
-			best := -1
-			for i := range q {
-				if q[i].readyAt > s.now {
-					continue
-				}
-				if best < 0 || q[i].readyAt < q[best].readyAt {
-					best = i
-				}
-			}
-			if best < 0 {
-				break
-			}
-			f.preds[p] = q[best].val
-			q = append(q[:best], q[best+1:]...)
-		}
-		f.predPend[p] = q
-	}
 	return f.preds[p]
 }
 
+// writePredFast is writeRegFast for predicate results.
+func (s *sim) writePredFast(f *frame, p ir.PredReg, v bool) {
+	if p == 0 {
+		return
+	}
+	var iv int64
+	if v {
+		iv = 1
+	}
+	n := f.nFast
+	e := wbEntry{val: iv, readyAt: s.now + 1, reg: int32(p), pred: true}
+	if n < wheelStride {
+		f.fast[n] = e
+		f.nFast = n + 1
+		return
+	}
+	f.spill = append(f.spill, e)
+}
+
+// writePred is writeReg for multi-cycle predicate results.
 func (s *sim) writePred(f *frame, p ir.PredReg, v bool, lat int64) {
 	if p == 0 {
 		return
 	}
-	s.readPred(f, p)
-	f.predPend[p] = append(f.predPend[p], pendingP{val: v, readyAt: s.now + lat})
+	var iv int64
+	if v {
+		iv = 1
+	}
+	e := wbEntry{val: iv, readyAt: s.now + lat, reg: int32(p), pred: true}
+	slot := e.readyAt & wheelMask
+	c := f.wcount[slot]
+	if c < wheelStride {
+		f.wheel[slot*wheelStride+int64(c)] = e
+		f.wcount[slot] = c + 1
+		return
+	}
+	f.spill = append(f.spill, e)
 }
 
 // run executes one function invocation (recursively via Go for calls).
 func (s *sim) run(fc *sched.FuncCode) (int64, error) {
-	f := newFrame(fc)
+	f := s.newFrame(fc)
 	for i, p := range fc.F.Params {
 		if i < len(s.opts.EntryArgs) {
 			f.regs[p] = ir.W32(s.opts.EntryArgs[i])
@@ -302,7 +529,7 @@ type callCtx struct {
 // to end-of-cycle commit. Plain values (no closures) so the exec
 // scratch buffers stay allocation-free in steady state.
 type branchAction struct {
-	so    *sched.SOp
+	d     *dop
 	taken bool
 }
 
@@ -310,6 +537,13 @@ type storeAction struct {
 	opc  ir.Opcode
 	addr int64
 	val  int64
+}
+
+// scratch holds the per-activation issue buffers, reused across
+// cycles; nested calls recurse into execDepth and get their own.
+type scratch struct {
+	branches []branchAction
+	stores   []storeAction
 }
 
 // exec runs from bundle pc until return.
@@ -323,21 +557,54 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 		return 0, fmt.Errorf("vliw: call depth exceeded in %s", f.fc.F.Name)
 	}
 	fc := f.fc
-	// Scratch buffers reused across cycles (reset each bundle); nested
-	// calls recurse into execDepth and get their own.
-	var branches []branchAction
-	var stores []storeAction
+	// Per-activation hoists: the pre-decoded image and the planned-loop
+	// table are resolved once here, so the per-cycle path below indexes
+	// slices instead of probing string-keyed maps.
+	df := decodedOf(s.code, fc)
+	loops := s.buf.loopsFor(fc.F.Name)
+	maxC := s.opts.MaxCycles
+	var sc scratch
 	for {
-		if s.now > s.opts.MaxCycles {
+		if s.now > maxC {
 			return 0, fmt.Errorf("vliw: cycle limit exceeded in %s (pc %d)", fc.F.Name, pc)
 		}
-		if pc < 0 || pc >= len(fc.Bundles) {
+		if pc < 0 || pc >= len(df.bundles) {
 			return 0, fmt.Errorf("vliw: pc %d out of range in %s", pc, fc.F.Name)
 		}
-		bundle := fc.Bundles[pc]
+		var pl *PlannedLoop
+		if pc < len(loops) {
+			pl = loops[pc]
+		}
 
-		// Loop-buffer bookkeeping for this fetch.
-		fromBuffer, ls := s.buf.fetch(fc, pc, s)
+		// Loop-buffer bookkeeping for this fetch. Outside any planned
+		// loop with no residency open, fetch is a no-op by construction
+		// — skip the call on that (most common) path.
+		var fromBuffer bool
+		var ls *LoopStats
+		if pl != nil || s.buf.cur != nil {
+			fromBuffer, ls = s.buf.fetch(pl, fc, pc, s)
+		}
+
+		// Replay fast path: at the head of a loop now streaming from
+		// the buffer, whole iterations execute through the pre-compiled
+		// kernel (see kernel.go) with per-trip batched accounting. The
+		// head fetch above already did this iteration's entry/replay
+		// bookkeeping; the kernel covers everything from here up to and
+		// including the loop exit, and control returns at the first
+		// non-loop bundle.
+		if fromBuffer && s.fastOK && pl != nil && pc == pl.StartBundle && s.buf.replaying {
+			if k := s.buf.kernelFor(df, pl, s); k.ok {
+				if testKernelEnter != nil {
+					testKernelEnter(pl)
+				}
+				next, err := s.runKernel(f, df, k, &sc)
+				if err != nil {
+					return 0, err
+				}
+				pc = next
+				continue
+			}
+		}
 
 		// EQ model: no interlocks. Reads sample the register file at
 		// issue time; the compiler is responsible for timing (the
@@ -346,6 +613,7 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 		if s.dbg != nil {
 			s.dbg.printf("t=%d pc=%d buf=%v\n", s.now, pc, fromBuffer)
 		}
+		db := &df.bundles[pc]
 		if s.ring != nil {
 			aux := int64(0)
 			if fromBuffer {
@@ -353,158 +621,208 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 			}
 			s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimIssue,
 				Run: s.label, Func: fc.F.Name, PC: int32(pc),
-				Arg: int64(len(bundle.Ops)), Aux: aux})
+				Arg: int64(len(db.ops)), Aux: aux})
 		}
-		// Issue: reads sample now; branch decisions collected.
-		branches = branches[:0]
-		stores = stores[:0]
+		// Issue: reads sample now; branch decisions collected. Fetch
+		// statistics are per-bundle sums (every op in the bundle counts
+		// as issued, nullified or not, from one fetch source).
+		nOps := int64(len(db.ops))
+		s.stats.OpsIssued += nOps
+		if fromBuffer {
+			s.stats.OpsFromBuffer += nOps
+			if ls != nil {
+				ls.OpsBuffered += nOps
+			}
+		} else if ls != nil {
+			ls.OpsMemory += nOps
+		}
+		sc.branches = sc.branches[:0]
+		sc.stores = sc.stores[:0]
 		retired := false
 		var retVal int64
 		callNext := -1
 
-		for _, so := range bundle.Ops {
-			op := so.Op
-			s.stats.OpsIssued++
+		for i := range db.ops {
+			d := &db.ops[i]
 			if s.dbg != nil {
-				s.dbg.printf("  issue %s\n", op)
-			}
-			if fromBuffer {
-				s.stats.OpsFromBuffer++
-				if ls != nil {
-					ls.OpsBuffered++
-				}
-			} else if ls != nil {
-				ls.OpsMemory++
+				s.dbg.printf("  issue %s\n", d.op)
 			}
 			guard := true
-			if op.Guard != 0 {
-				guard = s.readPred(f, op.Guard)
+			if d.guard != 0 {
+				guard = s.readPred(f, d.guard)
 			}
-			if !guard && op.Opcode != ir.OpCmpP {
+			if !guard && d.kind != dCmpP {
 				s.stats.OpsNullified++
 				continue
 			}
-			src := func(i int) int64 {
-				if op.HasImm && i == len(op.Src) {
-					return op.Imm
-				}
-				return s.readReg(f, op.Src[i])
-			}
-			lat := int64(ir.LatencyOf(op, s.code.Mach.Latency))
-			switch {
-			case op.Opcode == ir.OpNop:
+			switch d.kind {
+			case dNop:
 
-			case op.Opcode == ir.OpCmpP:
-				cond := op.Cmp.Eval(src(0), src(1))
-				for _, pd := range op.PredDefines() {
+			case dALU:
+				var a, b int64
+				if d.aImm {
+					a = d.imm
+				} else {
+					a = s.readReg(f, d.a)
+				}
+				if !d.unary {
+					if d.bImm {
+						b = d.imm
+					} else {
+						b = s.readReg(f, d.b)
+					}
+				}
+				var v int64
+				switch d.alu {
+				case aAdd:
+					v = ir.W32(a + b)
+				case aSub:
+					v = ir.W32(a - b)
+				case aMov:
+					v = ir.W32(a)
+				case aAbs:
+					if a < 0 {
+						a = -a
+					}
+					v = ir.W32(a)
+				case aMul:
+					v = ir.W32(a * b)
+				case aAnd:
+					v = ir.W32(a & b)
+				case aOr:
+					v = ir.W32(a | b)
+				case aXor:
+					v = ir.W32(a ^ b)
+				case aShl:
+					v = ir.W32(a << (uint64(b) & 31))
+				default:
+					v = ir.EvalALU(d.opc, d.cmp, a, b)
+				}
+				if d.direct {
+					f.regs[d.dest] = v
+				} else if d.lat == 1 {
+					s.writeRegFast(f, d.dest, v)
+				} else {
+					s.writeReg(f, d.dest, v, d.lat)
+				}
+
+			case dCmpP:
+				var a, b int64
+				if d.aImm {
+					a = d.imm
+				} else {
+					a = s.readReg(f, d.a)
+				}
+				if d.bImm {
+					b = d.imm
+				} else {
+					b = s.readReg(f, d.b)
+				}
+				cond := d.cmp.Eval(a, b)
+				for pi := uint8(0); pi < d.nPD; pi++ {
+					pd := d.pd[pi]
 					v, w := pd.Type.Update(guard, cond)
 					if w {
-						s.writePred(f, pd.Pred, v, lat)
+						if d.lat == 1 {
+							s.writePredFast(f, pd.Pred, v)
+						} else {
+							s.writePred(f, pd.Pred, v, d.lat)
+						}
 					}
 				}
 
-			case op.Opcode == ir.OpSel:
-				if s.readReg(f, op.Src[0]) != 0 {
-					s.writeReg(f, op.Dest[0], s.readReg(f, op.Src[1]), lat)
+			case dSel:
+				v := s.readReg(f, d.b)
+				if s.readReg(f, d.a) == 0 {
+					v = s.readReg(f, d.c)
+				}
+				if d.direct {
+					f.regs[d.dest] = v
+				} else if d.lat == 1 {
+					s.writeRegFast(f, d.dest, v)
 				} else {
-					s.writeReg(f, op.Dest[0], s.readReg(f, op.Src[2]), lat)
+					s.writeReg(f, d.dest, v, d.lat)
 				}
 
-			case ir.IsALUEvaluable(op.Opcode):
-				var a, bb int64
-				if op.Opcode == ir.OpMov || op.Opcode == ir.OpAbs {
-					a = src(0)
-				} else {
-					a, bb = src(0), src(1)
-				}
-				s.writeReg(f, op.Dest[0], ir.EvalALU(op.Opcode, op.Cmp, a, bb), lat)
-
-			case op.IsLoad():
-				addr := s.readReg(f, op.Src[0]) + op.Imm
-				v, err := s.load(op.Opcode, addr)
+			case dLoad:
+				addr := s.readReg(f, d.a) + d.imm
+				v, err := s.load(d.opc, addr)
 				if err != nil {
-					if op.Speculative {
+					if d.spec {
 						v = 0
 					} else {
-						return 0, fmt.Errorf("%s in %s pc=%d: %v", op, fc.F.Name, pc, err)
+						return 0, fmt.Errorf("%s in %s pc=%d: %v", d.op, fc.F.Name, pc, err)
 					}
 				}
-				s.writeReg(f, op.Dest[0], v, lat)
-
-			case op.IsStore():
-				addr := s.readReg(f, op.Src[0]) + op.Imm
-				val := s.readReg(f, op.Src[1])
-				stores = append(stores, storeAction{opc: op.Opcode, addr: addr, val: val})
-				if e := s.checkStore(op.Opcode, addr); e != nil {
-					return 0, fmt.Errorf("%s in %s pc=%d: %v", op, fc.F.Name, pc, e)
+				if d.direct {
+					f.regs[d.dest] = v
+				} else if d.lat == 1 {
+					s.writeRegFast(f, d.dest, v)
+				} else {
+					s.writeReg(f, d.dest, v, d.lat)
 				}
 
-			case op.Opcode == ir.OpBr:
-				if op.Cmp.Eval(src(0), src(1)) {
-					branches = append(branches, branchAction{so: so, taken: true})
-				} else if op.LoopBack {
-					branches = append(branches, branchAction{so: so, taken: false})
+			case dStore:
+				addr := s.readReg(f, d.a) + d.imm
+				val := s.readReg(f, d.b)
+				sc.stores = append(sc.stores, storeAction{opc: d.opc, addr: addr, val: val})
+				if e := s.checkStore(d.opc, addr); e != nil {
+					return 0, fmt.Errorf("%s in %s pc=%d: %v", d.op, fc.F.Name, pc, e)
 				}
 
-			case op.Opcode == ir.OpJump:
-				branches = append(branches, branchAction{so: so, taken: true})
+			case dBr:
+				var a, b int64
+				if d.aImm {
+					a = d.imm
+				} else {
+					a = s.readReg(f, d.a)
+				}
+				if d.bImm {
+					b = d.imm
+				} else {
+					b = s.readReg(f, d.b)
+				}
+				if d.cmp.Eval(a, b) {
+					sc.branches = append(sc.branches, branchAction{d: d, taken: true})
+				} else if d.loopBack {
+					sc.branches = append(sc.branches, branchAction{d: d, taken: false})
+				}
 
-			case op.Opcode == ir.OpBrCLoop:
-				c := ir.W32(s.readReg(f, op.Src[0]) - 1)
-				s.writeReg(f, op.Dest[0], c, lat)
-				branches = append(branches, branchAction{so: so, taken: c > 0})
-				_ = c
+			case dJump:
+				sc.branches = append(sc.branches, branchAction{d: d, taken: true})
 
-			case op.Opcode == ir.OpCall:
-				callee := s.code.Funcs[op.Callee]
-				if callee == nil {
-					return 0, fmt.Errorf("vliw: call to unknown %q", op.Callee)
+			case dBrCLoop:
+				c := ir.W32(s.readReg(f, d.a) - 1)
+				if d.direct {
+					f.regs[d.dest] = c
+				} else if d.lat == 1 {
+					s.writeRegFast(f, d.dest, c)
+				} else {
+					s.writeReg(f, d.dest, c, d.lat)
 				}
-				nf := newFrame(callee)
-				for i, parm := range callee.F.Params {
-					nf.regs[parm] = s.readReg(f, op.Src[i])
-				}
-				s.now++
-				s.penalty += int64(s.code.Mach.BranchPenalty)
-				s.stats.BranchPenaltyCycles += int64(s.code.Mach.BranchPenalty)
-				if s.ring != nil {
-					s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimCall,
-						Run: s.label, Func: op.Callee, PC: int32(pc)})
-				}
-				cc.depth++
-				rv, err := s.execDepth(nf, 0, cc)
-				cc.depth--
+				sc.branches = append(sc.branches, branchAction{d: d, taken: c > 0})
+
+			case dCall:
+				rv, next, err := s.execCall(f, d, pc, cc, df)
 				if err != nil {
 					return 0, err
 				}
-				s.penalty += int64(s.code.Mach.BranchPenalty)
-				s.stats.BranchPenaltyCycles += int64(s.code.Mach.BranchPenalty)
-				if s.ring != nil {
-					s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRet,
-						Run: s.label, Func: op.Callee, PC: int32(pc)})
+				if len(d.op.Dest) > 0 {
+					s.writeRegFast(f, d.dest, rv)
 				}
-				if len(op.Dest) > 0 {
-					s.writeReg(f, op.Dest[0], rv, 1)
-				}
-				// Resume after the call bundle.
-				callNext = fc.FallTarget(pc)
-				if callNext < 0 {
-					return 0, fmt.Errorf("vliw: call at function end without fallthrough")
-				}
+				callNext = next
 
-			case op.Opcode == ir.OpRet:
-				if len(op.Src) > 0 {
-					retVal = s.readReg(f, op.Src[0])
-				}
+			case dRet:
+				retVal = s.readReg(f, d.a)
 				retired = true
 
 			default:
-				return 0, fmt.Errorf("vliw: unhandled op %s", op)
+				return 0, fmt.Errorf("vliw: unhandled op %s", d.op)
 			}
 		}
 
 		// Commit stores at end of cycle.
-		for _, st := range stores {
+		for _, st := range sc.stores {
 			_ = s.store(st.opc, st.addr, st.val)
 		}
 		if retired {
@@ -512,45 +830,99 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 		}
 		if callNext >= 0 {
 			pc = callNext
-			s.now++
+			s.tick(f)
 			continue
 		}
 
-		// Control transfer: first taken branch in slot order wins (the
-		// schedule guarantees at most one is truly taken).
 		next := -2
-		for _, ba := range branches {
-			if !ba.taken {
-				// Untaken loop-back: loop exit.
-				p := s.buf.exitPenalty(fc, pc, ba.so, s)
-				s.penalty += p
-				s.stats.BranchPenaltyCycles += p
-				if p > 0 && s.ring != nil {
-					s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRedirect,
-						Run: s.label, Func: fc.F.Name, PC: int32(pc), Arg: p})
-				}
-				continue
+		if len(sc.branches) != 0 {
+			next = s.resolveControl(fc, pc, &sc)
+		}
+		s.tick(f)
+		if next != -2 {
+			pc = next
+		} else {
+			pc = int(db.fall)
+			if pc < 0 {
+				return 0, fmt.Errorf("vliw: fell off end of %s", fc.F.Name)
 			}
-			next = ba.so.TargetBundle
-			p := s.buf.takenPenalty(fc, pc, ba.so, s)
+		}
+	}
+}
+
+// execCall performs one call op: transfers into the callee (recursing
+// via Go), charges call/return redirect penalties and returns the
+// callee's value plus the bundle to resume at.
+func (s *sim) execCall(f *frame, d *dop, pc int, cc *callCtx, df *decodedFunc) (int64, int, error) {
+	if d.callee == nil {
+		return 0, 0, fmt.Errorf("vliw: call to unknown %q", d.op.Callee)
+	}
+	nf := s.getFrame(d.callee)
+	for i, parm := range d.callee.F.Params {
+		nf.regs[parm] = s.readReg(f, d.op.Src[i])
+	}
+	s.now++
+	s.penalty += int64(s.code.Mach.BranchPenalty)
+	s.stats.BranchPenaltyCycles += int64(s.code.Mach.BranchPenalty)
+	if s.ring != nil {
+		s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimCall,
+			Run: s.label, Func: d.op.Callee, PC: int32(pc)})
+	}
+	cc.depth++
+	rv, err := s.execDepth(nf, 0, cc)
+	cc.depth--
+	if err != nil {
+		return 0, 0, err
+	}
+	s.putFrame(nf)
+	// The caller's wheel slots went stale while it sat suspended through
+	// the callee's cycles; land everything now due before resuming.
+	s.drainDue(f)
+	s.penalty += int64(s.code.Mach.BranchPenalty)
+	s.stats.BranchPenaltyCycles += int64(s.code.Mach.BranchPenalty)
+	if s.ring != nil {
+		s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRet,
+			Run: s.label, Func: d.op.Callee, PC: int32(pc)})
+	}
+	// Resume after the call bundle.
+	next := int(df.bundles[pc].fall)
+	if next < 0 {
+		return 0, 0, fmt.Errorf("vliw: call at function end without fallthrough")
+	}
+	return rv, next, nil
+}
+
+// resolveControl applies end-of-cycle control transfer: the first
+// taken branch in slot order wins (the schedule guarantees at most one
+// is truly taken); untaken loop-backs charge their exit penalty on the
+// way. Returns the winning target bundle, or -2 for fallthrough.
+// Shared by the interpretive loop and the kernel's exit path so both
+// charge bit-identical penalties and emit identical redirect events.
+func (s *sim) resolveControl(fc *sched.FuncCode, pc int, sc *scratch) int {
+	next := -2
+	for _, ba := range sc.branches {
+		if !ba.taken {
+			// Untaken loop-back: loop exit.
+			p := s.buf.exitPenalty(fc, pc, ba.d.loopBack, s)
 			s.penalty += p
 			s.stats.BranchPenaltyCycles += p
 			if p > 0 && s.ring != nil {
 				s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRedirect,
 					Run: s.label, Func: fc.F.Name, PC: int32(pc), Arg: p})
 			}
-			break
+			continue
 		}
-		s.now++
-		if next != -2 {
-			pc = next
-		} else {
-			pc = fc.FallTarget(pc)
-			if pc < 0 {
-				return 0, fmt.Errorf("vliw: fell off end of %s", fc.F.Name)
-			}
+		next = int(ba.d.target)
+		p := s.buf.takenPenalty(fc, pc, ba.d.loopBack, int(ba.d.target), s)
+		s.penalty += p
+		s.stats.BranchPenaltyCycles += p
+		if p > 0 && s.ring != nil {
+			s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRedirect,
+				Run: s.label, Func: fc.F.Name, PC: int32(pc), Arg: p})
 		}
+		break
 	}
+	return next
 }
 
 func (s *sim) load(opc ir.Opcode, addr int64) (int64, error) {
