@@ -42,6 +42,7 @@ func BenchmarkFigure7Traditional(b *testing.B) {
 	b.StopTimer()
 	fmt.Println(experiments.RenderFig7("Figure 7(a): traditional", rows, experiments.BufferSizes))
 	b.ReportMetric(avgAt(rows, 256), "%buffer@256")
+	b.ReportMetric(avgAt(rows, 16), "%buffer@16")
 }
 
 // BenchmarkFigure7Aggressive regenerates the Figure 7(b) curves.
@@ -58,6 +59,7 @@ func BenchmarkFigure7Aggressive(b *testing.B) {
 	b.StopTimer()
 	fmt.Println(experiments.RenderFig7("Figure 7(b): aggressive", rows, experiments.BufferSizes))
 	b.ReportMetric(avgAt(rows, 256), "%buffer@256")
+	b.ReportMetric(avgAt(rows, 16), "%buffer@16")
 }
 
 func avgAt(rows []experiments.Fig7Row, sz int) float64 {
@@ -197,13 +199,15 @@ func BenchmarkSuiteConcurrent(b *testing.B) {
 // heaviest benchmark (useful when sizing longer runs).
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	s := sharedSuite()
-	var ops int64
+	var ops, cycles int64
 	for i := 0; i < b.N; i++ {
 		r, err := s.RunAt("g724enc", "aggressive", 256)
 		if err != nil {
 			b.Fatal(err)
 		}
 		ops = r.Stats.OpsIssued
+		cycles = r.Stats.Cycles
 	}
 	b.ReportMetric(float64(ops), "sim-ops/run")
+	b.ReportMetric(float64(cycles), "sim-cycles/run")
 }

@@ -1,23 +1,24 @@
 // Command benchjson runs the repository's top-level benchmarks and
 // writes a machine-readable artifact (BENCH_simulator.json by default)
-// recording every reported metric — ns/op, allocs/op, and the custom
-// paper metrics each bench emits via b.ReportMetric. CI runs it on
-// every push and uploads the file, so the simulator's performance
-// trajectory is recorded across PRs instead of living in commit
-// messages.
+// in the lpbuf/bench/v2 schema: per-metric *sample vectors* — one
+// sample per fresh `go test` process — plus an environment
+// fingerprint, so cmd/benchdiff can attach variance and significance
+// to every comparison instead of diffing two noisy point values.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson [-bench groups] [-benchtime 1x] [-count 1] [-out BENCH_simulator.json]
+//	go run ./cmd/benchjson [-bench groups] [-benchtime 1x] [-count 3] [-out BENCH_simulator.json]
 //
 // -bench is a comma-separated list of process groups; each group is a
-// benchmark-name alternation run in one fresh `go test` process. Fresh
-// processes keep in-process caches (compile memoization, decoded
-// images) from flattering repeat numbers, while grouping the two
-// Figure 7 benches together preserves the shared-suite amortization
-// (one benchmark-registry build, per-config compiles) that a real
-// `go test -bench BenchmarkFigure7` run gets — the same methodology
-// the recorded baselines used.
+// benchmark-name alternation run in a fresh `go test` process, and
+// -count N runs every group in N fresh processes (one sample each).
+// Fresh processes keep in-process caches (compile memoization, decoded
+// images) from flattering repeat numbers — each sample measures cold
+// first-run work — while grouping the two Figure 7 benches together
+// preserves the shared-suite amortization (one benchmark-registry
+// build, per-config compiles) that a real `go test -bench
+// BenchmarkFigure7` run gets. This is the same methodology the
+// recorded baselines used.
 package main
 
 import (
@@ -33,60 +34,81 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"lpbuf/internal/obs/perfgate"
 )
 
-// Result is one benchmark's parsed report.
-type Result struct {
-	Name string `json:"name"`
-	// Iterations is the b.N the reported averages were taken over.
-	Iterations int64 `json:"iterations"`
-	// Metrics maps unit → value, e.g. "ns/op", "allocs/op",
-	// "%buffer@256".
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// Artifact is the file schema.
-type Artifact struct {
-	Schema    string    `json:"schema"`
-	Generated time.Time `json:"generated"`
-	Go        string    `json:"go"`
-	OS        string    `json:"os"`
-	Arch      string    `json:"arch"`
-	Benchtime string    `json:"benchtime"`
-	Bench     string    `json:"bench"`
-	Results   []Result  `json:"results"`
+// sample is one benchmark's parsed report from one process.
+type sample struct {
+	name       string
+	iterations int64
+	metrics    map[string]float64
 }
 
 // benchLine matches `BenchmarkName-8  	  10  	123 ns/op  	5 B/op ...`.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 func main() {
-	bench := flag.String("bench", "BenchmarkFigure7Traditional|BenchmarkFigure7Aggressive,BenchmarkSimulatorThroughput", "comma-separated process groups; each group is a benchmark-name alternation run in one fresh process")
+	bench := flag.String("bench", "BenchmarkFigure7Traditional|BenchmarkFigure7Aggressive,BenchmarkSimulatorThroughput", "comma-separated process groups; each group is a benchmark-name alternation run in fresh processes")
 	benchtime := flag.String("benchtime", "1x", "passed to go test -benchtime")
-	count := flag.Int("count", 1, "passed to go test -count")
+	count := flag.Int("count", 3, "samples per group; each sample is one fresh go test process")
 	out := flag.String("out", "BENCH_simulator.json", "output file")
 	pkg := flag.String("pkg", ".", "package containing the benchmarks")
 	flag.Parse()
+	if *count < 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: -count must be >= 1")
+		os.Exit(2)
+	}
 
-	art := Artifact{
-		Schema:    "lpbuf/bench/v1",
+	host, _ := os.Hostname()
+	art := perfgate.BenchArtifact{
+		Schema:    perfgate.BenchSchemaV2,
 		Generated: time.Now().UTC(),
-		Go:        runtime.Version(),
-		OS:        runtime.GOOS,
-		Arch:      runtime.GOARCH,
+		Env: perfgate.Env{
+			Go:         runtime.Version(),
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Hostname:   host,
+		},
 		Benchtime: *benchtime,
+		Count:     *count,
 		Bench:     *bench,
 	}
 
-	// One process per group: each group measures its first, cold
-	// execution, not a cache-warmed rerun.
+	// results[name] accumulates sample vectors in first-seen order.
+	var order []string
+	results := map[string]*perfgate.BenchResult{}
 	for _, pat := range strings.Split(*bench, ",") {
-		results, err := runOne(*pkg, "^("+pat+")$", *benchtime, *count)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", pat, err)
-			os.Exit(1)
+		// One fresh process per sample: every sample of every group
+		// measures its cold first execution, never a cache-warmed rerun.
+		for i := 0; i < *count; i++ {
+			samples, err := runOne(*pkg, "^("+pat+")$", *benchtime)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s (sample %d): %v\n", pat, i+1, err)
+				os.Exit(1)
+			}
+			for _, s := range samples {
+				r := results[s.name]
+				if r == nil {
+					r = &perfgate.BenchResult{Name: s.name, Samples: map[string][]float64{}}
+					results[s.name] = r
+					order = append(order, s.name)
+				}
+				r.Iterations = s.iterations
+				for unit, v := range s.metrics {
+					r.Samples[unit] = append(r.Samples[unit], v)
+				}
+			}
+			if i == 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: %s: %d benchmark(s), %d sample(s) each\n",
+					pat, len(samples), *count)
+			}
 		}
-		art.Results = append(art.Results, results...)
+	}
+	for _, name := range order {
+		art.Results = append(art.Results, *results[name])
 	}
 
 	data, err := json.MarshalIndent(&art, "", "  ")
@@ -99,15 +121,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(art.Results))
+	fmt.Printf("wrote %s (%d benchmarks, %d samples each)\n", *out, len(art.Results), *count)
 }
 
-// runOne executes one `go test -bench` process and parses its reports.
-func runOne(pkg, pattern, benchtime string, count int) ([]Result, error) {
+// runOne executes one `go test -bench` process and parses its reports
+// (one sample per benchmark).
+func runOne(pkg, pattern, benchtime string) ([]sample, error) {
 	cmd := exec.Command("go", "test", "-run", "^$",
 		"-bench", pattern,
 		"-benchtime", benchtime,
-		"-count", strconv.Itoa(count),
+		"-count", "1",
 		"-benchmem", "-timeout", "1800s", pkg)
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
@@ -115,7 +138,7 @@ func runOne(pkg, pattern, benchtime string, count int) ([]Result, error) {
 	if err := cmd.Run(); err != nil {
 		return nil, fmt.Errorf("go test: %w\n%s", err, buf.String())
 	}
-	var results []Result
+	var samples []sample
 	sc := bufio.NewScanner(&buf)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -127,10 +150,10 @@ func runOne(pkg, pattern, benchtime string, count int) ([]Result, error) {
 		if err != nil {
 			continue
 		}
-		r := Result{
-			Name:       strings.TrimPrefix(trimProcSuffix(m[1]), "Benchmark"),
-			Iterations: iters,
-			Metrics:    map[string]float64{},
+		s := sample{
+			name:       strings.TrimPrefix(trimProcSuffix(m[1]), "Benchmark"),
+			iterations: iters,
+			metrics:    map[string]float64{},
 		}
 		// The tail is value/unit pairs: `123 ns/op  5 B/op  2 allocs/op`.
 		fields := strings.Fields(m[3])
@@ -139,17 +162,17 @@ func runOne(pkg, pattern, benchtime string, count int) ([]Result, error) {
 			if err != nil {
 				continue
 			}
-			r.Metrics[fields[i+1]] = v
+			s.metrics[fields[i+1]] = v
 		}
-		results = append(results, r)
+		samples = append(samples, s)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(results) == 0 {
+	if len(samples) == 0 {
 		return nil, fmt.Errorf("no benchmark output matched %q", pattern)
 	}
-	return results, nil
+	return samples, nil
 }
 
 // trimProcSuffix strips the -GOMAXPROCS suffix Go appends to names.

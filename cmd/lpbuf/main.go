@@ -29,13 +29,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"lpbuf/internal/bench/suite"
 	"lpbuf/internal/experiments"
@@ -100,11 +104,27 @@ func main() {
 	}
 	if *pprofAddr != "" {
 		// Publish the live registry snapshot through expvar alongside
-		// the default pprof handlers.
+		// the default pprof handlers. The server binds synchronously —
+		// a bad -pprof address fails fast instead of racing main — and
+		// is drained via Shutdown before exit so in-flight profile
+		// requests complete and the listener is released.
 		expvar.Publish("lpbuf", expvar.Func(func() any { return o.Registry().Snapshot() }))
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fail(fmt.Errorf("pprof: %w", err))
+		}
+		srv := &http.Server{}
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "lpbuf: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "lpbuf: pprof listening on %s\n", ln.Addr())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "lpbuf: pprof shutdown:", err)
 			}
 		}()
 	}

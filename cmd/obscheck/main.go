@@ -1,12 +1,13 @@
 // Command obscheck validates the observability artifacts `lpbuf`
-// writes: a Chrome trace-event JSON (-trace) and a metrics snapshot
-// (-metrics). It is the CI gate that keeps both formats loadable —
-// the trace in Perfetto / chrome://tracing, the metrics by downstream
-// tooling pinned to the lpbuf.metrics/v1 schema.
+// writes: a Chrome trace-event JSON (-trace), a metrics snapshot
+// (-metrics), and a cmd/benchjson bench artifact (-bench, schema
+// lpbuf/bench/v1 or /v2). It is the CI gate that keeps every format
+// loadable — the trace in Perfetto / chrome://tracing, the metrics and
+// bench files by downstream tooling pinned to their schemas.
 //
 // Usage:
 //
-//	obscheck -trace trace.json -metrics metrics.json
+//	obscheck -trace trace.json -metrics metrics.json -bench BENCH_simulator.json
 //
 // Exit status is non-zero with a diagnostic on the first violation.
 package main
@@ -16,19 +17,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+
+	"lpbuf/internal/obs/perfgate"
 )
 
 func main() {
 	tracePath := flag.String("trace", "", "Chrome trace-event JSON to validate")
 	metricsPath := flag.String("metrics", "", "lpbuf.metrics/v1 snapshot to validate")
+	benchPath := flag.String("bench", "", "lpbuf/bench/v1 or /v2 artifact to validate")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
 		os.Exit(1)
 	}
-	if *tracePath == "" && *metricsPath == "" {
-		fail("nothing to check; pass -trace and/or -metrics")
+	if *tracePath == "" && *metricsPath == "" && *benchPath == "" {
+		fail("nothing to check; pass -trace, -metrics and/or -bench")
 	}
 	if *tracePath != "" {
 		if err := checkTrace(*tracePath); err != nil {
@@ -42,6 +46,26 @@ func main() {
 		}
 		fmt.Printf("obscheck: %s ok\n", *metricsPath)
 	}
+	if *benchPath != "" {
+		if err := checkBench(*benchPath); err != nil {
+			fail("%s: %v", *benchPath, err)
+		}
+	}
+}
+
+// checkBench validates a bench artifact through the same parser
+// cmd/benchdiff uses, so "obscheck passes" guarantees "benchdiff can
+// read it". v1 artifacts are accepted and normalized to single-sample
+// vectors; v2 artifacts additionally get their environment fingerprint
+// and sample counts echoed for the CI log.
+func checkBench(path string) error {
+	art, err := perfgate.ReadBenchArtifact(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("obscheck: %s ok (%s, %d benchmarks, count=%d, go=%s %s/%s)\n",
+		path, art.Schema, len(art.Results), art.Count, art.Env.Go, art.Env.OS, art.Env.Arch)
+	return nil
 }
 
 // traceEvent mirrors the fields every Chrome trace event must carry.

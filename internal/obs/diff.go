@@ -1,0 +1,67 @@
+package obs
+
+import "sort"
+
+// Delta is one instrument's change between two registry snapshots.
+// Values are float64 so counters, gauges and histogram aggregates
+// share one row shape; counter deltas are exact integers within
+// float64 range.
+type Delta struct {
+	Name string  `json:"name"`
+	Kind string  `json:"kind"` // "counter", "gauge", "hist.count", "hist.sum"
+	Old  float64 `json:"old"`
+	New  float64 `json:"new"`
+	Diff float64 `json:"diff"`
+}
+
+// DiffSnapshot compares two registry snapshots and returns one row per
+// instrument whose value changed (or which appears on only one side —
+// a missing instrument reads as 0). Histograms contribute their count
+// and sum; bucket-level drift always moves at least one of the two.
+// Rows come back sorted by (name, kind) so diffs render and marshal
+// stably.
+func DiffSnapshot(old, cur RegistrySnapshot) []Delta {
+	var out []Delta
+	add := func(name, kind string, o, n float64) {
+		if o == n {
+			return
+		}
+		out = append(out, Delta{Name: name, Kind: kind, Old: o, New: n, Diff: n - o})
+	}
+	for name := range union(old.Counters, cur.Counters) {
+		add(name, "counter", float64(old.Counters[name]), float64(cur.Counters[name]))
+	}
+	for name := range union(old.Gauges, cur.Gauges) {
+		add(name, "gauge", old.Gauges[name], cur.Gauges[name])
+	}
+	seen := map[string]bool{}
+	for name := range old.Histograms {
+		seen[name] = true
+	}
+	for name := range cur.Histograms {
+		seen[name] = true
+	}
+	for name := range seen {
+		o, n := old.Histograms[name], cur.Histograms[name]
+		add(name, "hist.count", float64(o.Count), float64(n.Count))
+		add(name, "hist.sum", float64(o.Sum), float64(n.Sum))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+func union[V any](a, b map[string]V) map[string]struct{} {
+	u := make(map[string]struct{}, len(a)+len(b))
+	for k := range a {
+		u[k] = struct{}{}
+	}
+	for k := range b {
+		u[k] = struct{}{}
+	}
+	return u
+}

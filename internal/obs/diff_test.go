@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiffSnapshot(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("sim.runs").Add(10)
+	r1.Counter("sim.cycles").Add(1000)
+	r1.Counter("unchanged").Add(5)
+	r1.Gauge("peak").Set(3)
+	r1.Histogram("wall").Observe(8)
+
+	r2 := NewRegistry()
+	r2.Counter("sim.runs").Add(12)
+	r2.Counter("sim.cycles").Add(1000)
+	r2.Counter("unchanged").Add(5)
+	r2.Counter("added").Add(1)
+	r2.Gauge("peak").Set(7)
+	r2.Histogram("wall").Observe(8)
+	r2.Histogram("wall").Observe(16)
+
+	deltas := DiffSnapshot(r1.Snapshot(), r2.Snapshot())
+	byKey := map[string]Delta{}
+	for _, d := range deltas {
+		byKey[d.Name+"/"+d.Kind] = d
+	}
+	if d := byKey["sim.runs/counter"]; d.Diff != 2 || d.Old != 10 || d.New != 12 {
+		t.Errorf("sim.runs delta = %+v", d)
+	}
+	if d := byKey["added/counter"]; d.Old != 0 || d.New != 1 {
+		t.Errorf("added counter delta = %+v", d)
+	}
+	if _, ok := byKey["unchanged/counter"]; ok {
+		t.Error("unchanged counter reported")
+	}
+	if _, ok := byKey["sim.cycles/counter"]; ok {
+		t.Error("equal counter reported")
+	}
+	if d := byKey["peak/gauge"]; d.Diff != 4 {
+		t.Errorf("gauge delta = %+v", d)
+	}
+	if d := byKey["wall/hist.count"]; d.Diff != 1 {
+		t.Errorf("hist.count delta = %+v", d)
+	}
+	if d := byKey["wall/hist.sum"]; d.Diff != 16 {
+		t.Errorf("hist.sum delta = %+v", d)
+	}
+	// Sorted by (name, kind).
+	for i := 1; i < len(deltas); i++ {
+		a, b := deltas[i-1], deltas[i]
+		if a.Name > b.Name || (a.Name == b.Name && a.Kind > b.Kind) {
+			t.Errorf("deltas out of order: %+v before %+v", a, b)
+		}
+	}
+	// Identical snapshots diff empty.
+	if d := DiffSnapshot(r1.Snapshot(), r1.Snapshot()); len(d) != 0 {
+		t.Errorf("self-diff = %v, want empty", d)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int64 // inclusive bucket upper bound
+	}{
+		{0, 0}, // bucket 0 holds exactly 0
+		{1, 1}, // bucket 1 holds exactly 1
+		{2, 3}, // [2,4)
+		{5, 7}, // [4,8)
+		{1000, 1023},
+	}
+	for _, c := range cases {
+		r := NewRegistry()
+		r.Histogram("h").Observe(c.v)
+		hs := r.Snapshot().Histograms["h"]
+		for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+			if got := hs.Quantile(q); got != c.want {
+				t.Errorf("single sample %d: Quantile(%v) = %d, want %d", c.v, q, got, c.want)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileDuplicateHeavy(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	// 1000 copies of 5 and a single 1e6 outlier.
+	for i := 0; i < 1000; i++ {
+		h.Observe(5)
+	}
+	h.Observe(1_000_000)
+	hs := r.Snapshot().Histograms["h"]
+	// 5 lives in [4,8) → inclusive bound 7; every quantile up to the
+	// outlier's rank reports that bucket.
+	for _, q := range []float64{0.01, 0.5, 0.9, 0.999} {
+		if got := hs.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%v) = %d, want 7", q, got)
+		}
+	}
+	// The max lands in the outlier's bucket: 1e6 is in [2^19, 2^20).
+	if got := hs.Quantile(1); got != (1<<20)-1 {
+		t.Errorf("Quantile(1) = %d, want %d", got, (1<<20)-1)
+	}
+	// q <= 0 clamps to the first observation's bucket.
+	if got := hs.Quantile(0); got != 7 {
+		t.Errorf("Quantile(0) = %d, want 7", got)
+	}
+	if got := hs.Quantile(math.Inf(1)); got != (1<<20)-1 {
+		t.Errorf("Quantile(+inf) = %d, want clamp to max bucket", got)
+	}
+}
+
+func TestHistogramQuantileZeroHeavy(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for i := 0; i < 99; i++ {
+		h.Observe(0)
+	}
+	h.Observe(1 << 30)
+	hs := r.Snapshot().Histograms["h"]
+	if got := hs.Quantile(0.5); got != 0 {
+		t.Errorf("zero-heavy Quantile(0.5) = %d, want 0", got)
+	}
+	if got := hs.Quantile(1); got != (1<<31)-1 {
+		t.Errorf("zero-heavy Quantile(1) = %d, want %d", got, (1<<31)-1)
+	}
+}

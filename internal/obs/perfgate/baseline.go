@@ -1,0 +1,231 @@
+package perfgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SimStatsSchema versions the golden sim-stat baseline file
+// (baselines/simstats.json). The file is regenerated with
+// `benchdiff -update-baselines` and checked by the tier-1 test at the
+// repository root.
+const SimStatsSchema = "lpbuf/simstats/v1"
+
+// BenchConfigStats captures the paper-level numbers of one
+// benchmark × config: the Figure 7 buffer-issue curve and the 256-op
+// dynamic counts / fetch energy behind Figures 8(a) and 8(b). All
+// fields are deterministic simulator facts — they change only when
+// compilation or simulation semantics change, never with wall-clock
+// noise.
+type BenchConfigStats struct {
+	// BufferPct maps buffer size (operations) to the percentage of
+	// dynamic operations issued from the loop buffer (Figure 7).
+	BufferPct map[int]float64 `json:"buffer_pct"`
+	// The remaining fields are measured at the paper's 256-op buffer.
+	Cycles        int64 `json:"cycles"`
+	OpsIssued     int64 `json:"ops_issued"`
+	OpsFromBuffer int64 `json:"ops_from_buffer"`
+	// MemFetches = OpsIssued - OpsFromBuffer (global-memory fetches).
+	MemFetches int64 `json:"mem_fetches"`
+	// StaticOps is the scheduled code size in operations.
+	StaticOps int `json:"static_ops"`
+	// NormFetchEnergy is the Figure 8(b) normalized fetch energy:
+	// fetch energy at 256 ops relative to buffer-less issue of the
+	// traditionally optimized code, via power.Model.
+	NormFetchEnergy float64 `json:"norm_fetch_energy"`
+}
+
+// SimStats is the baseline document: per-benchmark, per-config stats
+// plus the buffer-size sweep they were measured over.
+type SimStats struct {
+	Schema      string `json:"schema"`
+	BufferSizes []int  `json:"buffer_sizes"`
+	// Benchmarks maps benchmark → config ("traditional"/"aggressive")
+	// → stats.
+	Benchmarks map[string]map[string]*BenchConfigStats `json:"benchmarks"`
+}
+
+// NewSimStats returns an empty document with the schema set.
+func NewSimStats(sizes []int) *SimStats {
+	return &SimStats{
+		Schema:      SimStatsSchema,
+		BufferSizes: append([]int(nil), sizes...),
+		Benchmarks:  map[string]map[string]*BenchConfigStats{},
+	}
+}
+
+// ReadSimStats loads and validates a baseline file.
+func ReadSimStats(path string) (*SimStats, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s SimStats
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: not valid JSON: %v", path, err)
+	}
+	if s.Schema != SimStatsSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %s", path, s.Schema, SimStatsSchema)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &s, nil
+}
+
+// WriteFile writes the document as stable indented JSON, creating the
+// parent directory if needed.
+func (s *SimStats) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// BaselineTolerance holds the explicit tolerance bands for the golden
+// baseline check.
+type BaselineTolerance struct {
+	// BufferPctPoints is the absolute tolerance, in percentage points,
+	// on every Figure 7 buffer-issue percentage.
+	BufferPctPoints float64
+	// CountRel is the relative tolerance on integer counters (cycles,
+	// op counts, fetches, static size); 0 means exact.
+	CountRel float64
+	// EnergyAbs is the absolute tolerance on normalized fetch energy
+	// (a unitless value near 0–1); covers float rounding only.
+	EnergyAbs float64
+}
+
+// DefaultBaselineTolerance is the tier-1 gate: the simulator is
+// deterministic, so counts are exact; buffer percentages get a
+// half-point band (well under the 2-point drift the gate must catch)
+// and energies a rounding-only band.
+func DefaultBaselineTolerance() BaselineTolerance {
+	return BaselineTolerance{BufferPctPoints: 0.5, CountRel: 0, EnergyAbs: 1e-6}
+}
+
+// Drift is one baseline deviation.
+type Drift struct {
+	Bench  string  `json:"bench"`
+	Config string  `json:"config"`
+	Field  string  `json:"field"`
+	Want   float64 `json:"want"`
+	Got    float64 `json:"got"`
+	Tol    float64 `json:"tol"`
+}
+
+func (d Drift) String() string {
+	return fmt.Sprintf("%s/%s %s: baseline %.6g, got %.6g (tolerance %.6g)",
+		d.Bench, d.Config, d.Field, d.Want, d.Got, d.Tol)
+}
+
+// CompareSimStats checks got against the baseline want under the given
+// tolerances and returns every drift, sorted for stable output.
+// Missing or extra benchmarks/configs/sizes are drifts too: the
+// baseline must be regenerated when the suite's shape changes.
+func CompareSimStats(want, got *SimStats, tol BaselineTolerance) []Drift {
+	var drifts []Drift
+	add := func(bench, cfg, field string, w, g, t float64) {
+		drifts = append(drifts, Drift{Bench: bench, Config: cfg, Field: field, Want: w, Got: g, Tol: t})
+	}
+	for _, bench := range sortedKeys(want.Benchmarks) {
+		wc := want.Benchmarks[bench]
+		gc := got.Benchmarks[bench]
+		if gc == nil {
+			add(bench, "*", "present", 1, 0, 0)
+			continue
+		}
+		for _, cfg := range sortedKeys(wc) {
+			w := wc[cfg]
+			g := gc[cfg]
+			if g == nil {
+				add(bench, cfg, "present", 1, 0, 0)
+				continue
+			}
+			for _, sz := range want.BufferSizes {
+				wp, wok := w.BufferPct[sz]
+				gp, gok := g.BufferPct[sz]
+				field := fmt.Sprintf("%%buffer@%d", sz)
+				if !wok || !gok {
+					add(bench, cfg, field+" present", b2f(wok), b2f(gok), 0)
+					continue
+				}
+				if math.Abs(gp-wp) > tol.BufferPctPoints {
+					add(bench, cfg, field, wp, gp, tol.BufferPctPoints)
+				}
+			}
+			checkCount := func(field string, wv, gv int64) {
+				if wv == gv {
+					return
+				}
+				rel := math.Abs(float64(gv-wv)) / math.Max(1, math.Abs(float64(wv)))
+				if rel > tol.CountRel {
+					add(bench, cfg, field, float64(wv), float64(gv), tol.CountRel)
+				}
+			}
+			checkCount("cycles", w.Cycles, g.Cycles)
+			checkCount("ops_issued", w.OpsIssued, g.OpsIssued)
+			checkCount("ops_from_buffer", w.OpsFromBuffer, g.OpsFromBuffer)
+			checkCount("mem_fetches", w.MemFetches, g.MemFetches)
+			checkCount("static_ops", int64(w.StaticOps), int64(g.StaticOps))
+			if math.Abs(g.NormFetchEnergy-w.NormFetchEnergy) > tol.EnergyAbs {
+				add(bench, cfg, "norm_fetch_energy", w.NormFetchEnergy, g.NormFetchEnergy, tol.EnergyAbs)
+			}
+		}
+	}
+	for _, bench := range sortedKeys(got.Benchmarks) {
+		if want.Benchmarks[bench] == nil {
+			add(bench, "*", "new benchmark not in baseline", 0, 1, 0)
+		}
+	}
+	sort.Slice(drifts, func(i, j int) bool {
+		if drifts[i].Bench != drifts[j].Bench {
+			return drifts[i].Bench < drifts[j].Bench
+		}
+		if drifts[i].Config != drifts[j].Config {
+			return drifts[i].Config < drifts[j].Config
+		}
+		return drifts[i].Field < drifts[j].Field
+	})
+	return drifts
+}
+
+// RenderDrifts formats drifts for test failures and benchdiff output.
+func RenderDrifts(drifts []Drift) string {
+	if len(drifts) == 0 {
+		return "sim-stat baselines: clean\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sim-stat baselines: %d drift(s)\n", len(drifts))
+	for _, d := range drifts {
+		sb.WriteString("  " + d.String() + "\n")
+	}
+	return sb.String()
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

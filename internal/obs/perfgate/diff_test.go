@@ -1,0 +1,404 @@
+package perfgate
+
+import (
+	"strings"
+	"testing"
+)
+
+// artifact builds a v2-shaped artifact from name → unit → samples.
+func artifact(results map[string]map[string][]float64) *BenchArtifact {
+	art := &BenchArtifact{
+		Schema: BenchSchemaV2,
+		Env:    Env{Go: "go1.24.0", OS: "linux", Arch: "amd64", NumCPU: 8, GOMAXPROCS: 8},
+		Count:  5,
+	}
+	for _, name := range sortedKeys(results) {
+		r := BenchResult{Name: name, Iterations: 1, Samples: map[string][]float64{}}
+		for unit, vs := range results[name] {
+			r.Samples[unit] = append([]float64(nil), vs...)
+		}
+		art.Results = append(art.Results, r)
+	}
+	return art
+}
+
+func findRow(t *testing.T, rep *Report, bench, metric string) Row {
+	t.Helper()
+	for _, row := range rep.Rows {
+		if row.Bench == bench && row.Metric == metric {
+			return row
+		}
+	}
+	t.Fatalf("no row for %s/%s in %+v", bench, metric, rep.Rows)
+	return Row{}
+}
+
+// TestSyntheticNsOpRegression is the acceptance scenario: a 10% ns/op
+// slowdown across five samples must come out as a significant
+// regression (non-zero gate), while the deterministic metric riding
+// along stays clean.
+func TestSyntheticNsOpRegression(t *testing.T) {
+	old := artifact(map[string]map[string][]float64{
+		"Figure7Traditional": {
+			"ns/op":       {2.23e9, 2.25e9, 2.21e9, 2.24e9, 2.22e9},
+			"%buffer@256": {32.65, 32.65, 32.65, 32.65, 32.65},
+		},
+	})
+	cur := artifact(map[string]map[string][]float64{
+		"Figure7Traditional": {
+			"ns/op":       {2.45e9, 2.47e9, 2.44e9, 2.46e9, 2.45e9}, // ~+10%
+			"%buffer@256": {32.65, 32.65, 32.65, 32.65, 32.65},
+		},
+	})
+	rep := Compare(old, cur, Options{})
+	row := findRow(t, rep, "Figure7Traditional", "ns/op")
+	if row.Verdict != VerdictRegression {
+		t.Fatalf("ns/op verdict = %s (p=%v, delta=%v), want REGRESSION", row.Verdict, row.P, row.Delta)
+	}
+	if row.Delta < 0.05 || row.Delta > 0.15 {
+		t.Errorf("delta = %v, want ~+0.10", row.Delta)
+	}
+	if row.P >= 0.05 {
+		t.Errorf("p = %v, want < 0.05", row.P)
+	}
+	if buf := findRow(t, rep, "Figure7Traditional", "%buffer@256"); buf.Verdict != VerdictOK {
+		t.Errorf("%%buffer@256 verdict = %s, want ok", buf.Verdict)
+	}
+	if rep.Regressions() != 1 {
+		t.Errorf("Regressions() = %d, want 1", rep.Regressions())
+	}
+	out := rep.Render()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "ns/op") {
+		t.Errorf("rendered table missing regression marker:\n%s", out)
+	}
+	md := rep.Markdown()
+	if !strings.Contains(md, "| Figure7Traditional | ns/op |") {
+		t.Errorf("markdown missing table row:\n%s", md)
+	}
+}
+
+// TestSameCommitMultiSampleClean is the other half of the acceptance
+// criterion: two runs of the same commit — identical deterministic
+// metrics, wall-clock jitter within noise — must compare clean.
+func TestSameCommitMultiSampleClean(t *testing.T) {
+	old := artifact(map[string]map[string][]float64{
+		"Figure7Traditional": {
+			"ns/op":       {2.23e9, 2.25e9, 2.21e9, 2.24e9, 2.22e9},
+			"%buffer@256": {32.65, 32.65, 32.65, 32.65, 32.65},
+		},
+		"SimulatorThroughput": {
+			"ns/op":       {1.60e8, 1.62e8, 1.59e8, 1.61e8, 1.60e8},
+			"sim-ops/run": {2752029, 2752029, 2752029, 2752029, 2752029},
+		},
+	})
+	cur := artifact(map[string]map[string][]float64{
+		"Figure7Traditional": {
+			"ns/op":       {2.24e9, 2.22e9, 2.25e9, 2.21e9, 2.23e9},
+			"%buffer@256": {32.65, 32.65, 32.65, 32.65, 32.65},
+		},
+		"SimulatorThroughput": {
+			"ns/op":       {1.61e8, 1.59e8, 1.62e8, 1.60e8, 1.60e8},
+			"sim-ops/run": {2752029, 2752029, 2752029, 2752029, 2752029},
+		},
+	})
+	rep := Compare(old, cur, Options{})
+	if n := rep.Regressions(); n != 0 {
+		t.Fatalf("same-commit comparison found %d regressions:\n%s", n, rep.Render())
+	}
+	for _, row := range rep.Rows {
+		if row.Verdict == VerdictRegression || row.Verdict == VerdictMissing {
+			t.Errorf("row %s/%s verdict = %s", row.Bench, row.Metric, row.Verdict)
+		}
+	}
+}
+
+// TestSmallSampleNoiseIsAdvisory: below MinSamples per side,
+// Mann–Whitney cannot reach p < 0.05 (n=3+3 bottoms out at 0.1), so a
+// wall-clock tolerance breach must stay advisory ("~") — otherwise two
+// clean same-commit runs on a loaded machine would fail the gate.
+// Deterministic metrics in the same artifact still gate exactly.
+func TestSmallSampleNoiseIsAdvisory(t *testing.T) {
+	old := artifact(map[string]map[string][]float64{
+		"Figure7Traditional": {
+			"ns/op":       {2.49e9, 2.67e9, 2.88e9},
+			"%buffer@256": {32.65, 32.65, 32.65},
+		},
+	})
+	cur := artifact(map[string]map[string][]float64{
+		"Figure7Traditional": {
+			"ns/op":       {3.26e9, 3.10e9, 3.40e9}, // +22% load noise
+			"%buffer@256": {32.65, 32.65, 32.65},
+		},
+	})
+	rep := Compare(old, cur, Options{})
+	row := findRow(t, rep, "Figure7Traditional", "ns/op")
+	if row.Verdict != VerdictInsig {
+		t.Fatalf("n=3+3 breach verdict = %s, want %s:\n%s", row.Verdict, VerdictInsig, rep.Render())
+	}
+	if n := rep.Regressions(); n != 0 {
+		t.Fatalf("small-n noise counted as %d regression(s)", n)
+	}
+	// But the deterministic metric still fails on real drift at n=3.
+	cur.Result("Figure7Traditional").Samples["%buffer@256"] = []float64{30.65, 30.65, 30.65}
+	if n := Compare(old, cur, Options{}).Regressions(); n != 1 {
+		t.Errorf("deterministic drift at n=3 regressions = %d, want 1", n)
+	}
+}
+
+// TestDeterministicMetricDrift: a deterministic metric shift flags
+// even without enough samples for a significance test.
+func TestDeterministicMetricDrift(t *testing.T) {
+	old := artifact(map[string]map[string][]float64{
+		"Figure7Aggressive": {"ns/op": {2.3e9}, "%buffer@256": {90.67}},
+	})
+	cur := artifact(map[string]map[string][]float64{
+		"Figure7Aggressive": {"ns/op": {2.3e9}, "%buffer@256": {88.67}},
+	})
+	rep := Compare(old, cur, Options{})
+	row := findRow(t, rep, "Figure7Aggressive", "%buffer@256")
+	if row.Verdict != VerdictRegression {
+		t.Fatalf("2-point %%buffer drift verdict = %s, want REGRESSION", row.Verdict)
+	}
+	// An *increase* of a two-sided deterministic metric flags too.
+	cur2 := artifact(map[string]map[string][]float64{
+		"Figure7Aggressive": {"ns/op": {2.3e9}, "%buffer@256": {92.67}},
+	})
+	if row := findRow(t, Compare(old, cur2, Options{}), "Figure7Aggressive", "%buffer@256"); row.Verdict != VerdictRegression {
+		t.Errorf("upward drift verdict = %s, want REGRESSION (two-sided)", row.Verdict)
+	}
+}
+
+// TestImprovementDoesNotFail: a significant speedup is reported but
+// does not trip the gate.
+func TestImprovementDoesNotFail(t *testing.T) {
+	old := artifact(map[string]map[string][]float64{
+		"S": {"ns/op": {100, 101, 99, 100, 102}},
+	})
+	cur := artifact(map[string]map[string][]float64{
+		"S": {"ns/op": {80, 81, 79, 80, 82}},
+	})
+	rep := Compare(old, cur, Options{})
+	row := findRow(t, rep, "S", "ns/op")
+	if row.Verdict != VerdictImprovement {
+		t.Fatalf("verdict = %s, want improvement", row.Verdict)
+	}
+	if rep.Regressions() != 0 {
+		t.Errorf("improvement counted as regression")
+	}
+}
+
+// TestInsignificantNoiseWithinAlpha: a delta beyond tolerance but with
+// overlapping samples is reported as "~", not a regression.
+func TestInsignificantNoiseWithinAlpha(t *testing.T) {
+	old := artifact(map[string]map[string][]float64{
+		"S": {"ns/op": {100, 140, 90, 120, 95}},
+	})
+	cur := artifact(map[string]map[string][]float64{
+		"S": {"ns/op": {115, 95, 135, 100, 110}},
+	})
+	rep := Compare(old, cur, Options{})
+	row := findRow(t, rep, "S", "ns/op")
+	if row.Verdict == VerdictRegression {
+		t.Fatalf("noisy overlap flagged as regression (p=%v, delta=%v)", row.P, row.Delta)
+	}
+}
+
+// TestMissingBenchmarkFailsUnlessAllowed pins the missing-data policy.
+func TestMissingBenchmarkFailsUnlessAllowed(t *testing.T) {
+	old := artifact(map[string]map[string][]float64{
+		"A": {"ns/op": {100}},
+		"B": {"ns/op": {100}},
+	})
+	cur := artifact(map[string]map[string][]float64{
+		"A": {"ns/op": {100}},
+	})
+	if n := Compare(old, cur, Options{}).Regressions(); n != 1 {
+		t.Errorf("missing benchmark regressions = %d, want 1", n)
+	}
+	if n := Compare(old, cur, Options{AllowMissing: true}).Regressions(); n != 0 {
+		t.Errorf("AllowMissing regressions = %d, want 0", n)
+	}
+}
+
+// TestPolicyOverride: a caller-supplied tolerance band replaces the
+// default.
+func TestPolicyOverride(t *testing.T) {
+	old := artifact(map[string]map[string][]float64{
+		"S": {"ns/op": {100, 101, 99, 100, 102}},
+	})
+	cur := artifact(map[string]map[string][]float64{
+		"S": {"ns/op": {107, 108, 106, 107, 109}}, // +7%
+	})
+	// Default 5% tolerance: flagged.
+	if row := findRow(t, Compare(old, cur, Options{}), "S", "ns/op"); row.Verdict != VerdictRegression {
+		t.Fatalf("default tolerance verdict = %s, want REGRESSION", row.Verdict)
+	}
+	// Widened to 10%: clean.
+	opts := Options{Policies: map[string]Policy{"ns/op": {Tol: 0.10, Dir: LowerIsBetter}}}
+	if row := findRow(t, Compare(old, cur, opts), "S", "ns/op"); row.Verdict != VerdictOK {
+		t.Errorf("widened tolerance verdict = %s, want ok", row.Verdict)
+	}
+}
+
+// TestV1ArtifactParsesAsSingleSample: the previous schema loads and
+// diffs against a v2 artifact.
+func TestV1ArtifactParsesAsSingleSample(t *testing.T) {
+	v1 := []byte(`{
+	  "schema": "lpbuf/bench/v1",
+	  "go": "go1.24.0", "os": "linux", "arch": "amd64",
+	  "benchtime": "1x", "bench": "x",
+	  "results": [
+	    {"name": "Figure7Traditional", "iterations": 1,
+	     "metrics": {"ns/op": 2233446082, "%buffer@256": 32.65}}
+	  ]
+	}`)
+	art, err := ParseBenchArtifact(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := art.Result("Figure7Traditional")
+	if r == nil || len(r.Samples["ns/op"]) != 1 || r.Samples["%buffer@256"][0] != 32.65 {
+		t.Fatalf("v1 normalization wrong: %+v", art)
+	}
+	cur := artifact(map[string]map[string][]float64{
+		"Figure7Traditional": {"ns/op": {2.23e9}, "%buffer@256": {32.65}},
+	})
+	if n := Compare(art, cur, Options{}).Regressions(); n != 0 {
+		t.Errorf("v1 vs identical v2 regressions = %d, want 0", n)
+	}
+}
+
+func TestParseBenchArtifactRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"schema": "lpbuf/bench/v3"}`,
+		`{"schema": "lpbuf/bench/v2", "results": []}`,
+		`{"schema": "lpbuf/bench/v2", "results": [{"name": "A", "samples": {"B/op": [1]}}]}`,
+		`{"schema": "lpbuf/bench/v2", "results": [{"name": "A", "samples": {"ns/op": [1, 2], "B/op": [1]}}]}`,
+		`{"schema": "lpbuf/bench/v2", "results": [{"name": "A", "samples": {"ns/op": [0]}}]}`,
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, err := ParseBenchArtifact([]byte(c)); err == nil {
+			t.Errorf("ParseBenchArtifact(%q) succeeded, want error", c)
+		}
+	}
+}
+
+// TestEnvMismatchNoted: cross-environment diffs carry a warning.
+func TestEnvMismatchNoted(t *testing.T) {
+	old := artifact(map[string]map[string][]float64{"S": {"ns/op": {100}}})
+	cur := artifact(map[string]map[string][]float64{"S": {"ns/op": {100}}})
+	cur.Env.Go = "go1.25.0"
+	rep := Compare(old, cur, Options{})
+	if rep.EnvNote == "" || !strings.Contains(rep.EnvNote, "go version") {
+		t.Errorf("env note = %q, want go version mismatch", rep.EnvNote)
+	}
+}
+
+// ---- baseline checks ----
+
+func baselineFixture() *SimStats {
+	s := NewSimStats([]int{64, 256})
+	s.Benchmarks["adpcmdec"] = map[string]*BenchConfigStats{
+		"traditional": {
+			BufferPct: map[int]float64{64: 20.0, 256: 32.0},
+			Cycles:    50000, OpsIssued: 160000, OpsFromBuffer: 51200,
+			MemFetches: 108800, StaticOps: 300, NormFetchEnergy: 0.70,
+		},
+		"aggressive": {
+			BufferPct: map[int]float64{64: 85.0, 256: 90.7},
+			Cycles:    40972, OpsIssued: 163850, OpsFromBuffer: 163760,
+			MemFetches: 90, StaticOps: 320, NormFetchEnergy: 0.28,
+		},
+	}
+	return s
+}
+
+func cloneBaseline(t *testing.T, s *SimStats) *SimStats {
+	t.Helper()
+	out := NewSimStats(s.BufferSizes)
+	for bench, cfgs := range s.Benchmarks {
+		out.Benchmarks[bench] = map[string]*BenchConfigStats{}
+		for cfg, st := range cfgs {
+			c := *st
+			c.BufferPct = map[int]float64{}
+			for k, v := range st.BufferPct {
+				c.BufferPct[k] = v
+			}
+			out.Benchmarks[bench][cfg] = &c
+		}
+	}
+	return out
+}
+
+// TestBaselineDriftTwoPoints is the acceptance scenario: a 2-point
+// %buffer@256 drift must be caught (the default band is half a point).
+func TestBaselineDriftTwoPoints(t *testing.T) {
+	want := baselineFixture()
+	got := cloneBaseline(t, want)
+	got.Benchmarks["adpcmdec"]["aggressive"].BufferPct[256] -= 2.0
+	drifts := CompareSimStats(want, got, DefaultBaselineTolerance())
+	if len(drifts) != 1 {
+		t.Fatalf("drifts = %v, want exactly 1", drifts)
+	}
+	d := drifts[0]
+	if d.Bench != "adpcmdec" || d.Config != "aggressive" || d.Field != "%buffer@256" {
+		t.Errorf("drift = %+v", d)
+	}
+	if !strings.Contains(RenderDrifts(drifts), "%buffer@256") {
+		t.Errorf("rendered drift missing field:\n%s", RenderDrifts(drifts))
+	}
+}
+
+// TestBaselineWithinToleranceClean: sub-band float wiggle passes.
+func TestBaselineWithinToleranceClean(t *testing.T) {
+	want := baselineFixture()
+	got := cloneBaseline(t, want)
+	got.Benchmarks["adpcmdec"]["aggressive"].BufferPct[256] += 0.3
+	got.Benchmarks["adpcmdec"]["traditional"].NormFetchEnergy += 1e-9
+	if drifts := CompareSimStats(want, got, DefaultBaselineTolerance()); len(drifts) != 0 {
+		t.Fatalf("unexpected drifts: %v", drifts)
+	}
+}
+
+// TestBaselineCountDriftExact: counts are exact by default — off by
+// one op flags.
+func TestBaselineCountDriftExact(t *testing.T) {
+	want := baselineFixture()
+	got := cloneBaseline(t, want)
+	got.Benchmarks["adpcmdec"]["aggressive"].OpsIssued++
+	drifts := CompareSimStats(want, got, DefaultBaselineTolerance())
+	if len(drifts) != 1 || drifts[0].Field != "ops_issued" {
+		t.Fatalf("drifts = %v, want one ops_issued drift", drifts)
+	}
+}
+
+// TestBaselineShapeChanges: missing configs and new benchmarks both
+// demand a baseline regeneration.
+func TestBaselineShapeChanges(t *testing.T) {
+	want := baselineFixture()
+	got := cloneBaseline(t, want)
+	delete(got.Benchmarks["adpcmdec"], "traditional")
+	got.Benchmarks["newbench"] = map[string]*BenchConfigStats{}
+	drifts := CompareSimStats(want, got, DefaultBaselineTolerance())
+	if len(drifts) != 2 {
+		t.Fatalf("drifts = %v, want 2 (missing config, new benchmark)", drifts)
+	}
+}
+
+// TestSimStatsRoundTrip: WriteFile/ReadSimStats preserve the document,
+// including int-keyed buffer maps.
+func TestSimStatsRoundTrip(t *testing.T) {
+	want := baselineFixture()
+	path := t.TempDir() + "/simstats.json"
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSimStats(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifts := CompareSimStats(want, got, BaselineTolerance{}); len(drifts) != 0 {
+		t.Fatalf("round trip drifted: %v", drifts)
+	}
+}

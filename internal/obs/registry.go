@@ -13,6 +13,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -205,6 +206,51 @@ type HistogramSnapshot struct {
 	Count   int64    `json:"count"`
 	Sum     int64    `json:"sum"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile of the observed distribution from
+// the log2 buckets: it returns the inclusive upper bound of the
+// smallest bucket containing the q-th ranked observation, so the
+// estimate never undershoots the true quantile by more than the bucket
+// width (a factor of two). q is clamped to [0, 1]; an empty histogram
+// reports 0. Exact for distributions that land in one bucket per
+// distinct magnitude (in particular: single samples and the 0/1
+// buckets, which are one value wide).
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return bucketMax(b.UpperBound)
+		}
+	}
+	if n := len(h.Buckets); n > 0 {
+		return bucketMax(h.Buckets[n-1].UpperBound)
+	}
+	return 0
+}
+
+// bucketMax converts a bucket's exclusive upper bound into the largest
+// value the bucket can hold (the clamped top bucket is already
+// inclusive at MaxInt64).
+func bucketMax(ub int64) int64 {
+	if ub == int64(^uint64(0)>>1) {
+		return ub
+	}
+	return ub - 1
 }
 
 // RegistrySnapshot is the stable JSON view of a registry. Map keys

@@ -1,0 +1,36 @@
+package lpbuf
+
+import (
+	"testing"
+
+	"lpbuf/internal/obs/perfgate"
+)
+
+// TestSimStatBaselines recomputes the golden sim-stat document — the
+// Figure 7 buffer-issue percentages at every buffer size, the 256-op
+// dynamic op/fetch counts, static code sizes, and normalized fetch
+// energy for all 11 benchmarks × both configs — and compares it
+// against baselines/simstats.json with explicit tolerances
+// (±0.5 %buffer points, exact counts, 1e-6 on energy).
+//
+// Every value is a deterministic simulator fact, so any drift means
+// compilation or simulation semantics changed. If the change is
+// intentional, regenerate the file with
+// `go run ./cmd/benchdiff -update-baselines` and commit it alongside
+// the change that moved the numbers.
+func TestSimStatBaselines(t *testing.T) {
+	want, err := perfgate.ReadSimStats("baselines/simstats.json")
+	if err != nil {
+		t.Fatalf("load baselines: %v", err)
+	}
+	got, err := sharedSuite().SimStats(want.BufferSizes)
+	if err != nil {
+		t.Fatalf("collect sim stats: %v", err)
+	}
+	drifts := perfgate.CompareSimStats(want, got, perfgate.DefaultBaselineTolerance())
+	if len(drifts) > 0 {
+		t.Errorf("%d sim-stat drift(s) vs baselines/simstats.json:\n%s"+
+			"if intentional, run `go run ./cmd/benchdiff -update-baselines` and commit the result",
+			len(drifts), perfgate.RenderDrifts(drifts))
+	}
+}
