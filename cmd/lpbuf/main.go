@@ -26,6 +26,7 @@
 //	lpbuf -fig 5 -trace-out trace.json   # Chrome/Perfetto trace of the run
 //	lpbuf -all -metrics-out metrics.json # counters + per-loop energy split
 //	lpbuf -all -pprof :6060   # expvar + net/http/pprof while running
+//	lpbuf -fig 5 -submit http://127.0.0.1:7788   # run on a lpbufd instead
 package main
 
 import (
@@ -45,6 +46,7 @@ import (
 	"lpbuf/internal/experiments"
 	"lpbuf/internal/obs"
 	"lpbuf/internal/runner"
+	"lpbuf/internal/service"
 	"lpbuf/internal/verify"
 )
 
@@ -69,6 +71,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot (registry + per-loop energy) to this file")
 	pprofAddr := flag.String("pprof", "", "serve expvar and net/http/pprof on this address while running")
+	submit := flag.String("submit", "", "submit the job to a running lpbufd at this base URL instead of executing locally")
+	specOut := flag.String("spec-out", "", "with -submit: write the normalized job request JSON to this file")
+	statusOut := flag.String("status-out", "", "with -submit: write the final job status JSON to this file")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -78,6 +83,53 @@ func main() {
 
 	if *list {
 		printList()
+		return
+	}
+	if *submit != "" {
+		// Remote mode: the daemon runs figure jobs only. Flags that need
+		// the local process (single-bench runs, disassembly, traces,
+		// pprof) don't round-trip through the job codec — reject them
+		// loudly rather than silently running half the request locally.
+		localOnly := map[string]string{
+			"bench": *benchName, "ablate": *ablate, "widths": *widths,
+			"dump": *dump, "trace-out": *traceOut, "metrics-out": *metricsOut,
+			"pprof": *pprofAddr,
+		}
+		for name, val := range localOnly {
+			if val != "" {
+				fail(fmt.Errorf("-%s is local-only and cannot be combined with -submit", name))
+			}
+		}
+		var figures []string
+		switch {
+		case *all || *fig == "all":
+			figures = []string{"all"}
+		default:
+			if *fig != "" {
+				figures = append(figures, *fig)
+			}
+			if *encoding {
+				figures = append(figures, "encoding")
+			}
+			if *headline {
+				figures = append(figures, "headline")
+			}
+		}
+		if len(figures) == 0 {
+			fail(fmt.Errorf("-submit needs figures: -fig N, -all, -encoding or -headline"))
+		}
+		spec, err := service.SpecForFigures(figures, *doVerify)
+		if err != nil {
+			fail(err)
+		}
+		if err := runSubmit(*submit, spec, submitOptions{
+			progress:  *progress,
+			specOut:   *specOut,
+			statusOut: *statusOut,
+			jsonOut:   *jsonOut,
+		}); err != nil {
+			fail(err)
+		}
 		return
 	}
 	switch *fig {
@@ -304,4 +356,6 @@ func printList() {
 	fmt.Println("           -verify phase checkpoints (also: build -tags verify)")
 	fmt.Println("observability: -trace-out FILE Chrome/Perfetto trace, -metrics-out FILE")
 	fmt.Println("           counters + per-loop energy snapshot, -pprof ADDR expvar/pprof")
+	fmt.Println("remote:    -submit URL run figure jobs on a lpbufd (with -spec-out,")
+	fmt.Println("           -status-out, -json, -progress); see SERVICE.md")
 }

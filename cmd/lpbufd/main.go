@@ -1,0 +1,153 @@
+// Command lpbufd is the resident experiment service: an HTTP server
+// that accepts lpbuf.job/v1 experiment jobs, executes them through the
+// internal/runner worker pool with singleflight compile caching,
+// streams per-job progress over SSE, and serves results from a
+// content-addressed artifact store so repeated jobs cost one disk read.
+//
+// Usage:
+//
+//	lpbufd                        # defaults (127.0.0.1:7788, ./lpbufd-store)
+//	lpbufd -config lpbufd.json    # JSON config file
+//	lpbufd -listen :8080 -store /var/lib/lpbufd -max-jobs 4
+//
+// Flags override the config file. SIGINT/SIGTERM drain gracefully:
+// queued jobs are canceled, in-flight jobs complete, then the listener
+// shuts down. SIGHUP re-reads -config and hot-applies the admission
+// fields (queue_depth, max_per_client, workers, verify); startup-bound
+// fields (listen, store_dir, max_jobs) are reported and ignored.
+//
+// API (see SERVICE.md):
+//
+//	POST   /v1/jobs                submit (?wait=1 blocks until terminal)
+//	GET    /v1/jobs                list
+//	GET    /v1/jobs/{id}           status
+//	DELETE /v1/jobs/{id}           cancel
+//	GET    /v1/jobs/{id}/events    SSE progress
+//	GET    /v1/jobs/{id}/artifact  lpbuf.artifact/v1 result
+//	GET    /metrics                obs registry snapshot
+//	GET    /healthz                liveness / drain status
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"lpbuf/internal/service"
+)
+
+// drainTimeout bounds how long shutdown waits for in-flight jobs.
+const drainTimeout = 2 * time.Minute
+
+func main() {
+	configPath := flag.String("config", "", "JSON config file (flags override it)")
+	listen := flag.String("listen", "", "HTTP listen address")
+	storeDir := flag.String("store", "", "artifact store directory")
+	maxJobs := flag.Int("max-jobs", 0, "concurrently executing jobs")
+	workers := flag.Int("workers", -1, "per-job runner parallelism (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue", 0, "queued-job admission bound")
+	maxPerClient := flag.Int("max-per-client", 0, "per-client active-job cap")
+	doVerify := flag.Bool("verify", false, "phase checkpoints on every compile")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "lpbufd: ", log.LstdFlags)
+	fail := func(err error) {
+		logger.Fatal(err)
+	}
+
+	cfg := service.DefaultConfig()
+	if *configPath != "" {
+		var err error
+		if cfg, err = service.LoadConfig(*configPath); err != nil {
+			fail(err)
+		}
+	}
+	// Flags the user actually set override the file; untouched flags
+	// keep the file's (or default) values.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "listen":
+			cfg.Listen = *listen
+		case "store":
+			cfg.StoreDir = *storeDir
+		case "max-jobs":
+			cfg.MaxJobs = *maxJobs
+		case "workers":
+			cfg.Workers = *workers
+		case "queue":
+			cfg.QueueDepth = *queueDepth
+		case "max-per-client":
+			cfg.MaxPerClient = *maxPerClient
+		case "verify":
+			cfg.Verify = *doVerify
+		}
+	})
+
+	srv, err := service.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	srv.SetLogger(logger.Printf)
+	srv.Start()
+
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	logger.Printf("listening on %s (store %s, max-jobs %d, queue %d)",
+		ln.Addr(), cfg.StoreDir, cfg.MaxJobs, cfg.QueueDepth)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-serveErr:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fail(err)
+			}
+			return
+		case sig := <-sigc:
+			if sig == syscall.SIGHUP {
+				if *configPath == "" {
+					logger.Printf("SIGHUP ignored: no -config file to reload")
+					continue
+				}
+				ignored, err := srv.ReloadFile(*configPath)
+				if err != nil {
+					logger.Printf("reload %s failed: %v (keeping current config)", *configPath, err)
+					continue
+				}
+				note := ""
+				if len(ignored) > 0 {
+					note = fmt.Sprintf(" (restart needed for: %s)", strings.Join(ignored, ", "))
+				}
+				logger.Printf("reloaded %s%s", *configPath, note)
+				continue
+			}
+
+			logger.Printf("%s: draining (in-flight jobs finish, queued jobs cancel)", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			if err := srv.Drain(ctx); err != nil {
+				logger.Printf("drain: %v", err)
+			}
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				logger.Printf("shutdown: %v", err)
+			}
+			cancel()
+			logger.Printf("drained; bye")
+			return
+		}
+	}
+}

@@ -1,38 +1,64 @@
-// Command obscheck validates the observability artifacts `lpbuf`
-// writes: a Chrome trace-event JSON (-trace), a metrics snapshot
-// (-metrics), and a cmd/benchjson bench artifact (-bench, schema
-// lpbuf/bench/v1 or /v2). It is the CI gate that keeps every format
-// loadable — the trace in Perfetto / chrome://tracing, the metrics and
-// bench files by downstream tooling pinned to their schemas.
+// Command obscheck validates the machine-readable artifacts the lpbuf
+// tools write: a Chrome trace-event JSON (-trace), a metrics snapshot
+// (-metrics), a cmd/benchjson bench artifact (-bench, schema
+// lpbuf/bench/v1 or /v2), a result artifact (-artifact, schema
+// lpbuf.artifact/v1), and lpbufd's job codec in both directions
+// (-job-request lpbuf.job/v1, -job-status lpbuf.jobstatus/v1). It is
+// the CI gate that keeps every format loadable — the trace in
+// Perfetto / chrome://tracing, the rest by downstream tooling pinned
+// to their schemas.
 //
 // Usage:
 //
 //	obscheck -trace trace.json -metrics metrics.json -bench BENCH_simulator.json
+//	obscheck -artifact results.json -job-request spec.json -job-status status.json
 //
 // Exit status is non-zero with a diagnostic on the first violation.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"lpbuf/internal/experiments"
 	"lpbuf/internal/obs/perfgate"
+	"lpbuf/internal/service"
 )
 
 func main() {
 	tracePath := flag.String("trace", "", "Chrome trace-event JSON to validate")
 	metricsPath := flag.String("metrics", "", "lpbuf.metrics/v1 snapshot to validate")
 	benchPath := flag.String("bench", "", "lpbuf/bench/v1 or /v2 artifact to validate")
+	artifactPath := flag.String("artifact", "", "lpbuf.artifact/v1 result artifact to validate")
+	jobReqPath := flag.String("job-request", "", "lpbuf.job/v1 job request to validate")
+	jobStatusPath := flag.String("job-status", "", "lpbuf.jobstatus/v1 job status to validate")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
 		os.Exit(1)
 	}
-	if *tracePath == "" && *metricsPath == "" && *benchPath == "" {
-		fail("nothing to check; pass -trace, -metrics and/or -bench")
+	if *tracePath == "" && *metricsPath == "" && *benchPath == "" &&
+		*artifactPath == "" && *jobReqPath == "" && *jobStatusPath == "" {
+		fail("nothing to check; pass -trace, -metrics, -bench, -artifact, -job-request and/or -job-status")
+	}
+	if *artifactPath != "" {
+		if err := checkArtifact(*artifactPath); err != nil {
+			fail("%s: %v", *artifactPath, err)
+		}
+	}
+	if *jobReqPath != "" {
+		if err := checkJobRequest(*jobReqPath); err != nil {
+			fail("%s: %v", *jobReqPath, err)
+		}
+	}
+	if *jobStatusPath != "" {
+		if err := checkJobStatus(*jobStatusPath); err != nil {
+			fail("%s: %v", *jobStatusPath, err)
+		}
 	}
 	if *tracePath != "" {
 		if err := checkTrace(*tracePath); err != nil {
@@ -51,6 +77,84 @@ func main() {
 			fail("%s: %v", *benchPath, err)
 		}
 	}
+}
+
+// checkArtifact validates a lpbuf.artifact/v1 result artifact through
+// the same decoder `lpbuf -submit` uses, and requires at least one
+// result section — an artifact with only its header carries no
+// evidence any experiment ran.
+func checkArtifact(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	art, err := experiments.DecodeArtifact(data)
+	if err != nil {
+		return err
+	}
+	sections := 0
+	for _, present := range []bool{
+		art.Figure7 != nil, art.Figure8a != nil, art.Figure8b != nil,
+		art.Figure3 != nil, art.Figure5 != nil, art.Encoding != nil,
+		art.Headline != nil,
+	} {
+		if present {
+			sections++
+		}
+	}
+	if sections == 0 {
+		return fmt.Errorf("artifact has no result sections")
+	}
+	if len(art.Benchmarks) == 0 {
+		return fmt.Errorf("artifact lists no benchmarks")
+	}
+	fmt.Printf("obscheck: %s ok (%s, %d sections, %d benchmarks)\n",
+		path, art.Schema, sections, len(art.Benchmarks))
+	return nil
+}
+
+// checkJobRequest validates a lpbuf.job/v1 spec: it must decode with no
+// unknown fields and normalize cleanly, which is exactly the admission
+// path a lpbufd submission takes.
+func checkJobRequest(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var spec service.JobSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return fmt.Errorf("not a valid job spec: %v", err)
+	}
+	norm, err := spec.Normalized()
+	if err != nil {
+		return fmt.Errorf("spec does not normalize: %v", err)
+	}
+	key, err := norm.Key()
+	if err != nil {
+		return fmt.Errorf("spec does not key: %v", err)
+	}
+	fmt.Printf("obscheck: %s ok (%s, figures %v, key %s…)\n",
+		path, service.JobSchema, norm.Figures, key[:12])
+	return nil
+}
+
+// checkJobStatus validates a lpbuf.jobstatus/v1 response.
+func checkJobStatus(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("not a valid job status: %v", err)
+	}
+	if err := st.Validate(); err != nil {
+		return err
+	}
+	fmt.Printf("obscheck: %s ok (%s, %s %s)\n", path, service.StatusSchema, st.ID, st.State)
+	return nil
 }
 
 // checkBench validates a bench artifact through the same parser

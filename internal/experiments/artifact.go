@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 
 	"lpbuf/internal/obs"
@@ -67,4 +68,17 @@ func (a *Artifact) WriteFile(path string) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// DecodeArtifact parses and schema-checks an encoded artifact (the
+// client side of `lpbuf -submit` and cmd/obscheck validation).
+func DecodeArtifact(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	if a.Schema != ArtifactSchema {
+		return nil, fmt.Errorf("artifact schema %q, want %q", a.Schema, ArtifactSchema)
+	}
+	return &a, nil
 }

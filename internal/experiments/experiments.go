@@ -29,21 +29,38 @@ import (
 // BufferSizes is the sweep of Figure 7 (operations).
 var BufferSizes = []int{16, 32, 64, 128, 256, 512, 1024, 2048}
 
+// Cache is the memoization layer behind one or more Suites: compiled
+// benchmarks and verified simulation results, fronted by a singleflight
+// group so each (benchmark, config) pair compiles at most once and each
+// (benchmark, config, buffer) triple simulates at most once per Cache,
+// no matter how many suites or figures request it concurrently. A
+// long-running service hands every job's Suite the same Cache, which is
+// what makes repeated and overlapping jobs cheap.
+type Cache struct {
+	flight runner.Flight
+
+	mu       sync.Mutex
+	compiles map[string]*core.Compiled
+	runs     map[string]*Run
+}
+
+// NewCache creates an empty compile/run cache.
+func NewCache() *Cache {
+	return &Cache{
+		compiles: map[string]*core.Compiled{},
+		runs:     map[string]*Run{},
+	}
+}
+
 // Suite caches compiled benchmarks and verified simulation results
-// across experiments. It is safe for concurrent use: a singleflight
-// group guarantees each (benchmark, config) pair compiles at most once
-// per process and each (benchmark, config, buffer) triple simulates at
-// most once, no matter how many figures request it concurrently.
+// across experiments (through its Cache, private by default, shareable
+// via Options.Cache). It is safe for concurrent use.
 type Suite struct {
 	run     *runner.Runner
 	metrics *runner.Metrics
-	flight  runner.Flight
+	cc      *Cache
 	verify  bool
 	obs     *obs.Obs
-
-	mu    sync.Mutex
-	cache map[string]*core.Compiled
-	runs  map[string]*Run
 }
 
 // Options configures a Suite's execution subsystem.
@@ -61,6 +78,11 @@ type Options struct {
 	// Obs.Reg (which also backs the runner metrics, so one registry
 	// snapshot covers both layers). Nil disables instrumentation.
 	Obs *obs.Obs
+	// Cache shares compile and simulation memoization with other
+	// suites (lpbufd gives every job's suite one process-wide cache).
+	// Nil gives the suite a private cache, preserving the historical
+	// one-suite-per-process behaviour.
+	Cache *Cache
 }
 
 // New creates an empty experiment suite with default options.
@@ -82,13 +104,16 @@ func NewWithOptions(o Options) *Suite {
 	if o.Obs != nil && o.Obs.Trace != nil {
 		opts = append(opts, runner.WithTrace(o.Obs.Trace))
 	}
+	cc := o.Cache
+	if cc == nil {
+		cc = NewCache()
+	}
 	return &Suite{
 		run:     runner.New(opts...),
 		metrics: m,
 		verify:  o.Verify,
 		obs:     o.Obs,
-		cache:   map[string]*core.Compiled{},
-		runs:    map[string]*Run{},
+		cc:      cc,
 	}
 }
 
@@ -129,20 +154,24 @@ func (s *Suite) compiled(name, cfg string) (*core.Compiled, bench.Benchmark, err
 	config.Verify = s.verify
 	config.Obs = s.obs
 	config.TraceLabel = name
-	key := name + "/" + cfg
-	s.mu.Lock()
-	c := s.cache[key]
-	s.mu.Unlock()
+	// Verify-enabled compiles run the phase checkpoints; a shared cache
+	// must not satisfy a verifying suite with an unverified compile (or
+	// vice versa — a verified artifact is fine but the hit would skip
+	// the checkpoints the caller asked for), so verify is in the key.
+	key := name + "/" + cfg + verifyKeySuffix(s.verify)
+	s.cc.mu.Lock()
+	c := s.cc.compiles[key]
+	s.cc.mu.Unlock()
 	if c != nil {
 		s.metrics.CacheHit()
 		return c, b, nil
 	}
-	v, shared, err := s.flight.Do("compile/"+key, func() (any, error) {
+	v, shared, err := s.cc.flight.Do("compile/"+key, func() (any, error) {
 		// Re-check under the flight: a previous call may have filled the
 		// cache between our fast-path miss and this execution.
-		s.mu.Lock()
-		c := s.cache[key]
-		s.mu.Unlock()
+		s.cc.mu.Lock()
+		c := s.cc.compiles[key]
+		s.cc.mu.Unlock()
 		if c != nil {
 			s.metrics.CacheHit()
 			return c, nil
@@ -152,9 +181,9 @@ func (s *Suite) compiled(name, cfg string) (*core.Compiled, bench.Benchmark, err
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", name, cfg, err)
 		}
-		s.mu.Lock()
-		s.cache[key] = c
-		s.mu.Unlock()
+		s.cc.mu.Lock()
+		s.cc.compiles[key] = c
+		s.cc.mu.Unlock()
 		return c, nil
 	})
 	if err != nil {
@@ -185,18 +214,18 @@ type Run struct {
 // config, buffer) triple is simulated and verified once per process,
 // with concurrent requests singleflighted.
 func (s *Suite) RunAt(name, cfg string, bufferOps int) (*Run, error) {
-	key := fmt.Sprintf("%s/%s@%d", name, cfg, bufferOps)
-	s.mu.Lock()
-	r := s.runs[key]
-	s.mu.Unlock()
+	key := fmt.Sprintf("%s/%s@%d%s", name, cfg, bufferOps, verifyKeySuffix(s.verify))
+	s.cc.mu.Lock()
+	r := s.cc.runs[key]
+	s.cc.mu.Unlock()
 	if r != nil {
 		s.metrics.RunHit()
 		return r, nil
 	}
-	v, shared, err := s.flight.Do("run/"+key, func() (any, error) {
-		s.mu.Lock()
-		r := s.runs[key]
-		s.mu.Unlock()
+	v, shared, err := s.cc.flight.Do("run/"+key, func() (any, error) {
+		s.cc.mu.Lock()
+		r := s.cc.runs[key]
+		s.cc.mu.Unlock()
 		if r != nil {
 			s.metrics.RunHit()
 			return r, nil
@@ -206,9 +235,9 @@ func (s *Suite) RunAt(name, cfg string, bufferOps int) (*Run, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.mu.Lock()
-		s.runs[key] = r
-		s.mu.Unlock()
+		s.cc.mu.Lock()
+		s.cc.runs[key] = r
+		s.cc.mu.Unlock()
 		return r, nil
 	})
 	if err != nil {
@@ -218,6 +247,14 @@ func (s *Suite) RunAt(name, cfg string, bufferOps int) (*Run, error) {
 		s.metrics.RunHit()
 	}
 	return v.(*Run), nil
+}
+
+// verifyKeySuffix segregates verify-enabled entries in a shared Cache.
+func verifyKeySuffix(verify bool) string {
+	if verify {
+		return "/verify"
+	}
+	return ""
 }
 
 // runUncached is the verified simulation behind RunAt.

@@ -65,12 +65,12 @@ func (s *Suite) MetricsDump() *MetricsDump {
 // fetch-energy attribution for every memoized verified run.
 func (s *Suite) LoopAttribution() []LoopEnergyRow {
 	model := power.Default()
-	s.mu.Lock()
-	runs := make([]*Run, 0, len(s.runs))
-	for _, r := range s.runs {
+	s.cc.mu.Lock()
+	runs := make([]*Run, 0, len(s.cc.runs))
+	for _, r := range s.cc.runs {
 		runs = append(runs, r)
 	}
-	s.mu.Unlock()
+	s.cc.mu.Unlock()
 
 	var rows []LoopEnergyRow
 	for _, r := range runs {

@@ -142,6 +142,22 @@ func (g *Gauge) Set(v float64) {
 // SetInt stores an integer value.
 func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
 
+// Add shifts the gauge by d (compare-and-swap loop). Distinct Metrics
+// owners sharing one registry-named gauge (e.g. several runner pools
+// inside one service process) can keep a global level this way, where
+// Set would make the last writer win.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.v.Load()
+		if g.v.CompareAndSwap(old, floatBits(bitsFloat(old)+d)) {
+			return
+		}
+	}
+}
+
 // Max raises the gauge to v if v is larger (compare-and-swap loop).
 func (g *Gauge) Max(v float64) {
 	if g == nil {

@@ -27,10 +27,13 @@ type Metrics struct {
 	runHits     *obs.Counter // simulation-result cache
 	runMisses   *obs.Counter // actual simulations
 	peak        *obs.Gauge
+	inFlightG   *obs.Gauge     // current jobs executing (runner.jobs_in_flight)
+	queueG      *obs.Gauge     // admitted-but-unstarted jobs (runner.queue_depth)
 	wall        *obs.Histogram // per-job wall time, ms
 
 	mu       sync.Mutex
 	inFlight int
+	queued   int
 	kinds    map[Kind]*kindCounter
 	jobs     []JobRecord
 }
@@ -60,6 +63,8 @@ func NewMetricsIn(reg *obs.Registry) *Metrics {
 		runHits:     reg.Counter("runner.run_cache_hits"),
 		runMisses:   reg.Counter("runner.run_cache_misses"),
 		peak:        reg.Gauge("runner.peak_in_flight"),
+		inFlightG:   reg.Gauge("runner.jobs_in_flight"),
+		queueG:      reg.Gauge("runner.queue_depth"),
 		wall:        reg.Histogram("runner.job_wall_ms"),
 		kinds:       map[Kind]*kindCounter{},
 	}
@@ -72,9 +77,62 @@ func (m *Metrics) jobStart() int {
 	m.mu.Lock()
 	m.inFlight++
 	n := m.inFlight
+	dequeued := false
+	if m.queued > 0 {
+		m.queued--
+		dequeued = true
+	}
 	m.mu.Unlock()
 	m.peak.Max(float64(n))
+	m.inFlightG.Add(1)
+	if dequeued {
+		m.queueG.Add(-1)
+	}
 	return n
+}
+
+// enqueue records n jobs admitted to a graph but not yet started.
+// Execute calls it once per graph; jobStart moves a job from queued to
+// in flight, and unqueue drops whatever a cancelled graph never ran.
+func (m *Metrics) enqueue(n int) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.queued += n
+	m.mu.Unlock()
+	m.queueG.Add(float64(n))
+}
+
+// unqueue removes n never-started jobs (graph cancelled or failed).
+func (m *Metrics) unqueue(n int) {
+	if n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	if n > m.queued {
+		n = m.queued
+	}
+	m.queued -= n
+	m.mu.Unlock()
+	m.queueG.Add(float64(-n))
+}
+
+// InFlight reports the jobs currently executing. Admission-control
+// layers poll it (alongside QueueDepth) to decide whether new work
+// should be accepted.
+func (m *Metrics) InFlight() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inFlight
+}
+
+// QueueDepth reports jobs admitted to an executing graph that have not
+// started yet.
+func (m *Metrics) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queued
 }
 
 func (m *Metrics) retry() { m.retries.Inc() }
@@ -86,6 +144,7 @@ func (m *Metrics) jobDone(s *Spec, elapsed time.Duration, err error) {
 	}
 	m.wall.Observe(elapsed.Milliseconds())
 	m.reg.Counter("runner.kind." + string(s.Kind) + ".jobs").Inc()
+	m.inFlightG.Add(-1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.inFlight--
@@ -135,16 +194,22 @@ type KindSnapshot struct {
 
 // Snapshot is the JSON-marshalable view of the counters.
 type Snapshot struct {
-	JobsRun      int64                   `json:"jobs_run"`
-	JobsFailed   int64                   `json:"jobs_failed"`
-	Retries      int64                   `json:"retries"`
-	CacheHits    int64                   `json:"compile_cache_hits"`
-	CacheMisses  int64                   `json:"compile_cache_misses"`
-	RunHits      int64                   `json:"run_cache_hits"`
-	RunMisses    int64                   `json:"run_cache_misses"`
-	PeakInFlight int                     `json:"peak_in_flight"`
-	Kinds        map[string]KindSnapshot `json:"kinds"`
-	Jobs         []JobRecord             `json:"jobs,omitempty"`
+	JobsRun      int64 `json:"jobs_run"`
+	JobsFailed   int64 `json:"jobs_failed"`
+	Retries      int64 `json:"retries"`
+	CacheHits    int64 `json:"compile_cache_hits"`
+	CacheMisses  int64 `json:"compile_cache_misses"`
+	RunHits      int64 `json:"run_cache_hits"`
+	RunMisses    int64 `json:"run_cache_misses"`
+	PeakInFlight int   `json:"peak_in_flight"`
+	// InFlight/QueueDepth are live-gauge reads, interesting only while
+	// jobs are executing (admission control snapshots mid-run); both
+	// settle to zero once every graph completes, so they are omitted
+	// from at-rest artifacts and the golden schema is unchanged.
+	InFlight   int                     `json:"in_flight,omitempty"`
+	QueueDepth int                     `json:"queue_depth,omitempty"`
+	Kinds      map[string]KindSnapshot `json:"kinds"`
+	Jobs       []JobRecord             `json:"jobs,omitempty"`
 }
 
 // Snapshot copies the counters. Job records are sorted by key so the
@@ -163,6 +228,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		PeakInFlight: int(m.peak.Value()),
 	}
 	m.mu.Lock()
+	s.InFlight = m.inFlight
+	s.QueueDepth = m.queued
 	s.Kinds = make(map[string]KindSnapshot, len(m.kinds))
 	for k, kc := range m.kinds {
 		s.Kinds[string(k)] = KindSnapshot{

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lpbuf/internal/obs"
@@ -102,6 +103,13 @@ func (r *Runner) Execute(ctx context.Context, g *Graph) (map[string]any, error) 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Every admitted job counts toward the queue-depth gauge until it
+	// starts; whatever a cancelled or failed graph never starts is
+	// dropped from the gauge on the way out.
+	var started atomic.Int64
+	r.metrics.enqueue(total)
+	defer func() { r.metrics.unqueue(total - int(started.Load())) }()
+
 	var (
 		mu         sync.Mutex
 		res        = make(map[string]any, total)
@@ -182,6 +190,7 @@ func (r *Runner) Execute(ctx context.Context, g *Graph) (map[string]any, error) 
 						<-r.sem
 						return
 					}
+					started.Add(1)
 					v, err := r.runJob(ctx, s, depsOf(s))
 					<-r.sem
 					if err != nil {

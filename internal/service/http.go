@@ -1,0 +1,247 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxRequestBody bounds job submissions; specs are small.
+const maxRequestBody = 1 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs              submit a lpbuf.job/v1 spec (?wait=1 blocks)
+//	GET    /v1/jobs              list job statuses
+//	GET    /v1/jobs/{id}         one job's lpbuf.jobstatus/v1
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/jobs/{id}/events  SSE progress stream (replay + live)
+//	GET    /v1/jobs/{id}/artifact  the lpbuf.artifact/v1 result
+//	GET    /metrics              stable-JSON registry snapshot
+//	GET    /healthz              liveness/drain status
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleArtifact)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON writes v as indented JSON with a trailing newline (the
+// same framing every artifact in this repo uses).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(data, '\n'))
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	j, err := s.Submit(spec, host)
+	if err != nil {
+		var rej *RejectError
+		if asReject(err, &rej) {
+			w.Header().Set("Retry-After",
+				strconv.Itoa(int(rej.RetryAfter/time.Second)))
+			writeError(w, rej.Code, "%s", rej.Reason)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+		select {
+		case <-j.Done():
+			writeJSON(w, http.StatusOK, j.Status())
+		case <-r.Context().Done():
+			// Client went away; the job keeps running.
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.ID())
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// asReject unwraps a RejectError.
+func asReject(err error, out **RejectError) bool {
+	rej, ok := err.(*RejectError)
+	if ok {
+		*out = rej
+	}
+	return ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	statuses := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		statuses = append(statuses, j.Status())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Get(id); !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	canceled := s.Cancel(id)
+	j, _ := s.Get(id)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"canceled": canceled,
+		"status":   j.Status(),
+	})
+}
+
+// handleEvents streams a job's progress as Server-Sent Events: history
+// replay first, then live events, closing when the job reaches a
+// terminal state. Event framing: `event: <type>` + `data: <Event JSON>`.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch, cancel := j.hub.subscribe()
+	defer cancel()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				return // terminal state reached; stream complete
+			}
+			fmt.Fprintf(w, "event: %s\ndata: ", e.Type)
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			fmt.Fprint(w, "\n")
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	st := j.Status()
+	switch st.State {
+	case StateDone:
+	case StateFailed, StateCanceled:
+		writeError(w, http.StatusConflict, "job %s %s: %s", j.ID(), st.State, st.Error)
+		return
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "job %s still %s", j.ID(), st.State)
+		return
+	}
+	data, err := s.store.Get(j.Key())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "artifact missing from store: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", `"`+j.Key()+`"`)
+	w.Header().Set("X-Lpbuf-Cache", cacheHeader(st))
+	w.Write(data)
+}
+
+// cacheHeader summarizes how the artifact was produced.
+func cacheHeader(st JobStatus) string {
+	switch {
+	case st.CacheHit:
+		return "store-hit"
+	case st.Shared:
+		return "inflight-dedup"
+	default:
+		return "computed"
+	}
+}
+
+// handleMetrics serves the registry snapshot. Map keys marshal sorted,
+// so identical registries produce byte-identical documents.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	queued, running := s.queued, s.running
+	draining := s.draining
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	cfg := s.Config()
+	stored, _ := s.store.Len()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"draining":       draining,
+		"uptime_seconds": int64(time.Since(s.started) / time.Second),
+		"jobs":           jobs,
+		"queued":         queued,
+		"running":        running,
+		"stored":         stored,
+		"queue_depth":    cfg.QueueDepth,
+		"max_jobs":       cfg.MaxJobs,
+		"max_per_client": cfg.MaxPerClient,
+	})
+}
