@@ -16,6 +16,7 @@
 //	lpbuf -list               # enumerate benchmarks and experiments
 //	lpbuf -fig 7              # both Figure 7 curves
 //	lpbuf -fig 8a|8b|3|5      # one figure
+//	lpbuf -fig shootout       # heuristic vs exact scheduler shoot-out
 //	lpbuf -headline           # abstract-level aggregates
 //	lpbuf -bench g724dec      # one benchmark at -buffer ops
 //	lpbuf -all                # everything (EXPERIMENTS.md content)
@@ -51,10 +52,11 @@ import (
 )
 
 // knownFigures are the accepted -fig values.
-var knownFigures = []string{"3", "5", "7", "8a", "8b"}
+var knownFigures = []string{"3", "5", "7", "8a", "8b", "shootout"}
 
 func main() {
-	fig := flag.String("fig", "", "figure to regenerate: 3, 5, 7, 8a, 8b")
+	fig := flag.String("fig", "", "figure to regenerate: 3, 5, 7, 8a, 8b, shootout")
+	schedBackend := flag.String("sched", "heuristic", "modulo-scheduler backend for -bench/-dump/-ablate: heuristic or optimal")
 	headline := flag.Bool("headline", false, "print headline aggregates")
 	benchName := flag.String("bench", "", "run one benchmark")
 	buffer := flag.Int("buffer", 256, "loop buffer size in operations")
@@ -81,6 +83,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	// -sched selects the modulo-scheduler backend for the single-bench
+	// experiments; cfgSuffix maps it onto the experiment config names
+	// ("aggressive" -> "aggressive-optimal").
+	var cfgSuffix string
+	switch *schedBackend {
+	case "", "heuristic":
+		*schedBackend = ""
+	case "optimal":
+		cfgSuffix = "-optimal"
+	default:
+		fail(fmt.Errorf("unknown -sched backend %q (known: heuristic, optimal)", *schedBackend))
+	}
+
 	if *list {
 		printList()
 		return
@@ -93,7 +108,7 @@ func main() {
 		localOnly := map[string]string{
 			"bench": *benchName, "ablate": *ablate, "widths": *widths,
 			"dump": *dump, "trace-out": *traceOut, "metrics-out": *metricsOut,
-			"pprof": *pprofAddr,
+			"pprof": *pprofAddr, "sched": *schedBackend,
 		}
 		for name, val := range localOnly {
 			if val != "" {
@@ -133,7 +148,7 @@ func main() {
 		return
 	}
 	switch *fig {
-	case "", "3", "5", "7", "8a", "8b":
+	case "", "3", "5", "7", "8a", "8b", "shootout":
 	case "all":
 		// `-fig all` is an alias for -all.
 		*fig, *all = "", true
@@ -186,7 +201,7 @@ func main() {
 	did := false
 	if *benchName != "" {
 		did = true
-		for _, cfg := range []string{"traditional", "aggressive"} {
+		for _, cfg := range []string{"traditional", "aggressive" + cfgSuffix} {
 			r, err := s.RunAt(*benchName, cfg, *buffer)
 			if err != nil {
 				fail(err)
@@ -253,9 +268,18 @@ func main() {
 			fmt.Println(experiments.RenderFig5(f5))
 		}
 	}
+	if *fig == "shootout" || *all {
+		did = true
+		rows, err := s.Shootout()
+		if err != nil {
+			fail(err)
+		}
+		art.Shootout = rows
+		fmt.Println(experiments.RenderShootout(rows))
+	}
 	if *dump != "" {
 		did = true
-		text, err := s.Disasm(*dump)
+		text, err := s.DisasmConfig(*dump, "aggressive"+cfgSuffix)
 		if err != nil {
 			fail(err)
 		}
@@ -263,7 +287,7 @@ func main() {
 	}
 	if *ablate != "" {
 		did = true
-		rows, err := s.Ablation(*ablate)
+		rows, err := s.AblationBackend(*ablate, *schedBackend)
 		if err != nil {
 			fail(err)
 		}
@@ -344,12 +368,14 @@ func printList() {
 	fmt.Println("  -fig 7          buffer issue vs buffer size, both configs")
 	fmt.Println("  -fig 8a         speedup / code size / fetch ratios at 256 ops")
 	fmt.Println("  -fig 8b         normalized instruction-fetch power at 256 ops")
+	fmt.Println("  -fig shootout   heuristic vs exact modulo-scheduler shoot-out (II gap, proofs)")
 	fmt.Println("  -encoding       predication encoding cost (full guard fields vs slot model)")
 	fmt.Println("  -headline       abstract-level aggregates")
 	fmt.Println("  -bench NAME     one benchmark at -buffer ops, both configs")
 	fmt.Println("  -ablate NAME    aggressive pipeline with one pass disabled at a time")
 	fmt.Println("  -widths NAME    2/4/8-wide issue-width sensitivity sweep")
 	fmt.Println("  -dump NAME      scheduled-code disassembly (aggressive config)")
+	fmt.Println("  -sched BACKEND  modulo scheduler for -bench/-dump/-ablate: heuristic|optimal")
 	fmt.Println("  -all            every figure and table (EXPERIMENTS.md content)")
 	fmt.Println()
 	fmt.Println("execution: -par N workers, -json FILE artifact, -progress job log,")

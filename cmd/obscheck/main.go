@@ -96,7 +96,7 @@ func checkArtifact(path string) error {
 	for _, present := range []bool{
 		art.Figure7 != nil, art.Figure8a != nil, art.Figure8b != nil,
 		art.Figure3 != nil, art.Figure5 != nil, art.Encoding != nil,
-		art.Headline != nil,
+		art.Headline != nil, art.Shootout != nil,
 	} {
 		if present {
 			sections++

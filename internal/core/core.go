@@ -23,6 +23,7 @@ import (
 	"lpbuf/internal/predicate"
 	"lpbuf/internal/profile"
 	"lpbuf/internal/sched"
+	"lpbuf/internal/sched/optimal"
 	"lpbuf/internal/verify"
 	"lpbuf/internal/vliw"
 )
@@ -52,6 +53,17 @@ type Config struct {
 	// pipeline phase and fails the compile on any invariant violation.
 	// Building with -tags verify forces it on for all compiles.
 	Verify bool
+	// SchedBackend selects the modulo-scheduler backend: "" or
+	// "heuristic" for iterative modulo scheduling, "optimal" for the
+	// exact branch-and-bound backend (internal/sched/optimal), which
+	// proves II minimality per kernel. Optimal compiles force Verify on:
+	// every exact schedule must pass the verifier checkpoints before its
+	// stats are trusted.
+	SchedBackend string
+	// SchedNodeBudget overrides the optimal backend's per-loop search
+	// node budget (<=0 uses the backend default). The budget is
+	// deterministic, so proofs and fallbacks reproduce across runs.
+	SchedNodeBudget int64
 	// BufferCapacity is the loop buffer size in operations.
 	BufferCapacity int
 	// Obs, when non-nil, receives compile-phase spans (with IR-size
@@ -119,6 +131,14 @@ type PassStats struct {
 	Speculated    int
 	CLoops        int
 	ModuloKernels int
+	// ProvenKernels counts modulo kernels whose II the exact backend
+	// proved minimal (always 0 for the heuristic backend).
+	ProvenKernels int
+	// SchedFallbacks counts loops where the exact backend's search
+	// budget died and the heuristic schedule was used unproven.
+	SchedFallbacks int
+	// SchedNodes totals exact-search nodes expended across all loops.
+	SchedNodes int64
 	// MaxLiveRegs is the worst-case register pressure over all
 	// functions after transformation (reported against the machine's
 	// 64 architected registers; virtual registers are not allocated,
@@ -136,6 +156,15 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 	}
 	if verify.Forced() {
 		cfg.Verify = true
+	}
+	var exact *optimal.Scheduler
+	switch cfg.SchedBackend {
+	case "", "heuristic":
+	case "optimal":
+		exact = optimal.New(optimal.Options{NodeBudget: cfg.SchedNodeBudget, Obs: cfg.Obs})
+		cfg.Verify = true
+	default:
+		return nil, fmt.Errorf("%s: unknown scheduler backend %q", cfg.Name, cfg.SchedBackend)
 	}
 	c := &Compiled{Config: cfg}
 	c.Stats.OrigOps = prog.OpCount()
@@ -302,8 +331,11 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 
 	// Schedule (may rewrite pipelined loop counters inside p).
 	sp = root.Child("schedule")
-	code, err := sched.Schedule(p, cfg.Machine,
-		sched.Options{EnableModulo: cfg.Modulo, Span: sp})
+	sopts := sched.Options{EnableModulo: cfg.Modulo, Span: sp}
+	if exact != nil {
+		sopts.Backend = exact
+	}
+	code, err := sched.Schedule(p, cfg.Machine, sopts)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
@@ -318,8 +350,16 @@ func Compile(prog *ir.Program, cfg Config) (*Compiled, error) {
 		for _, sec := range fc.Sections {
 			if sec.Kind == sched.KindKernel {
 				c.Stats.ModuloKernels++
+				if sec.Proven {
+					c.Stats.ProvenKernels++
+				}
 			}
 		}
+	}
+	if exact != nil {
+		st := exact.Stats()
+		c.Stats.SchedFallbacks = int(st.Fallbacks)
+		c.Stats.SchedNodes = st.Nodes
 	}
 
 	sp = root.Child("bufplan")

@@ -25,6 +25,12 @@ var AblationVariants = []string{
 
 // Ablation compiles one benchmark under each variant (256-op buffer).
 func (s *Suite) Ablation(benchName string) ([]AblationRow, error) {
+	return s.AblationBackend(benchName, "")
+}
+
+// AblationBackend is Ablation with an explicit modulo-scheduler
+// backend ("" or "heuristic" for IMS, "optimal" for the exact search).
+func (s *Suite) AblationBackend(benchName, backend string) ([]AblationRow, error) {
 	b, ok := suite.ByName(benchName)
 	if !ok {
 		return nil, fmt.Errorf("unknown benchmark %q", benchName)
@@ -35,6 +41,7 @@ func (s *Suite) Ablation(benchName string) ([]AblationRow, error) {
 		cfg := core.Aggressive(256)
 		cfg.Name = v
 		cfg.Verify = s.verify
+		cfg.SchedBackend = backend
 		switch v {
 		case "no-modulo":
 			cfg.Modulo = false

@@ -32,6 +32,7 @@ type Artifact struct {
 	Figure3  *Fig3                `json:"figure3,omitempty"`
 	Figure5  []*Fig5              `json:"figure5,omitempty"`
 	Encoding []EncodingRow        `json:"encoding,omitempty"`
+	Shootout []ShootoutRow        `json:"shootout,omitempty"`
 	Headline *Headline            `json:"headline,omitempty"`
 
 	Runner *runner.Snapshot `json:"runner,omitempty"`

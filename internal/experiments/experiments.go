@@ -142,8 +142,14 @@ func (s *Suite) compiled(name, cfg string) (*core.Compiled, bench.Benchmark, err
 	if !ok {
 		return nil, b, fmt.Errorf("unknown benchmark %q (known: %s)", name, strings.Join(Benchmarks(), ", "))
 	}
+	// A "-optimal" suffix selects the exact modulo-scheduler backend on
+	// top of the base pipeline (the scheduler shoot-out's second axis).
+	base, backend := cfg, ""
+	if v, ok := strings.CutSuffix(cfg, "-optimal"); ok {
+		base, backend = v, "optimal"
+	}
 	var config core.Config
-	switch cfg {
+	switch base {
 	case "traditional":
 		config = core.Traditional(256)
 	case "aggressive":
@@ -151,6 +157,8 @@ func (s *Suite) compiled(name, cfg string) (*core.Compiled, bench.Benchmark, err
 	default:
 		return nil, b, fmt.Errorf("unknown config %q", cfg)
 	}
+	config.Name = cfg
+	config.SchedBackend = backend
 	config.Verify = s.verify
 	config.Obs = s.obs
 	config.TraceLabel = name
@@ -281,7 +289,14 @@ func (s *Suite) runUncached(name, cfg string, bufferOps int) (*Run, error) {
 // Disasm returns the aggressive-config scheduled-code listing of a
 // benchmark (all functions).
 func (s *Suite) Disasm(name string) (string, error) {
-	c, _, err := s.compiled(name, "aggressive")
+	return s.DisasmConfig(name, "aggressive")
+}
+
+// DisasmConfig is Disasm under an explicit config name (any name
+// compiled() accepts, e.g. "aggressive-optimal" for the exact
+// modulo-scheduling backend).
+func (s *Suite) DisasmConfig(name, cfg string) (string, error) {
+	c, _, err := s.compiled(name, cfg)
 	if err != nil {
 		return "", err
 	}

@@ -20,7 +20,7 @@ import (
 func (s *Suite) SimStats(sizes []int) (*perfgate.SimStats, error) {
 	out := perfgate.NewSimStats(sizes)
 	model := power.Default()
-	for _, cfg := range []string{"traditional", "aggressive"} {
+	for _, cfg := range []string{"traditional", "aggressive", "aggressive-optimal"} {
 		rows, err := s.Figure7(cfg, sizes)
 		if err != nil {
 			return nil, err
@@ -46,15 +46,33 @@ func (s *Suite) SimStats(sizes []int) (*perfgate.SimStats, error) {
 		}
 	}
 	// Normalized fetch energy uses Figure 8(b)'s convention: the
-	// baseline is buffer-less issue of the *traditional* code, so both
-	// configs normalize against the traditional run's issue count.
+	// baseline is buffer-less issue of the *traditional* code, so every
+	// config normalizes against the traditional run's issue count.
 	for _, cfgs := range out.Benchmarks {
-		tr, ag := cfgs["traditional"], cfgs["aggressive"]
-		if tr == nil || ag == nil {
+		tr := cfgs["traditional"]
+		if tr == nil {
 			continue
 		}
-		tr.NormFetchEnergy = model.Normalized(tr.MemFetches, tr.OpsFromBuffer, 256, tr.OpsIssued)
-		ag.NormFetchEnergy = model.Normalized(ag.MemFetches, ag.OpsFromBuffer, 256, tr.OpsIssued)
+		for _, st := range cfgs {
+			st.NormFetchEnergy = model.Normalized(st.MemFetches, st.OpsFromBuffer, 256, tr.OpsIssued)
+		}
+	}
+	// Scheduler shoot-out facts (exact backend vs heuristic) ride in
+	// the same document so either backend regressing is blocking.
+	rows, err := s.Shootout()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		out.Shootout[r.Bench] = &perfgate.ShootoutStats{
+			Kernels:   r.Kernels,
+			Compared:  r.Compared,
+			Proven:    r.Proven,
+			Fallbacks: r.Fallbacks,
+			Improved:  r.Improved,
+			HeurSumII: r.HeurSumII,
+			OptSumII:  r.OptSumII,
+		}
 	}
 	return out, nil
 }

@@ -40,14 +40,37 @@ type BenchConfigStats struct {
 	NormFetchEnergy float64 `json:"norm_fetch_energy"`
 }
 
+// ShootoutStats pins the scheduler shoot-out facts of one benchmark's
+// exact-backend compile: kernel counts, minimality-proof coverage and
+// the per-kernel II totals against the heuristic backend. All integer
+// counts of a deterministic, budget-bounded search — compared exactly.
+type ShootoutStats struct {
+	// Kernels counts loops the exact backend pipelined; Compared those
+	// pipelined by both backends.
+	Kernels  int `json:"kernels"`
+	Compared int `json:"compared"`
+	// Proven counts kernels with an in-budget minimality proof;
+	// Fallbacks loops where the search budget died.
+	Proven    int `json:"proven"`
+	Fallbacks int `json:"fallbacks"`
+	// Improved counts compared kernels where the exact II is strictly
+	// smaller; HeurSumII/OptSumII total the compared kernels' IIs.
+	Improved  int `json:"improved"`
+	HeurSumII int `json:"heur_sum_ii"`
+	OptSumII  int `json:"opt_sum_ii"`
+}
+
 // SimStats is the baseline document: per-benchmark, per-config stats
 // plus the buffer-size sweep they were measured over.
 type SimStats struct {
 	Schema      string `json:"schema"`
 	BufferSizes []int  `json:"buffer_sizes"`
-	// Benchmarks maps benchmark → config ("traditional"/"aggressive")
-	// → stats.
+	// Benchmarks maps benchmark → config ("traditional"/"aggressive"/
+	// "aggressive-optimal") → stats.
 	Benchmarks map[string]map[string]*BenchConfigStats `json:"benchmarks"`
+	// Shootout maps benchmark → scheduler shoot-out facts (exact
+	// backend vs heuristic).
+	Shootout map[string]*ShootoutStats `json:"shootout,omitempty"`
 }
 
 // NewSimStats returns an empty document with the schema set.
@@ -56,6 +79,7 @@ func NewSimStats(sizes []int) *SimStats {
 		Schema:      SimStatsSchema,
 		BufferSizes: append([]int(nil), sizes...),
 		Benchmarks:  map[string]map[string]*BenchConfigStats{},
+		Shootout:    map[string]*ShootoutStats{},
 	}
 }
 
@@ -187,6 +211,32 @@ func CompareSimStats(want, got *SimStats, tol BaselineTolerance) []Drift {
 	for _, bench := range sortedKeys(got.Benchmarks) {
 		if want.Benchmarks[bench] == nil {
 			add(bench, "*", "new benchmark not in baseline", 0, 1, 0)
+		}
+	}
+	// Shoot-out facts are deterministic search outcomes: exact match.
+	for _, bench := range sortedKeys(want.Shootout) {
+		w := want.Shootout[bench]
+		g := got.Shootout[bench]
+		if g == nil {
+			add(bench, "shootout", "present", 1, 0, 0)
+			continue
+		}
+		checkExact := func(field string, wv, gv int) {
+			if wv != gv {
+				add(bench, "shootout", field, float64(wv), float64(gv), 0)
+			}
+		}
+		checkExact("kernels", w.Kernels, g.Kernels)
+		checkExact("compared", w.Compared, g.Compared)
+		checkExact("proven", w.Proven, g.Proven)
+		checkExact("fallbacks", w.Fallbacks, g.Fallbacks)
+		checkExact("improved", w.Improved, g.Improved)
+		checkExact("heur_sum_ii", w.HeurSumII, g.HeurSumII)
+		checkExact("opt_sum_ii", w.OptSumII, g.OptSumII)
+	}
+	for _, bench := range sortedKeys(got.Shootout) {
+		if want.Shootout[bench] == nil {
+			add(bench, "shootout", "new benchmark not in baseline", 0, 1, 0)
 		}
 	}
 	sort.Slice(drifts, func(i, j int) bool {

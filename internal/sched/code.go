@@ -39,6 +39,9 @@ type BlockCode struct {
 	Bundles []*Bundle
 	// II and Stages are set for Kind == KindKernel.
 	II, Stages int
+	// Proven is set for Kind == KindKernel when an exact backend
+	// proved the kernel's II minimal (see KernelSchedule.Proven).
+	Proven bool
 }
 
 // BlockKind tags BlockCode sections.

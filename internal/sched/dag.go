@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"sort"
+
 	"lpbuf/internal/ir"
 	"lpbuf/internal/machine"
 )
@@ -304,12 +306,29 @@ func BuildDAG(ops []*ir.Op, m *machine.Desc, alias *AliasInfo, selfLoop bool) *D
 		}
 	}
 
-	// Materialize.
+	// Materialize. The edge map iterates in random order, but schedule
+	// results must be a pure function of the input program (the golden
+	// disassembly tests and sim-stat baselines pin them exactly), so the
+	// adjacency lists are sorted: every consumer that iterates them —
+	// the IMS eviction cascade in particular — stays deterministic.
 	d := &DAG{Ops: ops, Succs: make([][]Edge, n), Preds: make([][]Edge, n),
 		Height: make([]int, n)}
 	for key, lat := range b.edges {
 		d.Succs[key[0]] = append(d.Succs[key[0]], Edge{To: key[1], Lat: lat, Dist: key[2]})
 		d.Preds[key[1]] = append(d.Preds[key[1]], Edge{To: key[0], Lat: lat, Dist: key[2]})
+	}
+	for _, adj := range [2][][]Edge{d.Succs, d.Preds} {
+		for _, es := range adj {
+			sort.Slice(es, func(a, b int) bool {
+				if es[a].To != es[b].To {
+					return es[a].To < es[b].To
+				}
+				if es[a].Dist != es[b].Dist {
+					return es[a].Dist < es[b].Dist
+				}
+				return es[a].Lat < es[b].Lat
+			})
+		}
 	}
 	// Heights over same-iteration edges (acyclic by program order).
 	for i := n - 1; i >= 0; i-- {

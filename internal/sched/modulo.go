@@ -5,9 +5,9 @@ import (
 	"lpbuf/internal/machine"
 )
 
-// KernelSchedule is the result of iterative modulo scheduling: an
-// initiation interval, per-op flat schedule times sigma (stage =
-// sigma/II, cycle-in-kernel = sigma mod II) and slots.
+// KernelSchedule is the result of modulo scheduling: an initiation
+// interval, per-op flat schedule times sigma (stage = sigma/II,
+// cycle-in-kernel = sigma mod II) and slots.
 type KernelSchedule struct {
 	II     int
 	Stages int
@@ -16,7 +16,54 @@ type KernelSchedule struct {
 	// BranchSlot is the slot reserved at cycle II-1 for the loop-back
 	// br.cloop (which is excluded from the DAG).
 	BranchSlot int
+	// Proven marks the II as proven minimal by an exact backend: every
+	// II below it was shown infeasible by exhaustive search. The
+	// heuristic backend never sets it.
+	Proven bool
+	// Nodes counts exact-search nodes expended finding (or proving)
+	// this schedule; 0 for the heuristic backend.
+	Nodes int64
 }
+
+// ModuloScheduler abstracts the kernel-scheduler backend so exact
+// schedulers (internal/sched/optimal) can be swapped in behind
+// Options.Backend. Implementations must honor the same DAG dependence
+// semantics as ModuloSchedule — sigma(to) + II*dist >= sigma(from) +
+// lat — and the same modulo reservation rules, including the branch
+// slot reserved at cycle II-1 for the loop-back branch. A nil result
+// means "do not pipeline this loop".
+type ModuloScheduler interface {
+	ScheduleLoop(d *DAG, m *machine.Desc, maxII int) *KernelSchedule
+}
+
+// heuristicBackend adapts ModuloSchedule (iterative modulo scheduling)
+// to the ModuloScheduler interface; it is the default backend.
+type heuristicBackend struct{}
+
+func (heuristicBackend) ScheduleLoop(d *DAG, m *machine.Desc, maxII int) *KernelSchedule {
+	return ModuloSchedule(d, m, maxII)
+}
+
+// Heuristic returns the default iterative-modulo-scheduling backend as
+// a ModuloScheduler.
+func Heuristic() ModuloScheduler { return heuristicBackend{} }
+
+// MinII returns the lower bound on the initiation interval used by
+// both scheduler backends: the resource-constrained MII from unit
+// counts and the recurrence-constrained MII estimate from short
+// dependence cycles. Exact backends may prove a larger minimum by
+// exhausting the IIs in between.
+func MinII(d *DAG, m *machine.Desc) int {
+	mii := resMII(d, m)
+	if r := recMIIEstimate(d); r > mii {
+		mii = r
+	}
+	return mii
+}
+
+// DefaultMaxII is the II search ceiling both backends use when the
+// caller passes maxII <= 0.
+func DefaultMaxII(n int) int { return 8*n + 64 }
 
 // ModuloSchedule attempts iterative modulo scheduling (Rau, MICRO-27)
 // of a counted-loop body DAG. ops must exclude the loop-back branch.
@@ -26,12 +73,9 @@ func ModuloSchedule(d *DAG, m *machine.Desc, maxII int) *KernelSchedule {
 	if n == 0 {
 		return nil
 	}
-	mii := resMII(d, m)
-	if r := recMIIEstimate(d); r > mii {
-		mii = r
-	}
+	mii := MinII(d, m)
 	if maxII <= 0 {
-		maxII = 8*n + 64
+		maxII = DefaultMaxII(n)
 	}
 	for ii := mii; ii <= maxII; ii++ {
 		if ks := tryII(d, m, ii); ks != nil {

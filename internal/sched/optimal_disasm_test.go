@@ -1,0 +1,161 @@
+package sched_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lpbuf/internal/ir/irbuild"
+	"lpbuf/internal/machine"
+	"lpbuf/internal/sched"
+	"lpbuf/internal/sched/optimal"
+)
+
+// recurrenceTightProgram builds a loop whose II is pinned by a
+// loop-carried 2-op cycle: acc = acc*3 + 7 (mul latency 2 + add
+// latency 1, distance 1 => II >= 3). An independent load/mul/store
+// stream makes the straight-line schedule long enough that software
+// pipelining is profitable, without adding recurrences.
+func recurrenceTightProgram(t *testing.T) *irbuild.Program {
+	t.Helper()
+	pb := irbuild.NewProgram(16 << 10)
+	vals := make([]int32, 16)
+	for i := range vals {
+		vals[i] = int32(i*3 + 2)
+	}
+	inOff := pb.GlobalW("in", 16, vals)
+	outOff := pb.GlobalW("out", 16, nil)
+
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	cnt := f.Reg()
+	acc := f.Reg()
+	pin := f.Const(inOff)
+	pout := f.Const(outOff)
+	f.MovI(cnt, 16)
+	f.MovI(acc, 1)
+	f.Block("loop")
+	x := f.Reg()
+	y := f.Reg()
+	f.LdW(x, pin, 0)
+	f.MulI(y, x, 5)
+	f.StW(pout, 0, y)
+	f.MulI(acc, acc, 3)
+	f.AddI(acc, acc, 7)
+	f.AddI(pin, pin, 4)
+	f.AddI(pout, pout, 4)
+	f.CLoop(cnt, "loop")
+	f.Block("post")
+	f.StW(pout, 0, acc)
+	f.Ret(acc)
+	pb.SetEntry("main")
+	return pb
+}
+
+// resourceTightProgram builds a loop whose II is pinned by the memory
+// units: 12 independent word accesses per iteration over 3 memory
+// slots => II >= 4, with no loop-carried chain longer than the
+// pointer increments.
+func resourceTightProgram(t *testing.T) *irbuild.Program {
+	t.Helper()
+	pb := irbuild.NewProgram(16 << 10)
+	vals := make([]int32, 6*16)
+	for i := range vals {
+		vals[i] = int32(i*5 + 1)
+	}
+	inOff := pb.GlobalW("in", 6*16, vals)
+	outOff := pb.GlobalW("out", 6*16, nil)
+
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	cnt := f.Reg()
+	pin := f.Const(inOff)
+	pout := f.Const(outOff)
+	f.MovI(cnt, 16)
+	f.Block("loop")
+	for lane := 0; lane < 6; lane++ {
+		v := f.Reg()
+		f.LdW(v, pin, int64(4*lane))
+		f.AddI(v, v, int64(lane+1))
+		f.StW(pout, int64(4*lane), v)
+	}
+	f.AddI(pin, pin, 24)
+	f.AddI(pout, pout, 24)
+	f.CLoop(cnt, "loop")
+	f.Block("post")
+	r := f.Reg()
+	f.LdW(r, pout, -4)
+	f.Ret(r)
+	pb.SetEntry("main")
+	return pb
+}
+
+// TestOptimalDisasmGolden pins the exact backend's schedules of two
+// kernels whose minimal II is known tight against one bound each: a
+// recurrence-bound loop (II = 3, from the acc cycle) and a
+// resource-bound loop (II = 4, from the memory slots). Each schedule
+// must carry an in-budget minimality proof, and its disassembly is
+// pinned byte-for-byte. Regenerate with:
+//
+//	go test ./internal/sched -run TestOptimalDisasmGolden -update
+func TestOptimalDisasmGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		build  func(*testing.T) *irbuild.Program
+		wantII int
+		golden string
+	}{
+		{"recurrence", recurrenceTightProgram, 3, "optimal_recurrence.golden"},
+		{"resource", resourceTightProgram, 4, "optimal_resource.golden"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			backend := optimal.New(optimal.Options{})
+			code, err := sched.Schedule(tc.build(t).MustBuild(), machine.Default(),
+				sched.Options{EnableModulo: true, Backend: backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var kernel *sched.BlockCode
+			for _, sec := range code.Funcs["main"].Sections {
+				if sec.Kind == sched.KindKernel {
+					kernel = sec
+				}
+			}
+			if kernel == nil {
+				t.Fatal("loop was not software-pipelined")
+			}
+			if kernel.II != tc.wantII {
+				t.Errorf("kernel II = %d, want the tight bound %d", kernel.II, tc.wantII)
+			}
+			if !kernel.Proven {
+				t.Error("kernel II not proven minimal in budget")
+			}
+			if st := backend.Stats(); st.Loops != 1 || st.Proven != 1 || st.Fallbacks != 0 {
+				t.Errorf("backend stats = %+v, want 1 loop proven with no fallback", st)
+			}
+
+			got := code.Funcs["main"].Disasm()
+			golden := filepath.Join("testdata", tc.golden)
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("disassembly drifted from %s (re-run with -update if intended)\n--- got ---\n%s",
+					golden, got)
+			}
+			for _, marker := range []string{"prologue", "kernel", "epilogue"} {
+				if !strings.Contains(got, marker) {
+					t.Errorf("disassembly lacks a %s section", marker)
+				}
+			}
+		})
+	}
+}

@@ -14,6 +14,9 @@ type Options struct {
 	EnableModulo bool
 	// MaxII bounds the initiation-interval search (0 = auto).
 	MaxII int
+	// Backend selects the modulo-scheduler backend for pipelined
+	// kernels; nil uses the heuristic IMS backend (ModuloSchedule).
+	Backend ModuloScheduler
 	// Span, when non-nil, parents one observability span per scheduled
 	// function (IR ops in, bundles/ops/kernels out, wall time).
 	Span *obs.Span
@@ -215,7 +218,11 @@ func tryModuloBlock(prog *ir.Program, f *ir.Func, b *ir.Block, m *machine.Desc,
 	}
 
 	d := BuildDAG(body, m, alias, true)
-	ks := ModuloSchedule(d, m, opts.MaxII)
+	backend := opts.Backend
+	if backend == nil {
+		backend = Heuristic()
+	}
+	ks := backend.ScheduleLoop(d, m, opts.MaxII)
 	if ks == nil || int64(ks.Stages) > trips {
 		return nil
 	}
@@ -255,7 +262,8 @@ func tryModuloBlock(prog *ir.Program, f *ir.Func, b *ir.Block, m *machine.Desc,
 		sections = append(sections, pro)
 	}
 	// Kernel: all ops plus the loop-back branch at cycle ii-1.
-	ker := &BlockCode{Block: b.ID, Kind: KindKernel, Bundles: mkBundles(ii), II: ii, Stages: S}
+	ker := &BlockCode{Block: b.ID, Kind: KindKernel, Bundles: mkBundles(ii),
+		II: ii, Stages: S, Proven: ks.Proven}
 	for i, op := range body {
 		so := &SOp{Op: op, Slot: ks.Slot[i], TargetBundle: 0, resolved: true}
 		ker.Bundles[cyc(i)].Ops = append(ker.Bundles[cyc(i)].Ops, so)

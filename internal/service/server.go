@@ -607,6 +607,12 @@ func (s *Server) buildArtifact(j *Job) ([]byte, error) {
 				return nil, err
 			}
 			art.Headline = h
+		case "shootout":
+			rows, err := suite.ShootoutCtx(ctx)
+			if err != nil {
+				return nil, err
+			}
+			art.Shootout = rows
 		default:
 			return nil, fmt.Errorf("unknown figure %q after normalization", fig)
 		}

@@ -33,13 +33,13 @@ const (
 // artifact a spec produces can change for reasons the spec and machine
 // fingerprint do not capture (compiler pipeline changes, artifact
 // encoding changes), so stale store objects are never served.
-const keyVersion = "lpbufd-key/1"
+const keyVersion = "lpbufd-key/2"
 
 // canonicalFigures is the canonical figure order of a normalized spec.
 // "encoding" and "headline" are figure-shaped for the codec even though
 // the CLI spells them as standalone flags (one of the round-trip
 // asymmetries between cmd/lpbuf flags and the job codec).
-var canonicalFigures = []string{"3", "5", "7", "8a", "8b", "encoding", "headline"}
+var canonicalFigures = []string{"3", "5", "7", "8a", "8b", "encoding", "headline", "shootout"}
 
 // defaultFig5Sizes mirrors cmd/lpbuf's Figure 5 sweep.
 var defaultFig5Sizes = []int{16, 32, 64}

@@ -38,13 +38,20 @@ func Levels() []core.Config {
 // Check compiles prog at every level and asserts interpreter, VLIW
 // simulation, and architectural side effects all agree. The returned
 // error names the first level and buffer size that diverged.
-func Check(prog *ir.Program) error {
+func Check(prog *ir.Program) error { return CheckWith(prog, "") }
+
+// CheckWith is Check with an explicit modulo-scheduler backend
+// ("heuristic" or "optimal"; "" = default), so the differential
+// harness and fuzzer exercise exact-backend miscompiles through the
+// same oracle.
+func CheckWith(prog *ir.Program, backend string) error {
 	ref, err := interp.Run(prog, interp.Options{MaxOps: 1 << 22})
 	if err != nil {
 		return fmt.Errorf("reference interp: %w", err)
 	}
 	for _, cfg := range Levels() {
 		cfg.Verify = true
+		cfg.SchedBackend = backend
 		c, err := core.Compile(prog.Clone(), cfg)
 		if err != nil {
 			return fmt.Errorf("%s: compile: %w", cfg.Name, err)

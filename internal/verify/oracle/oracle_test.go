@@ -34,16 +34,23 @@ func TestDifferentialCorpus(t *testing.T) {
 
 // FuzzDifferential explores seeds beyond the fixed corpus. Every seed
 // generates a valid terminating program by construction, so the fuzz
-// body is just the oracle. Run with:
+// body is just the oracle; a second fuzzed byte picks the scheduler
+// backend, so the fuzzer exercises optimal-path miscompiles for free.
+// Run with:
 //
 //	go test -run Fuzz -fuzz=FuzzDifferential -fuzztime=30s ./internal/verify/oracle
 func FuzzDifferential(f *testing.F) {
 	for _, s := range []int64{0, 1, 42, 1 << 32, -7} {
-		f.Add(s)
+		f.Add(s, byte(0))
+		f.Add(s, byte(1))
 	}
-	f.Fuzz(func(t *testing.T, seed int64) {
-		if err := oracle.Check(gen.Program(seed)); err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
+	f.Fuzz(func(t *testing.T, seed int64, backend byte) {
+		b := "heuristic"
+		if backend&1 == 1 {
+			b = "optimal"
+		}
+		if err := oracle.CheckWith(gen.Program(seed), b); err != nil {
+			t.Fatalf("seed %d backend %s: %v", seed, b, err)
 		}
 	})
 }
