@@ -102,12 +102,14 @@ func main() {
 	}
 	if *submit != "" {
 		// Remote mode: the daemon runs figure jobs only. Flags that need
-		// the local process (single-bench runs, disassembly, traces,
-		// pprof) don't round-trip through the job codec — reject them
-		// loudly rather than silently running half the request locally.
+		// the local process (single-bench runs, disassembly, pprof) don't
+		// round-trip through the job codec — reject them loudly rather
+		// than silently running half the request locally. -trace-out does
+		// round-trip: the daemon traces every job, and the client fetches
+		// the server-side span tree from /v1/jobs/{id}/trace.
 		localOnly := map[string]string{
 			"bench": *benchName, "ablate": *ablate, "widths": *widths,
-			"dump": *dump, "trace-out": *traceOut, "metrics-out": *metricsOut,
+			"dump": *dump, "metrics-out": *metricsOut,
 			"pprof": *pprofAddr, "sched": *schedBackend,
 		}
 		for name, val := range localOnly {
@@ -142,6 +144,7 @@ func main() {
 			specOut:   *specOut,
 			statusOut: *statusOut,
 			jsonOut:   *jsonOut,
+			traceOut:  *traceOut,
 		}); err != nil {
 			fail(err)
 		}
@@ -383,5 +386,6 @@ func printList() {
 	fmt.Println("observability: -trace-out FILE Chrome/Perfetto trace, -metrics-out FILE")
 	fmt.Println("           counters + per-loop energy snapshot, -pprof ADDR expvar/pprof")
 	fmt.Println("remote:    -submit URL run figure jobs on a lpbufd (with -spec-out,")
-	fmt.Println("           -status-out, -json, -progress); see SERVICE.md")
+	fmt.Println("           -status-out, -json, -progress, -trace-out fetches the")
+	fmt.Println("           daemon's per-job span tree); see SERVICE.md")
 }

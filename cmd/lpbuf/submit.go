@@ -3,6 +3,8 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,6 +23,7 @@ type submitOptions struct {
 	specOut   string // write the normalized lpbuf.job/v1 request here
 	statusOut string // write the final lpbuf.jobstatus/v1 response here
 	jsonOut   string // write the artifact bytes verbatim here
+	traceOut  string // write the server-side span tree (Perfetto JSON) here
 }
 
 // pollInterval paces status polling when -progress (SSE) is off.
@@ -54,7 +57,17 @@ func runSubmit(baseURL string, spec service.JobSpec, opts submitOptions) error {
 	if err != nil {
 		return err
 	}
-	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	// Propagate a client-minted trace ID so the server's span tree for
+	// this job is correlatable end to end; the daemon echoes it back in
+	// the same header and stamps it on the root span.
+	traceID := clientTraceID()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.TraceHeader, traceID)
+	resp, err := client.Do(req)
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)
 	}
@@ -74,7 +87,7 @@ func runSubmit(baseURL string, spec service.JobSpec, opts submitOptions) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("submit: bad status response: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "lpbuf: submitted %s (key %s…)\n", st.ID, st.Key[:12])
+	fmt.Fprintf(os.Stderr, "lpbuf: submitted %s (key %s…, trace %s)\n", st.ID, st.Key[:12], traceID)
 
 	if opts.progress {
 		if err := streamEvents(client, base, st.ID); err != nil {
@@ -132,6 +145,44 @@ func runSubmit(baseURL string, spec service.JobSpec, opts submitOptions) error {
 		}
 		fmt.Fprintf(os.Stderr, "lpbuf: wrote %s (%s)\n", opts.jsonOut, experiments.ArtifactSchema)
 	}
+	if opts.traceOut != "" {
+		if err := fetchTrace(client, base, st.ID, opts.traceOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clientTraceID mints a random trace ID (16 hex chars) for correlating
+// the submission with the daemon's per-job span tree.
+func clientTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Degenerate fallback: let the server mint one instead.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// fetchTrace downloads the job's server-side span tree (Perfetto JSON)
+// and writes it verbatim to path.
+func fetchTrace(client *http.Client, base, id, path string) error {
+	resp, err := client.Get(base + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace: server said %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lpbuf: wrote %s (server trace %s)\n", path, resp.Header.Get(service.TraceHeader))
 	return nil
 }
 

@@ -9,12 +9,18 @@
 //	lpbufd                        # defaults (127.0.0.1:7788, ./lpbufd-store)
 //	lpbufd -config lpbufd.json    # JSON config file
 //	lpbufd -listen :8080 -store /var/lib/lpbufd -max-jobs 4
+//	lpbufd -log-format json -log-level debug
 //
 // Flags override the config file. SIGINT/SIGTERM drain gracefully:
 // queued jobs are canceled, in-flight jobs complete, then the listener
 // shuts down. SIGHUP re-reads -config and hot-applies the admission
-// fields (queue_depth, max_per_client, workers, verify); startup-bound
-// fields (listen, store_dir, max_jobs) are reported and ignored.
+// fields (queue_depth, max_per_client, workers, verify), logging one
+// structured record listing which fields changed and which
+// startup-bound fields (listen, store_dir, max_jobs) were ignored.
+//
+// Logs are leveled and structured (-log-format text|json, -log-level
+// debug|info|warn|error); every HTTP request logs one record with its
+// route, status, duration and trace ID.
 //
 // API (see SERVICE.md):
 //
@@ -24,7 +30,9 @@
 //	DELETE /v1/jobs/{id}           cancel
 //	GET    /v1/jobs/{id}/events    SSE progress
 //	GET    /v1/jobs/{id}/artifact  lpbuf.artifact/v1 result
-//	GET    /metrics                obs registry snapshot
+//	GET    /v1/jobs/{id}/trace     per-job span tree (Perfetto JSON)
+//	GET    /metrics                obs registry snapshot (?format=prom)
+//	GET    /debug/flightrecorder   recent transitions and rejections
 //	GET    /healthz                liveness / drain status
 package main
 
@@ -33,12 +41,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +54,32 @@ import (
 
 // drainTimeout bounds how long shutdown waits for in-flight jobs.
 const drainTimeout = 2 * time.Minute
+
+// buildLogger constructs the daemon's structured logger from the
+// -log-format / -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (text, json)", format)
+}
 
 func main() {
 	configPath := flag.String("config", "", "JSON config file (flags override it)")
@@ -57,16 +90,22 @@ func main() {
 	queueDepth := flag.Int("queue", 0, "queued-job admission bound")
 	maxPerClient := flag.Int("max-per-client", 0, "per-client active-job cap")
 	doVerify := flag.Bool("verify", false, "phase checkpoints on every compile")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "lpbufd: ", log.LstdFlags)
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpbufd:", err)
+		os.Exit(1)
+	}
 	fail := func(err error) {
-		logger.Fatal(err)
+		logger.Error(err.Error())
+		os.Exit(1)
 	}
 
 	cfg := service.DefaultConfig()
 	if *configPath != "" {
-		var err error
 		if cfg, err = service.LoadConfig(*configPath); err != nil {
 			fail(err)
 		}
@@ -96,7 +135,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	srv.SetLogger(logger.Printf)
+	srv.SetSlog(logger)
 	srv.Start()
 
 	ln, err := net.Listen("tcp", cfg.Listen)
@@ -106,8 +145,11 @@ func main() {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	logger.Printf("listening on %s (store %s, max-jobs %d, queue %d)",
-		ln.Addr(), cfg.StoreDir, cfg.MaxJobs, cfg.QueueDepth)
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"store", cfg.StoreDir,
+		"max_jobs", cfg.MaxJobs,
+		"queue_depth", cfg.QueueDepth)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
@@ -121,32 +163,35 @@ func main() {
 		case sig := <-sigc:
 			if sig == syscall.SIGHUP {
 				if *configPath == "" {
-					logger.Printf("SIGHUP ignored: no -config file to reload")
+					logger.Warn("SIGHUP ignored: no -config file to reload")
 					continue
 				}
-				ignored, err := srv.ReloadFile(*configPath)
+				changed, ignored, err := srv.ReloadFile(*configPath)
 				if err != nil {
-					logger.Printf("reload %s failed: %v (keeping current config)", *configPath, err)
+					logger.Error("config reload failed (keeping current config)",
+						"path", *configPath, "err", err)
 					continue
 				}
-				note := ""
-				if len(ignored) > 0 {
-					note = fmt.Sprintf(" (restart needed for: %s)", strings.Join(ignored, ", "))
-				}
-				logger.Printf("reloaded %s%s", *configPath, note)
+				// One record carries the whole reload outcome: what took
+				// effect and which startup-bound edits need a restart.
+				logger.Info("config reloaded",
+					"path", *configPath,
+					"changed", changed,
+					"ignored_needs_restart", ignored)
 				continue
 			}
 
-			logger.Printf("%s: draining (in-flight jobs finish, queued jobs cancel)", sig)
+			logger.Info("draining (in-flight jobs finish, queued jobs cancel)",
+				"signal", sig.String())
 			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 			if err := srv.Drain(ctx); err != nil {
-				logger.Printf("drain: %v", err)
+				logger.Error("drain failed", "err", err)
 			}
 			if err := httpSrv.Shutdown(ctx); err != nil {
-				logger.Printf("shutdown: %v", err)
+				logger.Error("shutdown failed", "err", err)
 			}
 			cancel()
-			logger.Printf("drained; bye")
+			logger.Info("drained; bye")
 			return
 		}
 	}

@@ -1,17 +1,20 @@
 // Command obscheck validates the machine-readable artifacts the lpbuf
 // tools write: a Chrome trace-event JSON (-trace), a metrics snapshot
-// (-metrics), a cmd/benchjson bench artifact (-bench, schema
-// lpbuf/bench/v1 or /v2), a result artifact (-artifact, schema
-// lpbuf.artifact/v1), and lpbufd's job codec in both directions
-// (-job-request lpbuf.job/v1, -job-status lpbuf.jobstatus/v1). It is
-// the CI gate that keeps every format loadable — the trace in
-// Perfetto / chrome://tracing, the rest by downstream tooling pinned
-// to their schemas.
+// (-metrics), a Prometheus text exposition page (-prom, what lpbufd
+// serves at /metrics?format=prom), a cmd/benchjson bench artifact
+// (-bench, schema lpbuf/bench/v1 or /v2), a result artifact
+// (-artifact, schema lpbuf.artifact/v1), and lpbufd's job codec in
+// both directions (-job-request lpbuf.job/v1, -job-status
+// lpbuf.jobstatus/v1). It is the CI gate that keeps every format
+// loadable — the trace in Perfetto / chrome://tracing, the prom page
+// by any Prometheus scraper, the rest by downstream tooling pinned to
+// their schemas.
 //
 // Usage:
 //
 //	obscheck -trace trace.json -metrics metrics.json -bench BENCH_simulator.json
 //	obscheck -artifact results.json -job-request spec.json -job-status status.json
+//	obscheck -prom metrics.prom
 //
 // Exit status is non-zero with a diagnostic on the first violation.
 package main
@@ -24,6 +27,7 @@ import (
 	"os"
 
 	"lpbuf/internal/experiments"
+	"lpbuf/internal/obs"
 	"lpbuf/internal/obs/perfgate"
 	"lpbuf/internal/service"
 )
@@ -31,6 +35,7 @@ import (
 func main() {
 	tracePath := flag.String("trace", "", "Chrome trace-event JSON to validate")
 	metricsPath := flag.String("metrics", "", "lpbuf.metrics/v1 snapshot to validate")
+	promPath := flag.String("prom", "", "Prometheus text exposition page to validate")
 	benchPath := flag.String("bench", "", "lpbuf/bench/v1 or /v2 artifact to validate")
 	artifactPath := flag.String("artifact", "", "lpbuf.artifact/v1 result artifact to validate")
 	jobReqPath := flag.String("job-request", "", "lpbuf.job/v1 job request to validate")
@@ -41,9 +46,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
 		os.Exit(1)
 	}
-	if *tracePath == "" && *metricsPath == "" && *benchPath == "" &&
+	if *tracePath == "" && *metricsPath == "" && *promPath == "" && *benchPath == "" &&
 		*artifactPath == "" && *jobReqPath == "" && *jobStatusPath == "" {
-		fail("nothing to check; pass -trace, -metrics, -bench, -artifact, -job-request and/or -job-status")
+		fail("nothing to check; pass -trace, -metrics, -prom, -bench, -artifact, -job-request and/or -job-status")
 	}
 	if *artifactPath != "" {
 		if err := checkArtifact(*artifactPath); err != nil {
@@ -71,6 +76,11 @@ func main() {
 			fail("%s: %v", *metricsPath, err)
 		}
 		fmt.Printf("obscheck: %s ok\n", *metricsPath)
+	}
+	if *promPath != "" {
+		if err := checkProm(*promPath); err != nil {
+			fail("%s: %v", *promPath, err)
+		}
 	}
 	if *benchPath != "" {
 		if err := checkBench(*benchPath); err != nil {
@@ -228,6 +238,26 @@ func checkTrace(path string) error {
 	if !sim {
 		return fmt.Errorf("no simulator events (pid 2)")
 	}
+	return nil
+}
+
+// checkProm validates a Prometheus text exposition page through the
+// same parser internal/obs tests use against WriteProm output (shared
+// parser: one grammar, enforced everywhere): metric/label name
+// charsets, # TYPE lines present and consistent, no duplicate series
+// after label canonicalization, and histogram invariants (cumulative
+// buckets, +Inf == _count).
+func checkProm(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sum, err := obs.CheckProm(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("obscheck: %s ok (%d families, %d series, %d samples)\n",
+		path, sum.Families, sum.Series, sum.Samples)
 	return nil
 }
 

@@ -61,6 +61,138 @@ func TestDiffSnapshot(t *testing.T) {
 	}
 }
 
+func deltaByKey(t *testing.T, rows []Delta, name, kind string) *Delta {
+	t.Helper()
+	for i := range rows {
+		if rows[i].Name == name && rows[i].Kind == kind {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+// TestDiffSnapshotAcrossScopeFold drives DiffSnapshot the way
+// cmd/benchdiff -metrics consumes it, but across the Scope fold-in
+// path: snapshot the parent, run instrumented work inside a scope,
+// close it, snapshot again, and require the diff to report exactly the
+// folded deltas.
+func TestDiffSnapshotAcrossScopeFold(t *testing.T) {
+	parent := &Obs{Reg: NewRegistry()}
+	parent.Reg.Counter("jobs").Add(10)
+	parent.Reg.Histogram("wall").Observe(100)
+	before := parent.Reg.Snapshot()
+
+	sc := parent.OpenScope(ScopeConfig{})
+	sc.Obs().Counter("jobs").Add(3)
+	sc.Obs().Reg.Gauge("depth").Add(2)
+	sc.Obs().Reg.Histogram("wall").Observe(50)
+	sc.Obs().Reg.Histogram("wall").Observe(60)
+	sc.Close()
+	after := parent.Reg.Snapshot()
+
+	rows := DiffSnapshot(before, after)
+	if d := deltaByKey(t, rows, "jobs", "counter"); d == nil || d.Diff != 3 {
+		t.Fatalf("jobs counter delta = %+v, want +3", d)
+	}
+	if d := deltaByKey(t, rows, "depth", "gauge"); d == nil || d.Old != 0 || d.New != 2 {
+		t.Fatalf("gauge appearing via fold = %+v, want 0 -> 2", d)
+	}
+	if d := deltaByKey(t, rows, "wall", "hist.count"); d == nil || d.Diff != 2 {
+		t.Fatalf("wall hist.count delta = %+v, want +2", d)
+	}
+	if d := deltaByKey(t, rows, "wall", "hist.sum"); d == nil || d.Diff != 110 {
+		t.Fatalf("wall hist.sum delta = %+v, want +110", d)
+	}
+}
+
+func TestDiffSnapshotNestedScopes(t *testing.T) {
+	parent := &Obs{Reg: NewRegistry()}
+	before := parent.Reg.Snapshot()
+
+	child := parent.OpenScope(ScopeConfig{})
+	grand := child.Obs().OpenScope(ScopeConfig{})
+	grand.Obs().Counter("deep").Add(7)
+	grand.Obs().Reg.Histogram("h").Observe(4)
+	grand.Close()
+
+	// Child itself adds more after the grandchild folded in.
+	child.Obs().Counter("deep").Add(1)
+
+	// Mid-flight: the child's own registry shows the whole subtree,
+	// while the parent diff shows nothing yet.
+	childRows := DiffSnapshot(NewRegistry().Snapshot(), child.Registry().Snapshot())
+	if d := deltaByKey(t, childRows, "deep", "counter"); d == nil || d.New != 8 {
+		t.Fatalf("child-registry diff = %+v, want deep=8", childRows)
+	}
+	if rows := DiffSnapshot(before, parent.Reg.Snapshot()); len(rows) != 0 {
+		t.Fatalf("parent diff before child close = %+v, want empty", rows)
+	}
+
+	child.Close()
+	rows := DiffSnapshot(before, parent.Reg.Snapshot())
+	if d := deltaByKey(t, rows, "deep", "counter"); d == nil || d.Diff != 8 {
+		t.Fatalf("nested fold delta = %+v, want +8", d)
+	}
+	if d := deltaByKey(t, rows, "h", "hist.count"); d == nil || d.Diff != 1 {
+		t.Fatalf("nested hist fold = %+v, want count +1", d)
+	}
+}
+
+// TestDiffSnapshotHistogramBucketDrift pins the documented property
+// that bucket-level drift always moves count or sum: an Observe(0)
+// changes the 0-bucket and the count but not the sum, and two
+// histograms with equal counts but different bucket placement must
+// differ in sum, so the count/sum pair is a sound drift detector for
+// fold-in results.
+func TestDiffSnapshotHistogramBucketDrift(t *testing.T) {
+	parent := &Obs{Reg: NewRegistry()}
+	parent.Reg.Histogram("h").Observe(8)
+	before := parent.Reg.Snapshot()
+
+	// Sum-preserving drift: Observe(0) via a scope fold.
+	sc := parent.OpenScope(ScopeConfig{})
+	sc.Obs().Reg.Histogram("h").Observe(0)
+	sc.Close()
+	rows := DiffSnapshot(before, parent.Reg.Snapshot())
+	if d := deltaByKey(t, rows, "h", "hist.count"); d == nil || d.Diff != 1 {
+		t.Fatalf("zero-observation drift must surface in hist.count: %+v", rows)
+	}
+	if d := deltaByKey(t, rows, "h", "hist.sum"); d != nil {
+		t.Fatalf("sum must not move for Observe(0): %+v", d)
+	}
+
+	// Count-preserving comparison across two registries (the "same
+	// count, different buckets" case benchdiff can meet when comparing
+	// two runs): sum must differ.
+	a, b := NewRegistry(), NewRegistry()
+	a.Histogram("lat").Observe(1)
+	a.Histogram("lat").Observe(64)
+	b.Histogram("lat").Observe(2)
+	b.Histogram("lat").Observe(128)
+	rows = DiffSnapshot(a.Snapshot(), b.Snapshot())
+	if d := deltaByKey(t, rows, "lat", "hist.count"); d != nil {
+		t.Fatalf("counts are equal, no count row expected: %+v", d)
+	}
+	if d := deltaByKey(t, rows, "lat", "hist.sum"); d == nil || d.Diff != 65 {
+		t.Fatalf("bucket drift must surface in hist.sum: %+v", rows)
+	}
+
+	// Multi-bucket drift through a fold: count and sum both move.
+	before = parent.Reg.Snapshot()
+	sc = parent.OpenScope(ScopeConfig{})
+	for _, v := range []int64{3, 300, 30000} {
+		sc.Obs().Reg.Histogram("h").Observe(v)
+	}
+	sc.Close()
+	rows = DiffSnapshot(before, parent.Reg.Snapshot())
+	if d := deltaByKey(t, rows, "h", "hist.count"); d == nil || d.Diff != 3 {
+		t.Fatalf("multi-bucket fold count = %+v, want +3", d)
+	}
+	if d := deltaByKey(t, rows, "h", "hist.sum"); d == nil || d.Diff != 30303 {
+		t.Fatalf("multi-bucket fold sum = %+v, want +30303", d)
+	}
+}
+
 func TestHistogramQuantileEmpty(t *testing.T) {
 	var h HistogramSnapshot
 	for _, q := range []float64{0, 0.5, 1} {

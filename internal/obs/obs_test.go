@@ -243,6 +243,7 @@ func TestNilHooksAllocateNothing(t *testing.T) {
 		tr *Trace
 		st *SimTrace
 	)
+	var sc *Scope
 	ev := SimEvent{Cycle: 1, Kind: SimIssue, Func: "f", PC: 2}
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Add(1)
@@ -258,6 +259,9 @@ func TestNilHooksAllocateNothing(t *testing.T) {
 		tr.StartSpan("z").End()
 		o.Counter("c").Add(1)
 		r.Counter("c").Inc()
+		sc.Close()
+		sc.Obs().Counter("c").Inc()
+		o.OpenScope(ScopeConfig{}).Close()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled hooks allocate %v times per op, want 0", allocs)

@@ -1,0 +1,583 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), hand-rolled so
+// the daemon stays zero-dependency. Registry instrument names map to
+// Prometheus series: the name is sanitized into the metric name under
+// an "lpbuf_" prefix, and an optional trailing `{k="v",...}` suffix in
+// the registry name becomes the series' label set, so one logical
+// family ("http_requests") can carry many labeled series while staying
+// a plain string key in the registry's sharded maps. CheckProm is the
+// matching parser/validator: cmd/obscheck -prom runs scrape output
+// through it, so a passing check guarantees a Prometheus server can
+// ingest the page.
+
+// promSeries is one parsed registry instrument: family base name,
+// canonical label suffix, and rendered sample lines.
+type promSeries struct {
+	labels string // canonical `k="v",...` (no braces), may be empty
+	value  string // rendered sample value (scalars)
+	hist   *HistogramSnapshot
+}
+
+type promFamily struct {
+	name   string // sanitized, prefixed metric name
+	kind   string // "counter", "gauge", "histogram"
+	raw    string // first raw registry base name (for HELP)
+	series []promSeries
+}
+
+// WriteProm renders a registry snapshot as Prometheus text exposition.
+// Families are sorted by metric name and series by label set, so
+// identical snapshots produce byte-identical pages. Returns an error
+// if two differently-kinded instruments sanitize to the same metric
+// name (the page would be unscrapeable).
+func WriteProm(w io.Writer, snap RegistrySnapshot) error {
+	fams := map[string]*promFamily{}
+	add := func(rawName, kind string, s promSeries) error {
+		base, labels, err := splitSeriesName(rawName)
+		if err != nil {
+			return fmt.Errorf("metric %q: %w", rawName, err)
+		}
+		name := promName(base)
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{name: name, kind: kind, raw: base}
+			fams[name] = f
+		}
+		if f.kind != kind {
+			return fmt.Errorf("metric %q: sanitized name %q already used by a %s", rawName, name, f.kind)
+		}
+		s.labels = labels
+		f.series = append(f.series, s)
+		return nil
+	}
+	snapErr := func() error {
+		for rawName, v := range snap.Counters {
+			if err := add(rawName, "counter", promSeries{value: strconv.FormatInt(v, 10)}); err != nil {
+				return err
+			}
+		}
+		for rawName, v := range snap.Gauges {
+			if err := add(rawName, "gauge", promSeries{value: formatPromFloat(v)}); err != nil {
+				return err
+			}
+		}
+		for rawName, h := range snap.Histograms {
+			h := h
+			if err := add(rawName, "histogram", promSeries{hist: &h}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	if snapErr != nil {
+		return snapErr
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		fmt.Fprintf(bw, "# HELP %s lpbuf registry instrument %q\n", f.name, f.raw)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			if f.kind != "histogram" {
+				if s.labels == "" {
+					fmt.Fprintf(bw, "%s %s\n", f.name, s.value)
+				} else {
+					fmt.Fprintf(bw, "%s{%s} %s\n", f.name, s.labels, s.value)
+				}
+				continue
+			}
+			writePromHistogram(bw, f.name, s.labels, *s.hist)
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram renders one histogram series: cumulative
+// `_bucket{le="..."}` lines from the log2 buckets (le is the inclusive
+// upper value of each bucket, i.e. the exclusive registry bound minus
+// one), a `+Inf` bucket, `_sum` and `_count`.
+func writePromHistogram(w io.Writer, name, labels string, h HistogramSnapshot) {
+	withLe := func(le string) string {
+		if labels == "" {
+			return `le="` + le + `"`
+		}
+		return labels + `,le="` + le + `"`
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		max := bucketMax(b.UpperBound)
+		if max == int64(math.MaxInt64) {
+			// The clamped top bucket is the +Inf bucket.
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, withLe(strconv.FormatInt(max, 10)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, withLe("+Inf"), h.Count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %d\n", name, labels, h.Sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count)
+	}
+}
+
+// formatPromFloat renders a gauge value in the exposition format.
+func formatPromFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// splitSeriesName splits a registry instrument name into its base name
+// and a canonical (sorted, escaped) label suffix. Names without a
+// `{...}` suffix have no labels. Label values are re-escaped, label
+// names are validated and the pairs are sorted by key so two spellings
+// of the same series always canonicalize identically.
+func splitSeriesName(raw string) (base, labels string, err error) {
+	open := strings.IndexByte(raw, '{')
+	if open < 0 {
+		return raw, "", nil
+	}
+	if !strings.HasSuffix(raw, "}") {
+		return "", "", fmt.Errorf("unterminated label suffix")
+	}
+	base = raw[:open]
+	pairs, err := parseLabels(raw[open+1 : len(raw)-1])
+	if err != nil {
+		return "", "", err
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	parts := make([]string, 0, len(pairs))
+	seen := map[string]bool{}
+	for _, kv := range pairs {
+		if !validLabelName(kv[0]) {
+			return "", "", fmt.Errorf("bad label name %q", kv[0])
+		}
+		if seen[kv[0]] {
+			return "", "", fmt.Errorf("duplicate label %q", kv[0])
+		}
+		seen[kv[0]] = true
+		parts = append(parts, kv[0]+`="`+escapeLabelValue(kv[1])+`"`)
+	}
+	return base, strings.Join(parts, ","), nil
+}
+
+// parseLabels scans `k="v",k2="v2"` into pairs, honouring escapes in
+// the quoted values.
+func parseLabels(s string) ([][2]string, error) {
+	var out [][2]string
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q has no '='", s[i:])
+		}
+		key := strings.TrimSpace(s[i : i+eq])
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("label %q value is not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, fmt.Errorf("label %q value is unterminated", key)
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("label %q value ends in a bare backslash", key)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %q value has unknown escape \\%c", key, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out = append(out, [2]string{key, val.String()})
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, fmt.Errorf("expected ',' after label %q", key)
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// promName sanitizes a registry base name into a Prometheus metric
+// name: every byte outside [a-zA-Z0-9_:] becomes '_', and the result
+// is prefixed with "lpbuf_" (which also guarantees a legal first
+// character).
+func promName(base string) string {
+	var b strings.Builder
+	b.WriteString("lpbuf_")
+	for i := 0; i < len(base); i++ {
+		c := base[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// PromSummary reports what a validated exposition page contained.
+type PromSummary struct {
+	Families int // # TYPE declarations
+	Series   int // distinct (name, label set) sample series
+	Samples  int // sample lines
+}
+
+// CheckProm parses and validates a Prometheus text exposition page:
+// metric and label names must use the legal charset, every sample must
+// belong to a family with exactly one preceding # TYPE line of a known
+// kind, no two samples may share a (name, label set) series, histogram
+// families must expose consistent cumulative _bucket/_sum/_count
+// series, and counter values must be non-negative. It is deliberately
+// the same grammar WriteProm emits — obscheck -prom runs scrapes
+// through this one parser, so passing it guarantees scrapeability.
+func CheckProm(data []byte) (PromSummary, error) {
+	var sum PromSummary
+	types := map[string]string{}    // family -> kind
+	seen := map[string]bool{}       // name + canonical labels -> present
+	hist := map[string]*histCheck{} // histogram family (+ non-le labels) -> running check
+	lineNo := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		lineNo++
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return sum, fmt.Errorf("line %d: malformed # TYPE line", lineNo)
+				}
+				name, kind := fields[2], fields[3]
+				if !validMetricName(name) {
+					return sum, fmt.Errorf("line %d: illegal metric name %q in # TYPE", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return sum, fmt.Errorf("line %d: unknown type %q for %q", lineNo, kind, name)
+				}
+				if _, dup := types[name]; dup {
+					return sum, fmt.Errorf("line %d: duplicate # TYPE for %q", lineNo, name)
+				}
+				types[name] = kind
+				sum.Families++
+			}
+			continue
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return sum, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !validMetricName(name) {
+			return sum, fmt.Errorf("line %d: illegal metric name %q", lineNo, name)
+		}
+		family, sampleKind := name, ""
+		if kind, ok := types[name]; ok {
+			sampleKind = kind
+		} else {
+			// Histogram/summary samples use suffixed names.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base, found := strings.CutSuffix(name, suffix)
+				if !found {
+					continue
+				}
+				if kind, ok := types[base]; ok && (kind == "histogram" || kind == "summary") {
+					family, sampleKind = base, kind
+					break
+				}
+			}
+		}
+		if sampleKind == "" {
+			return sum, fmt.Errorf("line %d: sample %q has no preceding # TYPE line", lineNo, name)
+		}
+		canonical, leValue, hasLe, err := canonicalizeSampleLabels(labels)
+		if err != nil {
+			return sum, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		series := name + "{" + canonical.full + "}"
+		if seen[series] {
+			return sum, fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		seen[series] = true
+		sum.Series++
+		sum.Samples++
+		v, err := parsePromValue(value)
+		if err != nil {
+			return sum, fmt.Errorf("line %d: %s: %v", lineNo, series, err)
+		}
+		switch sampleKind {
+		case "counter":
+			if v < 0 {
+				return sum, fmt.Errorf("line %d: counter %s is negative (%v)", lineNo, series, v)
+			}
+		case "histogram":
+			key := family + "{" + canonical.withoutLe + "}"
+			hc := hist[key]
+			if hc == nil {
+				hc = &histCheck{}
+				hist[key] = hc
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if !hasLe {
+					return sum, fmt.Errorf("line %d: %s has no le label", lineNo, series)
+				}
+				if err := hc.bucket(leValue, v); err != nil {
+					return sum, fmt.Errorf("line %d: %s: %v", lineNo, series, err)
+				}
+			case strings.HasSuffix(name, "_count"):
+				hc.count, hc.haveCount = v, true
+			case strings.HasSuffix(name, "_sum"):
+				hc.haveSum = true
+			default:
+				return sum, fmt.Errorf("line %d: histogram family %q has plain sample %q", lineNo, family, name)
+			}
+		}
+	}
+	if sum.Samples == 0 {
+		return sum, fmt.Errorf("page has no samples")
+	}
+	for key, hc := range hist {
+		if err := hc.finish(); err != nil {
+			return sum, fmt.Errorf("histogram %s: %v", key, err)
+		}
+	}
+	return sum, nil
+}
+
+// histCheck accumulates one histogram series' consistency state.
+type histCheck struct {
+	lastLe    float64
+	lastCum   float64
+	buckets   int
+	infCum    float64
+	haveInf   bool
+	count     float64
+	haveCount bool
+	haveSum   bool
+}
+
+func (h *histCheck) bucket(le string, cum float64) error {
+	if le == "+Inf" {
+		if h.haveInf {
+			return fmt.Errorf("duplicate +Inf bucket")
+		}
+		h.haveInf = true
+		h.infCum = cum
+		if h.buckets > 0 && cum < h.lastCum {
+			return fmt.Errorf("+Inf bucket %v below previous cumulative %v", cum, h.lastCum)
+		}
+		return nil
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return fmt.Errorf("bad le %q: %v", le, err)
+	}
+	if h.haveInf {
+		return fmt.Errorf("bucket le=%q after +Inf", le)
+	}
+	if h.buckets > 0 {
+		if v <= h.lastLe {
+			return fmt.Errorf("bucket bounds not increasing: le=%v after le=%v", v, h.lastLe)
+		}
+		if cum < h.lastCum {
+			return fmt.Errorf("cumulative count decreasing: %v after %v", cum, h.lastCum)
+		}
+	}
+	h.lastLe, h.lastCum = v, cum
+	h.buckets++
+	return nil
+}
+
+func (h *histCheck) finish() error {
+	if !h.haveInf {
+		return fmt.Errorf("missing +Inf bucket")
+	}
+	if !h.haveCount || !h.haveSum {
+		return fmt.Errorf("missing _count or _sum")
+	}
+	if h.infCum != h.count {
+		return fmt.Errorf("+Inf bucket %v != _count %v", h.infCum, h.count)
+	}
+	return nil
+}
+
+// canonicalLabels is a sample's label set in canonical order, with and
+// without its le label (histograms group series by the latter).
+type canonicalLabels struct {
+	full      string
+	withoutLe string
+}
+
+// canonicalizeSampleLabels validates and sorts a sample's parsed label
+// text, extracting le for histogram checks.
+func canonicalizeSampleLabels(raw string) (canonicalLabels, string, bool, error) {
+	if raw == "" {
+		return canonicalLabels{}, "", false, nil
+	}
+	pairs, err := parseLabels(raw)
+	if err != nil {
+		return canonicalLabels{}, "", false, err
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	var le string
+	hasLe := false
+	seen := map[string]bool{}
+	var full, rest []string
+	for _, kv := range pairs {
+		if !validLabelName(kv[0]) {
+			return canonicalLabels{}, "", false, fmt.Errorf("illegal label name %q", kv[0])
+		}
+		if seen[kv[0]] {
+			return canonicalLabels{}, "", false, fmt.Errorf("duplicate label %q", kv[0])
+		}
+		seen[kv[0]] = true
+		rendered := kv[0] + `="` + escapeLabelValue(kv[1]) + `"`
+		full = append(full, rendered)
+		if kv[0] == "le" {
+			le, hasLe = kv[1], true
+		} else {
+			rest = append(rest, rendered)
+		}
+	}
+	return canonicalLabels{full: strings.Join(full, ","), withoutLe: strings.Join(rest, ",")},
+		le, hasLe, nil
+}
+
+// parseSampleLine splits `name{labels} value [timestamp]`.
+func parseSampleLine(line string) (name, labels, value string, err error) {
+	rest := line
+	if open := strings.IndexByte(line, '{'); open >= 0 {
+		close := strings.LastIndexByte(line, '}')
+		if close < open {
+			return "", "", "", fmt.Errorf("unterminated label set")
+		}
+		name = line[:open]
+		labels = line[open+1 : close]
+		rest = strings.TrimSpace(line[close+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return "", "", "", fmt.Errorf("sample line %q has no value", line)
+		}
+		name = fields[0]
+		rest = strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", "", fmt.Errorf("sample %q must be 'value [timestamp]', got %q", name, rest)
+	}
+	return name, labels, fields[0], nil
+}
+
+// parsePromValue parses a sample value (floats plus the +Inf/-Inf/NaN
+// spellings).
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePromRoundTripsThroughCheckProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("service.jobs_accepted").Add(12)
+	r.Counter(`http.responses{route="/v1/jobs",class="2xx"}`).Add(9)
+	r.Counter(`http.responses{route="/v1/jobs",class="4xx"}`).Add(1)
+	r.Gauge("http.in_flight").Add(2)
+	h := r.Histogram(`http.latency_us{route="/v1/jobs"}`)
+	for _, v := range []int64{0, 1, 5, 900, 1 << 20} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	sum, err := CheckProm(buf.Bytes())
+	if err != nil {
+		t.Fatalf("WriteProm output fails CheckProm: %v\n%s", err, page)
+	}
+	if sum.Families != 4 {
+		t.Fatalf("families = %d, want 4\n%s", sum.Families, page)
+	}
+	for _, want := range []string{
+		"# TYPE lpbuf_service_jobs_accepted counter\n",
+		"lpbuf_service_jobs_accepted 12\n",
+		"# TYPE lpbuf_http_responses counter\n",
+		`lpbuf_http_responses{class="2xx",route="/v1/jobs"} 9`,
+		"# TYPE lpbuf_http_latency_us histogram\n",
+		`lpbuf_http_latency_us_count{route="/v1/jobs"} 5`,
+		`lpbuf_http_latency_us_sum{route="/v1/jobs"} 1049482`,
+		`,le="+Inf"} 5`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("page missing %q:\n%s", want, page)
+		}
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name).Add(int64(len(name)))
+		}
+		var buf bytes.Buffer
+		if err := WriteProm(&buf, r.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	names := []string{"a.one", "b.two", `c{route="/x"}`, `c{route="/y"}`}
+	rev := []string{`c{route="/y"}`, `c{route="/x"}`, "b.two", "a.one"}
+	if a, b := build(names), build(rev); a != b {
+		t.Fatalf("exposition depends on registration order:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestWritePromHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(0) // bucket 0
+	h.Observe(1) // bucket 1
+	h.Observe(1)
+	h.Observe(6) // bucket 3 (4 <= v < 8)
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{
+		`lpbuf_lat_bucket{le="0"} 1`,
+		`lpbuf_lat_bucket{le="1"} 3`,
+		`lpbuf_lat_bucket{le="7"} 4`,
+		`lpbuf_lat_bucket{le="+Inf"} 4`,
+		"lpbuf_lat_sum 8",
+		"lpbuf_lat_count 4",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("page missing %q:\n%s", want, page)
+		}
+	}
+	if _, err := CheckProm(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePromSanitizesAndEscapes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`weird-name.with/slash{path="a\"b\\c"}`).Inc()
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	if !strings.Contains(page, `lpbuf_weird_name_with_slash{path="a\"b\\c"} 1`) {
+		t.Fatalf("sanitized/escaped series missing:\n%s", page)
+	}
+	if _, err := CheckProm(buf.Bytes()); err != nil {
+		t.Fatalf("sanitized page fails validation: %v\n%s", err, page)
+	}
+}
+
+func TestWritePromKindCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x.y").Inc()
+	r.Gauge("x/y").Set(1) // sanitizes to the same lpbuf_x_y
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, r.Snapshot()); err == nil {
+		t.Fatal("cross-kind sanitized collision must be an error")
+	}
+}
+
+func TestCheckPromRejects(t *testing.T) {
+	cases := map[string]string{
+		"no type line":    "lpbuf_x 1\n",
+		"bad metric name": "# TYPE lpbuf-x counter\nlpbuf-x 1\n",
+		"bad label name":  "# TYPE m counter\n" + `m{0bad="v"} 1` + "\n",
+		"duplicate series": "# TYPE m counter\n" +
+			`m{a="1"} 1` + "\n" + `m{a="1"} 2` + "\n",
+		"duplicate series reordered labels": "# TYPE m counter\n" +
+			`m{a="1",b="2"} 1` + "\n" + `m{b="2",a="1"} 2` + "\n",
+		"duplicate type":   "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"negative counter": "# TYPE m counter\nm -1\n",
+		"unknown kind":     "# TYPE m widget\nm 1\n",
+		"bucket without le": "# TYPE m histogram\n" +
+			`m_bucket{route="/x"} 1` + "\nm_sum 1\nm_count 1\n" +
+			`m_bucket{route="/x",le="+Inf"} 1` + "\n",
+		"non-cumulative buckets": "# TYPE m histogram\n" +
+			`m_bucket{le="1"} 5` + "\n" + `m_bucket{le="2"} 3` + "\n" +
+			`m_bucket{le="+Inf"} 5` + "\nm_sum 9\nm_count 5\n",
+		"missing +Inf": "# TYPE m histogram\n" +
+			`m_bucket{le="1"} 5` + "\nm_sum 9\nm_count 5\n",
+		"+Inf != count": "# TYPE m histogram\n" +
+			`m_bucket{le="+Inf"} 4` + "\nm_sum 9\nm_count 5\n",
+		"empty page": "\n",
+		"bad value":  "# TYPE m counter\nm pear\n",
+	}
+	for name, page := range cases {
+		if _, err := CheckProm([]byte(page)); err == nil {
+			t.Errorf("%s: CheckProm accepted invalid page:\n%s", name, page)
+		}
+	}
+}
+
+func TestCheckPromAcceptsForeignPage(t *testing.T) {
+	// Hand-written page in the style of a stock exporter: timestamps,
+	// untyped metrics, CRLF, comments.
+	page := "# HELP up scrape success\r\n" +
+		"# TYPE up gauge\r\n" +
+		"up 1 1712345678901\r\n" +
+		"# TYPE go_info untyped\n" +
+		`go_info{version="go1.22"} 1` + "\n"
+	sum, err := CheckProm([]byte(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Samples != 2 {
+		t.Fatalf("samples = %d, want 2", sum.Samples)
+	}
+}

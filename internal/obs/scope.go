@@ -1,0 +1,166 @@
+package obs
+
+import "sync"
+
+// ScopeConfig selects which per-scope sinks OpenScope creates beyond
+// the child registry.
+type ScopeConfig struct {
+	// Spans enables a per-scope span trace. MaxSpanEvents <= 0 uses
+	// DefaultTraceEvents.
+	Spans         bool
+	MaxSpanEvents int
+	// SimEvents enables a per-scope simulator event ring. SimRingSize
+	// <= 0 uses DefaultSimEvents.
+	SimEvents   bool
+	SimRingSize int
+}
+
+// Scope is a unit-of-work observability context: a child registry plus
+// optional private span trace and simulator ring, opened from a parent
+// Obs. Instrumented code runs against the scope's Obs exactly as it
+// would against the process Obs; when the unit of work finishes, Close
+// folds the child registry's instruments into the parent registry
+// (counters and histogram buckets accumulate, gauges add their value
+// as a delta), so the process-wide totals stay correct while the
+// scope's own snapshot, trace and ring remain attributable to that one
+// unit — lpbufd opens one Scope per job and serves the trace back from
+// GET /v1/jobs/{id}/trace.
+//
+// A nil *Scope (from OpenScope on a nil *Obs) is a valid no-op: Obs()
+// returns nil, disabling all downstream instrumentation, and Close
+// does nothing. Neither allocates, preserving the package's
+// disabled-path zero-allocation contract.
+type Scope struct {
+	parent *Registry
+	obs    *Obs
+	once   sync.Once
+}
+
+// OpenScope opens a per-unit scope under o. The scope gets a child
+// registry when o has a registry to fold into (otherwise scoped metric
+// updates would be silently lost), plus whatever cfg enables. Returns
+// nil — a valid disabled scope — on a nil receiver.
+func (o *Obs) OpenScope(cfg ScopeConfig) *Scope {
+	if o == nil {
+		return nil
+	}
+	child := &Obs{}
+	if o.Reg != nil {
+		child.Reg = NewRegistry()
+	}
+	if cfg.Spans {
+		child.Trace = NewTrace(cfg.MaxSpanEvents)
+	}
+	if cfg.SimEvents {
+		child.Sim = NewSimTrace(cfg.SimRingSize)
+	}
+	return &Scope{parent: o.Reg, obs: child}
+}
+
+// Obs returns the scope's sinks (nil on a nil scope), suitable for
+// threading anywhere an *Obs is accepted. The scope's Obs is itself a
+// valid parent for OpenScope, so scopes nest: a grandchild folds into
+// its child, which folds into the process registry.
+func (s *Scope) Obs() *Obs {
+	if s == nil {
+		return nil
+	}
+	return s.obs
+}
+
+// Registry returns the scope's child registry (possibly nil).
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.obs.Reg
+}
+
+// Trace returns the scope's span trace (possibly nil).
+func (s *Scope) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.obs.Trace
+}
+
+// Sim returns the scope's simulator event ring (possibly nil).
+func (s *Scope) Sim() *SimTrace {
+	if s == nil {
+		return nil
+	}
+	return s.obs.Sim
+}
+
+// Close folds the child registry into the parent registry exactly once
+// (idempotent, safe for concurrent callers). The scope's trace and sim
+// ring are not folded — they stay readable on the scope for per-unit
+// export. Updates against the scope's Obs after Close still land in
+// the child registry but are no longer folded anywhere; close a scope
+// only when its unit of work has finished.
+func (s *Scope) Close() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() {
+		s.obs.Reg.FoldInto(s.parent)
+	})
+}
+
+// FoldInto accumulates r's instruments into parent: counters add their
+// value, histograms add bucket-wise (count, sum and every bucket, so
+// parent quantiles stay exact), and gauges add their value as a delta —
+// scoped gauges follow the same delta discipline obs.Gauge.Add
+// documents for shared registries, so a gauge that returns to zero
+// within the scope folds as a no-op. No-op when either registry is
+// nil. Safe to call concurrently with updates on both registries; the
+// fold is per-instrument atomic, not a registry-wide transaction.
+func (r *Registry) FoldInto(parent *Registry) {
+	if r == nil || parent == nil || r == parent {
+		return
+	}
+	for i := range r.shards {
+		s := &r.shards[i]
+		// Copy the instrument pointers out under the shard lock, then
+		// apply to the parent lock-free of the child, keeping lock
+		// ordering trivially acyclic for nested scopes.
+		s.mu.Lock()
+		counters := make(map[string]*Counter, len(s.counters))
+		for name, c := range s.counters {
+			counters[name] = c
+		}
+		gauges := make(map[string]*Gauge, len(s.gauges))
+		for name, g := range s.gauges {
+			gauges[name] = g
+		}
+		hists := make(map[string]*Histogram, len(s.histograms))
+		for name, h := range s.histograms {
+			hists[name] = h
+		}
+		s.mu.Unlock()
+		for name, c := range counters {
+			if v := c.Value(); v != 0 {
+				parent.Counter(name).Add(v)
+			}
+		}
+		for name, g := range gauges {
+			if v := g.Value(); v != 0 {
+				parent.Gauge(name).Add(v)
+			}
+		}
+		for name, h := range hists {
+			ph := parent.Histogram(name)
+			if n := h.count.Load(); n != 0 {
+				ph.count.Add(n)
+			}
+			if v := h.sum.Load(); v != 0 {
+				ph.sum.Add(v)
+			}
+			for b := 0; b < histBuckets; b++ {
+				if n := h.buckets[b].Load(); n != 0 {
+					ph.buckets[b].Add(n)
+				}
+			}
+		}
+	}
+}

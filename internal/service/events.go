@@ -23,6 +23,10 @@ type Event struct {
 	Phase     string  `json:"phase,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
 	Err       string  `json:"err,omitempty"`
+	// Dropped is set on synthetic "truncated" marker events: how many of
+	// the stream's oldest events were dropped from the replay buffer
+	// before this subscriber attached.
+	Dropped int64 `json:"dropped,omitempty"`
 }
 
 // maxEventHistory bounds per-job replay memory. A full -all job emits a
@@ -78,13 +82,28 @@ func (h *eventHub) publish(e Event) {
 
 // subscribe returns a channel that replays history and then follows the
 // live stream, plus a cancel function. The channel is closed when the
-// hub closes (job reached a terminal state) or on cancel.
+// hub closes (job reached a terminal state) or on cancel. When history
+// has overflowed, the replay is prefixed with a synthetic "truncated"
+// marker carrying the drop count, so a late subscriber can tell a
+// complete replay from one with a hole at the front.
 func (h *eventHub) subscribe() (<-chan Event, func()) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	// Capacity covers the full replay plus live slack so replay never
-	// blocks under the hub lock.
-	ch := make(chan Event, len(h.history)+maxEventHistory)
+	// Capacity covers the full replay (plus marker) and live slack so
+	// replay never blocks under the hub lock.
+	ch := make(chan Event, len(h.history)+maxEventHistory+1)
+	if h.trimmed > 0 && len(h.history) > 0 {
+		first := h.history[0]
+		ch <- Event{
+			// One below the oldest surviving event, so sequence numbers
+			// stay strictly increasing through the marker.
+			Seq:     first.Seq - 1,
+			Time:    first.Time,
+			Type:    "truncated",
+			JobID:   first.JobID,
+			Dropped: h.trimmed,
+		}
+	}
 	for _, e := range h.history {
 		ch <- e
 	}

@@ -1,12 +1,15 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"strconv"
 	"time"
+
+	"lpbuf/internal/obs"
 )
 
 // maxRequestBody bounds job submissions; specs are small.
@@ -20,18 +23,38 @@ const maxRequestBody = 1 << 20
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/jobs/{id}/events  SSE progress stream (replay + live)
 //	GET    /v1/jobs/{id}/artifact  the lpbuf.artifact/v1 result
-//	GET    /metrics              stable-JSON registry snapshot
+//	GET    /v1/jobs/{id}/trace   the job's span tree (Perfetto JSON)
+//	GET    /metrics              registry snapshot (JSON; ?format=prom
+//	                             for Prometheus text exposition)
+//	GET    /debug/flightrecorder recent transitions/rejections (?n=K)
 //	GET    /healthz              liveness/drain status
+//
+// Every route runs behind the observability middleware (per-route
+// latency/size histograms, status-class counters, in-flight gauge,
+// one structured log record per request); the route label is the
+// registration pattern, threaded explicitly so label cardinality stays
+// bounded by this table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleArtifact)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	add := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	add("POST /v1/jobs", s.handleSubmit)
+	add("GET /v1/jobs", s.handleList)
+	add("GET /v1/jobs/{id}", s.handleStatus)
+	add("DELETE /v1/jobs/{id}", s.handleCancel)
+	add("GET /v1/jobs/{id}/events", s.handleEvents)
+	add("GET /v1/jobs/{id}/artifact", s.handleArtifact)
+	add("GET /v1/jobs/{id}/trace", s.handleTrace)
+	add("GET /metrics", s.handleMetrics)
+	add("GET /debug/flightrecorder", s.handleFlightRecorder)
+	add("GET /healthz", s.handleHealthz)
+	// Catch-all so unmatched requests are still counted and logged,
+	// under a fixed label instead of unbounded request paths.
+	mux.Handle("/", s.instrument("other", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			writeError(w, http.StatusNotFound, "no route for %s %s", r.Method, r.URL.Path)
+		})))
 	return mux
 }
 
@@ -65,7 +88,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		host = r.RemoteAddr
 	}
-	j, err := s.Submit(spec, host)
+	j, err := s.SubmitTraced(spec, host, r.Header.Get(TraceHeader))
 	if err != nil {
 		var rej *RejectError
 		if asReject(err, &rej) {
@@ -77,6 +100,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	w.Header().Set(TraceHeader, j.TraceID())
 	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
 		select {
 		case <-j.Done():
@@ -212,10 +236,66 @@ func cacheHeader(st JobStatus) string {
 	}
 }
 
-// handleMetrics serves the registry snapshot. Map keys marshal sorted,
-// so identical registries produce byte-identical documents.
+// handleTrace serves a job's span tree (plus its sim-event tail) as
+// Chrome trace-event JSON, loadable in Perfetto. Available from
+// admission on — a running job serves a partial tree.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	tr := j.scope.Trace()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "job %s has no trace", j.ID())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(TraceHeader, j.TraceID())
+	if err := obs.WriteChromeTrace(w, tr, j.scope.Sim()); err != nil {
+		s.slog().Error("trace export failed", "job", j.ID(), "err", err)
+	}
+}
+
+// handleFlightRecorder serves the bounded ring of recent job lifecycle
+// transitions and admission rejections (?n=K limits to the newest K).
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "bad n %q", q)
+			return
+		}
+		n = v
+	}
+	total, records := s.flightrec.records(n)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema":   FlightRecSchema,
+		"capacity": flightRecCapacity,
+		"total":    total,
+		"records":  records,
+	})
+}
+
+// handleMetrics serves the registry snapshot: stable JSON by default,
+// Prometheus text exposition with ?format=prom. JSON map keys marshal
+// sorted, so identical registries produce byte-identical documents.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, s.reg.Snapshot())
+	case "prom":
+		var buf bytes.Buffer
+		if err := obs.WriteProm(&buf, s.reg.Snapshot()); err != nil {
+			writeError(w, http.StatusInternalServerError, "prom exposition: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (json, prom)", format)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

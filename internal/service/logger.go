@@ -1,0 +1,47 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+)
+
+// printfHandler adapts a printf-style log function to slog.Handler so
+// SetLogger (used by tests with t.Logf, and by default log.Printf)
+// keeps working now that the server logs structured records. Records
+// render as "msg k=v k=v"; Debug records are suppressed to keep
+// printf-style logs at their historical volume.
+type printfHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+}
+
+func (h printfHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= slog.LevelInfo
+}
+
+func (h printfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Message)
+	appendAttr := func(a slog.Attr) bool {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value.Any())
+		return true
+	}
+	for _, a := range h.attrs {
+		appendAttr(a)
+	}
+	r.Attrs(appendAttr)
+	h.logf("%s", b.String())
+	return nil
+}
+
+func (h printfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	merged := append(append([]slog.Attr{}, h.attrs...), attrs...)
+	return printfHandler{logf: h.logf, attrs: merged}
+}
+
+func (h printfHandler) WithGroup(name string) slog.Handler {
+	// Groups are rare in this codebase; flatten them.
+	return h
+}

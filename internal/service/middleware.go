@@ -1,0 +1,113 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"lpbuf/internal/obs"
+)
+
+// statusClasses pre-names the per-route status-class counters so the
+// hot path is a map lookup, never a fmt.Sprintf.
+var statusClasses = [...]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// routeInstruments is one route's pre-created HTTP instruments.
+type routeInstruments struct {
+	latency *obs.Histogram // request latency, microseconds
+	bytes   *obs.Histogram // response body size, bytes
+	classes [len(statusClasses)]*obs.Counter
+}
+
+// instrument wraps a handler with the HTTP observability layer: a
+// per-route latency histogram (`http.latency_us{route=...}`), response
+// size histogram (`http.resp_bytes{route=...}`), status-class counters
+// (`http.responses{route=...,class=...}`), the global `http.in_flight`
+// gauge, and one structured log record per request. The route label is
+// the registration pattern, threaded explicitly (not derived from the
+// request) so label cardinality is bounded by the route table.
+func (s *Server) instrument(route string, h http.Handler) http.Handler {
+	ri := &routeInstruments{
+		latency: s.reg.Histogram(`http.latency_us{route="` + route + `"}`),
+		bytes:   s.reg.Histogram(`http.resp_bytes{route="` + route + `"}`),
+	}
+	for i, class := range statusClasses {
+		ri.classes[i] = s.reg.Counter(
+			`http.responses{route="` + route + `",class="` + class + `"}`)
+	}
+	quiet := route == "GET /healthz" || route == "GET /metrics"
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.gInFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, r)
+		s.gInFlight.Add(-1)
+
+		dur := time.Since(start)
+		ri.latency.Observe(int64(dur / time.Microsecond))
+		ri.bytes.Observe(sw.bytes)
+		if c := sw.status()/100 - 1; c >= 0 && c < len(ri.classes) {
+			ri.classes[c].Inc()
+		}
+
+		level := slog.LevelInfo
+		switch {
+		case sw.status() >= 500:
+			level = slog.LevelWarn
+		case quiet:
+			level = slog.LevelDebug
+		}
+		attrs := []any{
+			"method", r.Method,
+			"route", route,
+			"path", r.URL.Path,
+			"status", sw.status(),
+			"dur_ms", float64(dur) / float64(time.Millisecond),
+			"bytes", sw.bytes,
+			"remote", r.RemoteAddr,
+		}
+		if tid := r.Header.Get(TraceHeader); tid != "" {
+			attrs = append(attrs, "trace", tid)
+		}
+		s.slog().Log(r.Context(), level, "http request", attrs...)
+	})
+}
+
+// statusWriter records the status code and body size as they pass
+// through, and forwards Flush so SSE streaming keeps working behind
+// the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// status returns the response code (200 if the handler never set one).
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}

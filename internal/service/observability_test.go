@@ -1,0 +1,399 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lpbuf/internal/obs"
+)
+
+// chromeTraceFile mirrors the Perfetto JSON the trace endpoint serves.
+type chromeTraceFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestJobTraceOverHTTP is the tracing acceptance test: a submission
+// carrying an X-Lpbuf-Trace header gets that ID echoed back, stamped on
+// the job's root span, and the span tree (queue_wait, store_lookup,
+// build) is retrievable as Perfetto JSON from /v1/jobs/{id}/trace.
+// Terminal status carries per-job resource accounting.
+func TestJobTraceOverHTTP(t *testing.T) {
+	s := testServer(t, Config{MaxJobs: 1})
+	s.build = func(j *Job) ([]byte, error) {
+		return []byte("{\"ok\":true}\n"), nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const traceID = "cafe1234deadbeef"
+	body, err := json.Marshal(JobSpec{Figures: []string{"3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs?wait=1", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TraceHeader, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	if got := resp.Header.Get(TraceHeader); got != traceID {
+		t.Fatalf("submit echoed trace %q, want %q", got, traceID)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job finished %s (%s)", st.State, st.Error)
+	}
+	if st.TraceID != traceID {
+		t.Fatalf("status trace_id %q, want %q", st.TraceID, traceID)
+	}
+	if want := "/v1/jobs/" + st.ID + "/trace"; st.TraceURL != want {
+		t.Fatalf("status trace_url %q, want %q", st.TraceURL, want)
+	}
+	if st.Resources == nil {
+		t.Fatal("terminal status has no resources section")
+	}
+	if st.Resources.Provenance != "computed" {
+		t.Fatalf("resources provenance %q, want computed", st.Resources.Provenance)
+	}
+	if st.Resources.WallMS < 0 || st.Resources.QueueMS < 0 {
+		t.Fatalf("negative resource times: %+v", st.Resources)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatalf("terminal status does not validate: %v", err)
+	}
+
+	trResp, err := http.Get(ts.URL + st.TraceURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trBytes, err := io.ReadAll(trResp.Body)
+	trResp.Body.Close()
+	if trResp.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("trace fetch: %s (%v)", trResp.Status, err)
+	}
+	if got := trResp.Header.Get(TraceHeader); got != traceID {
+		t.Fatalf("trace endpoint header %q, want %q", got, traceID)
+	}
+	var file chromeTraceFile
+	if err := json.Unmarshal(trBytes, &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spans := map[string]map[string]any{}
+	for _, e := range file.TraceEvents {
+		if e.Ph == "X" {
+			spans[e.Name] = e.Args
+		}
+	}
+	root, ok := spans["job"]
+	if !ok {
+		t.Fatalf("no root job span; spans: %v", spans)
+	}
+	if got := root["trace_id"]; got != traceID {
+		t.Fatalf("root span trace_id %v, want %q", got, traceID)
+	}
+	if got := root["state"]; got != string(StateDone) {
+		t.Fatalf("root span state %v, want done", got)
+	}
+	for _, name := range []string{"queue_wait", "store_lookup", "build", "store_write"} {
+		if _, ok := spans[name]; !ok {
+			t.Errorf("span %q missing from trace; have %v", name, spans)
+		}
+	}
+}
+
+// TestTraceIDMintedWhenInvalid pins the header validation: a malformed
+// client trace ID is replaced with a server-minted one rather than
+// propagated or rejected.
+func TestTraceIDMintedWhenInvalid(t *testing.T) {
+	s := testServer(t, Config{MaxJobs: 1})
+	s.build = func(j *Job) ([]byte, error) { return []byte("{}\n"), nil }
+
+	j, err := s.SubmitTraced(JobSpec{Figures: []string{"3"}}, "test", "not a valid id!")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := j.TraceID()
+	if id == "" || id == "not a valid id!" {
+		t.Fatalf("invalid header produced trace ID %q", id)
+	}
+	if len(id) != 16 {
+		t.Fatalf("minted trace ID %q, want 16 hex chars", id)
+	}
+	waitState(t, j, StateDone)
+}
+
+// TestPromExposition scrapes /metrics?format=prom after a job and runs
+// the page through the shared CheckProm validator — the same gate
+// `obscheck -prom` applies in CI.
+func TestPromExposition(t *testing.T) {
+	s := testServer(t, Config{MaxJobs: 1})
+	s.build = func(j *Job) ([]byte, error) { return []byte("{}\n"), nil }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, resp := submitHTTP(t, ts, JobSpec{Figures: []string{"3"}}, true); resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("prom scrape: %s (%v)", resp.Status, err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type %q, want text exposition v0.0.4", ct)
+	}
+	sum, err := obs.CheckProm(page)
+	if err != nil {
+		t.Fatalf("prom page fails validation: %v\n%s", err, page)
+	}
+	if sum.Families == 0 || sum.Samples == 0 {
+		t.Fatalf("empty prom page: %+v", sum)
+	}
+	for _, want := range []string{
+		"lpbuf_service_jobs_accepted 1",
+		`lpbuf_http_latency_us_bucket{route="POST /v1/jobs"`,
+		`lpbuf_http_responses{class="2xx",route="POST /v1/jobs"} 1`,
+		"lpbuf_http_in_flight 1", // this very scrape
+	} {
+		if !strings.Contains(string(page), want) {
+			t.Errorf("prom page missing %q", want)
+		}
+	}
+
+	// Default stays JSON (existing scrapers), unknown formats are 400.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil || snap.Counters["service.jobs_accepted"] != 1 {
+		t.Fatalf("default /metrics no longer JSON: %v %v", err, snap.Counters)
+	}
+	resp, err = http.Get(ts.URL + "/metrics?format=xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format: %s, want 400", resp.Status)
+	}
+}
+
+// TestFlightRecorder drives a rejection and a full job lifecycle, then
+// reads both back from /debug/flightrecorder, newest-K included.
+func TestFlightRecorder(t *testing.T) {
+	s := testServer(t, Config{MaxJobs: 1, MaxPerClient: 1})
+	release := make(chan struct{})
+	s.build = blockingBuild(release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := JobSpec{Figures: []string{"3"}}
+	j, err := s.Submit(spec, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateRunning)
+	if _, err := s.Submit(JobSpec{Figures: []string{"5"}}, "alice"); err == nil {
+		t.Fatal("second job for capped client was admitted")
+	}
+	close(release)
+	waitState(t, j, StateDone)
+
+	resp, err := http.Get(ts.URL + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Schema   string         `json:"schema"`
+		Capacity int            `json:"capacity"`
+		Total    int64          `json:"total"`
+		Records  []FlightRecord `json:"records"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&dump)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.Schema != FlightRecSchema || dump.Capacity != flightRecCapacity {
+		t.Fatalf("flight recorder header: %+v", dump)
+	}
+	if dump.Total != int64(len(dump.Records)) {
+		t.Fatalf("total %d but %d records (no overwrite expected)", dump.Total, len(dump.Records))
+	}
+	var kinds []string
+	var sawReject bool
+	for i, rec := range dump.Records {
+		if rec.Seq != int64(i)+1 {
+			t.Fatalf("record %d has seq %d (not oldest-first)", i, rec.Seq)
+		}
+		kinds = append(kinds, rec.Kind)
+		if rec.Kind == "rejected" {
+			sawReject = true
+			if rec.Client != "alice" || rec.Code == 0 || rec.Reason == "" {
+				t.Fatalf("rejection record incomplete: %+v", rec)
+			}
+		}
+		if rec.Kind == "transition" && rec.JobID != j.ID() {
+			t.Fatalf("transition for unknown job: %+v", rec)
+		}
+	}
+	if !sawReject {
+		t.Fatalf("no rejection recorded; kinds %v", kinds)
+	}
+	last := dump.Records[len(dump.Records)-1]
+	if last.Kind != "transition" || last.To != StateDone {
+		t.Fatalf("last record %+v, want transition to done", last)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/flightrecorder?n=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&dump)
+	resp.Body.Close()
+	if err != nil || len(dump.Records) != 1 {
+		t.Fatalf("?n=1 returned %d records (%v)", len(dump.Records), err)
+	}
+	if dump.Records[0].Seq != last.Seq {
+		t.Fatalf("?n=1 returned seq %d, want newest %d", dump.Records[0].Seq, last.Seq)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/flightrecorder?n=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?n=0: %s, want 400", resp.Status)
+	}
+}
+
+// TestFlightRecorderOverwrite pins the ring bound: capacity+k records
+// keep only the newest capacity, oldest-first, with total counting
+// everything ever recorded.
+func TestFlightRecorderOverwrite(t *testing.T) {
+	fr := newFlightRecorder(flightRecCapacity)
+	const extra = 7
+	for i := 0; i < flightRecCapacity+extra; i++ {
+		fr.record(FlightRecord{Kind: "transition", JobID: "j"})
+	}
+	total, recs := fr.records(0)
+	if total != flightRecCapacity+extra {
+		t.Fatalf("total %d, want %d", total, flightRecCapacity+extra)
+	}
+	if len(recs) != flightRecCapacity {
+		t.Fatalf("kept %d records, want %d", len(recs), flightRecCapacity)
+	}
+	if recs[0].Seq != extra+1 || recs[len(recs)-1].Seq != total {
+		t.Fatalf("window [%d, %d], want [%d, %d]",
+			recs[0].Seq, recs[len(recs)-1].Seq, extra+1, total)
+	}
+}
+
+// TestEventHistoryTruncationMarker pins SSE replay after history
+// overflow: a late subscriber sees one synthetic "truncated" marker
+// carrying the drop count, then the surviving history with no
+// duplicated, reordered or re-replayed events.
+func TestEventHistoryTruncationMarker(t *testing.T) {
+	h := newEventHub()
+	const overflow = 50
+	for i := 0; i < maxEventHistory+overflow; i++ {
+		h.publish(Event{Type: "progress", JobID: "j1", Key: "k"})
+	}
+
+	ch, cancel := h.subscribe()
+	defer cancel()
+	var got []Event
+	for len(got) < maxEventHistory+1 {
+		select {
+		case e := <-ch:
+			got = append(got, e)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("replay stalled after %d events", len(got))
+		}
+	}
+	marker := got[0]
+	if marker.Type != "truncated" {
+		t.Fatalf("first replayed event is %q, want truncated marker", marker.Type)
+	}
+	if marker.Dropped != overflow {
+		t.Fatalf("marker dropped = %d, want %d", marker.Dropped, overflow)
+	}
+	if marker.JobID != "j1" {
+		t.Fatalf("marker job %q, want j1", marker.JobID)
+	}
+	if marker.Seq != got[1].Seq-1 {
+		t.Fatalf("marker seq %d does not precede first survivor %d", marker.Seq, got[1].Seq)
+	}
+	seen := map[int64]bool{marker.Seq: true}
+	for i := 1; i < len(got); i++ {
+		e := got[i]
+		if e.Seq != got[i-1].Seq+1 {
+			t.Fatalf("replay gap or reorder at %d: seq %d after %d", i, e.Seq, got[i-1].Seq)
+		}
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d in replay", e.Seq)
+		}
+		seen[e.Seq] = true
+		if e.Type != "progress" {
+			t.Fatalf("unexpected %q event mid-replay", e.Type)
+		}
+	}
+	// Oldest survivor is exactly overflow+1 (seq counts from 1 and
+	// `overflow` events were trimmed); newest is everything published.
+	if first, last := got[1].Seq, got[len(got)-1].Seq; first != overflow+1 || last != maxEventHistory+overflow {
+		t.Fatalf("replay window [%d, %d], want [%d, %d]",
+			first, last, overflow+1, maxEventHistory+overflow)
+	}
+
+	// Live events continue the sequence with no re-replay.
+	h.publish(Event{Type: "state", JobID: "j1", State: StateDone})
+	select {
+	case e := <-ch:
+		if e.Type != "state" || e.Seq != maxEventHistory+overflow+1 {
+			t.Fatalf("live event after replay: %+v", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("live event never arrived")
+	}
+
+	// A subscriber attaching before any overflow sees no marker.
+	fresh := newEventHub()
+	fresh.publish(Event{Type: "progress", JobID: "j2"})
+	ch2, cancel2 := fresh.subscribe()
+	defer cancel2()
+	if e := <-ch2; e.Type != "progress" {
+		t.Fatalf("untruncated replay starts with %q, want progress", e.Type)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package service
+
+// cpuTimeNanos has no portable implementation off unix; jobs report
+// no CPU time there (the field is omitempty).
+func cpuTimeNanos() int64 { return 0 }

@@ -1,0 +1,16 @@
+//go:build unix
+
+package service
+
+import "syscall"
+
+// cpuTimeNanos reads the process's cumulative CPU time (user + system)
+// via getrusage. Per-job CPU accounting subtracts two samples around
+// the job's execution window.
+func cpuTimeNanos() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}

@@ -2,9 +2,13 @@ package service
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,18 +19,38 @@ import (
 	"lpbuf/internal/service/store"
 )
 
+// TraceHeader is the request header propagating a client trace context
+// into a job; the submit response echoes it back.
+const TraceHeader = "X-Lpbuf-Trace"
+
+// Per-job trace sink bounds. A full -all job emits a few hundred spans
+// and the sim ring only needs the tail for the viewer, so these keep a
+// busy daemon's per-job overhead small and fixed.
+const (
+	jobTraceEvents = 1 << 14
+	jobSimRing     = 1 << 12
+)
+
 // Job is one submitted experiment job. Its mutable state is guarded by
 // mu; the done channel closes exactly once when the job reaches a
 // terminal state.
 type Job struct {
-	id     string
-	client string
-	spec   JobSpec // normalized
-	key    string
-	hub    *eventHub
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
+	id      string
+	client  string
+	spec    JobSpec // normalized
+	key     string
+	traceID string
+	hub     *eventHub
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	// scope is the job's private observability context: its own span
+	// tree and sim ring (served at /v1/jobs/{id}/trace) plus a child
+	// registry folded into the service registry at the terminal state.
+	scope     *obs.Scope
+	rootSpan  *obs.Span
+	queueSpan *obs.Span
 
 	mu         sync.Mutex
 	state      State
@@ -36,6 +60,14 @@ type Job struct {
 	queuedAt   time.Time
 	startedAt  time.Time
 	finishedAt time.Time
+	// Process-wide CPU/alloc samples taken when execution started;
+	// zero-valued until then (sampled distinguishes a real zero).
+	sampled     bool
+	startCPU    int64
+	startAllocs uint64
+	// res is the final resource accounting, computed once at the
+	// terminal transition.
+	res *JobResources
 }
 
 // ID returns the job's identifier.
@@ -43,6 +75,10 @@ func (j *Job) ID() string { return j.id }
 
 // Key returns the job's content-address key.
 func (j *Job) Key() string { return j.key }
+
+// TraceID returns the job's trace context (client-propagated or
+// generated at admission).
+func (j *Job) TraceID() string { return j.traceID }
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -60,6 +96,7 @@ func (j *Job) Status() JobStatus {
 		CacheHit: j.cacheHit,
 		Shared:   j.shared,
 		Error:    j.errMsg,
+		TraceID:  j.traceID,
 	}
 	if !j.queuedAt.IsZero() {
 		st.QueuedAt = j.queuedAt.UTC().Format(time.RFC3339Nano)
@@ -73,7 +110,46 @@ func (j *Job) Status() JobStatus {
 	if j.state == StateDone {
 		st.ArtifactURL = "/v1/jobs/" + j.id + "/artifact"
 	}
+	if j.scope.Trace() != nil {
+		st.TraceURL = "/v1/jobs/" + j.id + "/trace"
+	}
+	if j.res != nil {
+		r := *j.res
+		st.Resources = &r
+	}
 	return st
+}
+
+// resourcesLocked computes the job's resource accounting, called once
+// under j.mu as the job reaches its terminal state (so the CPU/alloc
+// deltas close exactly at the execution window's end).
+func (j *Job) resourcesLocked() *JobResources {
+	res := &JobResources{Provenance: "computed"}
+	switch {
+	case j.cacheHit:
+		res.Provenance = "store-hit"
+	case j.shared:
+		res.Provenance = "inflight-dedup"
+	}
+	if !j.startedAt.IsZero() {
+		res.WallMS = float64(j.finishedAt.Sub(j.startedAt)) / float64(time.Millisecond)
+		res.QueueMS = float64(j.startedAt.Sub(j.queuedAt)) / float64(time.Millisecond)
+	} else if !j.queuedAt.IsZero() {
+		// Never started (canceled while queued): the whole life was
+		// queue time.
+		res.QueueMS = float64(j.finishedAt.Sub(j.queuedAt)) / float64(time.Millisecond)
+	}
+	if j.sampled {
+		if cpu := cpuTimeNanos() - j.startCPU; cpu > 0 {
+			res.CPUMS = float64(cpu) / float64(time.Millisecond)
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if d := ms.TotalAlloc - j.startAllocs; d <= 1<<62 {
+			res.AllocBytes = int64(d)
+		}
+	}
+	return res
 }
 
 // Server is the resident experiment service: admission control in
@@ -82,13 +158,15 @@ func (j *Job) Status() JobStatus {
 // content-addressed artifact store. Create with New, start workers with
 // Start, serve Handler over HTTP, stop with Drain.
 type Server struct {
-	cfg      atomic.Pointer[Config]
-	store    *store.Store
-	reg      *obs.Registry
-	obsSinks *obs.Obs
-	cache    *experiments.Cache
-	flight   runner.Flight
-	logf     func(format string, args ...any)
+	cfg       atomic.Pointer[Config]
+	store     *store.Store
+	reg       *obs.Registry
+	obsSinks  *obs.Obs
+	cache     *experiments.Cache
+	flight    runner.Flight
+	logf      func(format string, args ...any)
+	slogger   atomic.Pointer[slog.Logger]
+	flightrec *flightRecorder
 
 	// build computes one job's artifact bytes. Tests override it to
 	// control job duration; production uses (*Server).buildArtifact.
@@ -101,6 +179,7 @@ type Server struct {
 	cDedup                 *obs.Counter
 	cReloads               *obs.Counter
 	gQueued, gRunning      *obs.Gauge
+	gInFlight              *obs.Gauge
 
 	mu        sync.Mutex
 	jobs      map[string]*Job
@@ -162,20 +241,41 @@ func New(cfg Config) (*Server, error) {
 		cReloads:   reg.Counter("service.config_reloads"),
 		gQueued:    reg.Gauge("service.jobs_queued"),
 		gRunning:   reg.Gauge("service.jobs_running"),
+		gInFlight:  reg.Gauge("http.in_flight"),
+		flightrec:  newFlightRecorder(flightRecCapacity),
 		started:    time.Now(),
 	}
 	s.cfg.Store(&cfg)
+	s.slogger.Store(slog.New(printfHandler{logf: log.Printf}))
 	s.build = s.buildArtifact
 	return s, nil
 }
 
 // SetLogger replaces the server's log function (default log.Printf).
+// Structured records render through it as "msg k=v" lines; use SetSlog
+// for native structured output.
 func (s *Server) SetLogger(logf func(format string, args ...any)) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	s.logf = logf
+	s.slogger.Store(slog.New(printfHandler{logf: logf}))
 }
+
+// SetSlog replaces the server's structured logger (cmd/lpbufd installs
+// a leveled text or JSON handler here).
+func (s *Server) SetSlog(l *slog.Logger) {
+	if l == nil {
+		return
+	}
+	s.slogger.Store(l)
+	s.logf = func(format string, args ...any) {
+		l.Info(fmt.Sprintf(format, args...))
+	}
+}
+
+// slog returns the current structured logger.
+func (s *Server) slog() *slog.Logger { return s.slogger.Load() }
 
 // Config returns the current (possibly hot-reloaded) configuration.
 func (s *Server) Config() Config { return *s.cfg.Load() }
@@ -204,12 +304,13 @@ func (s *Server) Start() {
 }
 
 // Reload applies a new configuration. Admission fields (QueueDepth,
-// MaxPerClient, Workers, Verify) take effect immediately; changes to
+// MaxPerClient, Workers, Verify) take effect immediately and are
+// reported as "field: old -> new" entries in changed; changes to
 // startup-bound fields (Listen, StoreDir, MaxJobs) are ignored and
-// reported so the operator knows a restart is needed.
-func (s *Server) Reload(next Config) (ignored []string, err error) {
+// reported by name so the operator knows a restart is needed.
+func (s *Server) Reload(next Config) (changed, ignored []string, err error) {
 	if err := next.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cur := s.Config()
 	if next.Listen != cur.Listen {
@@ -224,27 +325,50 @@ func (s *Server) Reload(next Config) (ignored []string, err error) {
 		ignored = append(ignored, "max_jobs")
 		next.MaxJobs = cur.MaxJobs
 	}
+	if next.Workers != cur.Workers {
+		changed = append(changed, fmt.Sprintf("workers: %d -> %d", cur.Workers, next.Workers))
+	}
+	if next.QueueDepth != cur.QueueDepth {
+		changed = append(changed, fmt.Sprintf("queue_depth: %d -> %d", cur.QueueDepth, next.QueueDepth))
+	}
+	if next.MaxPerClient != cur.MaxPerClient {
+		changed = append(changed, fmt.Sprintf("max_per_client: %d -> %d", cur.MaxPerClient, next.MaxPerClient))
+	}
+	if next.Verify != cur.Verify {
+		changed = append(changed, fmt.Sprintf("verify: %t -> %t", cur.Verify, next.Verify))
+	}
 	s.cfg.Store(&next)
 	s.cReloads.Inc()
-	return ignored, nil
+	return changed, ignored, nil
 }
 
 // ReloadFile is Reload from a config file (the SIGHUP path).
-func (s *Server) ReloadFile(path string) (ignored []string, err error) {
+func (s *Server) ReloadFile(path string) (changed, ignored []string, err error) {
 	cfg, err := LoadConfig(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	return s.Reload(cfg)
 }
 
-// Submit admits a job. The spec is normalized and content-addressed;
-// admission rejects when draining (503), when the queue is full or the
-// client exceeds its active-job cap (429 + Retry-After). Accepted jobs
-// are queued and run asynchronously; identical accepted jobs share
-// work through the store, the singleflight group and the compile
-// cache, not through admission.
+// Submit admits a job with a server-generated trace context; see
+// SubmitTraced.
 func (s *Server) Submit(spec JobSpec, remoteHost string) (*Job, error) {
+	return s.SubmitTraced(spec, remoteHost, "")
+}
+
+// SubmitTraced admits a job under a trace context. The spec is
+// normalized and content-addressed; admission rejects when draining
+// (503), when the queue is full or the client exceeds its active-job
+// cap (429 + Retry-After). Accepted jobs are queued and run
+// asynchronously; identical accepted jobs share work through the
+// store, the singleflight group and the compile cache, not through
+// admission. Every accepted job opens its own observability Scope: a
+// private span tree rooted at a "job" span carrying traceID (empty or
+// invalid IDs get a generated one), folded into the service registry
+// at the terminal state. Rejections and lifecycle transitions are
+// recorded in the flight recorder.
+func (s *Server) SubmitTraced(spec JobSpec, remoteHost, traceID string) (*Job, error) {
 	norm, err := spec.Normalized()
 	if err != nil {
 		return nil, err
@@ -260,24 +384,36 @@ func (s *Server) Submit(spec JobSpec, remoteHost string) (*Job, error) {
 	if client == "" {
 		client = "anonymous"
 	}
+	if !validTraceID(traceID) {
+		traceID = genTraceID()
+	}
 	cfg := s.Config()
+
+	reject := func(rej *RejectError) (*Job, error) {
+		s.cRejected.Inc()
+		s.flightrec.record(FlightRecord{
+			Kind:    "rejected",
+			Client:  client,
+			TraceID: traceID,
+			Code:    rej.Code,
+			Reason:  rej.Reason,
+		})
+		return nil, rej
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		s.cRejected.Inc()
-		return nil, &RejectError{Code: 503, RetryAfter: 10 * time.Second,
-			Reason: "server is draining"}
+		return reject(&RejectError{Code: 503, RetryAfter: 10 * time.Second,
+			Reason: "server is draining"})
 	}
 	if s.queued >= cfg.QueueDepth {
-		s.cRejected.Inc()
-		return nil, &RejectError{Code: 429, RetryAfter: 2 * time.Second,
-			Reason: fmt.Sprintf("job queue full (%d queued, depth %d)", s.queued, cfg.QueueDepth)}
+		return reject(&RejectError{Code: 429, RetryAfter: 2 * time.Second,
+			Reason: fmt.Sprintf("job queue full (%d queued, depth %d)", s.queued, cfg.QueueDepth)})
 	}
 	if s.perClient[client] >= cfg.MaxPerClient {
-		s.cRejected.Inc()
-		return nil, &RejectError{Code: 429, RetryAfter: 5 * time.Second,
-			Reason: fmt.Sprintf("client %q at its active-job cap (%d)", client, cfg.MaxPerClient)}
+		return reject(&RejectError{Code: 429, RetryAfter: 5 * time.Second,
+			Reason: fmt.Sprintf("client %q at its active-job cap (%d)", client, cfg.MaxPerClient)})
 	}
 
 	s.nextID++
@@ -287,6 +423,7 @@ func (s *Server) Submit(spec JobSpec, remoteHost string) (*Job, error) {
 		client:   client,
 		spec:     norm,
 		key:      key,
+		traceID:  traceID,
 		hub:      newEventHub(),
 		ctx:      ctx,
 		cancel:   cancel,
@@ -294,12 +431,34 @@ func (s *Server) Submit(spec JobSpec, remoteHost string) (*Job, error) {
 		state:    StateQueued,
 		queuedAt: time.Now(),
 	}
+	j.scope = s.obsSinks.OpenScope(obs.ScopeConfig{
+		Spans:         true,
+		MaxSpanEvents: jobTraceEvents,
+		SimEvents:     true,
+		SimRingSize:   jobSimRing,
+	})
+	j.rootSpan = j.scope.Obs().StartSpan("job")
+	j.rootSpan.SetAttr("job", j.id)
+	j.rootSpan.SetAttr("trace_id", traceID)
+	j.rootSpan.SetAttr("client", client)
+	j.rootSpan.SetAttr("key", key)
+	for _, fig := range norm.Figures {
+		j.rootSpan.SetAttr("fig_"+fig, "requested")
+	}
+	j.queueSpan = j.rootSpan.Child("queue_wait")
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.queued++
 	s.perClient[client]++
 	s.gQueued.SetInt(int64(s.queued))
 	s.cAccepted.Inc()
+	s.flightrec.record(FlightRecord{
+		Kind:    "transition",
+		JobID:   j.id,
+		Client:  client,
+		To:      StateQueued,
+		TraceID: traceID,
+	})
 	// Send under the lock: the channel's capacity is maxQueueDepth and
 	// admission bounds queued below it, so this never blocks; holding
 	// the lock orders the send before any concurrent Drain closes the
@@ -307,6 +466,35 @@ func (s *Server) Submit(spec JobSpec, remoteHost string) (*Job, error) {
 	s.queue <- j
 	j.hub.publish(Event{Type: "state", JobID: j.id, State: StateQueued})
 	return j, nil
+}
+
+// validTraceID accepts client trace IDs: 1-64 characters drawn from
+// [A-Za-z0-9._-] (attribute- and log-safe without escaping).
+func validTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// genTraceID creates a random 16-hex-digit trace ID.
+func genTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a fixed
+		// fallback beats an unsubmittable job.
+		return "trace-rand-failed"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Get returns a job by id.
@@ -421,6 +609,7 @@ func (s *Server) finalizeFrom(j *Job, require, state State, err error, cacheHit,
 		return false
 	}
 	wasQueued := j.state == StateQueued
+	from := j.state
 	j.state = state
 	j.cacheHit = cacheHit
 	j.shared = shared
@@ -428,7 +617,40 @@ func (s *Server) finalizeFrom(j *Job, require, state State, err error, cacheHit,
 		j.errMsg = err.Error()
 	}
 	j.finishedAt = time.Now()
+	j.res = j.resourcesLocked()
 	j.mu.Unlock()
+
+	// Seal the job's trace: the root span closes with the outcome and
+	// the scope's child registry folds into the service registry, so
+	// process-wide totals include this job from here on while its span
+	// tree stays servable at /v1/jobs/{id}/trace.
+	if wasQueued {
+		j.queueSpan.End()
+	}
+	j.rootSpan.SetAttr("state", string(state))
+	if cacheHit {
+		j.rootSpan.SetAttr("cache", "store-hit")
+	} else if shared {
+		j.rootSpan.SetAttr("cache", "inflight-dedup")
+	}
+	if err != nil {
+		j.rootSpan.SetAttr("err", err.Error())
+	}
+	j.rootSpan.End()
+	j.scope.Close()
+
+	rec := FlightRecord{
+		Kind:    "transition",
+		JobID:   j.id,
+		Client:  j.client,
+		From:    from,
+		To:      state,
+		TraceID: j.traceID,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	s.flightrec.record(rec)
 
 	s.mu.Lock()
 	if wasQueued {
@@ -478,7 +700,14 @@ func (s *Server) runJob(j *Job) {
 	}
 	j.state = StateRunning
 	j.startedAt = time.Now()
+	j.sampled = true
+	j.startCPU = cpuTimeNanos()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	j.startAllocs = ms.TotalAlloc
 	j.mu.Unlock()
+	j.queueSpan.End()
+	j.queueSpan = nil
 
 	s.mu.Lock()
 	s.queued--
@@ -486,30 +715,52 @@ func (s *Server) runJob(j *Job) {
 	s.gQueued.SetInt(int64(s.queued))
 	s.gRunning.SetInt(int64(s.running))
 	s.mu.Unlock()
+	s.flightrec.record(FlightRecord{
+		Kind:    "transition",
+		JobID:   j.id,
+		Client:  j.client,
+		From:    StateQueued,
+		To:      StateRunning,
+		TraceID: j.traceID,
+	})
 	j.hub.publish(Event{Type: "state", JobID: j.id, State: StateRunning})
 
 	// Content-addressed fast path: an identical job already produced
 	// these bytes (this process or any earlier one sharing the store).
+	lookup := j.rootSpan.Child("store_lookup")
 	if data, err := s.store.Get(j.key); err == nil && len(data) > 0 {
+		lookup.SetAttr("result", "hit")
+		lookup.End()
 		s.cStoreHits.Inc()
 		s.finalize(j, StateDone, nil, true, false)
 		return
 	}
+	lookup.SetAttr("result", "miss")
+	lookup.End()
 	s.cStoreMiss.Inc()
 
 	// Singleflight on the content key: identical in-flight jobs share
 	// one build. The shared result is already in the store when the
 	// leader returns.
+	buildSpan := j.rootSpan.Child("build")
 	_, shared, err := s.flight.Do(j.key, func() (any, error) {
 		data, err := s.build(j)
 		if err != nil {
 			return nil, err
 		}
-		if err := s.store.Put(j.key, data); err != nil {
-			return nil, err
+		write := j.rootSpan.Child("store_write")
+		write.SetInt("bytes", len(data))
+		putErr := s.store.Put(j.key, data)
+		write.End()
+		if putErr != nil {
+			return nil, putErr
 		}
 		return data, nil
 	})
+	if shared {
+		buildSpan.SetAttr("shared", "inflight-dedup")
+	}
+	buildSpan.End()
 	if shared {
 		s.cDedup.Inc()
 	}
@@ -519,7 +770,7 @@ func (s *Server) runJob(j *Job) {
 	case j.ctx.Err() != nil || errors.Is(err, context.Canceled):
 		s.finalize(j, StateCanceled, err, false, shared)
 	default:
-		s.logf("lpbufd: job %s failed: %v", j.id, err)
+		s.slog().Error("job failed", "job", j.id, "trace", j.traceID, "err", err)
 		s.finalize(j, StateFailed, err, false, shared)
 	}
 }
@@ -532,11 +783,19 @@ func (s *Server) runJob(j *Job) {
 // serve byte-identical results forever.
 func (s *Server) buildArtifact(j *Job) ([]byte, error) {
 	cfg := s.Config()
+	// Instrumentation sinks are the job's own scope: compile-phase
+	// spans and simulator events land in the per-job trace, and metric
+	// updates land in the scope's child registry, folded into the
+	// service registry when the job finalizes.
+	jobObs := j.scope.Obs()
+	if jobObs == nil {
+		jobObs = s.obsSinks
+	}
 	suite := experiments.NewWithOptions(experiments.Options{
 		Workers: cfg.Workers,
 		Verify:  j.spec.Verify || cfg.Verify,
 		Cache:   s.cache,
-		Obs:     s.obsSinks,
+		Obs:     jobObs,
 		OnEvent: func(e runner.Event) {
 			j.hub.publish(Event{
 				Type:      "progress",

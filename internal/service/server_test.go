@@ -363,12 +363,15 @@ func TestHotReload(t *testing.T) {
 	next.MaxPerClient = 3
 	next.Listen = "0.0.0.0:9999"
 	next.MaxJobs = 7
-	ignored, err := s.Reload(next)
+	changed, ignored, err := s.Reload(next)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := []string{"listen", "max_jobs"}; !equalStrings(ignored, want) {
 		t.Fatalf("ignored = %v, want %v", ignored, want)
+	}
+	if want := []string{"queue_depth: 8 -> 2", "max_per_client: 16 -> 3"}; !equalStrings(changed, want) {
+		t.Fatalf("changed = %v, want %v", changed, want)
 	}
 	cfg := s.Config()
 	if cfg.QueueDepth != 2 || cfg.MaxPerClient != 3 {

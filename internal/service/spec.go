@@ -236,6 +236,36 @@ type JobStatus struct {
 	FinishedAt string `json:"finished_at,omitempty"`
 	// ArtifactURL is the relative fetch path once State is done.
 	ArtifactURL string `json:"artifact_url,omitempty"`
+	// TraceID is the trace context the job runs under — client-propagated
+	// via the X-Lpbuf-Trace header or generated at admission. The job's
+	// span tree carries it as the root span's trace_id attribute.
+	TraceID string `json:"trace_id,omitempty"`
+	// TraceURL is the relative path of the job's Perfetto span tree.
+	TraceURL string `json:"trace_url,omitempty"`
+	// Resources is the job's resource accounting, filled at the terminal
+	// state.
+	Resources *JobResources `json:"resources,omitempty"`
+}
+
+// JobResources is one job's resource accounting. CPU time and
+// allocations are process-wide deltas sampled around the job's
+// execution window — exact when the job ran alone, an upper bound when
+// other jobs overlapped it — and are omitted for jobs served without a
+// build (store hits, canceled-before-start).
+type JobResources struct {
+	// WallMS is time from start of execution to the terminal state.
+	WallMS float64 `json:"wall_ms"`
+	// QueueMS is time spent waiting for a worker slot.
+	QueueMS float64 `json:"queue_ms,omitempty"`
+	// CPUMS is process CPU time (user+system) consumed across the
+	// execution window.
+	CPUMS float64 `json:"cpu_ms,omitempty"`
+	// AllocBytes is heap allocated across the execution window.
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	// Provenance records how the artifact was produced: "computed",
+	// "store-hit" or "inflight-dedup" (same vocabulary as the
+	// X-Lpbuf-Cache response header).
+	Provenance string `json:"provenance,omitempty"`
 }
 
 // Validate checks a decoded JobStatus (obscheck's response-direction
@@ -264,6 +294,16 @@ func (st JobStatus) Validate() error {
 	}
 	if st.State == StateFailed && st.Error == "" {
 		return fmt.Errorf("failed without error")
+	}
+	if r := st.Resources; r != nil {
+		if r.WallMS < 0 || r.QueueMS < 0 || r.CPUMS < 0 || r.AllocBytes < 0 {
+			return fmt.Errorf("negative resource accounting: %+v", *r)
+		}
+		switch r.Provenance {
+		case "", "computed", "store-hit", "inflight-dedup":
+		default:
+			return fmt.Errorf("unknown provenance %q", r.Provenance)
+		}
 	}
 	return nil
 }
