@@ -14,7 +14,10 @@ import (
 	"sync"
 	"testing"
 
+	"lpbuf/internal/bench/suite"
+	"lpbuf/internal/core"
 	"lpbuf/internal/experiments"
+	"lpbuf/internal/vliw"
 )
 
 // shared suite so compiled benchmarks are reused across benches.
@@ -210,4 +213,37 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(ops), "sim-ops/run")
 	b.ReportMetric(float64(cycles), "sim-cycles/run")
+}
+
+// BenchmarkSimsPerSec measures sustained batched-sweep throughput in
+// verified simulations per second: each iteration runs the heaviest
+// benchmark's full Figure 7 buffer sweep through the batch engine
+// (core.RunSweep → vliw.RunBatch), the workload lpbufd jobs and figure
+// regenerations are made of. It compiles directly through core —
+// bypassing the suite's run cache — so every iteration simulates for
+// real, and the sims/sec metric feeds the perf gate's throughput
+// baseline (cmd/benchdiff -check-throughput).
+func BenchmarkSimsPerSec(b *testing.B) {
+	bm, ok := suite.ByName("g724enc")
+	if !ok {
+		b.Fatal("g724enc missing from the benchmark table")
+	}
+	cfg := core.Aggressive(256)
+	cfg.Name = "aggressive"
+	cfg.TraceLabel = "g724enc"
+	c, err := core.Compile(bm.Build(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := vliw.NewEngine()
+	b.ResetTimer()
+	sims := 0
+	for i := 0; i < b.N; i++ {
+		results, err := c.RunSweep(experiments.BufferSizes, engine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sims += len(results)
+	}
+	b.ReportMetric(float64(sims)/b.Elapsed().Seconds(), "sims/sec")
 }

@@ -386,6 +386,52 @@ func (c *Compiled) RunWithBuffer(capacity int) (*vliw.Result, error) {
 	return c.runPlan(loopbuffer.Plan(c.Code, c.Prof, capacity))
 }
 
+// RunSweep plans buffer assignment at every capacity and runs the
+// whole sweep as ONE batched simulation (vliw.RunBatch): the program
+// executes once and is accounted under every plan, so a Figure 7 sweep
+// costs one simulation instead of len(capacities). Results come back
+// in capacity order. Sweeps always run in folded-stats mode — Stats
+// are exact, per-cycle event emission is skipped (sweep consumers read
+// Stats, not rings). engine may be nil; when set, per-sim scratch is
+// pooled across calls.
+func (c *Compiled) RunSweep(capacities []int, engine *vliw.Engine) ([]*vliw.Result, error) {
+	plans := make([]*vliw.BufferPlan, len(capacities))
+	var labels []string
+	if c.Config.Obs != nil {
+		labels = make([]string, len(capacities))
+	}
+	for i, capacity := range capacities {
+		plans[i] = loopbuffer.Plan(c.Code, c.Prof, capacity)
+		if c.Config.Verify {
+			if err := verify.AsError(verify.Plan("bufplan", c.Code, plans[i])); err != nil {
+				return nil, fmt.Errorf("%s: %w", c.Config.Name, err)
+			}
+		}
+		if labels != nil {
+			labels[i] = fmt.Sprintf("%s/%s@%d", c.Config.TraceLabel, c.Config.Name, capacity)
+		}
+	}
+	results, err := vliw.RunBatch(c.Code, plans, vliw.BatchOptions{
+		Options: vliw.Options{EntryArgs: c.Config.EntryArgs,
+			Obs: c.Config.Obs, Engine: engine},
+		Labels:          labels,
+		FoldedStatsOnly: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: simulation: %w", c.Config.Name, err)
+	}
+	// Architectural state is shared across the batch; checking one
+	// result checks them all.
+	if results[0].Ret != c.Ref.Ret {
+		return nil, fmt.Errorf("%s: simulated return %d != reference %d",
+			c.Config.Name, results[0].Ret, c.Ref.Ret)
+	}
+	if !bytes.Equal(results[0].Mem, c.Ref.Mem) {
+		return nil, fmt.Errorf("%s: simulated memory differs from reference", c.Config.Name)
+	}
+	return results, nil
+}
+
 func (c *Compiled) runPlan(plan *vliw.BufferPlan) (*vliw.Result, error) {
 	if c.Config.Verify && plan != c.Plan {
 		// Re-planned buffers (RunWithBuffer sweeps) are checkpointed

@@ -39,6 +39,11 @@ var BufferSizes = []int{16, 32, 64, 128, 256, 512, 1024, 2048}
 type Cache struct {
 	flight runner.Flight
 
+	// engine pools per-simulation scratch (activation frames, event
+	// batch buffers) across every batched sweep that runs through this
+	// Cache — in lpbufd, that is every job in the process.
+	engine *vliw.Engine
+
 	mu       sync.Mutex
 	compiles map[string]*core.Compiled
 	runs     map[string]*Run
@@ -47,6 +52,7 @@ type Cache struct {
 // NewCache creates an empty compile/run cache.
 func NewCache() *Cache {
 	return &Cache{
+		engine:   vliw.NewEngine(),
 		compiles: map[string]*core.Compiled{},
 		runs:     map[string]*Run{},
 	}
@@ -255,6 +261,101 @@ func (s *Suite) RunAt(name, cfg string, bufferOps int) (*Run, error) {
 		s.metrics.RunHit()
 	}
 	return v.(*Run), nil
+}
+
+// RunSweepAt runs one benchmark/config across a whole buffer sweep as
+// ONE batched simulation (core.RunSweep → vliw.RunBatch): the program
+// executes once and its statistics are accounted under every capacity,
+// so a Figure 7 sweep costs one simulation instead of len(sizes). The
+// per-size Runs land in the same memoization cache RunAt uses (sweep
+// stats are bit-identical to solo stats — the batch engine's
+// contract), so sweeps and point queries serve each other's hits.
+// Results come back in sizes order.
+func (s *Suite) RunSweepAt(name, cfg string, sizes []int) ([]*Run, error) {
+	runKey := func(sz int) string {
+		return fmt.Sprintf("%s/%s@%d%s", name, cfg, sz, verifyKeySuffix(s.verify))
+	}
+	// collect serves the sweep entirely from cached runs, or reports a
+	// miss (nil) if any size is uncached.
+	collect := func() []*Run {
+		s.cc.mu.Lock()
+		defer s.cc.mu.Unlock()
+		out := make([]*Run, len(sizes))
+		for i, sz := range sizes {
+			r := s.cc.runs[runKey(sz)]
+			if r == nil {
+				return nil
+			}
+			out[i] = r
+		}
+		return out
+	}
+	if out := collect(); out != nil {
+		for range sizes {
+			s.metrics.RunHit()
+		}
+		return out, nil
+	}
+	key := fmt.Sprintf("sweep/%s/%s@%v%s", name, cfg, sizes, verifyKeySuffix(s.verify))
+	v, shared, err := s.cc.flight.Do(key, func() (any, error) {
+		if out := collect(); out != nil {
+			for range sizes {
+				s.metrics.RunHit()
+			}
+			return out, nil
+		}
+		c, b, err := s.compiled(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		results, err := c.RunSweep(sizes, s.cc.engine)
+		if err != nil {
+			return nil, err
+		}
+		// The batch shares one final memory image; checking it once
+		// checks every capacity's run.
+		if err := b.Check(results[0].Mem); err != nil {
+			return nil, fmt.Errorf("%s/%s sweep: output check: %w", name, cfg, err)
+		}
+		static := 0
+		for _, fc := range c.Code.Funcs {
+			static += fc.OpCount()
+		}
+		out := make([]*Run, len(sizes))
+		hits, misses := 0, 0
+		s.cc.mu.Lock()
+		for i, sz := range sizes {
+			if r := s.cc.runs[runKey(sz)]; r != nil {
+				// A point RunAt landed first; keep its pointer so the
+				// memoization stays pointer-stable for both callers.
+				out[i] = r
+				hits++
+				continue
+			}
+			r := &Run{Bench: name, Config: cfg, BufferOps: sz,
+				Stats: results[i].Stats, Pass: c.Stats, StaticOps: static}
+			s.cc.runs[runKey(sz)] = r
+			out[i] = r
+			misses++
+		}
+		s.cc.mu.Unlock()
+		for ; misses > 0; misses-- {
+			s.metrics.RunMiss()
+		}
+		for ; hits > 0; hits-- {
+			s.metrics.RunHit()
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		for range sizes {
+			s.metrics.RunHit()
+		}
+	}
+	return v.([]*Run), nil
 }
 
 // verifyKeySuffix segregates verify-enabled entries in a shared Cache.

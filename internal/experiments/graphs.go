@@ -48,17 +48,34 @@ func (s *Suite) simulateSpec(name, cfg string, bufferOps int) runner.Spec {
 	}
 }
 
-// Figure7Ctx is Figure7 with caller-controlled cancellation.
+func sweepKey(name, cfg string) string { return "simulate/" + name + "/" + cfg + "/sweep" }
+
+// sweepSpec runs one benchmark's whole buffer sweep as a single
+// batched simulation job (RunSweepAt), yielding []*Run in sizes order.
+func (s *Suite) sweepSpec(name, cfg string, sizes []int) runner.Spec {
+	return runner.Spec{
+		Key:   sweepKey(name, cfg),
+		Kind:  runner.KindSimulate,
+		Needs: []string{compileKey(name, cfg)},
+		Run: func(context.Context, map[string]any) (any, error) {
+			return s.RunSweepAt(name, cfg, sizes)
+		},
+	}
+}
+
+// Figure7Ctx is Figure7 with caller-controlled cancellation. Each
+// benchmark's sweep is one batched simulate job — the program executes
+// once and is accounted at every buffer size — so the graph is 11
+// compiles → 11 sweep simulates → 1 reduce however many sizes the
+// sweep covers.
 func (s *Suite) Figure7Ctx(ctx context.Context, cfg string, sizes []int) ([]Fig7Row, error) {
 	g := runner.NewGraph()
 	var simKeys []string
 	for _, name := range Benchmarks() {
 		g.MustAdd(s.compileSpec(name, cfg))
-		for _, sz := range sizes {
-			sp := s.simulateSpec(name, cfg, sz)
-			simKeys = append(simKeys, sp.Key)
-			g.MustAdd(sp)
-		}
+		sp := s.sweepSpec(name, cfg, sizes)
+		simKeys = append(simKeys, sp.Key)
+		g.MustAdd(sp)
 	}
 	reduceKey := "reduce/figure7/" + cfg
 	g.MustAdd(runner.Spec{
@@ -68,10 +85,10 @@ func (s *Suite) Figure7Ctx(ctx context.Context, cfg string, sizes []int) ([]Fig7
 		Run: func(_ context.Context, deps map[string]any) (any, error) {
 			var rows []Fig7Row
 			for _, name := range Benchmarks() {
+				runs := deps[sweepKey(name, cfg)].([]*Run)
 				row := Fig7Row{Bench: name, Ratios: map[int]float64{}}
-				for _, sz := range sizes {
-					r := deps[simulateKey(name, cfg, sz)].(*Run)
-					row.Ratios[sz] = r.Stats.BufferIssueRatio()
+				for i, sz := range sizes {
+					row.Ratios[sz] = runs[i].Stats.BufferIssueRatio()
 				}
 				rows = append(rows, row)
 			}

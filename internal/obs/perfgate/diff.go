@@ -41,14 +41,21 @@ func DefaultPolicies() map[string]Policy {
 		"ns/op":     {Tol: 0.05, Dir: LowerIsBetter},
 		"B/op":      {Tol: 0.03, Dir: LowerIsBetter},
 		"allocs/op": {Tol: 0.01, Dir: LowerIsBetter},
+		// sims/sec is the batch engine's sustained throughput
+		// (BenchmarkSimsPerSec): wall-clock derived, so it gets a noise
+		// band and the significance gate like ns/op, but higher is
+		// better.
+		"sims/sec": {Tol: 0.10, Dir: HigherIsBetter},
 	}
 }
 
 // policyFor resolves the policy for one metric: explicit override,
 // then the defaults table, then the deterministic-exact fallback for
-// custom b.ReportMetric units (every custom unit this repo emits —
-// %buffer@N, sim-ops/run, avg-speedup — is a deterministic simulator
-// fact, so unknown units default to exact two-sided).
+// custom b.ReportMetric units. Every custom unit this repo emits that
+// is not in the defaults table — %buffer@N, sim-ops/run, avg-speedup —
+// is a deterministic simulator fact, so unknown units default to exact
+// two-sided; wall-clock-derived units (sims/sec) must instead be
+// listed above with a noise band.
 func policyFor(name string, overrides map[string]Policy) Policy {
 	if p, ok := overrides[name]; ok {
 		return p

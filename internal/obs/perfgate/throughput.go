@@ -1,0 +1,162 @@
+package perfgate
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ThroughputSchema versions the sustained-throughput baseline file
+// (baselines/throughput.json). Unlike the sim-stat baselines, this is
+// a wall-clock number: it is recorded on the CI bench host with
+// `benchdiff -update-throughput BENCH_simulator.json` and is only
+// meaningful against artifacts from a matching environment.
+const ThroughputSchema = "lpbuf/throughput/v1"
+
+// ThroughputBench is the benchmark the gate reads (cmd/benchjson
+// strips the "Benchmark" prefix when it writes the artifact).
+const ThroughputBench = "SimsPerSec"
+
+// throughputUnit is the b.ReportMetric unit the benchmark emits.
+const throughputUnit = "sims/sec"
+
+// Throughput is the recorded baseline: the median sims/sec of one
+// multi-sample benchjson run, plus the samples and environment it was
+// measured under.
+type Throughput struct {
+	Schema    string    `json:"schema"`
+	Generated time.Time `json:"generated"`
+	Bench     string    `json:"bench"`
+	// SimsPerSec is the median of Samples.
+	SimsPerSec float64   `json:"sims_per_sec"`
+	Samples    []float64 `json:"samples"`
+	Env        Env       `json:"env"`
+}
+
+// ThroughputFromArtifact extracts the sims/sec sample vector from a
+// bench artifact and summarizes it as a baseline document.
+func ThroughputFromArtifact(art *BenchArtifact) (*Throughput, error) {
+	r := art.Result(ThroughputBench)
+	if r == nil {
+		return nil, fmt.Errorf("artifact has no %s benchmark", ThroughputBench)
+	}
+	samples := r.Samples[throughputUnit]
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%s has no %s samples", ThroughputBench, throughputUnit)
+	}
+	return &Throughput{
+		Schema:     ThroughputSchema,
+		Generated:  art.Generated,
+		Bench:      ThroughputBench,
+		SimsPerSec: Median(samples),
+		Samples:    append([]float64(nil), samples...),
+		Env:        art.Env,
+	}, nil
+}
+
+// ReadThroughput loads and validates a baseline file.
+func ReadThroughput(path string) (*Throughput, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Throughput
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("%s: not valid JSON: %v", path, err)
+	}
+	if t.Schema != ThroughputSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %s", path, t.Schema, ThroughputSchema)
+	}
+	if !(t.SimsPerSec > 0) {
+		return nil, fmt.Errorf("%s: non-positive sims_per_sec %v", path, t.SimsPerSec)
+	}
+	return &t, nil
+}
+
+// WriteFile writes the document as stable indented JSON, creating the
+// parent directory if needed.
+func (t *Throughput) WriteFile(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ThroughputReport is the outcome of gating a fresh artifact against a
+// recorded throughput baseline.
+type ThroughputReport struct {
+	Baseline *Throughput `json:"baseline"`
+	Current  *Throughput `json:"current"`
+	// Delta is (current - baseline) / baseline median sims/sec.
+	Delta float64 `json:"delta"`
+	// Tol is the relative band the gate applied.
+	Tol float64 `json:"tol"`
+	// EnvNote is set when the environments differ; the gate is then
+	// advisory (cross-machine wall-clock numbers prove nothing).
+	EnvNote string `json:"env_note,omitempty"`
+	// Regression is true when throughput dropped below the band on a
+	// matching environment.
+	Regression bool `json:"regression"`
+}
+
+// CompareThroughput gates a fresh artifact's sims/sec against the
+// baseline: a median drop beyond tol on a matching environment is a
+// regression; on a mismatched environment the breach is reported but
+// advisory. tol <= 0 uses the sims/sec default policy band.
+func CompareThroughput(base *Throughput, art *BenchArtifact, tol float64) (*ThroughputReport, error) {
+	cur, err := ThroughputFromArtifact(art)
+	if err != nil {
+		return nil, err
+	}
+	if tol <= 0 {
+		tol = DefaultPolicies()[throughputUnit].Tol
+	}
+	rep := &ThroughputReport{Baseline: base, Current: cur, Tol: tol}
+	rep.Delta = (cur.SimsPerSec - base.SimsPerSec) / math.Abs(base.SimsPerSec)
+	if note := base.Env.Mismatch(cur.Env); note != "" {
+		rep.EnvNote = "environments differ: " + note + "; throughput gate is advisory"
+	}
+	rep.Regression = rep.Delta < -tol && rep.EnvNote == ""
+	return rep, nil
+}
+
+// Render formats the report for terminal output.
+func (r *ThroughputReport) Render() string {
+	s := fmt.Sprintf("throughput gate: baseline %.1f sims/sec, current %.1f sims/sec (%+.1f%%, tol %.0f%%)\n",
+		r.Baseline.SimsPerSec, r.Current.SimsPerSec, 100*r.Delta, 100*r.Tol)
+	if r.EnvNote != "" {
+		s += "note: " + r.EnvNote + "\n"
+	}
+	if r.Regression {
+		s += "THROUGHPUT REGRESSION\n"
+	} else {
+		s += "throughput within band\n"
+	}
+	return s
+}
+
+// Markdown formats the report for the CI artifact.
+func (r *ThroughputReport) Markdown() string {
+	s := "# throughput gate\n\n"
+	s += fmt.Sprintf("| | sims/sec | samples |\n|---|---|---|\n| baseline | %.1f | %d |\n| current | %.1f | %d |\n\n",
+		r.Baseline.SimsPerSec, len(r.Baseline.Samples), r.Current.SimsPerSec, len(r.Current.Samples))
+	s += fmt.Sprintf("Delta **%+.1f%%** against a **%.0f%%** band.\n", 100*r.Delta, 100*r.Tol)
+	if r.EnvNote != "" {
+		s += "\n> **Note:** " + r.EnvNote + "\n"
+	}
+	if r.Regression {
+		s += "\n**THROUGHPUT REGRESSION.**\n"
+	} else {
+		s += "\nWithin band.\n"
+	}
+	return s
+}

@@ -1,0 +1,93 @@
+package perfgate
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func throughputArtifact(samples []float64, env Env) *BenchArtifact {
+	return &BenchArtifact{
+		Schema: BenchSchemaV2,
+		Env:    env,
+		Results: []BenchResult{{
+			Name: ThroughputBench,
+			Samples: map[string][]float64{
+				"ns/op":    make([]float64, len(samples)),
+				"sims/sec": samples,
+			},
+		}},
+	}
+}
+
+func TestThroughputRoundTrip(t *testing.T) {
+	env := Env{Go: "go1.24", OS: "linux", Arch: "amd64", NumCPU: 8}
+	art := throughputArtifact([]float64{100, 120, 110}, env)
+	base, err := ThroughputFromArtifact(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SimsPerSec != 110 {
+		t.Fatalf("median = %v, want 110", base.SimsPerSec)
+	}
+	path := filepath.Join(t.TempDir(), "throughput.json")
+	if err := base.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadThroughput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SimsPerSec != base.SimsPerSec || got.Schema != ThroughputSchema {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+
+	if _, err := ThroughputFromArtifact(&BenchArtifact{Results: []BenchResult{{Name: "Other"}}}); err == nil {
+		t.Fatal("expected error for artifact without the throughput benchmark")
+	}
+}
+
+func TestThroughputGate(t *testing.T) {
+	env := Env{Go: "go1.24", OS: "linux", Arch: "amd64", NumCPU: 8}
+	base, err := ThroughputFromArtifact(throughputArtifact([]float64{100, 100, 100}, env))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Within band: -5% on a 10% band.
+	rep, err := CompareThroughput(base, throughputArtifact([]float64{95, 95, 95}, env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regression || rep.Tol != 0.10 {
+		t.Fatalf("within-band drop flagged: %+v", rep)
+	}
+
+	// Beyond band on a matching environment: regression.
+	rep, err = CompareThroughput(base, throughputArtifact([]float64{80, 80, 80}, env), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Regression {
+		t.Fatalf("-20%% drop not flagged: %+v", rep)
+	}
+
+	// Same drop across environments: advisory, never a hard failure.
+	other := env
+	other.NumCPU = 1
+	rep, err = CompareThroughput(base, throughputArtifact([]float64{80, 80, 80}, other), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regression || rep.EnvNote == "" {
+		t.Fatalf("cross-environment drop should be advisory: %+v", rep)
+	}
+
+	// Improvements never regress, and explicit tolerance is honored.
+	rep, err = CompareThroughput(base, throughputArtifact([]float64{130, 130, 130}, env), 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regression || rep.Tol != 0.02 {
+		t.Fatalf("improvement flagged: %+v", rep)
+	}
+}

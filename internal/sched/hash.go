@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"sort"
+
+	"lpbuf/internal/ir"
+)
+
+// ContentHash returns a stable hex digest of everything that determines
+// the decoded execution image of this schedule: the machine description,
+// the program's memory layout and entry point, and every scheduled
+// operation (opcode, operands, guards, slots, branch targets, fall
+// table). Two Codes with equal hashes decode to interchangeable micro-op
+// images, which is what lets the simulator's decode cache share entries
+// when the same benchmark recompiles under different Suite configs (the
+// pipeline is deterministic, so identical inputs reproduce identical
+// schedules in distinct allocations).
+//
+// Op identity (ir.Op.ID) is deliberately excluded: IDs are allocation
+// order, not semantics. The digest is computed once and cached.
+func (c *Code) ContentHash() string {
+	if v := c.hash.Load(); v != nil {
+		return v.(string)
+	}
+	h := hexDigest(c)
+	c.hash.Store(h)
+	return h
+}
+
+func hexDigest(c *Code) string {
+	h := sha256.New()
+	w := hashWriter{h: h}
+
+	m := c.Mach
+	w.str(m.Name)
+	w.i64(int64(len(m.Slots)))
+	for _, s := range m.Slots {
+		w.i64(int64(s.Index))
+		w.i64(int64(len(s.Classes)))
+		for _, cl := range s.Classes {
+			w.i64(int64(cl))
+		}
+	}
+	lat := m.Latency
+	w.i64(int64(lat.IALU))
+	w.i64(int64(lat.IMul))
+	w.i64(int64(lat.IDiv))
+	w.i64(int64(lat.Load))
+	w.i64(int64(lat.Store))
+	w.i64(int64(lat.FP))
+	w.i64(int64(lat.Branch))
+	w.i64(int64(lat.Pred))
+	w.i64(int64(m.BranchPenalty))
+	w.i64(int64(m.OpBits))
+
+	p := c.Prog
+	w.str(p.Entry)
+	w.i64(p.MemSize)
+	w.i64(int64(len(p.Globals)))
+	for _, g := range p.Globals {
+		w.str(g.Name)
+		w.i64(g.Offset)
+		w.i64(g.Size)
+		w.bytes(g.Init)
+	}
+
+	w.i64(int64(len(p.Order)))
+	for _, name := range p.Order {
+		fc := c.Funcs[name]
+		if fc == nil {
+			w.str(name)
+			w.i64(-1)
+			continue
+		}
+		hashFunc(&w, fc)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashFunc(w *hashWriter, fc *FuncCode) {
+	f := fc.F
+	w.str(f.Name)
+	w.i64(int64(len(f.Params)))
+	for _, p := range f.Params {
+		w.i64(int64(p))
+	}
+	w.bool(f.HasRet)
+	w.i64(int64(f.NumRegs()))
+	w.i64(int64(f.NumPreds()))
+	starts := make([]int, 0, len(fc.Start))
+	for id := range fc.Start {
+		starts = append(starts, int(id))
+	}
+	sort.Ints(starts)
+	w.i64(int64(len(starts)))
+	for _, id := range starts {
+		w.i64(int64(id))
+		w.i64(int64(fc.Start[ir.BlockID(id)]))
+	}
+
+	w.i64(int64(len(fc.Sections)))
+	for _, sec := range fc.Sections {
+		w.i64(int64(sec.Kind))
+		w.i64(int64(sec.Start))
+		w.i64(int64(len(sec.Bundles)))
+		w.i64(int64(sec.II))
+		w.i64(int64(sec.Stages))
+		w.bool(sec.Proven)
+	}
+
+	w.i64(int64(len(fc.Bundles)))
+	for i, b := range fc.Bundles {
+		w.i64(int64(len(b.Ops)))
+		for _, so := range b.Ops {
+			w.i64(int64(so.Slot))
+			w.i64(int64(so.TargetBundle))
+			hashOp(w, so.Op)
+		}
+		w.i64(int64(fc.FallTarget(i)))
+	}
+}
+
+func hashOp(w *hashWriter, o *ir.Op) {
+	w.i64(int64(o.Opcode))
+	w.i64(int64(len(o.Dest)))
+	for _, d := range o.Dest {
+		w.i64(int64(d))
+	}
+	w.i64(int64(len(o.Src)))
+	for _, s := range o.Src {
+		w.i64(int64(s))
+	}
+	w.i64(o.Imm)
+	w.bool(o.HasImm)
+	w.i64(int64(o.Cmp))
+	for _, pd := range o.PDest {
+		w.i64(int64(pd.Pred))
+		w.i64(int64(pd.Type))
+	}
+	w.i64(int64(o.Guard))
+	w.i64(int64(o.Target))
+	w.bool(o.LoopBack)
+	w.str(o.Callee)
+	w.i64(int64(o.BufAddr))
+	w.i64(int64(o.BufLen))
+	w.bool(o.Speculative)
+}
+
+// hashWriter serializes primitives into a hash with length prefixes so
+// adjacent variable-length fields cannot alias each other.
+type hashWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (w *hashWriter) i64(v int64) {
+	binary.LittleEndian.PutUint64(w.buf[:], uint64(v))
+	w.h.Write(w.buf[:])
+}
+
+func (w *hashWriter) bool(v bool) {
+	if v {
+		w.i64(1)
+	} else {
+		w.i64(0)
+	}
+}
+
+func (w *hashWriter) str(s string) {
+	w.i64(int64(len(s)))
+	w.h.Write([]byte(s))
+}
+
+func (w *hashWriter) bytes(b []byte) {
+	w.i64(int64(len(b)))
+	w.h.Write(b)
+}

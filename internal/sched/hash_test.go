@@ -1,0 +1,95 @@
+package sched_test
+
+import (
+	"testing"
+
+	"lpbuf/internal/ir/irbuild"
+	"lpbuf/internal/machine"
+	"lpbuf/internal/sched"
+)
+
+func hashProgram(t *testing.T, trips int64, modulo bool) *sched.Code {
+	t.Helper()
+	pb := irbuild.NewProgram(16 << 10)
+	off := pb.GlobalW("buf", 64, nil)
+	f := pb.Func("main", 0, true)
+	f.Block("pre")
+	p := f.Const(off)
+	cnt := f.Reg()
+	acc := f.Reg()
+	f.MovI(cnt, trips)
+	f.MovI(acc, 0)
+	f.Block("loop")
+	v := f.Reg()
+	f.LdW(v, p, 0)
+	f.AddI(v, v, 7)
+	f.Add(acc, acc, v)
+	f.StW(p, 0, v)
+	f.CLoop(cnt, "loop")
+	f.Block("done")
+	f.Ret(acc)
+	pb.SetEntry("main")
+	code, err := sched.Schedule(pb.MustBuild(), machine.Default(), sched.Options{EnableModulo: modulo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code
+}
+
+// TestContentHashStable pins that the hash is a pure function of the
+// schedule's content: two independent compilations of the same program
+// under the same machine hash identically (this is what lets the
+// simulator share decoded images across Suite configs), while the
+// value is cached per allocation.
+func TestContentHashStable(t *testing.T) {
+	a := hashProgram(t, 32, false)
+	b := hashProgram(t, 32, false)
+	if a == b {
+		t.Fatal("expected distinct Code allocations")
+	}
+	ha, hb := a.ContentHash(), b.ContentHash()
+	if ha == "" || ha != hb {
+		t.Fatalf("identical schedules hash %q vs %q", ha, hb)
+	}
+	if again := a.ContentHash(); again != ha {
+		t.Fatalf("cached hash changed: %q vs %q", again, ha)
+	}
+}
+
+// TestContentHashDiscriminates pins that semantically different
+// schedules do not collide: a changed immediate (loop trip count), a
+// different scheduling mode, and a different machine each perturb the
+// hash. Collisions here would silently cross-wire decoded images
+// between unrelated programs.
+func TestContentHashDiscriminates(t *testing.T) {
+	base := hashProgram(t, 32, false).ContentHash()
+	if h := hashProgram(t, 33, false).ContentHash(); h == base {
+		t.Error("changed immediate did not change the hash")
+	}
+	if h := hashProgram(t, 32, true).ContentHash(); h == base {
+		t.Error("modulo-scheduled variant did not change the hash")
+	}
+
+	pb := irbuild.NewProgram(16 << 10)
+	f := pb.Func("main", 0, true)
+	f.Block("b")
+	r := f.Reg()
+	f.MovI(r, 1)
+	f.Ret(r)
+	pb.SetEntry("main")
+	prog := pb.MustBuild()
+	m1 := machine.Default()
+	m2 := machine.Default()
+	m2.BranchPenalty = m1.BranchPenalty + 3
+	c1, err := sched.Schedule(prog, m1, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sched.Schedule(prog, m2, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.ContentHash() == c2.ContentHash() {
+		t.Error("changed machine did not change the hash")
+	}
+}

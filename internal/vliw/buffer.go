@@ -37,7 +37,9 @@ type BufferPlan struct {
 	Loops []*PlannedLoop
 }
 
-// bufferState is the runtime state of the loop buffer.
+// bufferState is the runtime state of one account's loop buffer. Each
+// batched account carries its own: buffer contents and residency are
+// plan-dependent even though the architectural execution is shared.
 type bufferState struct {
 	plan *BufferPlan
 	// byFunc[func][bundle] = planned loop covering that bundle. The
@@ -48,9 +50,6 @@ type bufferState struct {
 	// never re-derives the loop's string key (Key() formats).
 	index map[*PlannedLoop]int
 	stats map[*PlannedLoop]*LoopStats
-	// kernels caches the compiled replay fast-path image per planned
-	// loop for this run (see kernel.go).
-	kernels map[*PlannedLoop]*loopKernel
 	// intact[i] reports whether plan.Loops[i]'s image is valid.
 	intact []bool
 	// cur is the loop currently streaming (recording or replaying).
@@ -66,8 +65,7 @@ type bufferState struct {
 
 func newBufferState(plan *BufferPlan) *bufferState {
 	bs := &bufferState{plan: plan, byFunc: map[string][]*PlannedLoop{},
-		index: map[*PlannedLoop]int{}, stats: map[*PlannedLoop]*LoopStats{},
-		kernels: map[*PlannedLoop]*loopKernel{}}
+		index: map[*PlannedLoop]int{}, stats: map[*PlannedLoop]*LoopStats{}}
 	if plan == nil {
 		return bs
 	}
@@ -98,24 +96,24 @@ func (bs *bufferState) indexOf(pl *PlannedLoop) int {
 }
 
 // lsOf returns (creating on first use) the loop's stats record.
-func (bs *bufferState) lsOf(pl *PlannedLoop, s *sim) *LoopStats {
+func (bs *bufferState) lsOf(pl *PlannedLoop, a *account) *LoopStats {
 	ls := bs.stats[pl]
 	if ls == nil {
 		ls = &LoopStats{}
 		bs.stats[pl] = ls
-		s.stats.Loops[pl.Key()] = ls
+		a.stats.Loops[pl.Key()] = ls
 	}
 	return ls
 }
 
 // fetch is called once per bundle fetch with the bundle's planned loop
 // (already resolved by the caller from the loopsFor table). It updates
-// the buffer state machine and reports whether this bundle issues from
-// the buffer, plus the loop's stats record.
-func (bs *bufferState) fetch(pl *PlannedLoop, fc *sched.FuncCode, pc int, s *sim) (bool, *LoopStats) {
+// the account's buffer state machine and reports whether this bundle
+// issues from the buffer, plus the loop's stats record.
+func (bs *bufferState) fetch(pl *PlannedLoop, fc *sched.FuncCode, pc int, s *sim, a *account) (bool, *LoopStats) {
 	if pl == nil {
 		if bs.cur != nil {
-			bs.leave(s, fc.F.Name, pc)
+			bs.leave(s, a, fc.F.Name, pc)
 		}
 		return false, nil
 	}
@@ -123,21 +121,21 @@ func (bs *bufferState) fetch(pl *PlannedLoop, fc *sched.FuncCode, pc int, s *sim
 	if pl == bs.cur {
 		ls = bs.curLS
 	} else {
-		ls = bs.lsOf(pl, s)
+		ls = bs.lsOf(pl, a)
 	}
 	if pc == pl.StartBundle {
 		if bs.cur != pl {
 			if bs.cur != nil {
 				// Falling directly from one buffered loop into another.
-				bs.leave(s, fc.F.Name, pc)
+				bs.leave(s, a, fc.F.Name, pc)
 			}
 			// Entering the loop: the rec_[cw]loop op is fetched from
 			// global memory. It issues in the branch slot alongside the
 			// preceding bundle, so it costs a fetch but no extra cycle
 			// (which would shift the software-pipelined timing).
 			ls.Entries++
-			s.stats.RecFetches++
-			s.stats.OpsIssued++
+			a.stats.RecFetches++
+			a.stats.OpsIssued++
 			bs.cur = pl
 			bs.curLS = ls
 			bs.enteredAt = s.now
@@ -146,16 +144,16 @@ func (bs *bufferState) fetch(pl *PlannedLoop, fc *sched.FuncCode, pc int, s *sim
 				// Hardware table: image already resident; replay at
 				// once, no re-recording.
 				bs.replaying = true
-				if s.ring != nil {
-					s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimLoopReplay,
-						Run: s.label, Func: fc.F.Name, PC: int32(pc), Loop: pl.Key()})
+				if a.ring != nil {
+					a.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimLoopReplay,
+						Run: a.label, Func: fc.F.Name, PC: int32(pc), Loop: pl.Key()})
 				}
 			} else {
 				bs.replaying = false
 				ls.Recordings++
-				if s.ring != nil {
-					s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimLoopRecord,
-						Run: s.label, Func: fc.F.Name, PC: int32(pc), Loop: pl.Key()})
+				if a.ring != nil {
+					a.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimLoopRecord,
+						Run: a.label, Func: fc.F.Name, PC: int32(pc), Loop: pl.Key()})
 				}
 				// Recording overwrites overlapping images.
 				for j, other := range bs.plan.Loops {
@@ -171,9 +169,9 @@ func (bs *bufferState) fetch(pl *PlannedLoop, fc *sched.FuncCode, pc int, s *sim
 		} else {
 			// Loop-back to the top: after the recording pass the image
 			// is in the buffer; replay from now on.
-			if !bs.replaying && s.ring != nil {
-				s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimLoopReplay,
-					Run: s.label, Func: fc.F.Name, PC: int32(pc), Loop: pl.Key()})
+			if !bs.replaying && a.ring != nil {
+				a.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimLoopReplay,
+					Run: a.label, Func: fc.F.Name, PC: int32(pc), Loop: pl.Key()})
 			}
 			bs.replaying = true
 		}
@@ -187,27 +185,27 @@ func (bs *bufferState) fetch(pl *PlannedLoop, fc *sched.FuncCode, pc int, s *sim
 
 // takenPenalty returns the redirect penalty for a taken branch with
 // the given loop-back flag and resolved target bundle.
-func (bs *bufferState) takenPenalty(fc *sched.FuncCode, pc int, loopBack bool, target int, s *sim) int64 {
+func (bs *bufferState) takenPenalty(fc *sched.FuncCode, pc int, loopBack bool, target int, s *sim, a *account) int64 {
 	if bs.cur != nil && loopBack && target == bs.cur.StartBundle {
 		// Buffered loop-back: perfectly predicted.
 		return 0
 	}
 	if bs.cur != nil {
 		// Any other taken branch leaves the buffer.
-		bs.leave(s, fc.F.Name, pc)
+		bs.leave(s, a, fc.F.Name, pc)
 	}
 	return int64(s.code.Mach.BranchPenalty)
 }
 
 // exitPenalty is charged when a loop-back branch falls through (loop
 // exit): counted loops predict the exit; wloops mispredict once.
-func (bs *bufferState) exitPenalty(fc *sched.FuncCode, pc int, loopBack bool, s *sim) int64 {
+func (bs *bufferState) exitPenalty(fc *sched.FuncCode, pc int, loopBack bool, s *sim, a *account) int64 {
 	if bs.cur == nil || !loopBack {
 		return 0
 	}
 	wasReplaying := bs.replaying
 	counted := bs.cur.Counted
-	bs.leave(s, fc.F.Name, pc)
+	bs.leave(s, a, fc.F.Name, pc)
 	if counted {
 		return 0
 	}
@@ -220,14 +218,14 @@ func (bs *bufferState) exitPenalty(fc *sched.FuncCode, pc int, loopBack bool, s 
 // leave closes the current loop residency: emits the SimLoopExit
 // event (whose Arg carries the entry cycle, so exporters can render
 // residency as a time range) and clears the streaming state.
-func (bs *bufferState) leave(s *sim, fn string, pc int) {
-	if bs.cur != nil && s.ring != nil {
+func (bs *bufferState) leave(s *sim, a *account, fn string, pc int) {
+	if bs.cur != nil && a.ring != nil {
 		aux := int64(0)
 		if bs.replaying {
 			aux = 1
 		}
-		s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimLoopExit,
-			Run: s.label, Func: fn, PC: int32(pc), Loop: bs.cur.Key(),
+		a.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimLoopExit,
+			Run: a.label, Func: fn, PC: int32(pc), Loop: bs.cur.Key(),
 			Arg: bs.enteredAt, Aux: aux})
 	}
 	bs.cur = nil
@@ -236,9 +234,9 @@ func (bs *bufferState) leave(s *sim, fn string, pc int) {
 }
 
 // flushResidency closes a loop residency left open at end of run.
-func (bs *bufferState) flushResidency(s *sim) {
+func (bs *bufferState) flushResidency(s *sim, a *account) {
 	if bs.cur != nil {
-		bs.leave(s, bs.cur.Func, bs.cur.EndBundle)
+		bs.leave(s, a, bs.cur.Func, bs.cur.EndBundle)
 	}
 }
 

@@ -148,18 +148,33 @@ type dbundle struct {
 type decodedFunc struct {
 	fc      *sched.FuncCode
 	bundles []dbundle
+	// regions overlays the bundle space with replayable single-entry
+	// windows (resident loops and straight-line runs; see region.go).
+	// regionHead maps a bundle index to the region starting there (-1
+	// for none); nil when the function has no regions.
+	regions    []region
+	regionHead []int32
 }
 
 // decodedOf returns the function's cached decode, building it on first
-// use. Safe for concurrent simulations sharing one *sched.Code.
+// use. Safe for concurrent simulations sharing one *sched.Code. A miss
+// on the FuncCode's own image falls through to the process-wide
+// content-hash cache (decodecache.go), so the same benchmark
+// recompiled under a different Suite config — byte-identical schedule,
+// distinct allocation — shares one decode instead of rebuilding it.
 func decodedOf(code *sched.Code, fc *sched.FuncCode) *decodedFunc {
 	if v := fc.DecodedImage(); v != nil {
 		if df, ok := v.(*decodedFunc); ok {
 			return df
 		}
 	}
+	if df := lookupDecoded(code, fc.F.Name); df != nil {
+		fc.SetDecodedImage(df)
+		return df
+	}
 	df := decodeFunc(code, fc)
 	fc.SetDecodedImage(df)
+	storeDecoded(code, fc.F.Name, df)
 	return df
 }
 
@@ -182,6 +197,7 @@ func decodeFunc(code *sched.Code, fc *sched.FuncCode) *decodedFunc {
 		markDirect(flat[start:n])
 		df.bundles[i] = dbundle{ops: flat[start:n:n], fall: int32(fc.FallTarget(i))}
 	}
+	buildRegions(df, fc)
 	return df
 }
 

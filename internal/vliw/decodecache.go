@@ -1,0 +1,55 @@
+package vliw
+
+import (
+	"sync"
+
+	"lpbuf/internal/sched"
+)
+
+// Process-wide decoded-image cache keyed by schedule content hash.
+// FuncCode-attached images (decode.go) already share a decode across
+// every simulation of one *sched.Code allocation; this layer extends
+// the sharing across allocations — the same benchmark recompiled under
+// a different Suite config, or by a different lpbufd job, hashes to
+// the same schedule and reuses the image instead of re-decoding.
+//
+// The cache is bounded: distinct schedules are evicted FIFO past
+// maxDecodeCacheCodes. Within one hash the per-function map only grows
+// to the program's function count.
+
+const maxDecodeCacheCodes = 32
+
+var decodeCache = struct {
+	mu     sync.Mutex
+	byHash map[string]map[string]*decodedFunc
+	order  []string
+}{byHash: map[string]map[string]*decodedFunc{}}
+
+func lookupDecoded(code *sched.Code, fn string) *decodedFunc {
+	h := code.ContentHash()
+	decodeCache.mu.Lock()
+	defer decodeCache.mu.Unlock()
+	return decodeCache.byHash[h][fn]
+}
+
+func storeDecoded(code *sched.Code, fn string, df *decodedFunc) {
+	h := code.ContentHash()
+	decodeCache.mu.Lock()
+	defer decodeCache.mu.Unlock()
+	m := decodeCache.byHash[h]
+	if m == nil {
+		if len(decodeCache.order) >= maxDecodeCacheCodes {
+			oldest := decodeCache.order[0]
+			decodeCache.order = decodeCache.order[1:]
+			delete(decodeCache.byHash, oldest)
+		}
+		m = map[string]*decodedFunc{}
+		decodeCache.byHash[h] = m
+		decodeCache.order = append(decodeCache.order, h)
+	}
+	// Racing decoders build identical images; first store wins so every
+	// later lookup converges on one pointer.
+	if m[fn] == nil {
+		m[fn] = df
+	}
+}

@@ -89,12 +89,16 @@ type Options struct {
 	// VLIW_TRACE printf stream). Nil falls back to stderr when the
 	// VLIW_TRACE environment variable is set, else off.
 	DebugWriter io.Writer
-	// NoFastPath forces the interpretive per-bundle path even for
-	// resident-loop replay, disabling the pre-decoded kernel fast path
-	// (see kernel.go). Results, statistics, memory and obs events are
-	// bit-identical either way — the differential fast-path test pins
-	// that — so this exists only for that test and for debugging.
+	// NoFastPath forces the interpretive per-bundle path, disabling the
+	// pre-decoded region fast path (see region.go). Results, statistics,
+	// memory and obs events are bit-identical either way — the
+	// differential fast-path test pins that — so this exists only for
+	// that test and for debugging.
 	NoFastPath bool
+	// Engine, when non-nil, supplies pooled per-sim scratch (activation
+	// frames, event buffers) shared across runs; see batch.go. Nil runs
+	// allocate their own.
+	Engine *Engine
 }
 
 // wbEntry models one in-flight write (EQ model: the value lands at
@@ -155,74 +159,63 @@ type frame struct {
 	spill  []wbEntry
 }
 
-type sim struct {
-	code *sched.Code
-	mem  []byte
-	// now is the semantic issue clock: exactly one bundle per tick, so
-	// the EQ-model writeback schedule is position-independent. Redirect
-	// penalties are fetch bubbles accounted separately in penalty (they
-	// add to the reported cycle count but do not shift writebacks,
-	// which continue through bubbles in a real pipeline).
-	now     int64
+// account is one batched run's accounting context. The architectural
+// execution — registers, memory, control flow, guard outcomes, the
+// issue clock — is completely independent of buffer plans (plans affect
+// only fetch accounting: which bundles issue from the buffer, and which
+// redirects are predicted away). RunBatch exploits that by executing
+// the program once and folding every plan's statistics, penalties and
+// events through its own account as each bundle issues.
+type account struct {
+	stats Stats
+	// penalty accumulates this plan's redirect bubbles. They add to the
+	// reported cycle count but never shift writebacks (which continue
+	// through fetch bubbles in a real pipeline), so accounts can diverge
+	// in penalty while sharing one issue clock.
 	penalty int64
-	stats   Stats
 	buf     *bufferState
-	opts    Options
 	// ring is the cycle-level event sink (nil when disabled); label
 	// names the run in emitted events.
 	ring  *obs.SimTrace
 	label string
+}
+
+type sim struct {
+	code *sched.Code
+	mem  []byte
+	// now is the semantic issue clock: exactly one bundle per tick, so
+	// the EQ-model writeback schedule is position-independent.
+	now int64
+	// accts holds one accounting context per buffer plan. Solo Run is a
+	// one-account batch, so every path below is the batch path.
+	accts []*account
+	opts  Options
 	dbg   *debugLog
-	// fastOK gates the loop-replay kernel fast path: off under the
+	// fastOK gates the region replay fast path: off under the
 	// per-bundle debug trace (which wants every fetch printed) or when
 	// Options.NoFastPath forces the interpretive path.
 	fastOK bool
-	// evScratch backs the kernel's batched SimIssue emission.
+	// evScratch backs the region runner's batched SimIssue emission.
 	evScratch []obs.SimEvent
 	// framePool recycles activation frames per callee.
 	framePool map[*sched.FuncCode][]*frame
+	// fctx caches the per-function decode image and per-account
+	// plan/region alignment tables (see funcCtxOf in region.go).
+	fctx map[*sched.FuncCode]*funcCtx
+	// fromBuf/lss are the per-account results of the current fetch,
+	// sized len(accts) once so the per-bundle path never allocates.
+	fromBuf []bool
+	lss     []*LoopStats
 }
 
-// Run executes scheduled code from the program entry.
+// Run executes scheduled code from the program entry under one buffer
+// plan. It is a single-account batch — see RunBatch in batch.go.
 func Run(code *sched.Code, buffers *BufferPlan, opts Options) (*Result, error) {
-	s := &sim{
-		code:  code,
-		mem:   make([]byte, code.Prog.MemSize),
-		opts:  opts,
-		buf:   newBufferState(buffers),
-		ring:  opts.Obs.SimRing(),
-		label: opts.TraceLabel,
-		dbg:   newDebugLog(opts),
-	}
-	s.fastOK = s.dbg == nil && !opts.NoFastPath
-	if w := wheelSize(code.Mach.Latency); w > wheelSlots {
-		return nil, fmt.Errorf("vliw: latency table needs a %d-slot writeback wheel (max %d)", w, wheelSlots)
-	}
-	s.framePool = map[*sched.FuncCode][]*frame{}
-	s.stats.Loops = map[string]*LoopStats{}
-	if s.opts.MaxCycles == 0 {
-		s.opts.MaxCycles = 4e9
-	}
-	if s.opts.MaxDepth == 0 {
-		s.opts.MaxDepth = 256
-	}
-	for _, g := range code.Prog.Globals {
-		copy(s.mem[g.Offset:g.Offset+g.Size], g.Init)
-	}
-	entry := code.Funcs[code.Prog.Entry]
-	if entry == nil {
-		return nil, fmt.Errorf("vliw: no entry function %q", code.Prog.Entry)
-	}
-	ret, err := s.run(entry)
+	rs, err := RunBatch(code, []*BufferPlan{buffers}, BatchOptions{Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	s.buf.flushResidency(s)
-	s.stats.Cycles = s.now + s.penalty
-	if reg := opts.Obs.Registry(); reg != nil {
-		foldStats(reg, &s.stats)
-	}
-	return &Result{Mem: s.mem, Ret: ret, Stats: s.stats}, nil
+	return rs[0], nil
 }
 
 // foldStats accumulates one run's totals into the metrics registry.
@@ -512,13 +505,17 @@ func (s *sim) writePred(f *frame, p ir.PredReg, v bool, lat int64) {
 
 // run executes one function invocation (recursively via Go for calls).
 func (s *sim) run(fc *sched.FuncCode) (int64, error) {
-	f := s.newFrame(fc)
+	f := s.getFrame(fc)
 	for i, p := range fc.F.Params {
 		if i < len(s.opts.EntryArgs) {
 			f.regs[p] = ir.W32(s.opts.EntryArgs[i])
 		}
 	}
-	return s.exec(f, 0)
+	ret, err := s.exec(f, 0)
+	if err == nil {
+		s.putFrame(f)
+	}
+	return ret, err
 }
 
 type callCtx struct {
@@ -557,11 +554,11 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 		return 0, fmt.Errorf("vliw: call depth exceeded in %s", f.fc.F.Name)
 	}
 	fc := f.fc
-	// Per-activation hoists: the pre-decoded image and the planned-loop
-	// table are resolved once here, so the per-cycle path below indexes
-	// slices instead of probing string-keyed maps.
-	df := decodedOf(s.code, fc)
-	loops := s.buf.loopsFor(fc.F.Name)
+	// Per-activation hoists: the pre-decoded image and every account's
+	// planned-loop table are resolved once here, so the per-cycle path
+	// below indexes slices instead of probing string-keyed maps.
+	fx := s.funcCtxOf(fc)
+	df := fx.df
 	maxC := s.opts.MaxCycles
 	var sc scratch
 	for {
@@ -571,33 +568,17 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 		if pc < 0 || pc >= len(df.bundles) {
 			return 0, fmt.Errorf("vliw: pc %d out of range in %s", pc, fc.F.Name)
 		}
-		var pl *PlannedLoop
-		if pc < len(loops) {
-			pl = loops[pc]
-		}
 
-		// Loop-buffer bookkeeping for this fetch. Outside any planned
-		// loop with no residency open, fetch is a no-op by construction
-		// — skip the call on that (most common) path.
-		var fromBuffer bool
-		var ls *LoopStats
-		if pl != nil || s.buf.cur != nil {
-			fromBuffer, ls = s.buf.fetch(pl, fc, pc, s)
-		}
-
-		// Replay fast path: at the head of a loop now streaming from
-		// the buffer, whole iterations execute through the pre-compiled
-		// kernel (see kernel.go) with per-trip batched accounting. The
-		// head fetch above already did this iteration's entry/replay
-		// bookkeeping; the kernel covers everything from here up to and
-		// including the loop exit, and control returns at the first
-		// non-loop bundle.
-		if fromBuffer && s.fastOK && pl != nil && pc == pl.StartBundle && s.buf.replaying {
-			if k := s.buf.kernelFor(df, pl, s); k.ok {
-				if testKernelEnter != nil {
-					testKernelEnter(pl)
-				}
-				next, err := s.runKernel(f, df, k, &sc)
+		// Region fast path: at the head of a replayable region — a
+		// resident loop or a straight-line run — whole trips execute
+		// through the pre-decoded region runner (see region.go) with
+		// per-trip batched accounting for every account, provided each
+		// account's plan aligns with the region. The runner does the
+		// per-trip head fetch itself, so all buffer-state transitions
+		// (entry, record→replay, exit) happen exactly as interpretively.
+		if s.fastOK && len(df.regionHead) > 0 {
+			if ri := df.regionHead[pc]; ri >= 0 && fx.regionUse[ri] {
+				next, err := s.runRegion(f, fx, int(ri), &sc)
 				if err != nil {
 					return 0, err
 				}
@@ -610,37 +591,52 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 		// issue time; the compiler is responsible for timing (the
 		// scheduler pads section ends and shadows branches).
 
-		if s.dbg != nil {
-			s.dbg.printf("t=%d pc=%d buf=%v\n", s.now, pc, fromBuffer)
-		}
 		db := &df.bundles[pc]
-		if s.ring != nil {
-			aux := int64(0)
-			if fromBuffer {
-				aux = 1
-			}
-			s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimIssue,
-				Run: s.label, Func: fc.F.Name, PC: int32(pc),
-				Arg: int64(len(db.ops)), Aux: aux})
-		}
-		// Issue: reads sample now; branch decisions collected. Fetch
-		// statistics are per-bundle sums (every op in the bundle counts
-		// as issued, nullified or not, from one fetch source).
 		nOps := int64(len(db.ops))
-		s.stats.OpsIssued += nOps
-		if fromBuffer {
-			s.stats.OpsFromBuffer += nOps
-			if ls != nil {
-				ls.OpsBuffered += nOps
+		// Per-account loop-buffer bookkeeping for this fetch, issue
+		// event, and fetch statistics (per-bundle sums: every op in the
+		// bundle counts as issued, nullified or not, from one fetch
+		// source). Outside any planned loop with no residency open,
+		// fetch is a no-op by construction — skip the call on that
+		// (most common) path.
+		for ai, a := range s.accts {
+			var pl *PlannedLoop
+			if tab := fx.tabs[ai]; pc < len(tab) {
+				pl = tab[pc]
 			}
-		} else if ls != nil {
-			ls.OpsMemory += nOps
+			fromBuffer, ls := false, (*LoopStats)(nil)
+			if pl != nil || a.buf.cur != nil {
+				fromBuffer, ls = a.buf.fetch(pl, fc, pc, s, a)
+			}
+			s.fromBuf[ai] = fromBuffer
+			if a.ring != nil {
+				aux := int64(0)
+				if fromBuffer {
+					aux = 1
+				}
+				a.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimIssue,
+					Run: a.label, Func: fc.F.Name, PC: int32(pc),
+					Arg: nOps, Aux: aux})
+			}
+			a.stats.OpsIssued += nOps
+			if fromBuffer {
+				a.stats.OpsFromBuffer += nOps
+				if ls != nil {
+					ls.OpsBuffered += nOps
+				}
+			} else if ls != nil {
+				ls.OpsMemory += nOps
+			}
+		}
+		if s.dbg != nil {
+			s.dbg.printf("t=%d pc=%d buf=%v\n", s.now, pc, s.fromBuf[0])
 		}
 		sc.branches = sc.branches[:0]
 		sc.stores = sc.stores[:0]
 		retired := false
 		var retVal int64
 		callNext := -1
+		var nullified int64
 
 		for i := range db.ops {
 			d := &db.ops[i]
@@ -652,7 +648,7 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 				guard = s.readPred(f, d.guard)
 			}
 			if !guard && d.kind != dCmpP {
-				s.stats.OpsNullified++
+				nullified++
 				continue
 			}
 			switch d.kind {
@@ -821,6 +817,11 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 			}
 		}
 
+		if nullified != 0 {
+			for _, a := range s.accts {
+				a.stats.OpsNullified += nullified
+			}
+		}
 		// Commit stores at end of cycle.
 		for _, st := range sc.stores {
 			_ = s.store(st.opc, st.addr, st.val)
@@ -862,11 +863,14 @@ func (s *sim) execCall(f *frame, d *dop, pc int, cc *callCtx, df *decodedFunc) (
 		nf.regs[parm] = s.readReg(f, d.op.Src[i])
 	}
 	s.now++
-	s.penalty += int64(s.code.Mach.BranchPenalty)
-	s.stats.BranchPenaltyCycles += int64(s.code.Mach.BranchPenalty)
-	if s.ring != nil {
-		s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimCall,
-			Run: s.label, Func: d.op.Callee, PC: int32(pc)})
+	bp := int64(s.code.Mach.BranchPenalty)
+	for _, a := range s.accts {
+		a.penalty += bp
+		a.stats.BranchPenaltyCycles += bp
+		if a.ring != nil {
+			a.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimCall,
+				Run: a.label, Func: d.op.Callee, PC: int32(pc)})
+		}
 	}
 	cc.depth++
 	rv, err := s.execDepth(nf, 0, cc)
@@ -878,11 +882,13 @@ func (s *sim) execCall(f *frame, d *dop, pc int, cc *callCtx, df *decodedFunc) (
 	// The caller's wheel slots went stale while it sat suspended through
 	// the callee's cycles; land everything now due before resuming.
 	s.drainDue(f)
-	s.penalty += int64(s.code.Mach.BranchPenalty)
-	s.stats.BranchPenaltyCycles += int64(s.code.Mach.BranchPenalty)
-	if s.ring != nil {
-		s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRet,
-			Run: s.label, Func: d.op.Callee, PC: int32(pc)})
+	for _, a := range s.accts {
+		a.penalty += bp
+		a.stats.BranchPenaltyCycles += bp
+		if a.ring != nil {
+			a.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRet,
+				Run: a.label, Func: d.op.Callee, PC: int32(pc)})
+		}
 	}
 	// Resume after the call bundle.
 	next := int(df.bundles[pc].fall)
@@ -896,29 +902,37 @@ func (s *sim) execCall(f *frame, d *dop, pc int, cc *callCtx, df *decodedFunc) (
 // taken branch in slot order wins (the schedule guarantees at most one
 // is truly taken); untaken loop-backs charge their exit penalty on the
 // way. Returns the winning target bundle, or -2 for fallthrough.
-// Shared by the interpretive loop and the kernel's exit path so both
-// charge bit-identical penalties and emit identical redirect events.
+// Branch decisions are architectural (identical for every account);
+// penalties and buffer-state transitions are per-account — a plan that
+// keeps the loop resident predicts its loop-back for free while an
+// unplanned account pays the redirect, on the same control transfer.
+// Shared by the interpretive loop and the region runner's exit path so
+// both charge bit-identical penalties and emit identical redirects.
 func (s *sim) resolveControl(fc *sched.FuncCode, pc int, sc *scratch) int {
 	next := -2
 	for _, ba := range sc.branches {
 		if !ba.taken {
 			// Untaken loop-back: loop exit.
-			p := s.buf.exitPenalty(fc, pc, ba.d.loopBack, s)
-			s.penalty += p
-			s.stats.BranchPenaltyCycles += p
-			if p > 0 && s.ring != nil {
-				s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRedirect,
-					Run: s.label, Func: fc.F.Name, PC: int32(pc), Arg: p})
+			for _, a := range s.accts {
+				p := a.buf.exitPenalty(fc, pc, ba.d.loopBack, s, a)
+				a.penalty += p
+				a.stats.BranchPenaltyCycles += p
+				if p > 0 && a.ring != nil {
+					a.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRedirect,
+						Run: a.label, Func: fc.F.Name, PC: int32(pc), Arg: p})
+				}
 			}
 			continue
 		}
 		next = int(ba.d.target)
-		p := s.buf.takenPenalty(fc, pc, ba.d.loopBack, int(ba.d.target), s)
-		s.penalty += p
-		s.stats.BranchPenaltyCycles += p
-		if p > 0 && s.ring != nil {
-			s.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRedirect,
-				Run: s.label, Func: fc.F.Name, PC: int32(pc), Arg: p})
+		for _, a := range s.accts {
+			p := a.buf.takenPenalty(fc, pc, ba.d.loopBack, int(ba.d.target), s, a)
+			a.penalty += p
+			a.stats.BranchPenaltyCycles += p
+			if p > 0 && a.ring != nil {
+				a.ring.Emit(obs.SimEvent{Cycle: s.now, Kind: obs.SimRedirect,
+					Run: a.label, Func: fc.F.Name, PC: int32(pc), Arg: p})
+			}
 		}
 		break
 	}
