@@ -17,6 +17,7 @@ import (
 	"lpbuf/internal/bench/suite"
 	"lpbuf/internal/core"
 	"lpbuf/internal/experiments"
+	"lpbuf/internal/obs/pmu"
 	"lpbuf/internal/vliw"
 )
 
@@ -246,4 +247,42 @@ func BenchmarkSimsPerSec(b *testing.B) {
 		sims += len(results)
 	}
 	b.ReportMetric(float64(sims)/b.Elapsed().Seconds(), "sims/sec")
+}
+
+// BenchmarkSimsPerSecPMU is BenchmarkSimsPerSec with guest-PMU
+// sampling at the default period. The pair feeds the PMU overhead gate
+// (cmd/benchdiff -check-pmu-overhead): sampling may cost at most its
+// budgeted fraction of the sampling-off sims/sec.
+func BenchmarkSimsPerSecPMU(b *testing.B) {
+	bm, ok := suite.ByName("g724enc")
+	if !ok {
+		b.Fatal("g724enc missing from the benchmark table")
+	}
+	cfg := core.Aggressive(256)
+	cfg.Name = "aggressive"
+	cfg.TraceLabel = "g724enc"
+	cfg.PMU = &pmu.Config{}
+	c, err := core.Compile(bm.Build(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := vliw.NewEngine()
+	b.ResetTimer()
+	sims := 0
+	samples := int64(0)
+	for i := 0; i < b.N; i++ {
+		results, err := c.RunSweep(experiments.BufferSizes, engine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sims += len(results)
+		samples = 0
+		for _, r := range results {
+			if r.Profile != nil {
+				samples += r.Profile.Total()
+			}
+		}
+	}
+	b.ReportMetric(float64(sims)/b.Elapsed().Seconds(), "sims/sec")
+	b.ReportMetric(float64(samples), "samples/sweep")
 }

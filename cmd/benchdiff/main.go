@@ -22,6 +22,11 @@
 //     baseline is recorded, or across environments, the gate is
 //     advisory. `-update-throughput` records the artifact as the
 //     baseline (run it on the CI bench host, never in a dev container).
+//   - `benchdiff -check-pmu-overhead BENCH_simulator.json` holds the
+//     sampled guest PMU to its overhead budget by comparing the
+//     artifact's BenchmarkSimsPerSec and BenchmarkSimsPerSecPMU
+//     medians; no baseline file is involved since both numbers come
+//     from one run. `-pmu-tol` overrides the default 10% budget.
 //
 // Flags: -alpha significance level, -tol metric=frac[,metric=frac...]
 // tolerance overrides, -md FILE markdown report (the CI artifact),
@@ -57,6 +62,8 @@ func main() {
 	updateThroughput := flag.Bool("update-throughput", false, "record an artifact's sims/sec as the throughput baseline")
 	throughputFile := flag.String("throughput", "baselines/throughput.json", "throughput baseline file")
 	throughputTol := flag.Float64("throughput-tol", 0, "relative sims/sec drop tolerated (0 = the sims/sec default policy)")
+	checkPMUOverhead := flag.Bool("check-pmu-overhead", false, "gate PMU sampling overhead (SimsPerSec vs SimsPerSecPMU within one artifact)")
+	pmuTol := flag.Float64("pmu-tol", 0, "sims/sec fraction PMU sampling may cost (0 = the default 10% budget)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -128,6 +135,30 @@ func main() {
 		}
 		if rep.Regression && !*advisory {
 			fmt.Fprintln(os.Stderr, "benchdiff: sims/sec regressed beyond tolerance; if intentional, rerun with -update-throughput")
+			os.Exit(1)
+		}
+		return
+
+	case *checkPMUOverhead:
+		if flag.NArg() != 1 {
+			fail(fmt.Errorf("usage: benchdiff -check-pmu-overhead BENCH_simulator.json"))
+		}
+		art, err := perfgate.ReadBenchArtifact(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		rep, err := perfgate.ComparePMUOverhead(art, *pmuTol)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rep.Render())
+		if *mdOut != "" {
+			if err := os.WriteFile(*mdOut, []byte(rep.Markdown()), 0o644); err != nil {
+				fail(err)
+			}
+		}
+		if rep.Breach && !*advisory {
+			fmt.Fprintln(os.Stderr, "benchdiff: PMU sampling overhead exceeds its budget; cheapen the sampling path or raise -pmu-tol deliberately")
 			os.Exit(1)
 		}
 		return

@@ -46,6 +46,7 @@ import (
 	"lpbuf/internal/bench/suite"
 	"lpbuf/internal/experiments"
 	"lpbuf/internal/obs"
+	"lpbuf/internal/obs/pmu"
 	"lpbuf/internal/runner"
 	"lpbuf/internal/service"
 	"lpbuf/internal/verify"
@@ -71,6 +72,8 @@ func main() {
 	jsonOut := flag.String("json", "", "write a JSON artifact of the computed results to this file")
 	progress := flag.Bool("progress", false, "log per-job runner progress to stderr")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON (Perfetto-loadable) to this file")
+	simProfileOut := flag.String("sim-profile", "", "write a sampled guest PMU profile (lpbuf.simprofile/v1 JSON) to this file")
+	simFlameOut := flag.String("sim-flame", "", "write the sampled profile as collapsed-stack (flamegraph) text to this file")
 	metricsOut := flag.String("metrics-out", "", "write a metrics snapshot (registry + per-loop energy) to this file")
 	pprofAddr := flag.String("pprof", "", "serve expvar and net/http/pprof on this address while running")
 	submit := flag.String("submit", "", "submit the job to a running lpbufd at this base URL instead of executing locally")
@@ -140,11 +143,13 @@ func main() {
 			fail(err)
 		}
 		if err := runSubmit(*submit, spec, submitOptions{
-			progress:  *progress,
-			specOut:   *specOut,
-			statusOut: *statusOut,
-			jsonOut:   *jsonOut,
-			traceOut:  *traceOut,
+			progress:      *progress,
+			specOut:       *specOut,
+			statusOut:     *statusOut,
+			jsonOut:       *jsonOut,
+			traceOut:      *traceOut,
+			simProfileOut: *simProfileOut,
+			simFlameOut:   *simFlameOut,
 		}); err != nil {
 			fail(err)
 		}
@@ -162,6 +167,12 @@ func main() {
 	opts := experiments.Options{Workers: *par, Verify: *doVerify}
 	if *progress {
 		opts.OnEvent = runner.LogObserver(os.Stderr)
+	}
+	// The sampled guest PMU rides every simulation when any profile
+	// output is requested; -trace-out enables it too so the Perfetto
+	// export gains its counter tracks.
+	if *simProfileOut != "" || *simFlameOut != "" || *traceOut != "" {
+		opts.PMU = &pmu.Config{}
 	}
 	var o *obs.Obs
 	if *traceOut != "" || *metricsOut != "" || *pprofAddr != "" {
@@ -349,8 +360,34 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "lpbuf: wrote %s (%s)\n", *metricsOut, experiments.MetricsSchema)
 	}
+	var simDoc *pmu.Document
+	if opts.PMU != nil {
+		simDoc = s.SimProfiles()
+	}
+	if *simProfileOut != "" {
+		if simDoc == nil {
+			fail(fmt.Errorf("-sim-profile: no simulations ran, nothing to profile"))
+		}
+		if err := simDoc.WriteFile(*simProfileOut); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "lpbuf: wrote %s (%s)\n", *simProfileOut, pmu.Schema)
+	}
+	if *simFlameOut != "" {
+		if simDoc == nil {
+			fail(fmt.Errorf("-sim-flame: no simulations ran, nothing to profile"))
+		}
+		if err := os.WriteFile(*simFlameOut, []byte(simDoc.Collapsed()), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "lpbuf: wrote %s (collapsed stacks)\n", *simFlameOut)
+	}
 	if *traceOut != "" {
-		if err := obs.WriteChromeTraceFile(*traceOut, o.Trace, o.Sim); err != nil {
+		var counters []obs.CounterSeries
+		if simDoc != nil {
+			counters = simDoc.CounterSeries(nil)
+		}
+		if err := obs.WriteChromeTraceCountersFile(*traceOut, o.Trace, o.Sim, counters); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "lpbuf: wrote %s (chrome trace-event JSON)\n", *traceOut)
@@ -383,9 +420,12 @@ func printList() {
 	fmt.Println()
 	fmt.Println("execution: -par N workers, -json FILE artifact, -progress job log,")
 	fmt.Println("           -verify phase checkpoints (also: build -tags verify)")
-	fmt.Println("observability: -trace-out FILE Chrome/Perfetto trace, -metrics-out FILE")
+	fmt.Println("observability: -trace-out FILE Chrome/Perfetto trace (with PMU counter")
+	fmt.Println("           tracks), -sim-profile FILE sampled guest PMU profile JSON,")
+	fmt.Println("           -sim-flame FILE collapsed flamegraph stacks, -metrics-out FILE")
 	fmt.Println("           counters + per-loop energy snapshot, -pprof ADDR expvar/pprof")
 	fmt.Println("remote:    -submit URL run figure jobs on a lpbufd (with -spec-out,")
-	fmt.Println("           -status-out, -json, -progress, -trace-out fetches the")
-	fmt.Println("           daemon's per-job span tree); see SERVICE.md")
+	fmt.Println("           -status-out, -json, -progress; -trace-out fetches the")
+	fmt.Println("           daemon's per-job span tree, -sim-profile/-sim-flame its")
+	fmt.Println("           sampled guest profile); see SERVICE.md")
 }

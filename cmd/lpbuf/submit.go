@@ -14,16 +14,19 @@ import (
 	"time"
 
 	"lpbuf/internal/experiments"
+	"lpbuf/internal/obs/pmu"
 	"lpbuf/internal/service"
 )
 
 // submitOptions carries the client-side knobs of -submit mode.
 type submitOptions struct {
-	progress  bool   // stream SSE progress to stderr
-	specOut   string // write the normalized lpbuf.job/v1 request here
-	statusOut string // write the final lpbuf.jobstatus/v1 response here
-	jsonOut   string // write the artifact bytes verbatim here
-	traceOut  string // write the server-side span tree (Perfetto JSON) here
+	progress      bool   // stream SSE progress to stderr
+	specOut       string // write the normalized lpbuf.job/v1 request here
+	statusOut     string // write the final lpbuf.jobstatus/v1 response here
+	jsonOut       string // write the artifact bytes verbatim here
+	traceOut      string // write the server-side span tree (Perfetto JSON) here
+	simProfileOut string // write the server-side sampled PMU profile here
+	simFlameOut   string // render that profile as collapsed stacks here
 }
 
 // pollInterval paces status polling when -progress (SSE) is off.
@@ -150,6 +153,11 @@ func runSubmit(baseURL string, spec service.JobSpec, opts submitOptions) error {
 			return err
 		}
 	}
+	if opts.simProfileOut != "" || opts.simFlameOut != "" {
+		if err := fetchSimProfile(client, base, st.ID, opts.simProfileOut, opts.simFlameOut); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -183,6 +191,44 @@ func fetchTrace(client *http.Client, base, id, path string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "lpbuf: wrote %s (server trace %s)\n", path, resp.Header.Get(service.TraceHeader))
+	return nil
+}
+
+// fetchSimProfile downloads the job's sampled PMU profile
+// (lpbuf.simprofile/v1 JSON), writes it verbatim to profilePath (when
+// set) and renders it as collapsed-stack flamegraph text to flamePath
+// (when set). Jobs served entirely from the artifact store carry no
+// profile (the daemon answers 404); that surfaces here as an error
+// rather than an empty file.
+func fetchSimProfile(client *http.Client, base, id, profilePath, flamePath string) error {
+	resp, err := client.Get(base + "/v1/jobs/" + id + "/simprofile")
+	if err != nil {
+		return fmt.Errorf("simprofile: %w", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("simprofile: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("simprofile: server said %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	if profilePath != "" {
+		if err := os.WriteFile(profilePath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lpbuf: wrote %s (%s)\n", profilePath, pmu.Schema)
+	}
+	if flamePath != "" {
+		doc, err := pmu.Decode(data)
+		if err != nil {
+			return fmt.Errorf("simprofile: %w", err)
+		}
+		if err := os.WriteFile(flamePath, []byte(doc.Collapsed()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lpbuf: wrote %s (collapsed stacks)\n", flamePath)
+	}
 	return nil
 }
 

@@ -3,7 +3,8 @@
 // (-metrics), a Prometheus text exposition page (-prom, what lpbufd
 // serves at /metrics?format=prom), a cmd/benchjson bench artifact
 // (-bench, schema lpbuf/bench/v1 or /v2), a result artifact
-// (-artifact, schema lpbuf.artifact/v1), and lpbufd's job codec in
+// (-artifact, schema lpbuf.artifact/v1), a sampled guest-PMU profile
+// (-simprofile, schema lpbuf.simprofile/v1), and lpbufd's job codec in
 // both directions (-job-request lpbuf.job/v1, -job-status
 // lpbuf.jobstatus/v1). It is the CI gate that keeps every format
 // loadable — the trace in Perfetto / chrome://tracing, the prom page
@@ -14,7 +15,7 @@
 //
 //	obscheck -trace trace.json -metrics metrics.json -bench BENCH_simulator.json
 //	obscheck -artifact results.json -job-request spec.json -job-status status.json
-//	obscheck -prom metrics.prom
+//	obscheck -prom metrics.prom -simprofile simprofile.json
 //
 // Exit status is non-zero with a diagnostic on the first violation.
 package main
@@ -29,6 +30,7 @@ import (
 	"lpbuf/internal/experiments"
 	"lpbuf/internal/obs"
 	"lpbuf/internal/obs/perfgate"
+	"lpbuf/internal/obs/pmu"
 	"lpbuf/internal/service"
 )
 
@@ -40,6 +42,7 @@ func main() {
 	artifactPath := flag.String("artifact", "", "lpbuf.artifact/v1 result artifact to validate")
 	jobReqPath := flag.String("job-request", "", "lpbuf.job/v1 job request to validate")
 	jobStatusPath := flag.String("job-status", "", "lpbuf.jobstatus/v1 job status to validate")
+	simProfilePath := flag.String("simprofile", "", "lpbuf.simprofile/v1 sampled PMU profile to validate")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -47,8 +50,8 @@ func main() {
 		os.Exit(1)
 	}
 	if *tracePath == "" && *metricsPath == "" && *promPath == "" && *benchPath == "" &&
-		*artifactPath == "" && *jobReqPath == "" && *jobStatusPath == "" {
-		fail("nothing to check; pass -trace, -metrics, -prom, -bench, -artifact, -job-request and/or -job-status")
+		*artifactPath == "" && *jobReqPath == "" && *jobStatusPath == "" && *simProfilePath == "" {
+		fail("nothing to check; pass -trace, -metrics, -prom, -bench, -artifact, -job-request, -job-status and/or -simprofile")
 	}
 	if *artifactPath != "" {
 		if err := checkArtifact(*artifactPath); err != nil {
@@ -87,6 +90,36 @@ func main() {
 			fail("%s: %v", *benchPath, err)
 		}
 	}
+	if *simProfilePath != "" {
+		if err := checkSimProfile(*simProfilePath); err != nil {
+			fail("%s: %v", *simProfilePath, err)
+		}
+	}
+}
+
+// checkSimProfile validates a lpbuf.simprofile/v1 document through the
+// same decoder `lpbuf -sim-profile` consumers use, then enforces the
+// schema invariants (sample-count bookkeeping, state vocabulary,
+// monotone counter series).
+func checkSimProfile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, err := pmu.Decode(data)
+	if err != nil {
+		return err
+	}
+	if err := doc.Validate(); err != nil {
+		return err
+	}
+	var samples int64
+	for _, p := range doc.Profiles {
+		samples += p.TotalSamples
+	}
+	fmt.Printf("obscheck: %s ok (%s, %d profiles, %d samples, period %d)\n",
+		path, pmu.Schema, len(doc.Profiles), samples, doc.Sampling.Period)
+	return nil
 }
 
 // checkArtifact validates a lpbuf.artifact/v1 result artifact through
@@ -212,7 +245,7 @@ func checkTrace(path string) error {
 			return fmt.Errorf("event %d has no name", i)
 		}
 		switch e.Ph {
-		case "X", "i", "B", "E", "M":
+		case "X", "i", "B", "E", "M", "C":
 		default:
 			return fmt.Errorf("event %d (%q) has unknown phase %q", i, e.Name, e.Ph)
 		}

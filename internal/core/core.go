@@ -19,6 +19,7 @@ import (
 	"lpbuf/internal/looptrans"
 	"lpbuf/internal/machine"
 	"lpbuf/internal/obs"
+	"lpbuf/internal/obs/pmu"
 	"lpbuf/internal/opt"
 	"lpbuf/internal/predicate"
 	"lpbuf/internal/profile"
@@ -71,6 +72,12 @@ type Config struct {
 	// from every run of the compiled program. Nil disables all
 	// instrumentation at nil-check cost.
 	Obs *obs.Obs
+	// PMU, when non-nil, enables sampled guest profiling on every run
+	// of the compiled program: each vliw result carries a per-plan
+	// pmu.Profile attributing jittered-clock samples to (func, loop,
+	// PC-bucket, buffer-state). Nil disables sampling at nil-check
+	// cost.
+	PMU *pmu.Config
 	// TraceLabel prefixes simulator event run labels (typically the
 	// benchmark name); the full label is "TraceLabel/Name@capacity".
 	TraceLabel string
@@ -397,7 +404,7 @@ func (c *Compiled) RunWithBuffer(capacity int) (*vliw.Result, error) {
 func (c *Compiled) RunSweep(capacities []int, engine *vliw.Engine) ([]*vliw.Result, error) {
 	plans := make([]*vliw.BufferPlan, len(capacities))
 	var labels []string
-	if c.Config.Obs != nil {
+	if c.Config.Obs != nil || c.Config.PMU != nil {
 		labels = make([]string, len(capacities))
 	}
 	for i, capacity := range capacities {
@@ -413,7 +420,7 @@ func (c *Compiled) RunSweep(capacities []int, engine *vliw.Engine) ([]*vliw.Resu
 	}
 	results, err := vliw.RunBatch(c.Code, plans, vliw.BatchOptions{
 		Options: vliw.Options{EntryArgs: c.Config.EntryArgs,
-			Obs: c.Config.Obs, Engine: engine},
+			Obs: c.Config.Obs, Engine: engine, PMU: c.Config.PMU},
 		Labels:          labels,
 		FoldedStatsOnly: true,
 	})
@@ -441,11 +448,11 @@ func (c *Compiled) runPlan(plan *vliw.BufferPlan) (*vliw.Result, error) {
 		}
 	}
 	var label string
-	if c.Config.Obs != nil {
+	if c.Config.Obs != nil || c.Config.PMU != nil {
 		label = fmt.Sprintf("%s/%s@%d", c.Config.TraceLabel, c.Config.Name, plan.Capacity)
 	}
 	res, err := vliw.Run(c.Code, plan, vliw.Options{EntryArgs: c.Config.EntryArgs,
-		Obs: c.Config.Obs, TraceLabel: label})
+		Obs: c.Config.Obs, TraceLabel: label, PMU: c.Config.PMU})
 	if err != nil {
 		return nil, fmt.Errorf("%s: simulation: %w", c.Config.Name, err)
 	}

@@ -19,6 +19,7 @@ import (
 	"lpbuf/internal/core"
 	"lpbuf/internal/ir"
 	"lpbuf/internal/obs"
+	"lpbuf/internal/obs/pmu"
 	"lpbuf/internal/power"
 	"lpbuf/internal/predicate"
 	"lpbuf/internal/runner"
@@ -67,6 +68,14 @@ type Suite struct {
 	cc      *Cache
 	verify  bool
 	obs     *obs.Obs
+	pmu     *pmu.Config
+
+	// profiles collects the PMU profiles of runs this suite served
+	// (keyed by run label), so SimProfiles reports exactly the runs
+	// behind this suite's figures even when the memoization cache is
+	// shared across suites.
+	profMu   sync.Mutex
+	profiles map[string]*pmu.Profile
 }
 
 // Options configures a Suite's execution subsystem.
@@ -89,6 +98,13 @@ type Options struct {
 	// Nil gives the suite a private cache, preserving the historical
 	// one-suite-per-process behaviour.
 	Cache *Cache
+	// PMU enables sampled guest profiling on every simulation the
+	// suite performs; SimProfiles then exports the per-plan profiles.
+	// Like Obs, the PMU config is not part of the memoization key:
+	// cached runs carry whatever profile (or none) their first
+	// computation produced, so suites sharing a Cache should agree on
+	// sampling (lpbufd enables it for every job).
+	PMU *pmu.Config
 }
 
 // New creates an empty experiment suite with default options.
@@ -115,12 +131,48 @@ func NewWithOptions(o Options) *Suite {
 		cc = NewCache()
 	}
 	return &Suite{
-		run:     runner.New(opts...),
-		metrics: m,
-		verify:  o.Verify,
-		obs:     o.Obs,
-		cc:      cc,
+		run:      runner.New(opts...),
+		metrics:  m,
+		verify:   o.Verify,
+		obs:      o.Obs,
+		pmu:      o.PMU,
+		cc:       cc,
+		profiles: map[string]*pmu.Profile{},
 	}
+}
+
+// noteRuns collects the PMU profiles of runs this suite served.
+func (s *Suite) noteRuns(runs ...*Run) {
+	if s.pmu == nil {
+		return
+	}
+	s.profMu.Lock()
+	for _, r := range runs {
+		if r != nil && r.Profile != nil {
+			s.profiles[r.Profile.Label] = r.Profile
+		}
+	}
+	s.profMu.Unlock()
+}
+
+// SimProfiles snapshots the sampled PMU profiles of every verified run
+// this suite performed (or served from cache) as a versioned
+// lpbuf.simprofile/v1 document. Nil when sampling is disabled or no
+// profiled run has completed yet.
+func (s *Suite) SimProfiles() *pmu.Document {
+	if s.pmu == nil {
+		return nil
+	}
+	s.profMu.Lock()
+	ps := make([]*pmu.Profile, 0, len(s.profiles))
+	for _, p := range s.profiles {
+		ps = append(ps, p)
+	}
+	s.profMu.Unlock()
+	if len(ps) == 0 {
+		return nil
+	}
+	return pmu.NewDocument(*s.pmu, ps)
 }
 
 // Metrics snapshots the suite's execution counters (jobs, wall-time
@@ -167,6 +219,7 @@ func (s *Suite) compiled(name, cfg string) (*core.Compiled, bench.Benchmark, err
 	config.SchedBackend = backend
 	config.Verify = s.verify
 	config.Obs = s.obs
+	config.PMU = s.pmu
 	config.TraceLabel = name
 	// Verify-enabled compiles run the phase checkpoints; a shared cache
 	// must not satisfy a verifying suite with an unverified compile (or
@@ -219,6 +272,9 @@ type Run struct {
 	// StaticOps is the scheduled code size in operations (including
 	// software-pipelining expansion).
 	StaticOps int
+	// Profile is the run's sampled PMU profile (nil when the run was
+	// first computed with sampling disabled).
+	Profile *pmu.Profile
 }
 
 // RunAt compiles (cached), re-plans the buffer at the given capacity,
@@ -234,6 +290,7 @@ func (s *Suite) RunAt(name, cfg string, bufferOps int) (*Run, error) {
 	s.cc.mu.Unlock()
 	if r != nil {
 		s.metrics.RunHit()
+		s.noteRuns(r)
 		return r, nil
 	}
 	v, shared, err := s.cc.flight.Do("run/"+key, func() (any, error) {
@@ -260,7 +317,9 @@ func (s *Suite) RunAt(name, cfg string, bufferOps int) (*Run, error) {
 	if shared {
 		s.metrics.RunHit()
 	}
-	return v.(*Run), nil
+	r = v.(*Run)
+	s.noteRuns(r)
+	return r, nil
 }
 
 // RunSweepAt runs one benchmark/config across a whole buffer sweep as
@@ -294,6 +353,7 @@ func (s *Suite) RunSweepAt(name, cfg string, sizes []int) ([]*Run, error) {
 		for range sizes {
 			s.metrics.RunHit()
 		}
+		s.noteRuns(out...)
 		return out, nil
 	}
 	key := fmt.Sprintf("sweep/%s/%s@%v%s", name, cfg, sizes, verifyKeySuffix(s.verify))
@@ -333,7 +393,8 @@ func (s *Suite) RunSweepAt(name, cfg string, sizes []int) ([]*Run, error) {
 				continue
 			}
 			r := &Run{Bench: name, Config: cfg, BufferOps: sz,
-				Stats: results[i].Stats, Pass: c.Stats, StaticOps: static}
+				Stats: results[i].Stats, Pass: c.Stats, StaticOps: static,
+				Profile: results[i].Profile}
 			s.cc.runs[runKey(sz)] = r
 			out[i] = r
 			misses++
@@ -355,7 +416,9 @@ func (s *Suite) RunSweepAt(name, cfg string, sizes []int) ([]*Run, error) {
 			s.metrics.RunHit()
 		}
 	}
-	return v.([]*Run), nil
+	out := v.([]*Run)
+	s.noteRuns(out...)
+	return out, nil
 }
 
 // verifyKeySuffix segregates verify-enabled entries in a shared Cache.
@@ -384,7 +447,8 @@ func (s *Suite) runUncached(name, cfg string, bufferOps int) (*Run, error) {
 		static += fc.OpCount()
 	}
 	return &Run{Bench: name, Config: cfg, BufferOps: bufferOps,
-		Stats: res.Stats, Pass: c.Stats, StaticOps: static}, nil
+		Stats: res.Stats, Pass: c.Stats, StaticOps: static,
+		Profile: res.Profile}, nil
 }
 
 // Disasm returns the aggressive-config scheduled-code listing of a

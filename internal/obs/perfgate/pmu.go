@@ -1,0 +1,99 @@
+package perfgate
+
+import "fmt"
+
+// PMUBench is the sampling-enabled sibling of ThroughputBench: the
+// same batched sweep with the guest PMU sampling at its default period
+// (cmd/benchjson strips the "Benchmark" prefix).
+const PMUBench = "SimsPerSecPMU"
+
+// DefaultPMUOverheadTol is the budget the sampled PMU is held to:
+// enabling sampling at the default period may cost at most this
+// fraction of the sampling-off sims/sec median.
+const DefaultPMUOverheadTol = 0.10
+
+// PMUOverheadReport is the outcome of gating PMU sampling overhead.
+// Unlike the throughput gate it needs no recorded baseline and no
+// environment match: both medians come from the same artifact, so the
+// ratio is meaningful wherever it was measured.
+type PMUOverheadReport struct {
+	// Off and On are the median sims/sec with sampling disabled
+	// (ThroughputBench) and enabled (PMUBench).
+	Off float64 `json:"off"`
+	On  float64 `json:"on"`
+	// OffSamples and OnSamples count the medians' sample vectors.
+	OffSamples int `json:"off_samples"`
+	OnSamples  int `json:"on_samples"`
+	// Overhead is (off - on) / off: the throughput fraction sampling
+	// costs. Negative means sampling measured faster (noise).
+	Overhead float64 `json:"overhead"`
+	// Tol is the budget applied.
+	Tol float64 `json:"tol"`
+	// Breach is true when Overhead exceeds Tol.
+	Breach bool `json:"breach"`
+}
+
+// ComparePMUOverhead gates the sampled PMU's throughput cost using the
+// two sims/sec benchmarks of one artifact. tol <= 0 applies the
+// default budget.
+func ComparePMUOverhead(art *BenchArtifact, tol float64) (*PMUOverheadReport, error) {
+	if tol <= 0 {
+		tol = DefaultPMUOverheadTol
+	}
+	med := func(bench string) (float64, int, error) {
+		r := art.Result(bench)
+		if r == nil {
+			return 0, 0, fmt.Errorf("artifact has no %s benchmark", bench)
+		}
+		samples := r.Samples[throughputUnit]
+		if len(samples) == 0 {
+			return 0, 0, fmt.Errorf("%s has no %s samples", bench, throughputUnit)
+		}
+		return Median(samples), len(samples), nil
+	}
+	off, offN, err := med(ThroughputBench)
+	if err != nil {
+		return nil, err
+	}
+	on, onN, err := med(PMUBench)
+	if err != nil {
+		return nil, err
+	}
+	if !(off > 0) {
+		return nil, fmt.Errorf("%s median %v is not positive", ThroughputBench, off)
+	}
+	rep := &PMUOverheadReport{
+		Off: off, On: on,
+		OffSamples: offN, OnSamples: onN,
+		Overhead: (off - on) / off,
+		Tol:      tol,
+	}
+	rep.Breach = rep.Overhead > tol
+	return rep, nil
+}
+
+// Render formats the report for terminal output.
+func (r *PMUOverheadReport) Render() string {
+	s := fmt.Sprintf("pmu overhead gate: sampling off %.1f sims/sec, on %.1f sims/sec (overhead %.1f%%, budget %.0f%%)\n",
+		r.Off, r.On, 100*r.Overhead, 100*r.Tol)
+	if r.Breach {
+		s += "PMU SAMPLING OVERHEAD OVER BUDGET\n"
+	} else {
+		s += "pmu overhead within budget\n"
+	}
+	return s
+}
+
+// Markdown formats the report for the CI artifact.
+func (r *PMUOverheadReport) Markdown() string {
+	s := "# pmu overhead gate\n\n"
+	s += fmt.Sprintf("| | sims/sec | samples |\n|---|---|---|\n| sampling off | %.1f | %d |\n| sampling on | %.1f | %d |\n\n",
+		r.Off, r.OffSamples, r.On, r.OnSamples)
+	s += fmt.Sprintf("Overhead **%.1f%%** against a **%.0f%%** budget.\n", 100*r.Overhead, 100*r.Tol)
+	if r.Breach {
+		s += "\n**PMU SAMPLING OVERHEAD OVER BUDGET.**\n"
+	} else {
+		s += "\nWithin budget.\n"
+	}
+	return s
+}

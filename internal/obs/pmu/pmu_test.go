@@ -1,0 +1,261 @@
+package pmu
+
+import (
+	"strings"
+	"testing"
+
+	"lpbuf/internal/power"
+)
+
+// TestClockDeterminism: two clocks from the same config fire at
+// identical cycles — the property making sampled profiles reproducible.
+func TestClockDeterminism(t *testing.T) {
+	cfg := Config{Period: 512, Seed: 42}
+	a, b := NewClock(cfg), NewClock(cfg)
+	cycle := int64(0)
+	for i := 0; i < 10000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("fire %d: clocks diverged (%d vs %d)", i, a.Next(), b.Next())
+		}
+		cycle = a.Next()
+		a.Fire(cycle)
+		b.Fire(cycle)
+	}
+	// A different seed must produce a different fire sequence.
+	c := NewClock(Config{Period: 512, Seed: 43})
+	same := true
+	d := NewClock(cfg)
+	for i := 0; i < 64; i++ {
+		if c.Next() != d.Next() {
+			same = false
+			break
+		}
+		c.Fire(c.Next())
+		d.Fire(d.Next())
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical fire sequences")
+	}
+	_ = cycle
+}
+
+// TestClockJitterBounds: every gap lies in [period/2, 3*period/2) and
+// the empirical mean converges to the period.
+func TestClockJitterBounds(t *testing.T) {
+	const period = 4096
+	c := NewClock(Config{Period: period, Seed: 7})
+	prev := int64(0)
+	var sum int64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		next := c.Next()
+		gap := next - prev
+		if gap < period/2 || gap >= period+period/2 {
+			t.Fatalf("fire %d: gap %d outside [%d, %d)", i, gap, period/2, period+period/2)
+		}
+		sum += gap
+		prev = next
+		c.Fire(next)
+	}
+	mean := float64(sum) / n
+	if mean < 0.95*period || mean > 1.05*period {
+		t.Fatalf("mean gap %.1f, want within 5%% of %d", mean, period)
+	}
+}
+
+// TestClockNormalization: zero config normalizes to the documented
+// defaults and tiny periods never produce a non-positive gap.
+func TestClockNormalization(t *testing.T) {
+	n := Config{}.Normalized()
+	if n.Period != DefaultPeriod || n.Seed != 1 {
+		t.Fatalf("zero config normalized to %+v", n)
+	}
+	c := NewClock(Config{Period: 1, Seed: 9})
+	prev := int64(0)
+	for i := 0; i < 1000; i++ {
+		if c.Next() <= prev {
+			t.Fatalf("fire %d: next %d did not advance past %d", i, c.Next(), prev)
+		}
+		prev = c.Next()
+		c.Fire(prev)
+	}
+}
+
+func sampleProfile() *Profile {
+	p := NewProfile("bench/config@64", 64)
+	p.Cycles = 5000
+	p.Record("main", "", "", 2, StateMemory, 1)
+	p.Record("filter", "filter@4", "filter:B", 6, StateRecord, 4)
+	p.Record("filter", "filter@4", "filter:B", 6, StateReplay, 4)
+	p.Record("filter", "filter@4", "filter:B", 7, StateReplay, 4)
+	p.Observe(1000, 0, 40, 0)
+	p.Observe(2000, 32, 48, 2)
+	p.Observe(4000, 96, 52, 2)
+	return p
+}
+
+func TestProfileRecordAndSamples(t *testing.T) {
+	p := sampleProfile()
+	if p.Total() != 4 {
+		t.Fatalf("total %d, want 4", p.Total())
+	}
+	rows := p.Samples()
+	if len(rows) != 3 {
+		t.Fatalf("rows %d, want 3", len(rows))
+	}
+	// Sorted by descending count first: the two replay samples at
+	// bucket 0 land in one row... actually pc 6 and 7 share bucket 0.
+	if rows[0].Count != 2 || rows[0].State != "replay" {
+		t.Fatalf("top row %+v, want 2 replay samples", rows[0])
+	}
+	if rows[0].LoopLabel != "filter:B" {
+		t.Fatalf("top row loop label %q", rows[0].LoopLabel)
+	}
+	if rows[0].Ops != 8 {
+		t.Fatalf("top row ops %d, want 8 (two replay samples of width 4)", rows[0].Ops)
+	}
+	lc := p.LoopCounts()
+	if lc["filter@4"] != 3 || lc[""] != 1 {
+		t.Fatalf("loop counts %v", lc)
+	}
+}
+
+// TestLoopEnergyEstimate: replay ops are priced at the buffer rate,
+// record/memory ops at the memory rate.
+func TestLoopEnergyEstimate(t *testing.T) {
+	p := sampleProfile()
+	m := power.Default()
+	est := p.LoopEnergyEstimate(m)
+	wantLoop := 4*m.MemEnergyPerOp + 8*m.BufferEnergyPerOp(64)
+	wantOut := 1 * m.MemEnergyPerOp
+	if diff := est["filter@4"] - wantLoop; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("loop estimate %v, want %v", est["filter@4"], wantLoop)
+	}
+	if diff := est[""] - wantOut; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("outside estimate %v, want %v", est[""], wantOut)
+	}
+}
+
+func TestProfileEqualAndMerge(t *testing.T) {
+	p, q := sampleProfile(), sampleProfile()
+	if !p.Equal(q) {
+		t.Fatal("identical profiles not Equal")
+	}
+	q.Record("main", "", "", 0, StateMemory, 1)
+	if p.Equal(q) {
+		t.Fatal("diverged profiles still Equal")
+	}
+	m := NewProfile("bench/config@64", 64)
+	m.Merge(p)
+	m.Merge(nil)
+	if !m.Equal(p) {
+		t.Fatal("merge of p into empty profile not Equal to p")
+	}
+	m.Merge(p)
+	if m.Total() != 2*p.Total() {
+		t.Fatalf("double merge total %d, want %d", m.Total(), 2*p.Total())
+	}
+}
+
+func TestDocumentRoundTripAndValidate(t *testing.T) {
+	doc := NewDocument(Config{}, []*Profile{sampleProfile(), nil})
+	if len(doc.Profiles) != 1 {
+		t.Fatalf("profiles %d, want 1 (nil skipped)", len(doc.Profiles))
+	}
+	if doc.Sampling.Period != DefaultPeriod {
+		t.Fatalf("sampling not normalized: %+v", doc.Sampling)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	data, err := doc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped document rejected: %v", err)
+	}
+	if back.Profiles[0].TotalSamples != 4 {
+		t.Fatalf("round trip lost samples: %+v", back.Profiles[0])
+	}
+
+	// Validate must reject the invariants obscheck pins.
+	bad := *back
+	bad.Profiles = append([]ProfileDoc(nil), back.Profiles...)
+	bad.Profiles[0].TotalSamples++
+	if err := bad.Validate(); err == nil {
+		t.Fatal("sample-sum mismatch accepted")
+	}
+	bad = *back
+	bad.Profiles = append([]ProfileDoc(nil), back.Profiles...)
+	bad.Profiles[0].Samples = append([]SampleRow(nil), back.Profiles[0].Samples...)
+	bad.Profiles[0].Samples[0].State = "warp"
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown state accepted")
+	}
+	bad = *back
+	bad.Sampling.Period = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := Decode([]byte(`{"schema":"nope"}`)); err == nil {
+		t.Fatal("wrong schema decoded")
+	}
+}
+
+func TestCollapsedStacks(t *testing.T) {
+	doc := NewDocument(Config{}, []*Profile{sampleProfile()})
+	text := doc.Collapsed()
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("collapsed lines %d, want 3:\n%s", len(lines), text)
+	}
+	if !strings.Contains(text, "bench/config@64;filter;filter:B;replay 2") {
+		t.Fatalf("missing replay line:\n%s", text)
+	}
+	if !strings.Contains(text, "bench/config@64;main;-;memory 1") {
+		t.Fatalf("missing outside-loop line:\n%s", text)
+	}
+}
+
+func TestCounterSeries(t *testing.T) {
+	doc := NewDocument(Config{}, []*Profile{sampleProfile()})
+	tracks := doc.CounterSeries(nil)
+	if len(tracks) != 3 {
+		t.Fatalf("tracks %d, want 3 (energy, residency, redirect)", len(tracks))
+	}
+	byName := map[string][]float64{}
+	for _, tr := range tracks {
+		if tr.Run != "bench/config@64" {
+			t.Fatalf("track run %q", tr.Run)
+		}
+		if len(tr.Points) != 3 {
+			t.Fatalf("track %s has %d points, want 3", tr.Name, len(tr.Points))
+		}
+		var vals []float64
+		for _, p := range tr.Points {
+			vals = append(vals, p.Value)
+		}
+		byName[tr.Name] = vals
+	}
+	// Residency is per-interval: 0/40, then 32/(32+8), then 64/(64+4).
+	want := []float64{0, 0.8, 64.0 / 68}
+	for i, v := range byName["buffer_residency"] {
+		if diff := v - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("residency[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	// Redirect penalty is the per-interval delta: 0, 2, 0.
+	if r := byName["redirect_penalty"]; r[0] != 0 || r[1] != 2 || r[2] != 0 {
+		t.Fatalf("redirect deltas %v", r)
+	}
+	for i, v := range byName["fetch_energy"] {
+		if v < 0 {
+			t.Fatalf("fetch_energy[%d] = %v negative", i, v)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package pmu
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"lpbuf/internal/obs"
+	"lpbuf/internal/power"
+)
+
+// Schema versions the sampled-profile JSON document. Bump on any
+// breaking change to the Document shape (cmd/obscheck -simprofile
+// pins the current one).
+const Schema = "lpbuf.simprofile/v1"
+
+// SampleRow is one attribution bucket in the exported document.
+type SampleRow struct {
+	Func      string `json:"func"`
+	Loop      string `json:"loop,omitempty"`
+	LoopLabel string `json:"loop_label,omitempty"`
+	PCBucket  int32  `json:"pc_bucket"`
+	State     string `json:"state"`
+	Count     int64  `json:"count"`
+	// Ops sums the sampled bundles' issue widths: Count estimates
+	// cycles spent in the bucket, Ops estimates fetch work (what the
+	// energy model prices).
+	Ops int64 `json:"ops"`
+}
+
+// ProfileDoc is one plan's profile in the exported document.
+type ProfileDoc struct {
+	Label           string      `json:"label"`
+	Capacity        int         `json:"buffer_ops"`
+	Cycles          int64       `json:"cycles"`
+	TotalSamples    int64       `json:"total_samples"`
+	Samples         []SampleRow `json:"samples"`
+	Series          []Point     `json:"series,omitempty"`
+	SeriesTruncated int64       `json:"series_truncated,omitempty"`
+}
+
+// Document is the versioned lpbuf.simprofile/v1 export: the sampling
+// configuration (so a reader can reproduce or reason about the
+// density) plus one profile per accounted plan.
+type Document struct {
+	Schema   string       `json:"schema"`
+	Sampling Config       `json:"sampling"`
+	Profiles []ProfileDoc `json:"profiles"`
+}
+
+// NewDocument snapshots profiles under the given sampling config,
+// sorted by label. Nil and empty profiles are skipped.
+func NewDocument(cfg Config, profiles []*Profile) *Document {
+	d := &Document{Schema: Schema, Sampling: cfg.Normalized()}
+	for _, p := range profiles {
+		if p == nil {
+			continue
+		}
+		d.Profiles = append(d.Profiles, ProfileDoc{
+			Label:           p.Label,
+			Capacity:        p.Capacity,
+			Cycles:          p.Cycles,
+			TotalSamples:    p.total,
+			Samples:         p.Samples(),
+			Series:          append([]Point(nil), p.series...),
+			SeriesTruncated: p.seriesTruncated,
+		})
+	}
+	sort.Slice(d.Profiles, func(i, j int) bool { return d.Profiles[i].Label < d.Profiles[j].Label })
+	return d
+}
+
+// Encode renders the document as indented JSON with a trailing
+// newline.
+func (d *Document) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the encoded document to path.
+func (d *Document) WriteFile(path string) error {
+	data, err := d.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Decode parses and schema-checks an encoded document.
+func Decode(data []byte) (*Document, error) {
+	var d Document
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("simprofile: %w", err)
+	}
+	if d.Schema != Schema {
+		return nil, fmt.Errorf("simprofile schema %q, want %q", d.Schema, Schema)
+	}
+	return &d, nil
+}
+
+// Validate checks the document invariants the schema promises:
+// a positive sampling period, at least one profile, per-profile
+// sample sums matching total_samples, states within the closed
+// vocabulary, and non-negative, cycle-ordered series points.
+func (d *Document) Validate() error {
+	if d.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", d.Schema, Schema)
+	}
+	if d.Sampling.Period <= 0 {
+		return fmt.Errorf("sampling period %d, want > 0", d.Sampling.Period)
+	}
+	if len(d.Profiles) == 0 {
+		return fmt.Errorf("no profiles")
+	}
+	states := map[string]bool{}
+	for _, s := range States {
+		states[s] = true
+	}
+	for i, p := range d.Profiles {
+		if p.Label == "" {
+			return fmt.Errorf("profile %d has no label", i)
+		}
+		if p.Capacity <= 0 {
+			return fmt.Errorf("profile %q: buffer_ops %d, want > 0", p.Label, p.Capacity)
+		}
+		var sum int64
+		for j, r := range p.Samples {
+			if r.Func == "" {
+				return fmt.Errorf("profile %q sample %d has no func", p.Label, j)
+			}
+			if !states[r.State] {
+				return fmt.Errorf("profile %q sample %d has unknown state %q", p.Label, j, r.State)
+			}
+			if r.Count <= 0 {
+				return fmt.Errorf("profile %q sample %d has count %d", p.Label, j, r.Count)
+			}
+			if r.Ops < 0 {
+				return fmt.Errorf("profile %q sample %d has negative ops %d", p.Label, j, r.Ops)
+			}
+			sum += r.Count
+		}
+		if sum != p.TotalSamples {
+			return fmt.Errorf("profile %q: samples sum to %d, total_samples says %d", p.Label, sum, p.TotalSamples)
+		}
+		last := int64(-1)
+		for j, pt := range p.Series {
+			if pt.Cycle <= last {
+				return fmt.Errorf("profile %q series point %d out of cycle order", p.Label, j)
+			}
+			if pt.OpsBuffer < 0 || pt.OpsMemory < 0 || pt.RedirectCycles < 0 {
+				return fmt.Errorf("profile %q series point %d has negative counters", p.Label, j)
+			}
+			last = pt.Cycle
+		}
+	}
+	return nil
+}
+
+// Collapsed renders every profile as collapsed-stack (flamegraph)
+// text: "run;func;loop;state count" lines, ready for any flamegraph
+// renderer (e.g. flamegraph.pl or speedscope).
+func (d *Document) Collapsed() string {
+	var sb strings.Builder
+	for _, p := range d.Profiles {
+		for _, r := range p.Samples {
+			frame := "-"
+			if r.Loop != "" {
+				frame = r.LoopLabel
+				if frame == "" {
+					frame = r.Loop
+				}
+			}
+			fmt.Fprintf(&sb, "%s;%s;%s;%s %d\n", p.Label, r.Func, frame, r.State, r.Count)
+		}
+	}
+	return sb.String()
+}
+
+// LoopEnergyEstimate estimates each planned loop's instruction-fetch
+// energy from the ops-weighted samples: every sample contributes its
+// bundle's issue width at the per-op fetch rate of its buffer state
+// (replay issues from the buffer, record and memory from global
+// memory). Samples fire at uniformly jittered cycles, so up to the
+// sampling density the sums are proportional to the exact per-loop
+// attribution power.Model.Attribute computes from full op counts —
+// the Figure 5 golden test pins that agreement. The "" key aggregates
+// code outside planned loops.
+func (p *Profile) LoopEnergyEstimate(model *power.Model) map[string]float64 {
+	if model == nil {
+		model = power.Default()
+	}
+	out := map[string]float64{}
+	for k, c := range p.samples {
+		if k.State == StateReplay {
+			out[k.Loop] += model.FetchEnergy(0, c.ops, p.Capacity)
+		} else {
+			out[k.Loop] += model.FetchEnergy(c.ops, 0, p.Capacity)
+		}
+	}
+	return out
+}
+
+// CounterSeries renders every profile's Perfetto counter tracks.
+func (d *Document) CounterSeries(model *power.Model) []obs.CounterSeries {
+	if model == nil {
+		model = power.Default()
+	}
+	var out []obs.CounterSeries
+	for i := range d.Profiles {
+		p := &d.Profiles[i]
+		if len(p.Series) == 0 {
+			continue
+		}
+		energy := obs.CounterSeries{Name: "fetch_energy", Run: p.Label}
+		resid := obs.CounterSeries{Name: "buffer_residency", Run: p.Label}
+		redirect := obs.CounterSeries{Name: "redirect_penalty", Run: p.Label}
+		var prev Point
+		for _, pt := range p.Series {
+			dBuf, dMem := pt.OpsBuffer-prev.OpsBuffer, pt.OpsMemory-prev.OpsMemory
+			energy.Points = append(energy.Points, obs.CounterPoint{
+				Cycle: pt.Cycle,
+				Value: model.FetchEnergy(dMem, dBuf, p.Capacity),
+			})
+			frac := 0.0
+			if dBuf+dMem > 0 {
+				frac = float64(dBuf) / float64(dBuf+dMem)
+			}
+			resid.Points = append(resid.Points, obs.CounterPoint{Cycle: pt.Cycle, Value: frac})
+			redirect.Points = append(redirect.Points, obs.CounterPoint{
+				Cycle: pt.Cycle,
+				Value: float64(pt.RedirectCycles - prev.RedirectCycles),
+			})
+			prev = pt
+		}
+		out = append(out, energy, resid, redirect)
+	}
+	return out
+}

@@ -70,6 +70,56 @@ func TestScopeFoldsIntoParent(t *testing.T) {
 	}
 }
 
+// TestScopeFoldPMUHistogramBucketDrift folds the PMU's per-run sample
+// histogram (sim.pmu.samples_per_run, recorded by vliw.RunBatch) from
+// a child scope whose observations land in different log2 buckets than
+// the parent's: the parent saw sparse profiles (magnitudes 0-8), the
+// child saw dense ones (thousands). The fold must merge per-bucket —
+// drifted buckets appear with the child's counts, shared buckets sum,
+// and parent-only buckets survive untouched.
+func TestScopeFoldPMUHistogramBucketDrift(t *testing.T) {
+	parent := &Obs{Reg: NewRegistry()}
+	for _, v := range []int64{0, 3, 8} { // buckets 0, 2, 4
+		parent.Reg.Histogram("sim.pmu.samples_per_run").Observe(v)
+	}
+	parent.Reg.Counter("sim.pmu.samples").Add(11)
+
+	sc := parent.OpenScope(ScopeConfig{})
+	for _, v := range []int64{8, 2048, 5000} { // buckets 4, 12, 13
+		sc.Obs().Reg.Histogram("sim.pmu.samples_per_run").Observe(v)
+	}
+	sc.Obs().Counter("sim.pmu.samples").Add(7056)
+	sc.Close()
+
+	snap := parent.Reg.Snapshot()
+	if got := snap.Counters["sim.pmu.samples"]; got != 11+7056 {
+		t.Fatalf("folded sample counter = %d, want %d", got, 11+7056)
+	}
+	h := snap.Histograms["sim.pmu.samples_per_run"]
+	if h.Count != 6 || h.Sum != 0+3+8+8+2048+5000 {
+		t.Fatalf("folded histogram count/sum = %d/%d, want 6/%d", h.Count, h.Sum, 0+3+8+8+2048+5000)
+	}
+	byUB := map[int64]int64{}
+	for _, b := range h.Buckets {
+		byUB[b.UpperBound] = b.Count
+	}
+	want := map[int64]int64{
+		1:    1, // parent-only: the 0 observation
+		4:    1, // parent-only: 3
+		16:   2, // shared: 8 from each side sums
+		4096: 1, // child-only drift: 2048
+		8192: 1, // child-only drift: 5000
+	}
+	for ub, n := range want {
+		if byUB[ub] != n {
+			t.Fatalf("bucket le=%d count = %d, want %d (buckets %v)", ub, byUB[ub], n, h.Buckets)
+		}
+	}
+	if len(byUB) != len(want) {
+		t.Fatalf("folded histogram has %d buckets, want %d: %v", len(byUB), len(want), h.Buckets)
+	}
+}
+
 func TestScopeNesting(t *testing.T) {
 	parent := &Obs{Reg: NewRegistry()}
 	child := parent.OpenScope(ScopeConfig{})

@@ -151,12 +151,36 @@ const (
 	pidSim  = 2
 )
 
+// CounterPoint is one observation of a counter track: a value at a
+// simulator cycle.
+type CounterPoint struct {
+	Cycle int64
+	Value float64
+}
+
+// CounterSeries is one Perfetto counter track (phase "C" events on the
+// simulator pid): a named series of cycle-stamped values, optionally
+// scoped to one run label so per-plan tracks stay separate in the
+// viewer. The sampled-PMU export (internal/obs/pmu) renders fetch
+// energy, buffer residency and redirect penalty this way.
+type CounterSeries struct {
+	Name   string
+	Run    string
+	Points []CounterPoint
+}
+
 // WriteChromeTrace renders the trace (and, when sim is non-nil, the
 // simulator event ring) as Chrome trace-event JSON. Host spans land on
 // pid 1 with wall-clock microsecond timestamps; simulator events land
 // on pid 2 with the cycle number as the timestamp, so Perfetto shows
 // cycle-accurate loop-buffer residency.
 func WriteChromeTrace(w io.Writer, t *Trace, sim *SimTrace) error {
+	return WriteChromeTraceCounters(w, t, sim, nil)
+}
+
+// WriteChromeTraceCounters is WriteChromeTrace plus counter tracks
+// appended to the simulator pid.
+func WriteChromeTraceCounters(w io.Writer, t *Trace, sim *SimTrace, counters []CounterSeries) error {
 	file := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
 	if t != nil {
 		t.mu.Lock()
@@ -186,17 +210,40 @@ func WriteChromeTrace(w io.Writer, t *Trace, sim *SimTrace) error {
 	if sim != nil {
 		file.TraceEvents = append(file.TraceEvents, sim.chromeEvents()...)
 	}
+	// Counter tracks land on the simulator pid: phase "C" events whose
+	// single "value" arg Perfetto plots as a per-(name, tid) graph. The
+	// run label is folded into the name so per-plan tracks of a batched
+	// sweep do not merge into one series.
+	for i, cs := range counters {
+		name := cs.Name
+		if cs.Run != "" {
+			name = cs.Name + " " + cs.Run
+		}
+		tid := int64(1000 + i)
+		for _, p := range cs.Points {
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: name, Ph: "C", Ts: p.Cycle, Pid: pidSim, Tid: tid,
+				Args: map[string]any{"value": p.Value},
+			})
+		}
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(file)
 }
 
 // WriteChromeTraceFile is WriteChromeTrace to a file path.
 func WriteChromeTraceFile(path string, t *Trace, sim *SimTrace) error {
+	return WriteChromeTraceCountersFile(path, t, sim, nil)
+}
+
+// WriteChromeTraceCountersFile is WriteChromeTraceCounters to a file
+// path.
+func WriteChromeTraceCountersFile(path string, t *Trace, sim *SimTrace, counters []CounterSeries) error {
 	f, err := createFile(path)
 	if err != nil {
 		return err
 	}
-	if err := WriteChromeTrace(f, t, sim); err != nil {
+	if err := WriteChromeTraceCounters(f, t, sim, counters); err != nil {
 		f.Close()
 		return fmt.Errorf("obs: writing trace: %w", err)
 	}

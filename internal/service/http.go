@@ -24,9 +24,13 @@ const maxRequestBody = 1 << 20
 //	GET    /v1/jobs/{id}/events  SSE progress stream (replay + live)
 //	GET    /v1/jobs/{id}/artifact  the lpbuf.artifact/v1 result
 //	GET    /v1/jobs/{id}/trace   the job's span tree (Perfetto JSON)
+//	GET    /v1/jobs/{id}/simprofile  the job's sampled guest-PMU profile
+//	                             (lpbuf.simprofile/v1 JSON)
 //	GET    /metrics              registry snapshot (JSON; ?format=prom
 //	                             for Prometheus text exposition)
-//	GET    /debug/flightrecorder recent transitions/rejections (?n=K)
+//	GET    /debug/flightrecorder recent transitions/rejections
+//	                             (?kind=transition|rejection, ?limit=K;
+//	                             ?n=K is a legacy alias of limit)
 //	GET    /healthz              liveness/drain status
 //
 // Every route runs behind the observability middleware (per-route
@@ -46,6 +50,7 @@ func (s *Server) Handler() http.Handler {
 	add("GET /v1/jobs/{id}/events", s.handleEvents)
 	add("GET /v1/jobs/{id}/artifact", s.handleArtifact)
 	add("GET /v1/jobs/{id}/trace", s.handleTrace)
+	add("GET /v1/jobs/{id}/simprofile", s.handleSimProfile)
 	add("GET /metrics", s.handleMetrics)
 	add("GET /debug/flightrecorder", s.handleFlightRecorder)
 	add("GET /healthz", s.handleHealthz)
@@ -252,24 +257,85 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(TraceHeader, j.TraceID())
-	if err := obs.WriteChromeTrace(w, tr, j.scope.Sim()); err != nil {
+	// A finished build's sampled PMU profile rides along as Perfetto
+	// counter tracks (fetch energy, buffer residency, redirect penalty).
+	var counters []obs.CounterSeries
+	if doc := j.SimProfile(); doc != nil {
+		counters = doc.CounterSeries(nil)
+	}
+	if err := obs.WriteChromeTraceCounters(w, tr, j.scope.Sim(), counters); err != nil {
 		s.slog().Error("trace export failed", "job", j.ID(), "err", err)
 	}
 }
 
-// handleFlightRecorder serves the bounded ring of recent job lifecycle
-// transitions and admission rejections (?n=K limits to the newest K).
-func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
-	n := 0
-	if q := r.URL.Query().Get("n"); q != "" {
-		v, err := strconv.Atoi(q)
-		if err != nil || v < 1 {
-			writeError(w, http.StatusBadRequest, "bad n %q", q)
-			return
-		}
-		n = v
+// handleSimProfile serves a job's sampled guest-PMU profile
+// (lpbuf.simprofile/v1). Jobs whose artifact came from the store or an
+// in-flight leader never simulated anything themselves and answer 404.
+func (s *Server) handleSimProfile(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
 	}
-	total, records := s.flightrec.records(n)
+	doc := j.SimProfile()
+	if doc == nil {
+		writeError(w, http.StatusNotFound,
+			"job %s has no sim profile (not built by this job: store hit, dedup, or still running)", j.ID())
+		return
+	}
+	data, err := doc.Encode()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "simprofile: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(TraceHeader, j.TraceID())
+	w.Write(data)
+}
+
+// handleFlightRecorder serves the bounded ring of recent job lifecycle
+// transitions and admission rejections. ?kind=transition|rejection
+// filters server-side (the record vocabulary "rejected" is accepted
+// too); ?limit=K keeps the newest K after filtering, with ?n=K as a
+// legacy alias.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	for _, param := range []string{"n", "limit"} {
+		if q := r.URL.Query().Get(param); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				writeError(w, http.StatusBadRequest, "bad %s %q", param, q)
+				return
+			}
+			limit = v
+		}
+	}
+	kind := ""
+	switch q := r.URL.Query().Get("kind"); q {
+	case "":
+	case "transition":
+		kind = "transition"
+	case "rejection", "rejected":
+		kind = "rejected"
+	default:
+		writeError(w, http.StatusBadRequest, "bad kind %q (transition, rejection)", q)
+		return
+	}
+	// Filter before trimming so `limit` means "newest K of the requested
+	// kind", not "matching entries among the newest K of everything".
+	total, records := s.flightrec.records(0)
+	if kind != "" {
+		kept := records[:0]
+		for _, rec := range records {
+			if rec.Kind == kind {
+				kept = append(kept, rec)
+			}
+		}
+		records = kept
+	}
+	if limit > 0 && len(records) > limit {
+		records = records[len(records)-limit:]
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"schema":   FlightRecSchema,
 		"capacity": flightRecCapacity,

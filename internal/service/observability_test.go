@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lpbuf/internal/obs"
+	"lpbuf/internal/obs/pmu"
 )
 
 // chromeTraceFile mirrors the Perfetto JSON the trace endpoint serves.
@@ -191,6 +192,9 @@ func TestPromExposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default /metrics Content-Type %q, want application/json", ct)
+	}
 	var snap struct {
 		Counters map[string]int64 `json:"counters"`
 	}
@@ -296,6 +300,131 @@ func TestFlightRecorder(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("?n=0: %s, want 400", resp.Status)
+	}
+
+	// Server-side kind filtering: ?kind=rejection returns only the
+	// admission rejections, newest-limit of that kind (not a trim of the
+	// mixed stream). "rejected" is accepted as an alias.
+	for _, kind := range []string{"rejection", "rejected"} {
+		resp, err = http.Get(ts.URL + "/debug/flightrecorder?kind=" + kind + "&limit=50")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&dump)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dump.Records) != 1 {
+			t.Fatalf("kind=%s returned %d records, want the 1 rejection", kind, len(dump.Records))
+		}
+		if rec := dump.Records[0]; rec.Kind != "rejected" || rec.Client != "alice" {
+			t.Fatalf("kind=%s record %+v", kind, rec)
+		}
+		if dump.Total == int64(len(dump.Records)) {
+			t.Fatalf("filtered dump total %d must still count all kinds", dump.Total)
+		}
+	}
+
+	// kind=transition&limit=1 is the newest transition even though the
+	// unfiltered newest-1 could be of either kind.
+	resp, err = http.Get(ts.URL + "/debug/flightrecorder?kind=transition&limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&dump)
+	resp.Body.Close()
+	if err != nil || len(dump.Records) != 1 {
+		t.Fatalf("kind=transition&limit=1: %d records (%v)", len(dump.Records), err)
+	}
+	if rec := dump.Records[0]; rec.Kind != "transition" || rec.To != StateDone {
+		t.Fatalf("newest transition %+v, want the done transition", rec)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/flightrecorder?kind=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?kind=bogus: %s, want 400", resp.Status)
+	}
+}
+
+// TestJobSimProfileEndpoint pins the sampled-profile surface: a job
+// whose build produced a PMU document advertises simprofile_url and
+// the sampling config in its status and serves the document at
+// /v1/jobs/{id}/simprofile; a job satisfied from the artifact store
+// (which never ran a simulation) has neither and 404s.
+func TestJobSimProfileEndpoint(t *testing.T) {
+	s := testServer(t, Config{MaxJobs: 1})
+	s.build = func(j *Job) ([]byte, error) {
+		p := pmu.NewProfile("g724enc/aggressive@256", 256)
+		p.Cycles = 5000
+		p.Record("postfilter", "postfilter@8", "postfilter:B", 8, pmu.StateReplay, 4)
+		doc := pmu.NewDocument(pmu.Config{Period: 2048, Seed: 1}, []*pmu.Profile{p})
+		j.mu.Lock()
+		j.simprofile = doc
+		j.mu.Unlock()
+		return []byte("{\"ok\":true}\n"), nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := JobSpec{Figures: []string{"3"}}
+	st, resp := submitHTTP(t, ts, spec, true)
+	if resp.StatusCode != http.StatusOK || st.State != StateDone {
+		t.Fatalf("submit: %s, state %s (%s)", resp.Status, st.State, st.Error)
+	}
+	if want := "/v1/jobs/" + st.ID + "/simprofile"; st.SimProfileURL != want {
+		t.Fatalf("simprofile_url %q, want %q", st.SimProfileURL, want)
+	}
+	if st.Sampling == nil || st.Sampling.Period != 2048 {
+		t.Fatalf("status sampling %+v, want period 2048", st.Sampling)
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatalf("status with sampling does not validate: %v", err)
+	}
+
+	profResp, err := http.Get(ts.URL + st.SimProfileURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(profResp.Body)
+	profResp.Body.Close()
+	if profResp.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("simprofile fetch: %s (%v)", profResp.Status, err)
+	}
+	if ct := profResp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("simprofile Content-Type %q", ct)
+	}
+	doc, err := pmu.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatalf("served document invalid: %v", err)
+	}
+	if len(doc.Profiles) != 1 || doc.Profiles[0].Label != "g724enc/aggressive@256" {
+		t.Fatalf("served profiles %+v", doc.Profiles)
+	}
+
+	// The identical spec resolves from the store without simulating:
+	// no profile to serve, and the status says so by omission.
+	st2, resp2 := submitHTTP(t, ts, spec, true)
+	if resp2.StatusCode != http.StatusOK || st2.State != StateDone {
+		t.Fatalf("store-hit submit: %s, state %s", resp2.Status, st2.State)
+	}
+	if st2.SimProfileURL != "" || st2.Sampling != nil {
+		t.Fatalf("store-hit status advertises a profile: %+v", st2)
+	}
+	missResp, err := http.Get(ts.URL + "/v1/jobs/" + st2.ID + "/simprofile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missResp.Body.Close()
+	if missResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("store-hit simprofile: %s, want 404", missResp.Status)
 	}
 }
 

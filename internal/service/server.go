@@ -15,6 +15,7 @@ import (
 
 	"lpbuf/internal/experiments"
 	"lpbuf/internal/obs"
+	"lpbuf/internal/obs/pmu"
 	"lpbuf/internal/runner"
 	"lpbuf/internal/service/store"
 )
@@ -68,6 +69,12 @@ type Job struct {
 	// res is the final resource accounting, computed once at the
 	// terminal transition.
 	res *JobResources
+	// simprofile is the job's sampled guest-PMU document, captured when
+	// this job's own build ran (store hits and inflight-dedup followers
+	// never executed a simulation, so they carry none). Kept on the job
+	// rather than in the store artifact: the artifact must stay a pure
+	// function of (spec, machine) while sampling is a property of the run.
+	simprofile *pmu.Document
 }
 
 // ID returns the job's identifier.
@@ -82,6 +89,15 @@ func (j *Job) TraceID() string { return j.traceID }
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// SimProfile returns the job's sampled guest-PMU document, or nil when
+// the job never executed its own simulation (store hit, inflight-dedup
+// follower, canceled before the build finished).
+func (j *Job) SimProfile() *pmu.Document {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.simprofile
+}
 
 // Status snapshots the job as a lpbuf.jobstatus/v1 value.
 func (j *Job) Status() JobStatus {
@@ -112,6 +128,11 @@ func (j *Job) Status() JobStatus {
 	}
 	if j.scope.Trace() != nil {
 		st.TraceURL = "/v1/jobs/" + j.id + "/trace"
+	}
+	if j.simprofile != nil {
+		st.SimProfileURL = "/v1/jobs/" + j.id + "/simprofile"
+		cfg := j.simprofile.Sampling
+		st.Sampling = &cfg
 	}
 	if j.res != nil {
 		r := *j.res
@@ -796,6 +817,11 @@ func (s *Server) buildArtifact(j *Job) ([]byte, error) {
 		Verify:  j.spec.Verify || cfg.Verify,
 		Cache:   s.cache,
 		Obs:     jobObs,
+		// Every job samples the guest PMU at the default period; the
+		// profile is served at /v1/jobs/{id}/simprofile and never enters
+		// the store artifact. All suites share s.cache, so enabling it
+		// uniformly keeps cached runs' profiles consistent.
+		PMU: &pmu.Config{},
 		OnEvent: func(e runner.Event) {
 			j.hub.publish(Event{
 				Type:      "progress",
@@ -875,6 +901,11 @@ func (s *Server) buildArtifact(j *Job) ([]byte, error) {
 		default:
 			return nil, fmt.Errorf("unknown figure %q after normalization", fig)
 		}
+	}
+	if doc := suite.SimProfiles(); doc != nil {
+		j.mu.Lock()
+		j.simprofile = doc
+		j.mu.Unlock()
 	}
 	return art.Encode()
 }

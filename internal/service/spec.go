@@ -19,6 +19,7 @@ import (
 
 	"lpbuf/internal/experiments"
 	"lpbuf/internal/machine"
+	"lpbuf/internal/obs/pmu"
 )
 
 // Schema strings of the job API. JobSchema versions the request codec
@@ -242,6 +243,13 @@ type JobStatus struct {
 	TraceID string `json:"trace_id,omitempty"`
 	// TraceURL is the relative path of the job's Perfetto span tree.
 	TraceURL string `json:"trace_url,omitempty"`
+	// SimProfileURL is the relative path of the job's sampled guest-PMU
+	// profile (lpbuf.simprofile/v1), present only when this job's own
+	// build executed simulations (store hits and dedup followers did not).
+	SimProfileURL string `json:"simprofile_url,omitempty"`
+	// Sampling is the PMU sampling configuration the profile was taken
+	// under, recorded so profile consumers know the period and seed.
+	Sampling *pmu.Config `json:"sampling,omitempty"`
 	// Resources is the job's resource accounting, filled at the terminal
 	// state.
 	Resources *JobResources `json:"resources,omitempty"`
@@ -294,6 +302,9 @@ func (st JobStatus) Validate() error {
 	}
 	if st.State == StateFailed && st.Error == "" {
 		return fmt.Errorf("failed without error")
+	}
+	if st.Sampling != nil && st.Sampling.Period < 0 {
+		return fmt.Errorf("negative sampling period %d", st.Sampling.Period)
 	}
 	if r := st.Resources; r != nil {
 		if r.WallMS < 0 || r.QueueMS < 0 || r.CPUMS < 0 || r.AllocBytes < 0 {

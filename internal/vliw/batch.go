@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"lpbuf/internal/obs"
+	"lpbuf/internal/obs/pmu"
 	"lpbuf/internal/sched"
 )
 
@@ -69,6 +70,11 @@ func RunBatch(code *sched.Code, plans []*BufferPlan, opts BatchOptions) ([]*Resu
 	if opts.FoldedStatsOnly {
 		ring = nil
 	}
+	if opts.PMU != nil {
+		// One clock per batch: samples are plan-independent, so every
+		// account profiles the same cycles of the shared execution.
+		s.pmu = pmu.NewClock(*opts.PMU)
+	}
 	s.accts = make([]*account, len(plans))
 	for i, plan := range plans {
 		label := opts.TraceLabel
@@ -77,6 +83,13 @@ func RunBatch(code *sched.Code, plans []*BufferPlan, opts BatchOptions) ([]*Resu
 		}
 		a := &account{buf: newBufferState(plan), ring: ring, label: label}
 		a.stats.Loops = map[string]*LoopStats{}
+		if s.pmu != nil {
+			capacity := 0
+			if plan != nil {
+				capacity = plan.Capacity
+			}
+			a.prof = pmu.NewProfile(label, capacity)
+		}
 		s.accts[i] = a
 	}
 	s.fromBuf = make([]bool, len(plans))
@@ -114,7 +127,14 @@ func RunBatch(code *sched.Code, plans []*BufferPlan, opts BatchOptions) ([]*Resu
 		if reg != nil {
 			foldStats(reg, &a.stats)
 		}
-		results[i] = &Result{Mem: s.mem, Ret: ret, Stats: a.stats}
+		if a.prof != nil {
+			a.prof.Cycles = a.stats.Cycles
+			if reg != nil {
+				reg.Counter("sim.pmu.samples").Add(a.prof.Total())
+				reg.Histogram("sim.pmu.samples_per_run").Observe(a.prof.Total())
+			}
+		}
+		results[i] = &Result{Mem: s.mem, Ret: ret, Stats: a.stats, Profile: a.prof}
 	}
 	return results, nil
 }

@@ -1,0 +1,81 @@
+package vliw_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lpbuf/internal/interp"
+	"lpbuf/internal/sched"
+	"lpbuf/internal/vliw"
+)
+
+// TestDecodeCacheConcurrentDistinctCodes hammers the process-wide
+// decoded-image cache from 8 goroutines with more distinct schedules
+// than maxDecodeCacheCodes (32), so lookups, stores, and FIFO
+// evictions interleave continuously. Every simulation must still
+// produce its own program's reference result — a cache bug that served
+// a decoded image under the wrong content hash would corrupt Ret or
+// the cycle count.
+func TestDecodeCacheConcurrentDistinctCodes(t *testing.T) {
+	const (
+		nCodes     = 40 // > maxDecodeCacheCodes: forces steady eviction
+		goroutines = 8
+		rounds     = 3
+	)
+	type testCode struct {
+		code   *sched.Code
+		plan   *vliw.BufferPlan
+		ret    int64
+		cycles int64
+	}
+	codes := make([]testCode, nCodes)
+	for i := range codes {
+		trips := int64(10 + i)
+		prog := loopProgram(trips)
+		ref, err := interp.Run(prog.Clone(), interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, plan := compile(t, prog, 256, false)
+		solo, err := vliw.Run(code, plan, vliw.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solo.Ret != ref.Ret {
+			t.Fatalf("code %d: solo ret %d != interp ret %d", i, solo.Ret, ref.Ret)
+		}
+		codes[i] = testCode{code: code, plan: plan, ret: ref.Ret, cycles: solo.Stats.Cycles}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for i := range codes {
+					// Stagger start offsets so goroutines touch different
+					// hashes at any instant and evictions race lookups.
+					c := codes[(i+g*5)%nCodes]
+					r, err := vliw.Run(c.code, c.plan, vliw.Options{})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if r.Ret != c.ret || r.Stats.Cycles != c.cycles {
+						errs <- fmt.Errorf("goroutine %d round %d: ret %d cycles %d, want ret %d cycles %d (wrong decoded image?)",
+							g, round, r.Ret, r.Stats.Cycles, c.ret, c.cycles)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -275,6 +275,43 @@ func (s *sim) accountTrip(issued, nullified int64) {
 	}
 }
 
+// sampleTrip reconstructs the PMU sampling clock's firings across one
+// (possibly partial) region trip analytically, without leaving the
+// fast path: the trip's bundles issued at the contiguous cycles
+// [iterBase, iterBase+count), so every scheduled sample cycle in that
+// window fires at its exact interpretive position (samples that came
+// due during non-issue cycles — call redirects — clamp forward to the
+// first issue cycle, exactly as the interpretive `now >= next` compare
+// does). Per-trip fetch verdicts are invariant (the buffer state
+// machine only transitions at the head), so the per-account attribution
+// is bit-identical to the per-bundle hook; the differential PMU test
+// pins that. Must run after accountTrip so counter-track points see the
+// trip's accounting. Callers pre-check that a sample is due inside the
+// trip window (this function has a loop, so the compiler cannot inline
+// the common no-sample case away; the guard keeps steady-state replay
+// at two loads and a compare per trip).
+func (s *sim) sampleTrip(fc *sched.FuncCode, fx *funcCtx, ri int, iterBase int64, count int) {
+	if s.pmu == nil || count == 0 {
+		return
+	}
+	r := &fx.df.regions[ri]
+	pls := fx.regionPls[ri]
+	last := iterBase + int64(count) - 1
+	for s.pmu.Next() <= last {
+		c := s.pmu.Next()
+		if c < iterBase {
+			c = iterBase
+		}
+		idx := c - iterBase
+		pc := r.start + int32(idx)
+		ops := r.opsUpTo[idx+1] - r.opsUpTo[idx]
+		for ai, a := range s.accts {
+			s.recordSample(a, fc.F.Name, pls[ai], pc, c, ops, s.fromBuf[ai])
+		}
+		s.pmu.Fire(c)
+	}
+}
+
 // flushRegion emits the trip's first count SimIssue events for every
 // account with an event sink, stamped with their actual cycles, as one
 // batch per account. Must run before any exit-path event (redirect,
@@ -525,6 +562,9 @@ func (s *sim) runRegion(f *frame, fx *funcCtx, ri int, sc *scratch) (int, error)
 				// target (for loops, the fetch there closes any open
 				// residency).
 				s.accountTrip(r.opsUpTo[n], nullified)
+				if s.pmu != nil && s.pmu.Next() < iterBase+int64(n) {
+					s.sampleTrip(fc, fx, ri, iterBase, n)
+				}
 				s.flushRegion(fc, df, r, iterBase, n)
 				s.tick(f)
 				next := int(db.fall)
@@ -541,6 +581,9 @@ func (s *sim) runRegion(f *frame, fx *funcCtx, ri int, sc *scratch) (int, error)
 			// predicted loop-back (streaming account) resolves to zero
 			// penalty and no event inside resolveControl.
 			s.accountTrip(r.opsUpTo[j+1], nullified)
+			if s.pmu != nil && s.pmu.Next() <= iterBase+int64(j) {
+				s.sampleTrip(fc, fx, ri, iterBase, j+1)
+			}
 			s.flushRegion(fc, df, r, iterBase, j+1)
 			next := s.resolveControl(fc, start+j, sc)
 			s.tick(f)

@@ -13,6 +13,7 @@ import (
 	"lpbuf/internal/ir"
 	"lpbuf/internal/machine"
 	"lpbuf/internal/obs"
+	"lpbuf/internal/obs/pmu"
 	"lpbuf/internal/sched"
 )
 
@@ -68,6 +69,9 @@ type Result struct {
 	Mem   []byte
 	Ret   int64
 	Stats Stats
+	// Profile is this plan's sampled PMU profile (nil unless
+	// Options.PMU enabled sampling).
+	Profile *pmu.Profile
 }
 
 // Options configure a run.
@@ -99,6 +103,13 @@ type Options struct {
 	// frames, event buffers) shared across runs; see batch.go. Nil runs
 	// allocate their own.
 	Engine *Engine
+	// PMU enables the sampling performance-monitoring unit: a
+	// deterministic jittered clock fires on the issue clock and each
+	// firing attributes one sample per account to (func, loop,
+	// PC-bucket, buffer-state), yielding Result.Profile. Nil disables
+	// sampling entirely — the hot path then pays one nil check per
+	// bundle and allocates nothing (pinned by the obs alloc test).
+	PMU *pmu.Config
 }
 
 // wbEntry models one in-flight write (EQ model: the value lands at
@@ -178,6 +189,9 @@ type account struct {
 	// names the run in emitted events.
 	ring  *obs.SimTrace
 	label string
+	// prof accumulates this plan's PMU samples (nil when sampling is
+	// off).
+	prof *pmu.Profile
 }
 
 type sim struct {
@@ -206,6 +220,10 @@ type sim struct {
 	// sized len(accts) once so the per-bundle path never allocates.
 	fromBuf []bool
 	lss     []*LoopStats
+	// pmu is the shared sampling clock (nil when sampling is off). One
+	// clock per batch: sample cycles are plan-independent, so every
+	// account profiles the same cycles of the one shared execution.
+	pmu *pmu.Clock
 }
 
 // Run executes scheduled code from the program entry under one buffer
@@ -240,6 +258,35 @@ func foldStats(reg *obs.Registry, st *Stats) {
 		reg.Counter("sim.loop.recordings").Add(ls.Recordings)
 	}
 	reg.Histogram("sim.cycles_per_run").Observe(st.Cycles)
+}
+
+// recordSample attributes one PMU sample for one account: the sampled
+// issue point maps to (func, loop, PC-bucket, buffer-state) and the
+// account's cumulative fetch/redirect counters become one counter-track
+// point. Shared by the interpretive per-bundle hook and the region
+// runner's analytic catch-up (sampleTrip) so attribution is
+// bit-identical on both paths — the differential PMU test pins that.
+// Counter-track values are cumulative as of the account's current
+// bookkeeping, which the fast path advances per trip rather than per
+// bundle; the attribution samples are exact either way, the series is
+// sampled by construction.
+func (s *sim) recordSample(a *account, fn string, pl *PlannedLoop, pc int32, cycle, ops int64, fromBuffer bool) {
+	if a.prof == nil {
+		return
+	}
+	st := pmu.StateMemory
+	loopKey, loopLabel := "", ""
+	if pl != nil {
+		loopKey, loopLabel = pl.Key(), pl.Label
+		if fromBuffer {
+			st = pmu.StateReplay
+		} else {
+			st = pmu.StateRecord
+		}
+	}
+	a.prof.Record(fn, loopKey, loopLabel, pc, st, ops)
+	a.prof.Observe(cycle, a.stats.OpsFromBuffer,
+		a.stats.OpsIssued-a.stats.OpsFromBuffer, a.stats.BranchPenaltyCycles)
 }
 
 // wheelSize returns the writeback-wheel size for a latency table: the
@@ -593,6 +640,12 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 
 		db := &df.bundles[pc]
 		nOps := int64(len(db.ops))
+		// PMU sampling: the clock is compared against the issue cycle
+		// once per bundle (sampling off costs exactly this nil check).
+		// The region fast path above reconstructs the same firings
+		// analytically per trip (see sampleTrip), so both paths sample
+		// identical cycles.
+		sample := s.pmu != nil && s.now >= s.pmu.Next()
 		// Per-account loop-buffer bookkeeping for this fetch, issue
 		// event, and fetch statistics (per-bundle sums: every op in the
 		// bundle counts as issued, nullified or not, from one fetch
@@ -627,6 +680,12 @@ func (s *sim) execDepth(f *frame, pc int, cc *callCtx) (int64, error) {
 			} else if ls != nil {
 				ls.OpsMemory += nOps
 			}
+			if sample {
+				s.recordSample(a, fc.F.Name, pl, int32(pc), s.now, nOps, fromBuffer)
+			}
+		}
+		if sample {
+			s.pmu.Fire(s.now)
 		}
 		if s.dbg != nil {
 			s.dbg.printf("t=%d pc=%d buf=%v\n", s.now, pc, s.fromBuf[0])
